@@ -1,0 +1,62 @@
+//! Critical-path study — the paper's "future work" ("compute critical
+//! paths and assess priorities to the different elimination trees"):
+//! weighted critical paths and available parallelism of the real task DAGs
+//! for every tree and for the hierarchical configurations.
+
+use hqr::prelude::*;
+use hqr_bench::B;
+use hqr_runtime::{analysis, TaskGraph};
+use hqr_tile::ProcessGrid;
+
+fn report(name: &str, mt: usize, nt: usize, elims: &ElimList) {
+    let g = TaskGraph::build(mt, nt, B, &elims.to_ops());
+    let s = analysis::dag_stats(&g);
+    let parallelism = s.total_weight as f64 / s.critical_path_weight as f64;
+    println!(
+        "| {name:<34} | {mt}x{nt} | {} | {} | {} | {:.1} |",
+        g.tasks().len(),
+        s.total_weight,
+        s.critical_path_weight,
+        parallelism
+    );
+}
+
+fn main() {
+    println!("# Weighted critical paths of the real task DAGs");
+    println!("(weights in b³/3 flop units; parallelism = total/CP)");
+    println!("\n## Whole-matrix trees");
+    println!("| tree | tiles | tasks | total weight | CP weight | parallelism |");
+    println!("|---|---|---|---|---|---|");
+    for (mt, nt) in [(68usize, 16usize), (64, 64), (256, 16)] {
+        report("flat (TS)", mt, nt, &Schedule::flat(mt, nt).to_elim_list(true));
+        report("binary (TT)", mt, nt, &Schedule::binary(mt, nt).to_elim_list(false));
+        report("greedy (TT)", mt, nt, &Schedule::greedy(mt, nt).to_elim_list(false));
+        report("fibonacci (TT)", mt, nt, &Schedule::fibonacci(mt, nt).to_elim_list(false));
+    }
+
+    println!("\n## Hierarchical configurations (virtual 15x4 grid)");
+    println!("| configuration | tiles | tasks | total weight | CP weight | parallelism |");
+    println!("|---|---|---|---|---|---|");
+    let grid = ProcessGrid::new(15, 4);
+    let _ = grid;
+    for (mt, nt) in [(256usize, 16usize), (120, 120)] {
+        for (label, a, low, high, domino) in [
+            ("a=1, greedy/fib, no domino", 1usize, TreeKind::Greedy, TreeKind::Fibonacci, false),
+            ("a=4, fib/fib, domino", 4, TreeKind::Fibonacci, TreeKind::Fibonacci, true),
+            ("a=4, flat/flat, no domino", 4, TreeKind::Flat, TreeKind::Flat, false),
+            ("a=4, flat/flat, domino", 4, TreeKind::Flat, TreeKind::Flat, true),
+        ] {
+            let cfg = HqrConfig::new(15, 4).with_a(a).with_low(low).with_high(high).with_domino(domino);
+            report(label, mt, nt, &cfg.elimination_list(mt, nt));
+        }
+    }
+
+    println!("\n## §V-B anchor: 68x16 local matrix, flat vs greedy CP ratio");
+    let cp = |l: &ElimList| {
+        let g = TaskGraph::build(68, 16, B, &l.to_ops());
+        analysis::dag_stats(&g).critical_path_weight as f64
+    };
+    let flat = cp(&Schedule::flat(68, 16).to_elim_list(true));
+    let greedy = cp(&Schedule::greedy(68, 16).to_elim_list(false));
+    println!("flat CP = {flat}, greedy CP = {greedy}, ratio = {:.2} (paper model: 2.6)", flat / greedy);
+}

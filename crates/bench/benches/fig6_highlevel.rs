@@ -1,0 +1,40 @@
+//! Figure 6: performance of HQR on M × 4480 matrices (b = 280, 15×4 grid,
+//! 60 nodes × 8 cores), sweeping the TS-level parameter `a` ∈ {1,4,8} and
+//! the high-level tree, with the low-level tree set to GREEDY (subfigure a)
+//! or FLATTREE (subfigure b). Domino off, as in the paper.
+
+use hqr::prelude::*;
+use hqr_bench::{m_sweep, print_header, run_point, B, GRID_P, GRID_Q};
+use hqr_tile::ProcessGrid;
+
+fn sweep(low: TreeKind, highs: &[TreeKind]) {
+    let grid = ProcessGrid::new(GRID_P, GRID_Q);
+    let n = 4480;
+    let nt = n / B;
+    for m in m_sweep() {
+        let mt = m / B;
+        for &high in highs {
+            for a in [1usize, 4, 8] {
+                let cfg = HqrConfig::new(GRID_P, GRID_Q)
+                    .with_a(a)
+                    .with_low(low)
+                    .with_high(high)
+                    .with_domino(false);
+                let setup = hqr::baselines::hqr(mt, nt, grid, cfg);
+                let label = format!("a={a}, high={}", high.name());
+                run_point(&setup, &label, m, n);
+            }
+        }
+    }
+}
+
+fn main() {
+    println!("# Figure 6: influence of the TS level (a) and the high-level tree");
+    println!("# matrix: M x 4480, b = 280, grid 15x4, domino off");
+
+    print_header("Figure 6(a): low-level tree = GREEDY");
+    sweep(TreeKind::Greedy, &[TreeKind::Greedy, TreeKind::Binary]);
+
+    print_header("Figure 6(b): low-level tree = FLATTREE");
+    sweep(TreeKind::Flat, &[TreeKind::Flat, TreeKind::Fibonacci]);
+}

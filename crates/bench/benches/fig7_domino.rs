@@ -1,0 +1,33 @@
+//! Figure 7: influence of the low-level tree and the domino (coupling
+//! level) optimization on M × 4480 matrices; a = 4, high-level tree set to
+//! FIBONACCI, all four low-level trees, domino on/off.
+
+use hqr::prelude::*;
+use hqr_bench::{m_sweep, print_header, run_point, B, GRID_P, GRID_Q};
+use hqr_tile::ProcessGrid;
+
+fn main() {
+    println!("# Figure 7: low-level tree x domino optimization");
+    println!("# matrix: M x 4480, b = 280, grid 15x4, a = 4, high = fibonacci");
+    print_header("Figure 7");
+    let grid = ProcessGrid::new(GRID_P, GRID_Q);
+    let n = 4480;
+    let nt = n / B;
+    // The paper starts this figure at M = 17920.
+    for m in m_sweep().into_iter().filter(|&m| m >= 17920) {
+        let mt = m / B;
+        for domino in [false, true] {
+            for low in TreeKind::ALL {
+                let cfg = HqrConfig::new(GRID_P, GRID_Q)
+                    .with_a(4)
+                    .with_low(low)
+                    .with_high(TreeKind::Fibonacci)
+                    .with_domino(domino);
+                let setup = hqr::baselines::hqr(mt, nt, grid, cfg);
+                let label =
+                    format!("{} domino, low={}", if domino { "w/ " } else { "w/o" }, low.name());
+                run_point(&setup, &label, m, n);
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Figure 8: HQR versus ScaLAPACK, [BBD+10] and [SLHD10] on M × 4480
+//! matrices (N fixed, M varies from square to tall-and-skinny).
+//!
+//! Paper anchors (§V-C / conclusion): at the tall-skinny end HQR reaches
+//! 57.5% of peak (2505 GFlop/s) vs 43.5% [SLHD10] (1.3x), 18.3% [BBD+10]
+//! (3.1x) and 6.4% ScaLAPACK (9.0x).
+
+use hqr::baselines::{bbd10, hqr_tall_skinny, slhd10};
+use hqr_bench::{m_sweep, platform, print_header, run_point, B, GRID_P, GRID_Q};
+use hqr_sim::scalapack::ScalapackModel;
+use hqr_tile::ProcessGrid;
+
+fn main() {
+    println!("# Figure 8: algorithm comparison on M x 4480 (b = 280, 60 nodes)");
+    print_header("Figure 8");
+    let grid = ProcessGrid::new(GRID_P, GRID_Q);
+    let n = 4480;
+    let nt = n / B;
+    let p = platform();
+    let scalapack = ScalapackModel::default();
+    for m in m_sweep() {
+        let mt = m / B;
+        run_point(&hqr_tall_skinny(mt, nt, grid), "HQR (fib/fib, a=4, domino)", m, n);
+        run_point(&bbd10(mt, nt, grid), "[BBD+10] flat tree", m, n);
+        run_point(&slhd10(mt, nt, GRID_P * GRID_Q), "[SLHD10] 1D block + binary", m, n);
+        let r = scalapack.run(m, n, GRID_P, GRID_Q, &p);
+        println!(
+            "| {m:>7} | {n:>6} | {:<34} | {:>8.1} | {:>5.1}% | {:>9} |",
+            "ScaLAPACK (model)",
+            r.gflops,
+            100.0 * r.efficiency,
+            "-"
+        );
+    }
+}

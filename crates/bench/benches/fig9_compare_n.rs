@@ -1,0 +1,36 @@
+//! Figure 9: HQR versus ScaLAPACK, [BBD+10] and [SLHD10] on 67200 × N
+//! matrices (M fixed, N varies from tall-and-skinny to square).
+//!
+//! Paper anchors (§V-C): on the square matrix HQR reaches ~3 TFlop/s
+//! (68.7% of peak) vs 62.2% [BBD+10] (1.1x), 46.7% [SLHD10] (1.5x, the
+//! §III-C 2/3 load-imbalance ratio) and 44.2% ScaLAPACK (1.6x); at
+//! N = M/2 the [SLHD10]/HQR ratio is ≈ 5/6.
+
+use hqr::baselines::{bbd10, hqr_adaptive, slhd10};
+use hqr_bench::{n_sweep, platform, print_header, run_point, B, GRID_P, GRID_Q};
+use hqr_sim::scalapack::ScalapackModel;
+use hqr_tile::ProcessGrid;
+
+fn main() {
+    println!("# Figure 9: algorithm comparison on 67200 x N (b = 280, 60 nodes)");
+    print_header("Figure 9");
+    let grid = ProcessGrid::new(GRID_P, GRID_Q);
+    let m = 67_200;
+    let mt = m / B;
+    let p = platform();
+    let scalapack = ScalapackModel::default();
+    for n in n_sweep() {
+        let nt = n / B;
+        run_point(&hqr_adaptive(mt, nt, grid), "HQR (adaptive a/trees/domino)", m, n);
+        run_point(&bbd10(mt, nt, grid), "[BBD+10] flat tree", m, n);
+        run_point(&slhd10(mt, nt, GRID_P * GRID_Q), "[SLHD10] 1D block + binary", m, n);
+        let r = scalapack.run(m, n, GRID_P, GRID_Q, &p);
+        println!(
+            "| {m:>7} | {n:>6} | {:<34} | {:>8.1} | {:>5.1}% | {:>9} |",
+            "ScaLAPACK (model)",
+            r.gflops,
+            100.0 * r.efficiency,
+            "-"
+        );
+    }
+}

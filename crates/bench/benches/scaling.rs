@@ -1,0 +1,61 @@
+//! Strong and weak scaling of HQR on the simulated cluster — the paper's
+//! motivating scenario ("massively parallel platforms combining parallel
+//! distributed multi-core nodes", §I). Not a paper figure; an extension
+//! study over the same machinery.
+
+use hqr::baselines;
+use hqr::experiments::simulate_setup;
+use hqr_bench::{quick, B};
+use hqr_sim::Platform;
+use hqr_tile::ProcessGrid;
+
+/// Node counts and row-heavy grids (the tall-skinny-friendly shapes).
+fn grids() -> Vec<(usize, usize)> {
+    if quick() {
+        vec![(1, 1), (4, 1), (15, 4)]
+    } else {
+        vec![(1, 1), (2, 2), (4, 1), (15, 1), (15, 2), (15, 4)]
+    }
+}
+
+fn main() {
+    println!("# Strong scaling: fixed 143360 x 4480 matrix, nodes vary");
+    println!("| nodes | grid | GFlop/s | speedup | parallel eff |");
+    println!("|---|---|---|---|---|");
+    let (mt, nt) = (512usize, 16usize);
+    let mut base = None;
+    for (p, q) in grids() {
+        let nodes = p * q;
+        let platform = Platform { nodes, ..Platform::edel() };
+        let setup = baselines::hqr_tall_skinny(mt, nt, ProcessGrid::new(p, q));
+        let rep = simulate_setup(&setup, B, &platform);
+        let base_gf = *base.get_or_insert(rep.gflops);
+        let speedup = rep.gflops / base_gf;
+        println!(
+            "| {nodes} | {p}x{q} | {:.1} | {:.2}x | {:.1}% |",
+            rep.gflops,
+            speedup,
+            100.0 * speedup / nodes as f64
+        );
+    }
+
+    println!("\n# Weak scaling: rows grow with the node count (tall-skinny)");
+    println!("| nodes | matrix | GFlop/s | GFlop/s per node |");
+    println!("|---|---|---|---|");
+    for (p, q) in grids() {
+        let nodes = p * q;
+        let platform = Platform { nodes, ..Platform::edel() };
+        // ~17 tile rows per node, 16 tile columns — the paper's largest
+        // per-node footprint.
+        let mt = 17 * nodes;
+        let setup = baselines::hqr_tall_skinny(mt, 16, ProcessGrid::new(p, q));
+        let rep = simulate_setup(&setup, B, &platform);
+        println!(
+            "| {nodes} | {}x{} | {:.1} | {:.1} |",
+            mt * B,
+            16 * B,
+            rep.gflops,
+            rep.gflops / nodes as f64
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Regenerates Tables I–IV and the reduction trees of Figures 1–4
+//! (§III-A/B): the coarse-grain unit-time schedules for the flat, binary
+//! and greedy algorithms on a 12-row tile matrix, plus the hierarchical
+//! single-panel examples (flat/binary over 3 clusters, domain trees).
+
+use hqr::prelude::*;
+
+fn main() {
+    println!("# Tables I-IV and Figures 1-4 (coarse-grain unit-time model)");
+
+    println!("\n## Table I / Figure 1: flat tree, panel 0, m = 12");
+    println!("{}", Schedule::flat(12, 1).render(1));
+
+    println!("\n## Figure 2: binary tree, panel 0, m = 12");
+    println!("{}", Schedule::binary(12, 1).render(1));
+
+    println!("\n## Figure 3: flat/binary hierarchical tree, p = 3 clusters (cyclic)");
+    let fb = HqrConfig::new(3, 1).with_a(4).with_low(TreeKind::Flat).with_high(TreeKind::Binary);
+    let l = fb.elimination_list(12, 1);
+    for e in l.elims() {
+        println!(
+            "  elim({}, {}, 0)  level={:?} kernel={}",
+            e.victim,
+            e.killer,
+            e.level,
+            if e.ts { "TS" } else { "TT" }
+        );
+    }
+
+    println!("\n## Figure 4: domain tree, two domains of 2 per cluster");
+    let dom = HqrConfig::new(3, 1).with_a(2).with_low(TreeKind::Binary).with_high(TreeKind::Binary);
+    let l = dom.elimination_list(12, 1);
+    for e in l.elims() {
+        println!(
+            "  elim({}, {}, 0)  level={:?} kernel={}",
+            e.victim,
+            e.killer,
+            e.level,
+            if e.ts { "TS" } else { "TT" }
+        );
+    }
+
+    println!("\n## Table II: flat tree, first 3 panels, m = 12");
+    println!("{}", Schedule::flat(12, 3).render(3));
+
+    println!("\n## Table III: binary tree, first 3 panels, m = 12");
+    println!("(earliest *consistent* steps; see EXPERIMENTS.md for the two");
+    println!(" paper entries that violate the Sec. II aliveness conditions)");
+    println!("{}", Schedule::binary(12, 3).render(3));
+
+    println!("\n## Table IV: greedy, first 3 panels, m = 12");
+    println!("{}", Schedule::greedy(12, 3).render(3));
+
+    println!("\n## Coarse-grain makespans (m = 12, n = 3)");
+    for (name, s) in [
+        ("flat", Schedule::flat(12, 3)),
+        ("binary", Schedule::binary(12, 3)),
+        ("greedy", Schedule::greedy(12, 3)),
+        ("fibonacci", Schedule::fibonacci(12, 3)),
+    ] {
+        println!("  {name:<10} {:>3} steps", s.makespan());
+    }
+}

@@ -1,0 +1,135 @@
+//! A small, dependency-free `--key value` argument parser.
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` pairs plus bare flags (`--flag`).
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parse `--key value` pairs; a `--key` followed by another `--...` or
+    /// nothing is a boolean flag.
+    pub fn parse(argv: &[String]) -> Self {
+        let mut out = Args::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let arg = &argv[i];
+            let Some(key) = arg.strip_prefix("--") else {
+                eprintln!("ignoring stray argument `{arg}`");
+                i += 1;
+                continue;
+            };
+            if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                out.values.insert(key.to_string(), argv[i + 1].clone());
+                i += 2;
+            } else {
+                out.flags.push(key.to_string());
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// String value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// String with default.
+    pub fn str_or(&self, key: &str, default: &str) -> String {
+        self.get(key).unwrap_or(default).to_string()
+    }
+
+    /// Parsed numeric value with default; exits with a message on garbage.
+    pub fn usize_or(&self, key: &str, default: usize) -> usize {
+        match self.get(key) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("--{key} expects an integer, got `{v}`");
+                std::process::exit(2);
+            }),
+        }
+    }
+
+    /// f64 with default.
+    pub fn f64_or(&self, key: &str, default: f64) -> f64 {
+        match self.get(key) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("--{key} expects a number, got `{v}`");
+                std::process::exit(2);
+            }),
+        }
+    }
+
+    /// Boolean flag (present or `--key true/false`).
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key) || self.get(key).is_some_and(|v| v == "true" || v == "1")
+    }
+
+    /// A `PxQ` grid specification.
+    pub fn grid_or(&self, key: &str, default: (usize, usize)) -> (usize, usize) {
+        match self.get(key) {
+            None => default,
+            Some(v) => {
+                let parts: Vec<&str> = v.split(['x', 'X']).collect();
+                if parts.len() == 2 {
+                    if let (Ok(p), Ok(q)) = (parts[0].parse(), parts[1].parse()) {
+                        return (p, q);
+                    }
+                }
+                eprintln!("--{key} expects PxQ (e.g. 15x4), got `{v}`");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs_and_flags() {
+        let a = Args::parse(&argv(&["--rows", "128", "--domino", "--tree", "greedy"]));
+        assert_eq!(a.usize_or("rows", 0), 128);
+        assert!(a.flag("domino"));
+        assert_eq!(a.str_or("tree", "flat"), "greedy");
+        assert!(!a.flag("missing"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = Args::parse(&argv(&[]));
+        assert_eq!(a.usize_or("tile", 16), 16);
+        assert_eq!(a.f64_or("speedup", 8.0), 8.0);
+        assert_eq!(a.grid_or("grid", (15, 4)), (15, 4));
+    }
+
+    #[test]
+    fn grid_parses() {
+        let a = Args::parse(&argv(&["--grid", "3x2"]));
+        assert_eq!(a.grid_or("grid", (1, 1)), (3, 2));
+    }
+
+    #[test]
+    fn boolean_value_forms() {
+        let a = Args::parse(&argv(&["--domino", "true", "--ts", "false"]));
+        assert!(a.flag("domino"));
+        assert!(!a.flag("ts"));
+    }
+
+    #[test]
+    fn trailing_flag() {
+        let a = Args::parse(&argv(&["--rows", "4", "--quiet"]));
+        assert!(a.flag("quiet"));
+        assert_eq!(a.usize_or("rows", 0), 4);
+    }
+}

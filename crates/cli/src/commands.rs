@@ -1,0 +1,337 @@
+//! The `hqr` subcommands.
+
+use crate::args::Args;
+use hqr::baselines;
+use hqr::prelude::*;
+use hqr_runtime::{analysis, TaskGraph};
+use hqr_sim::scalapack::ScalapackModel;
+use hqr_sim::{simulate_with_policy, Platform, SchedPolicy};
+use hqr_tile::ProcessGrid;
+use std::time::Instant;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+hqr — hierarchical tile QR factorization (IPDPS 2012 reproduction)
+
+USAGE:
+  hqr factor   [--rows R --cols C --tile B --grid PxQ --a A --low TREE
+                --high TREE --domino --ib IB --threads T --seed S
+                --input FILE.mtx]
+      factor a random (or MatrixMarket) matrix, verify ||QtQ-I|| and ||A-QR||
+  hqr simulate [--rows R --cols C --tile B --grid PxQ --algorithm ALG
+                --nodes N --cores C --policy POLICY --gpus G --gpu-speedup X]
+      replay the task DAG on the simulated cluster
+      ALG: hqr | hqr-square | bbd10 | slhd10 | scalapack
+  hqr schedule [--rows MT --cols NT --tree TREE --panels P]
+      print the coarse-grain unit-time schedule (Tables I-IV)
+  hqr trees    [--size Z]
+      print the reduction pairings of all four trees
+  hqr dot      [--rows MT --cols NT --tree TREE]
+      emit the task DAG as Graphviz DOT
+  TREE: flat | binary | greedy | fibonacci
+";
+
+fn tree_of(args: &Args, key: &str, default: TreeKind) -> TreeKind {
+    match args.get(key) {
+        None => default,
+        Some(v) => TreeKind::parse(v).unwrap_or_else(|| {
+            eprintln!("--{key}: unknown tree `{v}` (flat|binary|greedy|fibonacci)");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn config_of(args: &Args, grid: (usize, usize)) -> HqrConfig {
+    HqrConfig::new(grid.0, grid.1)
+        .with_a(args.usize_or("a", 1))
+        .with_low(tree_of(args, "low", TreeKind::Greedy))
+        .with_high(tree_of(args, "high", TreeKind::Fibonacci))
+        .with_domino(args.flag("domino"))
+}
+
+/// `hqr factor`: factor a random matrix and verify.
+pub fn factor(args: &Args) -> i32 {
+    let rows = args.usize_or("rows", 384);
+    let cols = args.usize_or("cols", 160);
+    let b = args.usize_or("tile", 16);
+    let grid = args.grid_or("grid", (2, 1));
+    let threads = args.usize_or("threads", 4);
+    let ib = args.usize_or("ib", b);
+    let seed = args.usize_or("seed", 42) as u64;
+    if rows < cols {
+        eprintln!("factor expects rows >= cols");
+        return 2;
+    }
+    let cfg = config_of(args, grid);
+    println!("configuration : {}", cfg.describe());
+    let a0 = match args.get("input") {
+        Some(path) => match hqr_tile::io::read_matrix_market(std::path::Path::new(path)) {
+            Ok(m) => {
+                println!("input         : {path} ({} x {})", m.rows(), m.cols());
+                if m.rows() < m.cols() {
+                    eprintln!("factor expects rows >= cols");
+                    return 2;
+                }
+                m
+            }
+            Err(e) => {
+                eprintln!("failed to read {path}: {e}");
+                return 2;
+            }
+        },
+        None => DenseMatrix::random(rows, cols, seed),
+    };
+    let (rows, cols) = (a0.rows(), a0.cols());
+    let t0 = Instant::now();
+    let qr = DenseQr::compute_ib(
+        &a0,
+        b,
+        cfg,
+        if threads <= 1 { Execution::Serial } else { Execution::Parallel(threads) },
+        ib,
+    );
+    let dt = t0.elapsed();
+    let q = qr.q_thin();
+    let recon = q.matmul(&qr.r());
+    let resid = a0.sub(&recon).frob_norm() / a0.frob_norm().max(1.0);
+    let ortho = q.orthogonality_error();
+    println!("matrix        : {rows} x {cols}, tile {b}, ib {ib}");
+    println!("factor time   : {:.1} ms on {threads} threads", dt.as_secs_f64() * 1e3);
+    println!("||QtQ - I||_F : {ortho:.3e}");
+    println!("||A-QR||/||A||: {resid:.3e}");
+    let ok = ortho < 1e-12 * rows as f64 && resid < 1e-12 * rows as f64;
+    println!("checks        : {}", if ok { "satisfactory" } else { "FAILED" });
+    i32::from(!ok)
+}
+
+/// `hqr simulate`: replay on the modeled cluster.
+pub fn simulate(args: &Args) -> i32 {
+    let b = args.usize_or("tile", 280);
+    let rows = args.usize_or("rows", 71_680);
+    let cols = args.usize_or("cols", 4_480);
+    let (mt, nt) = (rows / b, cols / b);
+    if mt == 0 || nt == 0 {
+        eprintln!("matrix smaller than one tile");
+        return 2;
+    }
+    let grid = args.grid_or("grid", (15, 4));
+    let mut platform = Platform {
+        nodes: args.usize_or("nodes", grid.0 * grid.1),
+        cores_per_node: args.usize_or("cores", 8),
+        ..Platform::edel()
+    };
+    let gpus = args.usize_or("gpus", 0);
+    if gpus > 0 {
+        platform.accelerators = Some(hqr_sim::Accelerators {
+            per_node: gpus,
+            update_speedup: args.f64_or("gpu-speedup", 8.0),
+        });
+    }
+    let policy = match args.str_or("policy", "panel").as_str() {
+        "panel" => SchedPolicy::PanelFirst,
+        "fifo" => SchedPolicy::Fifo,
+        "cp" | "critical-path" => SchedPolicy::CriticalPath,
+        other => {
+            eprintln!("unknown policy `{other}` (panel|fifo|cp)");
+            return 2;
+        }
+    };
+    let alg = args.str_or("algorithm", "hqr");
+    let setup = match alg.as_str() {
+        "hqr" => baselines::hqr(mt, nt, ProcessGrid::new(grid.0, grid.1), config_of(args, grid)),
+        "hqr-tall" => baselines::hqr_tall_skinny(mt, nt, ProcessGrid::new(grid.0, grid.1)),
+        "hqr-square" => baselines::hqr_square(mt, nt, ProcessGrid::new(grid.0, grid.1)),
+        "bbd10" => baselines::bbd10(mt, nt, ProcessGrid::new(grid.0, grid.1)),
+        "slhd10" => baselines::slhd10(mt, nt, platform.nodes),
+        "scalapack" => {
+            let r = ScalapackModel::default().run(rows, cols, grid.0, grid.1, &platform);
+            println!("algorithm : ScaLAPACK pdgeqrf (analytic model)");
+            println!("makespan  : {:.3} s", r.makespan);
+            println!("GFlop/s   : {:.1} ({:.1}% of peak)", r.gflops, 100.0 * r.efficiency);
+            return 0;
+        }
+        other => {
+            eprintln!("unknown algorithm `{other}`");
+            return 2;
+        }
+    };
+    println!("algorithm : {}", setup.name);
+    println!("matrix    : {rows} x {cols} ({mt} x {nt} tiles of {b})");
+    println!(
+        "platform  : {} nodes x {} cores{}",
+        platform.nodes,
+        platform.cores_per_node,
+        if gpus > 0 { format!(" + {gpus} GPUs/node") } else { String::new() }
+    );
+    let t0 = Instant::now();
+    let graph = TaskGraph::build(mt, nt, b, &setup.elims.to_ops());
+    let rep = simulate_with_policy(&graph, &setup.layout, &platform, policy);
+    println!("tasks     : {} ({} edges)", graph.tasks().len(), graph.edge_count());
+    println!("makespan  : {:.3} s (simulated; wall {:.2} s)", rep.makespan, t0.elapsed().as_secs_f64());
+    println!("GFlop/s   : {:.1} ({:.1}% of peak)", rep.gflops, 100.0 * rep.efficiency);
+    println!("messages  : {} ({:.2} GB)", rep.messages, rep.bytes / 1e9);
+    if rep.messages > 0 {
+        let names = ["GEQRT", "UNMQR", "TSQRT", "TSMQR", "TTQRT", "TTMQR"];
+        let by_kind: Vec<String> = names
+            .iter()
+            .zip(rep.messages_by_kind)
+            .filter(|&(_, c)| c > 0)
+            .map(|(n, c)| format!("{n}:{c}"))
+            .collect();
+        println!("  by producer kernel: {}", by_kind.join(" "));
+    }
+    println!("utilization: {:.1}%", 100.0 * rep.utilization(&platform));
+    0
+}
+
+/// `hqr schedule`: coarse-grain schedule tables.
+pub fn schedule(args: &Args) -> i32 {
+    let mt = args.usize_or("rows", 12);
+    let nt = args.usize_or("cols", 3);
+    let panels = args.usize_or("panels", nt.min(3));
+    let tree = args.str_or("tree", "greedy");
+    let s = match tree.as_str() {
+        "flat" => Schedule::flat(mt, nt),
+        "binary" => Schedule::binary(mt, nt),
+        "greedy" => Schedule::greedy(mt, nt),
+        "fibonacci" => Schedule::fibonacci(mt, nt),
+        other => {
+            eprintln!("unknown tree `{other}`");
+            return 2;
+        }
+    };
+    println!("{tree} tree on {mt} x {nt} tiles (unit-time model):");
+    println!("{}", s.render(panels));
+    println!("makespan: {} steps", s.makespan());
+    0
+}
+
+/// `hqr trees`: reduction pairings.
+pub fn trees(args: &Args) -> i32 {
+    let z = args.usize_or("size", 12);
+    for kind in TreeKind::ALL {
+        print!("{:<10}", kind.name());
+        for (v, u) in kind.reduction(z) {
+            print!(" ({v}<-{u})");
+        }
+        println!("   [depth {}]", kind.depth(z));
+    }
+    0
+}
+
+/// `hqr dot`: Graphviz export.
+pub fn dot(args: &Args) -> i32 {
+    let mt = args.usize_or("rows", 4);
+    let nt = args.usize_or("cols", 2);
+    let tree = args.str_or("tree", "flat");
+    let elims = match tree.as_str() {
+        "flat" => Schedule::flat(mt, nt).to_elim_list(true),
+        "binary" => Schedule::binary(mt, nt).to_elim_list(false),
+        "greedy" => Schedule::greedy(mt, nt).to_elim_list(false),
+        "fibonacci" => Schedule::fibonacci(mt, nt).to_elim_list(false),
+        other => {
+            eprintln!("unknown tree `{other}`");
+            return 2;
+        }
+    };
+    let graph = TaskGraph::build(mt, nt, 4, &elims.to_ops());
+    match analysis::to_dot(&graph, 512) {
+        Ok(s) => {
+            print!("{s}");
+            0
+        }
+        Err(e) => {
+            eprintln!("{e}; try a smaller matrix");
+            2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::parse(&s.iter().map(|x| x.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn factor_small_succeeds() {
+        let code = factor(&args(&[
+            "--rows", "48", "--cols", "24", "--tile", "8", "--grid", "2x1", "--a", "2", "--domino",
+            "--threads", "2",
+        ]));
+        assert_eq!(code, 0);
+    }
+
+    #[test]
+    fn factor_from_matrix_market_file() {
+        let m = hqr_tile::DenseMatrix::random(20, 8, 5);
+        let path = std::env::temp_dir().join("hqr_cli_input.mtx");
+        hqr_tile::io::write_matrix_market(&path, &m).unwrap();
+        let code = factor(&args(&[
+            "--input",
+            path.to_str().unwrap(),
+            "--tile",
+            "4",
+            "--grid",
+            "2x1",
+        ]));
+        assert_eq!(code, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn factor_reports_missing_file() {
+        assert_eq!(factor(&args(&["--input", "/no/such/file.mtx"])), 2);
+    }
+
+    #[test]
+    fn factor_rejects_wide() {
+        assert_eq!(factor(&args(&["--rows", "8", "--cols", "16", "--tile", "4"])), 2);
+    }
+
+    #[test]
+    fn simulate_all_algorithms() {
+        for alg in ["hqr", "hqr-tall", "hqr-square", "bbd10", "slhd10", "scalapack"] {
+            let code = simulate(&args(&[
+                "--rows", "3360", "--cols", "1120", "--tile", "280", "--grid", "3x2",
+                "--algorithm", alg,
+            ]));
+            assert_eq!(code, 0, "{alg}");
+        }
+    }
+
+    #[test]
+    fn simulate_with_gpus_and_policies() {
+        for policy in ["panel", "fifo", "cp"] {
+            let code = simulate(&args(&[
+                "--rows", "2240", "--cols", "1120", "--tile", "280", "--grid", "2x2",
+                "--gpus", "2", "--policy", policy,
+            ]));
+            assert_eq!(code, 0, "{policy}");
+        }
+    }
+
+    #[test]
+    fn schedule_and_trees_and_dot() {
+        assert_eq!(schedule(&args(&["--rows", "12", "--cols", "3", "--tree", "greedy"])), 0);
+        assert_eq!(trees(&args(&["--size", "8"])), 0);
+        assert_eq!(dot(&args(&["--rows", "3", "--cols", "2", "--tree", "flat"])), 0);
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        assert_eq!(schedule(&args(&["--tree", "nope"])), 2);
+        assert_eq!(simulate(&args(&["--algorithm", "nope"])), 2);
+        assert_eq!(simulate(&args(&["--rows", "10", "--tile", "280"])), 2);
+    }
+
+    #[test]
+    fn run_dispatches() {
+        assert_eq!(crate::run(&["trees".to_string()]), 0);
+        assert_eq!(crate::run(&["help".to_string()]), 0);
+        assert_eq!(crate::run(&["bogus".to_string()]), 2);
+        assert_eq!(crate::run(&[]), 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Library backing the `hqr` command-line tool: argument parsing and the
+//! subcommand implementations (kept in a lib so they are unit-testable).
+
+pub mod args;
+pub mod commands;
+
+pub use args::Args;
+
+/// Entry point shared by the binary and the tests. Returns the process
+/// exit code.
+pub fn run(argv: &[String]) -> i32 {
+    match argv.first().map(String::as_str) {
+        Some("factor") => commands::factor(&Args::parse(&argv[1..])),
+        Some("simulate") => commands::simulate(&Args::parse(&argv[1..])),
+        Some("schedule") => commands::schedule(&Args::parse(&argv[1..])),
+        Some("trees") => commands::trees(&Args::parse(&argv[1..])),
+        Some("dot") => commands::dot(&Args::parse(&argv[1..])),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{}", commands::USAGE);
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n");
+            eprint!("{}", commands::USAGE);
+            2
+        }
+    }
+}

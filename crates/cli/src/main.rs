@@ -1,0 +1,6 @@
+//! `hqr` — command-line driver for the HQR reproduction.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(hqr_cli::run(&argv));
+}

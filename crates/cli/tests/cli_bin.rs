@@ -1,0 +1,63 @@
+//! End-to-end tests of the compiled `hqr` binary.
+
+use std::process::Command;
+
+fn hqr() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hqr"))
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = hqr().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("hqr factor"));
+    assert!(text.contains("hqr simulate"));
+}
+
+#[test]
+fn factor_small_matrix() {
+    let out = hqr()
+        .args(["factor", "--rows", "64", "--cols", "32", "--tile", "8", "--grid", "2x1", "--a", "2", "--domino"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("satisfactory"), "{text}");
+}
+
+#[test]
+fn simulate_figure8_point() {
+    let out = hqr()
+        .args(["simulate", "--rows", "8960", "--cols", "2240", "--algorithm", "hqr-tall", "--grid", "3x2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("GFlop/s"), "{text}");
+    assert!(text.contains("messages"), "{text}");
+}
+
+#[test]
+fn schedule_table() {
+    let out = hqr().args(["schedule", "--rows", "12", "--cols", "3", "--tree", "greedy"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("makespan: 8 steps"), "{text}");
+}
+
+#[test]
+fn dot_is_valid_graphviz_prefix() {
+    let out = hqr().args(["dot", "--rows", "3", "--cols", "2", "--tree", "binary"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("digraph hqr {"));
+    assert!(text.trim_end().ends_with('}'));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = hqr().arg("frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}

@@ -1,0 +1,202 @@
+//! The comparison algorithms of §V, each expressed as a parametrization of
+//! the HQR engine — exactly as the paper does ("Since \[SLHD10\] is a
+//! sub-case of the HQR algorithm, we use our DAGUE-based implementation of
+//! HQR to execute it", §V-A).
+
+use crate::elim::ElimList;
+use crate::hier::HqrConfig;
+use crate::trees::TreeKind;
+use hqr_tile::{Layout, ProcessGrid};
+
+/// An algorithm plus the data layout it runs on — everything the simulator
+/// and the real runtime need.
+#[derive(Clone, Debug)]
+pub struct AlgorithmSetup {
+    /// Display name (as in the paper's figure legends).
+    pub name: String,
+    /// The elimination list.
+    pub elims: ElimList,
+    /// Tile-to-node mapping.
+    pub layout: Layout,
+}
+
+/// \[BBD+10\]: "the QR operation currently available in DAGUE" — a plain
+/// flat tree (single killer per panel, TS kernels) over a 2D block-cyclic
+/// layout, not aware of the distribution (§V-A).
+pub fn bbd10(mt: usize, nt: usize, grid: ProcessGrid) -> AlgorithmSetup {
+    let cfg = HqrConfig::new(1, 1).with_a(mt.max(1));
+    AlgorithmSetup {
+        name: "[BBD+10]".into(),
+        elims: cfg.elimination_list(mt, nt),
+        layout: Layout::Cyclic2D(grid),
+    }
+}
+
+/// \[SLHD10\]: Song et al.'s communication-avoiding QR — "virtual grid value
+/// p = 1, domains of size a = m/r, data distribution CYCLIC(a), low-level
+/// binary tree" (§V-A) on a 1D block layout of `r` nodes.
+pub fn slhd10(mt: usize, nt: usize, r: usize) -> AlgorithmSetup {
+    assert!(r > 0, "need at least one node");
+    let a = mt.div_ceil(r).max(1);
+    let cfg = HqrConfig::new(1, 1).with_a(a).with_low(TreeKind::Binary);
+    AlgorithmSetup {
+        name: "[SLHD10]".into(),
+        elims: cfg.elimination_list(mt, nt),
+        layout: Layout::BlockCyclicRows { nodes: r, block: a },
+    }
+}
+
+/// HQR with an explicit configuration on a virtual grid mapped 1:1 to the
+/// physical grid (§V-A: "All HQR runs use a virtual cluster grid exactly
+/// mapping the process grid used for data distribution").
+pub fn hqr(mt: usize, nt: usize, grid: ProcessGrid, cfg: HqrConfig) -> AlgorithmSetup {
+    assert_eq!((cfg.p, cfg.q), (grid.p, grid.q), "virtual grid must map the process grid");
+    AlgorithmSetup {
+        name: cfg.describe(),
+        elims: cfg.elimination_list(mt, nt),
+        layout: Layout::Cyclic2D(grid),
+    }
+}
+
+/// HQR with a physical data layout *decoupled* from the virtual grid —
+/// §IV-A: "The actual (physical) distribution of tiles to clusters needs
+/// not obey the virtual p × q cluster grid... This additional flexibility
+/// allows us to execute all previously published algorithms simply by
+/// tuning the actual distribution parameters."
+pub fn hqr_with_layout(mt: usize, nt: usize, cfg: HqrConfig, layout: Layout) -> AlgorithmSetup {
+    AlgorithmSetup {
+        name: format!("{} on {:?}", cfg.describe(), layout),
+        elims: cfg.elimination_list(mt, nt),
+        layout,
+    }
+}
+
+/// The tall-and-skinny tuning of Figure 8: both trees FIBONACCI, a = 4,
+/// domino on (§V-C: "we need low and high level trees adapted for tall and
+/// skinny matrices so we set both level trees to FIBONACCI ... we set
+/// a = 4 ... we activate the domino optimization").
+pub fn hqr_tall_skinny(mt: usize, nt: usize, grid: ProcessGrid) -> AlgorithmSetup {
+    let cfg = HqrConfig::new(grid.p, grid.q)
+        .with_a(4.min(mt.max(1)))
+        .with_low(TreeKind::Fibonacci)
+        .with_high(TreeKind::Fibonacci)
+        .with_domino(true);
+    hqr(mt, nt, grid, cfg)
+}
+
+/// The square-matrix tuning of Figure 9: high-level FLATTREE (fewer
+/// inter-node messages once parallelism is abundant), low-level FIBONACCI,
+/// a = 4, domino off (§V-C).
+pub fn hqr_square(mt: usize, nt: usize, grid: ProcessGrid) -> AlgorithmSetup {
+    let cfg = HqrConfig::new(grid.p, grid.q)
+        .with_a(4.min(mt.max(1)))
+        .with_low(TreeKind::Fibonacci)
+        .with_high(TreeKind::Flat)
+        .with_domino(false);
+    hqr(mt, nt, grid, cfg)
+}
+
+/// The shape-adaptive choice used for the Figure 9 sweep: §V-C picks a and
+/// the domino per aspect ratio — a = 1 and domino on while columns are
+/// scarce, a = 4 and domino off once column parallelism suffices.
+pub fn hqr_adaptive(mt: usize, nt: usize, grid: ProcessGrid) -> AlgorithmSetup {
+    // "Depending on the value of N, we choose different values for a:
+    // a = 1 for small values of N, and a = 4 for larger values."
+    let tall = mt >= 4 * nt;
+    if tall {
+        hqr_tall_skinny(mt, nt, grid)
+    } else {
+        hqr_square(mt, nt, grid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elim::Level;
+
+    #[test]
+    fn bbd10_is_single_killer_flat() {
+        let s = bbd10(8, 3, ProcessGrid::new(2, 2));
+        for k in 0..3 {
+            for e in s.elims.panel(k) {
+                assert_eq!(e.killer as usize, k, "flat tree: diagonal kills everything");
+                assert!(e.ts);
+            }
+        }
+        assert_eq!(s.layout.nodes(), 4);
+    }
+
+    #[test]
+    fn slhd10_has_r_domains_and_binary_combine() {
+        let s = slhd10(16, 2, 4);
+        // Domain heads: rows 0, 4, 8, 12 in panel 0; the inter-domain
+        // reduction is a binary tree of TT kills among the heads.
+        let heads: Vec<u32> = s
+            .elims
+            .panel(0)
+            .filter(|e| e.level == Level::Low)
+            .map(|e| e.victim)
+            .collect();
+        assert_eq!(heads.len(), 3, "3 of 4 heads killed");
+        for h in heads {
+            assert_eq!(h % 4, 0, "only domain heads are TT victims, got {h}");
+        }
+        // 1D block layout: rows 0..3 on node 0, 4..7 on node 1, ...
+        assert_eq!(s.layout.owner(0, 0), 0);
+        assert_eq!(s.layout.owner(5, 1), 1);
+        assert_eq!(s.layout.owner(15, 0), 3);
+    }
+
+    #[test]
+    fn slhd10_ragged_rows() {
+        // mt not divisible by r still validates.
+        let s = slhd10(13, 3, 4);
+        assert_eq!(s.elims.mt(), 13);
+    }
+
+    #[test]
+    fn hqr_presets_validate_on_many_shapes() {
+        let grid = ProcessGrid::new(3, 2);
+        for (mt, nt) in [(24, 4), (12, 12), (6, 10), (1, 1)] {
+            let _ = hqr_tall_skinny(mt, nt, grid);
+            let _ = hqr_square(mt, nt, grid);
+            let _ = hqr_adaptive(mt, nt, grid);
+        }
+    }
+
+    #[test]
+    fn adaptive_switches_with_shape() {
+        let grid = ProcessGrid::new(3, 2);
+        let tall = hqr_adaptive(64, 4, grid);
+        let square = hqr_adaptive(16, 16, grid);
+        assert!(tall.name.contains("domino=on"));
+        assert!(square.name.contains("domino=off"));
+        assert!(square.name.contains("high=flat"));
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual grid must map")]
+    fn hqr_grid_mismatch_rejected() {
+        let cfg = HqrConfig::new(2, 2);
+        let _ = hqr(8, 4, ProcessGrid::new(3, 2), cfg);
+    }
+
+    #[test]
+    fn decoupled_layout_reproduces_slhd10() {
+        // §IV-A's worked example: [2] on r processors = virtual p = 1,
+        // domains a = m/r, physical CYCLIC(a).
+        let (mt, nt, r) = (16usize, 3usize, 4usize);
+        let a = mt / r;
+        let cfg = HqrConfig::new(1, 1).with_a(a).with_low(crate::trees::TreeKind::Binary);
+        let via_general = hqr_with_layout(
+            mt,
+            nt,
+            cfg,
+            Layout::BlockCyclicRows { nodes: r, block: a },
+        );
+        let canonical = slhd10(mt, nt, r);
+        assert_eq!(via_general.elims.to_ops(), canonical.elims.to_ops());
+        assert_eq!(via_general.layout, canonical.layout);
+    }
+}

@@ -1,0 +1,315 @@
+//! Elimination lists and the paper's validity conditions (§II).
+
+use hqr_runtime::ElimOp;
+
+/// Which level of the hierarchical tree an elimination belongs to (§IV-A/B).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Level {
+    /// Level 0 — "TS level": intra-domain kills with TS kernels.
+    TsLevel,
+    /// Level 1 — "low level": intra-cluster reduction of domain heads.
+    Low,
+    /// Level 2 — "coupling level": the domino band between the top tile and
+    /// the local diagonal.
+    Coupling,
+    /// Level 3 — "high level": inter-cluster reduction of the top tiles.
+    High,
+    /// Not part of a hierarchy (single-level algorithms such as the plain
+    /// flat/greedy trees of §III).
+    Single,
+}
+
+/// One elimination `elim(i, killer(i,k), k)` with its kernel family and
+/// hierarchy level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Elimination {
+    /// Panel index.
+    pub k: u32,
+    /// Row being zeroed out.
+    pub victim: u32,
+    /// Row doing the killing.
+    pub killer: u32,
+    /// TS kernels (victim square) or TT kernels (victim triangular).
+    pub ts: bool,
+    /// Hierarchy level.
+    pub level: Level,
+}
+
+impl Elimination {
+    /// Convenience constructor.
+    pub fn new(k: u32, victim: u32, killer: u32, ts: bool, level: Level) -> Self {
+        Self { k, victim, killer, ts, level }
+    }
+}
+
+/// An ordered, panel-major elimination list for an `mt × nt` tiled matrix.
+#[derive(Clone, Debug)]
+pub struct ElimList {
+    mt: usize,
+    nt: usize,
+    elims: Vec<Elimination>,
+}
+
+impl ElimList {
+    /// Wrap a list; panics if [`ElimList::validate`] fails, so every list in
+    /// the library is valid by construction.
+    pub fn new(mt: usize, nt: usize, elims: Vec<Elimination>) -> Self {
+        let l = ElimList { mt, nt, elims };
+        if let Err(e) = l.validate() {
+            panic!("invalid elimination list: {e}");
+        }
+        l
+    }
+
+    /// Tile rows.
+    pub fn mt(&self) -> usize {
+        self.mt
+    }
+
+    /// Tile columns.
+    pub fn nt(&self) -> usize {
+        self.nt
+    }
+
+    /// The ordered eliminations.
+    pub fn elims(&self) -> &[Elimination] {
+        &self.elims
+    }
+
+    /// Eliminations of panel `k`, in order.
+    pub fn panel(&self, k: usize) -> impl Iterator<Item = &Elimination> {
+        self.elims.iter().filter(move |e| e.k as usize == k)
+    }
+
+    /// The killer of tile `(i, k)`, if the list eliminates it.
+    pub fn killer(&self, i: usize, k: usize) -> Option<usize> {
+        self.elims
+            .iter()
+            .find(|e| e.k as usize == k && e.victim as usize == i)
+            .map(|e| e.killer as usize)
+    }
+
+    /// Number of eliminations per level, in the order
+    /// [TS, Low, Coupling, High, Single].
+    pub fn level_counts(&self) -> [usize; 5] {
+        let mut c = [0usize; 5];
+        for e in &self.elims {
+            let idx = match e.level {
+                Level::TsLevel => 0,
+                Level::Low => 1,
+                Level::Coupling => 2,
+                Level::High => 3,
+                Level::Single => 4,
+            };
+            c[idx] += 1;
+        }
+        c
+    }
+
+    /// Check the validity conditions of §II:
+    ///
+    /// * panel-major ordering;
+    /// * every sub-diagonal tile `(i, k)`, `i > k`, killed exactly once;
+    /// * rows only participate while alive in the panel (`killer(i,k)` must
+    ///   be "a potential annihilator": not yet zeroed out when it kills);
+    /// * TS victims must be square: never a killer and never a TT victim in
+    ///   the same panel before (or after) their elimination.
+    pub fn validate(&self) -> Result<(), String> {
+        let (mt, nt) = (self.mt, self.nt);
+        let kmax = mt.min(nt);
+        let mut last_k = 0u32;
+        for e in &self.elims {
+            if e.k < last_k {
+                return Err(format!("list not panel-major at panel {}", e.k));
+            }
+            last_k = e.k;
+            if e.k as usize >= kmax {
+                return Err(format!("panel {} out of range", e.k));
+            }
+            if e.victim as usize >= mt || e.killer as usize >= mt {
+                return Err(format!("row out of range in panel {}", e.k));
+            }
+        }
+        let mut killed = vec![false; mt];
+        let mut has_killed = vec![false; mt];
+        for k in 0..kmax {
+            killed[k..mt].fill(false);
+            has_killed[k..mt].fill(false);
+            let panel: Vec<&Elimination> = self.panel(k).collect();
+            for e in &panel {
+                let (v, u) = (e.victim as usize, e.killer as usize);
+                if v <= k {
+                    return Err(format!("panel {k}: victim {v} not below the diagonal"));
+                }
+                if u < k {
+                    return Err(format!("panel {k}: killer {u} above the panel"));
+                }
+                if v == u {
+                    return Err(format!("panel {k}: row {v} kills itself"));
+                }
+                if killed[v] {
+                    return Err(format!("panel {k}: tile ({v},{k}) killed twice"));
+                }
+                if killed[u] {
+                    return Err(format!("panel {k}: killer {u} already zeroed out"));
+                }
+                if e.ts && has_killed[v] {
+                    return Err(format!("panel {k}: TS victim {v} previously killed (is a triangle)"));
+                }
+                killed[v] = true;
+                has_killed[u] = true;
+            }
+            // TS victims must stay square: they must not be TT victims of a
+            // *different* elimination — already covered by killed-twice —
+            // nor killers at any point of the panel.
+            for e in &panel {
+                if e.ts && has_killed[e.victim as usize] {
+                    return Err(format!(
+                        "panel {k}: TS victim {} also acts as a killer",
+                        e.victim
+                    ));
+                }
+            }
+            for (i, &dead) in killed.iter().enumerate().take(mt).skip(k + 1) {
+                if !dead {
+                    return Err(format!("panel {k}: tile ({i},{k}) never killed"));
+                }
+            }
+            if killed[k] {
+                return Err(format!("panel {k}: diagonal row killed"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Convert to the runtime's plain operation list.
+    pub fn to_ops(&self) -> Vec<ElimOp> {
+        self.elims
+            .iter()
+            .map(|e| ElimOp::new(e.k, e.victim, e.killer, e.ts))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(mt: usize, nt: usize) -> Vec<Elimination> {
+        let mut v = Vec::new();
+        for k in 0..mt.min(nt) {
+            for i in (k + 1)..mt {
+                v.push(Elimination::new(k as u32, i as u32, k as u32, true, Level::Single));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn flat_list_is_valid() {
+        let l = ElimList::new(5, 3, flat(5, 3));
+        assert_eq!(l.elims().len(), 4 + 3 + 2);
+        assert!(l.validate().is_ok());
+    }
+
+    #[test]
+    fn killer_lookup() {
+        let l = ElimList::new(4, 2, flat(4, 2));
+        assert_eq!(l.killer(3, 1), Some(1));
+        assert_eq!(l.killer(3, 0), Some(0));
+        assert_eq!(l.killer(0, 0), None);
+    }
+
+    #[test]
+    fn missing_elimination_detected() {
+        let mut e = flat(4, 2);
+        e.remove(1); // drop elim(2, 0, 0)
+        let l = ElimList { mt: 4, nt: 2, elims: e };
+        let err = l.validate().unwrap_err();
+        assert!(err.contains("never killed"), "{err}");
+    }
+
+    #[test]
+    fn double_kill_detected() {
+        let mut e = flat(3, 1);
+        e.push(Elimination::new(0, 2, 1, false, Level::Single));
+        let l = ElimList { mt: 3, nt: 1, elims: e };
+        assert!(l.validate().unwrap_err().contains("killed twice"));
+    }
+
+    #[test]
+    fn dead_killer_detected() {
+        // Kill row 1 first, then row 2 tries to be killed by dead row 1.
+        let e = vec![
+            Elimination::new(0, 1, 0, false, Level::Single),
+            Elimination::new(0, 2, 1, false, Level::Single),
+        ];
+        let l = ElimList { mt: 3, nt: 1, elims: e };
+        assert!(l.validate().unwrap_err().contains("already zeroed"));
+    }
+
+    #[test]
+    fn ts_victim_must_be_square() {
+        // Row 1 kills row 2 (is a triangle), then is TS-killed: invalid.
+        let e = vec![
+            Elimination::new(0, 2, 1, false, Level::Single),
+            Elimination::new(0, 1, 0, true, Level::Single),
+        ];
+        let l = ElimList { mt: 3, nt: 1, elims: e };
+        let err = l.validate().unwrap_err();
+        assert!(err.contains("TS victim"), "{err}");
+    }
+
+    #[test]
+    fn self_kill_detected() {
+        let e = vec![Elimination::new(0, 1, 1, false, Level::Single)];
+        let l = ElimList { mt: 2, nt: 1, elims: e };
+        assert!(l.validate().unwrap_err().contains("kills itself"));
+    }
+
+    #[test]
+    fn panel_major_required() {
+        let e = vec![
+            Elimination::new(1, 2, 1, true, Level::Single),
+            Elimination::new(0, 1, 0, true, Level::Single),
+            Elimination::new(0, 2, 0, true, Level::Single),
+        ];
+        let l = ElimList { mt: 3, nt: 2, elims: e };
+        assert!(l.validate().unwrap_err().contains("panel-major"));
+    }
+
+    #[test]
+    fn victim_above_diagonal_detected() {
+        // Panel 0 is complete; panel 1 tries to kill the diagonal row 1.
+        let e = vec![
+            Elimination::new(0, 1, 0, true, Level::Single),
+            Elimination::new(0, 2, 0, true, Level::Single),
+            Elimination::new(1, 1, 2, false, Level::Single),
+        ];
+        let l = ElimList { mt: 3, nt: 2, elims: e };
+        assert!(l.validate().unwrap_err().contains("not below the diagonal"));
+    }
+
+    #[test]
+    fn level_counts_sum_to_len() {
+        let l = ElimList::new(6, 2, flat(6, 2));
+        let c = l.level_counts();
+        assert_eq!(c.iter().sum::<usize>(), l.elims().len());
+        assert_eq!(c[4], l.elims().len(), "flat fixture is all Single level");
+    }
+
+    #[test]
+    fn to_ops_preserves_order_and_kernels() {
+        let l = ElimList::new(4, 2, flat(4, 2));
+        let ops = l.to_ops();
+        assert_eq!(ops.len(), l.elims().len());
+        assert!(ops.iter().all(|o| o.ts));
+        assert_eq!(ops[0].victim, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid elimination list")]
+    fn constructor_rejects_invalid() {
+        let _ = ElimList::new(3, 1, vec![]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Glue between the algorithm definitions and the cluster simulator —
+//! used by the figure-regenerating benches and the examples.
+
+use crate::baselines::AlgorithmSetup;
+use hqr_runtime::TaskGraph;
+use hqr_sim::{simulate, Platform, SimReport};
+
+/// Build the task DAG of a setup and replay it on `platform` with tile
+/// size `b`. Returns the simulator's report (GFlop/s, messages, ...).
+pub fn simulate_setup(setup: &AlgorithmSetup, b: usize, platform: &Platform) -> SimReport {
+    let graph = TaskGraph::build(setup.elims.mt(), setup.elims.nt(), b, &setup.elims.to_ops());
+    simulate(&graph, &setup.layout, platform)
+}
+
+/// One row of a figure: algorithm name plus achieved GFlop/s.
+#[derive(Clone, Debug)]
+pub struct FigurePoint {
+    /// Matrix rows in elements.
+    pub m: usize,
+    /// Matrix columns in elements.
+    pub n: usize,
+    /// Algorithm / configuration label.
+    pub label: String,
+    /// Achieved GFlop/s under the simulator.
+    pub gflops: f64,
+    /// Inter-node messages.
+    pub messages: usize,
+}
+
+impl FigurePoint {
+    /// Evaluate a setup into a labelled figure point.
+    pub fn from_setup(setup: &AlgorithmSetup, b: usize, platform: &Platform) -> Self {
+        let rep = simulate_setup(setup, b, platform);
+        FigurePoint {
+            m: setup.elims.mt() * b,
+            n: setup.elims.nt() * b,
+            label: setup.name.clone(),
+            gflops: rep.gflops,
+            messages: rep.messages,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{bbd10, hqr_tall_skinny, slhd10};
+    use hqr_tile::ProcessGrid;
+
+    /// A scaled-down edel: 6 nodes × 4 cores, same rates.
+    fn mini_platform() -> Platform {
+        Platform { nodes: 6, cores_per_node: 4, ..Platform::edel() }
+    }
+
+    #[test]
+    fn hqr_beats_bbd10_on_tall_skinny() {
+        // The headline claim of Figure 8, at reduced scale: 96×4 tiles,
+        // 3×2 grid of 6 nodes.
+        let p = mini_platform();
+        let grid = ProcessGrid::new(3, 2);
+        let b = 40;
+        let h = FigurePoint::from_setup(&hqr_tall_skinny(96, 4, grid), b, &p);
+        let f = FigurePoint::from_setup(&bbd10(96, 4, grid), b, &p);
+        assert!(
+            h.gflops > 1.5 * f.gflops,
+            "HQR {:.1} GF should clearly beat [BBD+10] {:.1} GF on tall-skinny",
+            h.gflops,
+            f.gflops
+        );
+    }
+
+    #[test]
+    fn hqr_beats_slhd10_on_square() {
+        // Figure 9's square end: 1D block layout load imbalance caps
+        // [SLHD10] at ~2/3 of HQR (§III-C / §V-C).
+        let p = mini_platform();
+        let grid = ProcessGrid::new(3, 2);
+        let b = 40;
+        let h = FigurePoint::from_setup(&crate::baselines::hqr_square(36, 36, grid), b, &p);
+        let s = FigurePoint::from_setup(&slhd10(36, 36, 6), b, &p);
+        assert!(
+            h.gflops > s.gflops,
+            "HQR {:.1} GF should beat [SLHD10] {:.1} GF on square",
+            h.gflops,
+            s.gflops
+        );
+    }
+
+    #[test]
+    fn hqr_sends_fewer_messages_than_bbd10_tall_skinny() {
+        // "Communication-avoiding": the high-level tree sends O(p log p)
+        // messages per panel instead of the flat tree's unaware traffic.
+        let p = mini_platform();
+        let grid = ProcessGrid::new(6, 1);
+        let b = 40;
+        let h = FigurePoint::from_setup(&hqr_tall_skinny(96, 2, grid), b, &p);
+        let f = FigurePoint::from_setup(&bbd10(96, 2, grid), b, &p);
+        assert!(
+            h.messages < f.messages,
+            "HQR messages {} should undercut [BBD+10] {}",
+            h.messages,
+            f.messages
+        );
+    }
+
+    #[test]
+    fn figure_point_carries_dimensions() {
+        let p = mini_platform();
+        let grid = ProcessGrid::new(3, 2);
+        let pt = FigurePoint::from_setup(&bbd10(8, 4, grid), 10, &p);
+        assert_eq!(pt.m, 80);
+        assert_eq!(pt.n, 40);
+        assert!(pt.gflops > 0.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Analytic formulas from the paper (§II and §III-C).
+
+/// Floating-point operations of a QR factorization of an M × N matrix:
+/// 2MN² − (2/3)N³ — "the exact same number as for a standard Householder
+/// reflection algorithm" (§II).
+pub fn qr_flops(m_elems: usize, n_elems: usize) -> f64 {
+    let (m, n) = (m_elems as f64, n_elems as f64);
+    2.0 * m * n * n - 2.0 / 3.0 * n * n * n
+}
+
+/// Total kernel weight of *any* tiled QR elimination list on an mt × nt
+/// tile matrix, in b³/3 flop units. Panel k costs one triangularization of
+/// the diagonal row (4 + 6 per trailing column) plus, per eliminated row,
+/// one kill and its updates (6 + 12 per trailing column — identical for
+/// the TS and TT paths, §II). For m ≥ n this telescopes to the paper's
+/// 6mn² − 2n³.
+pub fn total_weight(mt: usize, nt: usize) -> u64 {
+    let (m, n) = (mt as u64, nt as u64);
+    let mut w = 0u64;
+    for k in 0..m.min(n) {
+        let trailing = n - 1 - k;
+        w += 4 + 6 * trailing; // GEQRT + UNMQRs of the diagonal row
+        w += (m - 1 - k) * (6 + 12 * trailing); // kills + their updates
+    }
+    w
+}
+
+/// §III-C: with an m × n tile matrix on p clusters, "the speedup attainable
+/// by the block distribution is bounded by p(1 − n/(3m))" — the clusters
+/// owning top rows go idle as the factorization progresses.
+pub fn block_distribution_speedup_bound(p: usize, mt: usize, nt: usize) -> f64 {
+    p as f64 * (1.0 - nt as f64 / (3.0 * mt as f64))
+}
+
+/// Coarse-grain makespan of the flat tree (perfect pipelining, Table II):
+/// panel k finishes at step (m − 1) + k, so the last panel with kills
+/// (min(m−1, n) − 1) ends at (m − 1) + min(m − 1, n) − 1.
+pub fn flat_coarse_makespan(mt: usize, nt: usize) -> usize {
+    (mt - 1) + mt.saturating_sub(1).min(nt).saturating_sub(1)
+}
+
+/// Critical-path ratio quoted in §V-B for the low-level tree on a local
+/// m′ × n′ sub-matrix: flat ≈ (m′ + 2n′) versus greedy ≈ (log₂ m′ + 2n′).
+pub fn low_level_cp_ratio(m_loc: usize, n_loc: usize) -> f64 {
+    (m_loc as f64 + 2.0 * n_loc as f64) / ((m_loc as f64).log2() + 2.0 * n_loc as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qr_flops_square() {
+        // For M = N: 2N³ − 2N³/3 = (4/3)N³.
+        let n = 300usize;
+        assert!((qr_flops(n, n) - 4.0 / 3.0 * (n as f64).powi(3)).abs() < 1.0);
+    }
+
+    #[test]
+    fn weight_matches_flops_in_units() {
+        // total_weight · b³/3 == qr_flops(m·b, n·b) exactly.
+        for (mt, nt, b) in [(6usize, 4usize, 5usize), (10, 10, 3), (20, 2, 7)] {
+            let w = total_weight(mt, nt) as f64 * (b as f64).powi(3) / 3.0;
+            let f = qr_flops(mt * b, nt * b);
+            assert!((w - f).abs() < 1e-6, "{mt}x{nt} b={b}: {w} vs {f}");
+        }
+    }
+
+    #[test]
+    fn block_bound_matches_paper_ratios() {
+        // §V-C: square matrix ⇒ bound = p·(2/3): [SLHD10] reaches 2/3 of
+        // HQR; N = M/2 ⇒ bound = p·(5/6).
+        let square = block_distribution_speedup_bound(60, 240, 240) / 60.0;
+        assert!((square - 2.0 / 3.0).abs() < 1e-12);
+        let half = block_distribution_speedup_bound(60, 240, 120) / 60.0;
+        assert!((half - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_makespan_matches_schedule() {
+        use crate::schedule::Schedule;
+        for (mt, nt) in [(12usize, 3usize), (9, 5), (40, 2)] {
+            assert_eq!(flat_coarse_makespan(mt, nt), Schedule::flat(mt, nt).makespan());
+        }
+    }
+
+    #[test]
+    fn cp_ratio_matches_paper_example() {
+        // §V-B: 68×16 local matrix ⇒ flat/greedy CP ratio ≈ 2.6.
+        let ratio = low_level_cp_ratio(68, 16);
+        assert!((ratio - 2.6).abs() < 0.15, "ratio {ratio}");
+    }
+
+    #[test]
+    fn tall_skinny_bound_is_nearly_p() {
+        let bound = block_distribution_speedup_bound(60, 1024, 16) / 60.0;
+        assert!(bound > 0.99);
+    }
+}

@@ -1,0 +1,286 @@
+//! Symbolic pivot queries — the `libhqr`-style interface a dataflow
+//! runtime consumes.
+//!
+//! §IV-C: "this basically consists only into providing a function that the
+//! runtime engine is capable of evaluating, and that computes this
+//! elimination list". DAGuE never materializes the task list; its JDF
+//! representation queries, for any `(k, i)`: *who kills me?* (`currpiv`),
+//! *whom do I kill next / before?* (`nextpiv` / `prevpiv`), and *with
+//! which kernel?* (`gettype`). [`PivotIndex`] compiles an [`ElimList`]
+//! into exactly that query interface with O(1) lookups.
+
+use crate::elim::{ElimList, Level};
+
+const NONE: u32 = u32::MAX;
+
+/// Compiled constant-time query view of an elimination list.
+///
+/// ```
+/// use hqr::{schedule::Schedule, PivotIndex};
+/// let list = Schedule::flat(6, 1).to_elim_list(true);
+/// let idx = PivotIndex::new(&list);
+/// assert_eq!(idx.currpiv(0, 3), Some(0));        // who kills (3,0)?
+/// assert_eq!(idx.nextpiv(0, 0, 3), Some(4));     // whom does 0 kill next?
+/// assert_eq!(idx.prevpiv(0, 0, 1), None);        // (1,0) was its first kill
+/// assert_eq!(idx.kill_count(0, 0), 5);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PivotIndex {
+    mt: usize,
+    kmax: usize,
+    /// killer of tile (i,k), indexed i + k*mt; NONE above/on the diagonal.
+    killer: Vec<u32>,
+    /// Level of elim (i,k) as a compact code; 255 = none.
+    level: Vec<u8>,
+    /// TS flag per elimination.
+    ts: Vec<bool>,
+    /// CSR of victims per (k, pivot row): offsets at pivot + k*mt.
+    kill_off: Vec<u32>,
+    kill_victims: Vec<u32>,
+    /// Position of elim (i,k) in its pivot's victim list.
+    kill_pos: Vec<u32>,
+}
+
+fn level_code(l: Level) -> u8 {
+    match l {
+        Level::TsLevel => 0,
+        Level::Low => 1,
+        Level::Coupling => 2,
+        Level::High => 3,
+        Level::Single => 4,
+    }
+}
+
+fn code_level(c: u8) -> Level {
+    match c {
+        0 => Level::TsLevel,
+        1 => Level::Low,
+        2 => Level::Coupling,
+        3 => Level::High,
+        _ => Level::Single,
+    }
+}
+
+impl PivotIndex {
+    /// Compile an elimination list.
+    pub fn new(list: &ElimList) -> Self {
+        let (mt, nt) = (list.mt(), list.nt());
+        let kmax = mt.min(nt);
+        let slots = mt * kmax;
+        let mut killer = vec![NONE; slots];
+        let mut level = vec![255u8; slots];
+        let mut ts = vec![false; slots];
+        let mut deg = vec![0u32; slots];
+        for e in list.elims() {
+            let s = e.victim as usize + (e.k as usize) * mt;
+            killer[s] = e.killer;
+            level[s] = level_code(e.level);
+            ts[s] = e.ts;
+            deg[e.killer as usize + (e.k as usize) * mt] += 1;
+        }
+        let mut kill_off = vec![0u32; slots + 1];
+        for s in 0..slots {
+            kill_off[s + 1] = kill_off[s] + deg[s];
+        }
+        let mut cursor: Vec<u32> = kill_off[..slots].to_vec();
+        let mut kill_victims = vec![0u32; kill_off[slots] as usize];
+        let mut kill_pos = vec![NONE; slots];
+        for e in list.elims() {
+            let ps = e.killer as usize + (e.k as usize) * mt;
+            let vs = e.victim as usize + (e.k as usize) * mt;
+            kill_pos[vs] = cursor[ps] - kill_off[ps];
+            kill_victims[cursor[ps] as usize] = e.victim;
+            cursor[ps] += 1;
+        }
+        PivotIndex { mt, kmax, killer, level, ts, kill_off, kill_victims, kill_pos }
+    }
+
+    #[inline]
+    fn slot(&self, k: usize, i: usize) -> usize {
+        debug_assert!(k < self.kmax && i < self.mt, "({i},{k}) out of range");
+        i + k * self.mt
+    }
+
+    /// Number of panels with eliminations.
+    pub fn panels(&self) -> usize {
+        self.kmax
+    }
+
+    /// The pivot (killer) of tile `(i, k)`, or `None` if the tile is never
+    /// eliminated (i ≤ k) — `hqr_currpiv`.
+    pub fn currpiv(&self, k: usize, i: usize) -> Option<usize> {
+        match self.killer[self.slot(k, i)] {
+            NONE => None,
+            u => Some(u as usize),
+        }
+    }
+
+    /// The hierarchy level of the elimination of `(i, k)` — `hqr_gettype`.
+    pub fn gettype(&self, k: usize, i: usize) -> Option<Level> {
+        let c = self.level[self.slot(k, i)];
+        (c != 255).then(|| code_level(c))
+    }
+
+    /// Whether tile `(i, k)` is killed with TS kernels (victim stays a
+    /// square) — determines TSQRT/TSMQR versus TTQRT/TTMQR.
+    pub fn is_ts(&self, k: usize, i: usize) -> Option<bool> {
+        (self.killer[self.slot(k, i)] != NONE).then(|| self.ts[self.slot(k, i)])
+    }
+
+    /// All victims of pivot row `piv` in panel `k`, in elimination order.
+    pub fn victims(&self, k: usize, piv: usize) -> &[u32] {
+        let s = self.slot(k, piv);
+        &self.kill_victims[self.kill_off[s] as usize..self.kill_off[s + 1] as usize]
+    }
+
+    /// The victim `piv` kills *after* killing `i` in panel `k`
+    /// (`hqr_nextpiv`): `None` if `i` was the last.
+    pub fn nextpiv(&self, k: usize, piv: usize, i: usize) -> Option<usize> {
+        let pos = self.kill_pos[self.slot(k, i)];
+        debug_assert_ne!(pos, NONE, "({i},{k}) is not killed by {piv}");
+        self.victims(k, piv).get(pos as usize + 1).map(|&v| v as usize)
+    }
+
+    /// The victim `piv` killed *before* killing `i` in panel `k`
+    /// (`hqr_prevpiv`): `None` if `i` was the first.
+    pub fn prevpiv(&self, k: usize, piv: usize, i: usize) -> Option<usize> {
+        let pos = self.kill_pos[self.slot(k, i)];
+        debug_assert_ne!(pos, NONE, "({i},{k}) is not killed by {piv}");
+        if pos == 0 {
+            None
+        } else {
+            Some(self.victims(k, piv)[pos as usize - 1] as usize)
+        }
+    }
+
+    /// Number of eliminations pivot `piv` performs in panel `k`
+    /// (`hqr_getnbgeqrf`-style counting helper).
+    pub fn kill_count(&self, k: usize, piv: usize) -> usize {
+        self.victims(k, piv).len()
+    }
+
+    /// Rows that must be triangularized (GEQRT) in panel `k`: the diagonal
+    /// row, every pivot, every TT victim.
+    pub fn geqrt_rows(&self, k: usize) -> Vec<usize> {
+        let mut tri = vec![false; self.mt];
+        if k < self.mt {
+            tri[k] = true;
+        }
+        for i in k..self.mt {
+            let s = self.slot(k, i);
+            if self.killer[s] != NONE {
+                tri[self.killer[s] as usize] = true;
+                if !self.ts[s] {
+                    tri[i] = true;
+                }
+            }
+        }
+        (k..self.mt).filter(|&i| tri[i]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hier::HqrConfig;
+    use crate::schedule::Schedule;
+    use crate::trees::TreeKind;
+
+    fn sample_list() -> ElimList {
+        HqrConfig::new(3, 1)
+            .with_a(2)
+            .with_low(TreeKind::Greedy)
+            .with_high(TreeKind::Fibonacci)
+            .with_domino(true)
+            .elimination_list(24, 10)
+    }
+
+    #[test]
+    fn currpiv_matches_list() {
+        let l = sample_list();
+        let idx = PivotIndex::new(&l);
+        for k in 0..10 {
+            for i in 0..24 {
+                assert_eq!(idx.currpiv(k, i), l.killer(i, k), "({i},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn victims_preserve_elimination_order() {
+        let l = sample_list();
+        let idx = PivotIndex::new(&l);
+        for k in 0..10usize {
+            for piv in 0..24usize {
+                let from_list: Vec<u32> = l
+                    .panel(k)
+                    .filter(|e| e.killer as usize == piv)
+                    .map(|e| e.victim)
+                    .collect();
+                assert_eq!(idx.victims(k, piv), from_list.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn nextpiv_prevpiv_walk_the_victim_chain() {
+        let l = sample_list();
+        let idx = PivotIndex::new(&l);
+        for k in 0..10usize {
+            for piv in 0..24usize {
+                let vs = idx.victims(k, piv).to_vec();
+                for (pos, &v) in vs.iter().enumerate() {
+                    let next = idx.nextpiv(k, piv, v as usize);
+                    let prev = idx.prevpiv(k, piv, v as usize);
+                    assert_eq!(next, vs.get(pos + 1).map(|&x| x as usize));
+                    assert_eq!(prev, pos.checked_sub(1).map(|p| vs[p] as usize));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gettype_matches_levels() {
+        let l = sample_list();
+        let idx = PivotIndex::new(&l);
+        for e in l.elims() {
+            assert_eq!(idx.gettype(e.k as usize, e.victim as usize), Some(e.level));
+            assert_eq!(idx.is_ts(e.k as usize, e.victim as usize), Some(e.ts));
+        }
+        assert_eq!(idx.gettype(0, 0), None, "diagonal never eliminated");
+    }
+
+    #[test]
+    fn geqrt_rows_match_runtime_expectation() {
+        // Flat TS tree: only the diagonal row is triangularized per panel.
+        let l = Schedule::flat(8, 3).to_elim_list(true);
+        let idx = PivotIndex::new(&l);
+        for k in 0..3 {
+            assert_eq!(idx.geqrt_rows(k), vec![k]);
+        }
+        // Binary TT tree: every participating row is triangularized.
+        let l = Schedule::binary(8, 3).to_elim_list(false);
+        let idx = PivotIndex::new(&l);
+        for k in 0..3usize {
+            assert_eq!(idx.geqrt_rows(k), (k..8).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn flat_tree_chain_queries() {
+        let l = Schedule::flat(6, 1).to_elim_list(true);
+        let idx = PivotIndex::new(&l);
+        assert_eq!(idx.kill_count(0, 0), 5);
+        assert_eq!(idx.nextpiv(0, 0, 1), Some(2));
+        assert_eq!(idx.nextpiv(0, 0, 5), None);
+        assert_eq!(idx.prevpiv(0, 0, 1), None);
+        assert_eq!(idx.prevpiv(0, 0, 4), Some(3));
+        assert_eq!(idx.kill_count(0, 3), 0, "non-pivot rows kill nobody");
+    }
+
+    #[test]
+    fn panels_count() {
+        let l = Schedule::greedy(9, 4).to_elim_list(false);
+        assert_eq!(PivotIndex::new(&l).panels(), 4);
+    }
+}

@@ -1,0 +1,285 @@
+//! Per-panel reduction trees: FLATTREE, BINARYTREE, GREEDY, FIBONACCI.
+//!
+//! A reduction tree over `z` participants (index 0 is the root — the top
+//! tile — and indices increase downward) is an ordered list of `z − 1`
+//! pairings `(victim, killer)` satisfying the §II conditions: a participant
+//! kills only while alive, and the root survives.
+//!
+//! These are the building blocks plugged into the low and high levels of
+//! the hierarchical algorithm (§IV-A: "the trees can be freely chosen
+//! (flat, binary, greedy)", plus the FIBONACCI scheme of \[1\]). The
+//! whole-matrix, pipelining-aware variants used for Tables I–IV live in
+//! [`crate::schedule`].
+
+/// The tree shapes offered at every level of the hierarchy (§V-A: "a choice
+/// of four different TT trees ... GREEDY, BINARYTREE, FLATTREE, FIBONACCI").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TreeKind {
+    /// A single killer (the root) eliminates everyone sequentially.
+    /// Minimal communication / maximal locality, serial.
+    Flat,
+    /// Balanced binary combining: maximal instantaneous parallelism.
+    Binary,
+    /// Kill as many as possible per round, bottom rows first (§III-B).
+    Greedy,
+    /// The Fibonacci scheme of Modi & Clarke \[16\]: kill F(s) rows at round
+    /// s — asymptotically optimal like GREEDY, with smoother pipelining.
+    Fibonacci,
+}
+
+impl TreeKind {
+    /// All four kinds, for parameter sweeps.
+    pub const ALL: [TreeKind; 4] = [TreeKind::Flat, TreeKind::Binary, TreeKind::Greedy, TreeKind::Fibonacci];
+
+    /// Parse the paper's tree names.
+    pub fn parse(s: &str) -> Option<TreeKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "flat" | "flattree" => Some(TreeKind::Flat),
+            "binary" | "binarytree" => Some(TreeKind::Binary),
+            "greedy" => Some(TreeKind::Greedy),
+            "fibonacci" => Some(TreeKind::Fibonacci),
+            _ => None,
+        }
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            TreeKind::Flat => "flat",
+            TreeKind::Binary => "binary",
+            TreeKind::Greedy => "greedy",
+            TreeKind::Fibonacci => "fibonacci",
+        }
+    }
+
+    /// Generate the ordered `(victim, killer)` pairings reducing `z`
+    /// participants into participant 0.
+    ///
+    /// ```
+    /// use hqr::TreeKind;
+    /// // Figure 2's binary tree on 4 tiles: adjacent pairs, then the root.
+    /// assert_eq!(TreeKind::Binary.reduction(4), vec![(1, 0), (3, 2), (2, 0)]);
+    /// // The flat tree serializes everything through the root (Figure 1).
+    /// assert_eq!(TreeKind::Flat.reduction(3), vec![(1, 0), (2, 0)]);
+    /// ```
+    pub fn reduction(self, z: usize) -> Vec<(usize, usize)> {
+        if z <= 1 {
+            return Vec::new();
+        }
+        match self {
+            TreeKind::Flat => (1..z).map(|v| (v, 0)).collect(),
+            TreeKind::Binary => {
+                let mut out = Vec::with_capacity(z - 1);
+                let mut stride = 1;
+                while stride < z {
+                    let mut idx = 0;
+                    while idx + stride < z {
+                        out.push((idx + stride, idx));
+                        idx += 2 * stride;
+                    }
+                    stride *= 2;
+                }
+                out
+            }
+            TreeKind::Greedy => rounds_reduction(z, |_round, alive| alive / 2),
+            TreeKind::Fibonacci => {
+                rounds_reduction(z, |round, alive| fibonacci(round + 1).min(alive / 2))
+            }
+        }
+    }
+
+    /// Number of rounds (parallel depth) of the reduction, assuming
+    /// unit-time eliminations with unbounded resources.
+    pub fn depth(self, z: usize) -> usize {
+        if z <= 1 {
+            return 0;
+        }
+        match self {
+            TreeKind::Flat => z - 1,
+            // Both greedy and binary halve the survivors each round.
+            TreeKind::Binary | TreeKind::Greedy => (z as f64).log2().ceil() as usize,
+            TreeKind::Fibonacci => {
+                let mut alive = z;
+                let mut rounds = 0;
+                while alive > 1 {
+                    alive -= fibonacci(rounds + 1).min(alive / 2).max(1);
+                    rounds += 1;
+                }
+                rounds
+            }
+        }
+    }
+}
+
+/// Round-based reduction: at round `r`, kill `quota(r, alive)` of the
+/// bottom-most alive participants, each paired with the alive participant
+/// that many places above it ("the z rows above them as killers, pairing
+/// them in the natural order", §III-B).
+fn rounds_reduction(z: usize, quota: impl Fn(usize, usize) -> usize) -> Vec<(usize, usize)> {
+    let mut alive: Vec<usize> = (0..z).collect();
+    let mut out = Vec::with_capacity(z - 1);
+    let mut round = 0;
+    while alive.len() > 1 {
+        let c = quota(round, alive.len()).clamp(1, alive.len() / 2).max(1).min(alive.len() - 1);
+        let n = alive.len();
+        for t in 0..c {
+            let victim = alive[n - c + t];
+            let killer = alive[n - 2 * c + t];
+            out.push((victim, killer));
+        }
+        alive.truncate(n - c);
+        round += 1;
+    }
+    out
+}
+
+/// The Fibonacci numbers F(1)=1, F(2)=1, F(3)=2, ...
+fn fibonacci(n: usize) -> usize {
+    let (mut a, mut b) = (1usize, 1usize);
+    for _ in 1..n {
+        let c = a + b;
+        a = b;
+        b = c;
+    }
+    a
+}
+
+/// Check that a pairing list is a valid reduction of `z` participants:
+/// every non-root killed exactly once, killers alive when they kill,
+/// root 0 survives. Used by tests and by the hierarchy builder's debug
+/// assertions.
+pub fn validate_reduction(z: usize, pairs: &[(usize, usize)]) -> Result<(), String> {
+    let mut killed = vec![false; z];
+    for &(v, u) in pairs {
+        if v >= z || u >= z {
+            return Err(format!("participant out of range: ({v},{u})"));
+        }
+        if v == u {
+            return Err(format!("{v} kills itself"));
+        }
+        if killed[v] {
+            return Err(format!("{v} killed twice"));
+        }
+        if killed[u] {
+            return Err(format!("killer {u} already dead"));
+        }
+        killed[v] = true;
+    }
+    if killed[0] {
+        return Err("root was killed".into());
+    }
+    for (i, &dead) in killed.iter().enumerate().skip(1) {
+        if !dead {
+            return Err(format!("participant {i} never killed"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_produce_valid_reductions() {
+        for kind in TreeKind::ALL {
+            for z in 0..40 {
+                let pairs = kind.reduction(z);
+                if z > 0 {
+                    assert_eq!(pairs.len(), z - 1, "{kind:?} z={z}");
+                    validate_reduction(z, &pairs).unwrap_or_else(|e| panic!("{kind:?} z={z}: {e}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flat_matches_paper_figure_1() {
+        // Figure 1 / Table I: killer is always tile 0, order top to bottom.
+        let pairs = TreeKind::Flat.reduction(12);
+        let expect: Vec<(usize, usize)> = (1..12).map(|v| (v, 0)).collect();
+        assert_eq!(pairs, expect);
+    }
+
+    #[test]
+    fn binary_matches_paper_figure_2() {
+        // Figure 2: elim(2i+1, 2i) first, then stride 2, 4, 8 — the last
+        // elimination is elim(2^⌈log m⌉ ... , 0).
+        let pairs = TreeKind::Binary.reduction(12);
+        assert_eq!(&pairs[..6], &[(1, 0), (3, 2), (5, 4), (7, 6), (9, 8), (11, 10)]);
+        assert_eq!(&pairs[6..9], &[(2, 0), (6, 4), (10, 8)]);
+        assert_eq!(&pairs[9..], &[(4, 0), (8, 0)]);
+        assert_eq!(*pairs.last().unwrap(), (8, 0));
+    }
+
+    #[test]
+    fn greedy_kills_bottom_half_each_round() {
+        // §III-B Table IV panel 0, m=12: round 1 kills rows 6..11 using
+        // rows 0..5.
+        let pairs = TreeKind::Greedy.reduction(12);
+        assert_eq!(
+            &pairs[..6],
+            &[(6, 0), (7, 1), (8, 2), (9, 3), (10, 4), (11, 5)]
+        );
+        // Round 2: rows 3,4,5 killed by 0,1,2; round 3: 2 by 1... wait —
+        // survivors are 0,1,2 and greedy kills ⌊3/2⌋ = 1 bottom row (2) by
+        // the row 1 above; then 1 by 0.
+        assert_eq!(&pairs[6..9], &[(3, 0), (4, 1), (5, 2)]);
+        assert_eq!(&pairs[9..], &[(2, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn fibonacci_quota_grows_like_fibonacci() {
+        // For a tall panel the kill counts per round follow 1,1,2,3,5,...
+        let pairs = TreeKind::Fibonacci.reduction(13);
+        // Round sizes: 1,1,2,3,(then capped by alive/2) ...
+        assert_eq!(pairs[0], (12, 11), "bottom row killed first");
+        assert_eq!(pairs[1], (11, 10));
+        assert_eq!(&pairs[2..4], &[(9, 7), (10, 8)]);
+    }
+
+    #[test]
+    fn depths() {
+        assert_eq!(TreeKind::Flat.depth(12), 11);
+        assert_eq!(TreeKind::Binary.depth(12), 4);
+        assert_eq!(TreeKind::Greedy.depth(12), 4);
+        assert!(TreeKind::Fibonacci.depth(12) >= 4);
+        assert_eq!(TreeKind::Flat.depth(1), 0);
+        assert_eq!(TreeKind::Binary.depth(0), 0);
+    }
+
+    #[test]
+    fn binary_depth_is_logarithmic() {
+        for z in [2usize, 3, 4, 7, 8, 9, 100] {
+            let pairs = TreeKind::Binary.reduction(z);
+            // Depth via longest chain of kill dependencies on the root.
+            assert!(pairs.len() == z - 1);
+            assert_eq!(TreeKind::Binary.depth(z), (z as f64).log2().ceil() as usize);
+        }
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(TreeKind::parse("FLATTREE"), Some(TreeKind::Flat));
+        assert_eq!(TreeKind::parse("greedy"), Some(TreeKind::Greedy));
+        assert_eq!(TreeKind::parse("BinaryTree"), Some(TreeKind::Binary));
+        assert_eq!(TreeKind::parse("fibonacci"), Some(TreeKind::Fibonacci));
+        assert_eq!(TreeKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn two_participants_single_elim() {
+        for kind in TreeKind::ALL {
+            assert_eq!(kind.reduction(2), vec![(1, 0)], "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn validate_reduction_rejects_bad_lists() {
+        assert!(validate_reduction(3, &[(1, 0)]).is_err(), "2 never killed");
+        assert!(validate_reduction(3, &[(1, 0), (2, 1)]).is_err(), "dead killer");
+        assert!(validate_reduction(3, &[(1, 0), (1, 0)]).is_err(), "double kill");
+        assert!(validate_reduction(2, &[(0, 1)]).is_err(), "root killed... and 1 never");
+        assert!(validate_reduction(3, &[(2, 0), (1, 0)]).is_ok());
+    }
+}

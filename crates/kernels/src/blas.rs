@@ -1,0 +1,164 @@
+//! Small dense BLAS-like routines on column-major tiles, supporting the
+//! least-squares solver and the explicit-Q builders. These are utility
+//! kernels (the paper's algorithms only need the six QR kernels); they are
+//! written for clarity and tested against references, not for peak speed.
+
+use crate::Trans;
+
+/// C := beta·C + alpha·op(A)·op(B) for column-major matrices.
+/// `a` is `m × k` (after op), `b` is `k × n` (after op), `c` is `m × n`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    ta: Trans,
+    b: &[f64],
+    tb: Trans,
+    beta: f64,
+    c: &mut [f64],
+) {
+    assert_eq!(c.len(), m * n, "C must be m*n");
+    match ta {
+        Trans::NoTrans => assert_eq!(a.len(), m * k, "A must be m*k"),
+        Trans::Trans => assert_eq!(a.len(), k * m, "A' must be k*m"),
+    }
+    match tb {
+        Trans::NoTrans => assert_eq!(b.len(), k * n, "B must be k*n"),
+        Trans::Trans => assert_eq!(b.len(), n * k, "B' must be n*k"),
+    }
+    let at = |i: usize, l: usize| match ta {
+        Trans::NoTrans => a[i + l * m],
+        Trans::Trans => a[l + i * k],
+    };
+    let bt = |l: usize, j: usize| match tb {
+        Trans::NoTrans => b[l + j * k],
+        Trans::Trans => b[j + l * n],
+    };
+    for j in 0..n {
+        for i in 0..m {
+            let mut s = 0.0;
+            for l in 0..k {
+                s += at(i, l) * bt(l, j);
+            }
+            c[i + j * m] = beta * c[i + j * m] + alpha * s;
+        }
+    }
+}
+
+/// Solve R·X = B in place (X overwrites B), where `r` is the upper
+/// triangle of an `n × n` column-major tile (entries below the diagonal are
+/// ignored) and `b` is `n × nrhs`. Backward substitution; panics on a zero
+/// diagonal entry (singular R).
+pub fn trsm_upper(n: usize, nrhs: usize, r: &[f64], b: &mut [f64]) {
+    assert!(r.len() >= n * n, "R must be at least n*n");
+    assert_eq!(b.len(), n * nrhs, "B must be n*nrhs");
+    for col in 0..nrhs {
+        let bc = col * n;
+        for i in (0..n).rev() {
+            let mut s = b[bc + i];
+            for l in (i + 1)..n {
+                s -= r[i + l * n] * b[bc + l];
+            }
+            let d = r[i + i * n];
+            assert!(d != 0.0, "singular R: zero diagonal at {i}");
+            b[bc + i] = s / d;
+        }
+    }
+}
+
+/// Infinity norm of the difference of two equal-length buffers.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).fold(0.0f64, |m, (x, y)| m.max((x - y).abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hqr_tile::DenseMatrix;
+
+    #[test]
+    fn gemm_matches_dense_reference() {
+        let (m, n, k) = (4usize, 3usize, 5usize);
+        let a = DenseMatrix::random(m, k, 1);
+        let b = DenseMatrix::random(k, n, 2);
+        let mut c = vec![0.0; m * n];
+        gemm(m, n, k, 1.0, a.data(), Trans::NoTrans, b.data(), Trans::NoTrans, 0.0, &mut c);
+        let expect = a.matmul(&b);
+        assert!(max_abs_diff(&c, expect.data()) < 1e-14);
+    }
+
+    #[test]
+    fn gemm_transposed_operands() {
+        let (m, n, k) = (3usize, 4usize, 2usize);
+        let at = DenseMatrix::random(k, m, 3); // holds Aᵀ
+        let bt = DenseMatrix::random(n, k, 4); // holds Bᵀ
+        let mut c = vec![0.0; m * n];
+        gemm(m, n, k, 1.0, at.data(), Trans::Trans, bt.data(), Trans::Trans, 0.0, &mut c);
+        let expect = at.transpose().matmul(&bt.transpose());
+        assert!(max_abs_diff(&c, expect.data()) < 1e-14);
+    }
+
+    #[test]
+    fn gemm_alpha_beta() {
+        let (m, n, k) = (2usize, 2usize, 2usize);
+        let a = DenseMatrix::identity(2, 2);
+        let b = DenseMatrix::identity(2, 2);
+        let mut c = vec![1.0; 4];
+        gemm(m, n, k, 2.0, a.data(), Trans::NoTrans, b.data(), Trans::NoTrans, 3.0, &mut c);
+        // C = 3*ones + 2*I
+        assert_eq!(c, vec![5.0, 3.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn trsm_solves_upper_system() {
+        let n = 5;
+        // Build a well-conditioned upper-triangular R.
+        let mut r = vec![0.0; n * n];
+        let dm = DenseMatrix::random(n, n, 5);
+        for j in 0..n {
+            for i in 0..=j {
+                r[i + j * n] = dm.get(i, j) + if i == j { 3.0 } else { 0.0 };
+            }
+        }
+        let x_true = DenseMatrix::random(n, 2, 6);
+        // b = R x
+        let mut b = vec![0.0; n * 2];
+        gemm(n, 2, n, 1.0, &r, Trans::NoTrans, x_true.data(), Trans::NoTrans, 0.0, &mut b);
+        trsm_upper(n, 2, &r, &mut b);
+        assert!(max_abs_diff(&b, x_true.data()) < 1e-12);
+    }
+
+    #[test]
+    fn trsm_ignores_strict_lower() {
+        let n = 3;
+        let mut r = vec![0.0; n * n];
+        for j in 0..n {
+            for i in 0..=j {
+                r[i + j * n] = 1.0 + (i + j) as f64;
+            }
+        }
+        let mut r_poison = r.clone();
+        for j in 0..n {
+            for i in (j + 1)..n {
+                r_poison[i + j * n] = f64::NAN;
+            }
+        }
+        let mut b1 = vec![1.0, 2.0, 3.0];
+        let mut b2 = b1.clone();
+        trsm_upper(n, 1, &r, &mut b1);
+        trsm_upper(n, 1, &r_poison, &mut b2);
+        assert_eq!(b1, b2);
+    }
+
+    #[test]
+    #[should_panic(expected = "singular R")]
+    fn trsm_detects_singularity() {
+        let r = vec![0.0; 4];
+        let mut b = vec![1.0, 1.0];
+        trsm_upper(2, 1, &r, &mut b);
+    }
+}

@@ -1,0 +1,100 @@
+//! Householder reflector generation (LAPACK `dlarfg`).
+
+/// Generate an elementary Householder reflector H = I − τ·v·vᵀ with
+/// v = [1; x'] such that H·[α; x] = [β; 0].
+///
+/// On return `x` holds the tail of v (x'), and `(β, τ)` is returned.
+/// When `x` is already zero, τ = 0 (H = I) and β = α, as in LAPACK.
+pub(crate) fn larfg(alpha: f64, x: &mut [f64]) -> (f64, f64) {
+    let sigma: f64 = x.iter().map(|v| v * v).sum();
+    if sigma == 0.0 {
+        return (alpha, 0.0);
+    }
+    let mu = (alpha * alpha + sigma).sqrt();
+    // beta = -sign(alpha) * mu avoids cancellation in alpha - beta.
+    let beta = if alpha <= 0.0 { mu } else { -mu };
+    let tau = (beta - alpha) / beta;
+    let scale = 1.0 / (alpha - beta);
+    for v in x.iter_mut() {
+        *v *= scale;
+    }
+    (beta, tau)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn apply_reflector(alpha: f64, orig_x: &[f64], v: &[f64], tau: f64) -> Vec<f64> {
+        // H [alpha; x] = [alpha; x] - tau * vhat * (vhatᵀ [alpha; x]),
+        // vhat = [1; v].
+        let mut w = alpha;
+        for (vi, xi) in v.iter().zip(orig_x) {
+            w += vi * xi;
+        }
+        w *= tau;
+        let mut out = Vec::with_capacity(1 + orig_x.len());
+        out.push(alpha - w);
+        for (vi, xi) in v.iter().zip(orig_x) {
+            out.push(xi - w * vi);
+        }
+        out
+    }
+
+    #[test]
+    fn annihilates_tail() {
+        let alpha = 3.0;
+        let orig = vec![1.0, -2.0, 0.5];
+        let mut x = orig.clone();
+        let (beta, tau) = larfg(alpha, &mut x);
+        let out = apply_reflector(alpha, &orig, &x, tau);
+        assert!((out[0] - beta).abs() < 1e-14, "head should become beta");
+        for (i, &v) in out.iter().enumerate().skip(1) {
+            assert!(v.abs() < 1e-14, "tail entry {i} should vanish, got {v}");
+        }
+    }
+
+    #[test]
+    fn preserves_two_norm() {
+        let alpha = -1.5;
+        let orig = vec![2.0, 4.0, -1.0, 0.25];
+        let mut x = orig.clone();
+        let (beta, _tau) = larfg(alpha, &mut x);
+        let norm_in = (alpha * alpha + orig.iter().map(|v| v * v).sum::<f64>()).sqrt();
+        assert!((beta.abs() - norm_in).abs() < 1e-14);
+    }
+
+    #[test]
+    fn zero_tail_gives_identity() {
+        let mut x = vec![0.0, 0.0];
+        let (beta, tau) = larfg(7.0, &mut x);
+        assert_eq!(beta, 7.0);
+        assert_eq!(tau, 0.0);
+        assert_eq!(x, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn beta_sign_is_opposite_of_alpha() {
+        for &alpha in &[5.0, -5.0] {
+            let mut x = vec![1.0];
+            let (beta, _) = larfg(alpha, &mut x);
+            assert!(beta * alpha < 0.0, "alpha {alpha} -> beta {beta}");
+        }
+    }
+
+    #[test]
+    fn empty_tail_is_identity() {
+        let mut x: Vec<f64> = vec![];
+        let (beta, tau) = larfg(-2.0, &mut x);
+        assert_eq!(beta, -2.0);
+        assert_eq!(tau, 0.0);
+    }
+
+    #[test]
+    fn tau_within_stability_range() {
+        // LAPACK guarantees 1 <= tau <= 2 for real reflectors (when nonzero).
+        let mut x = vec![0.3, -0.7, 2.0];
+        let (_, tau) = larfg(0.1, &mut x);
+        assert!((1.0..=2.0).contains(&tau), "tau = {tau}");
+    }
+}

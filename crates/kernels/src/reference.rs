@@ -1,0 +1,121 @@
+//! Reference dense Householder QR, used only for verification.
+//!
+//! This is the textbook unblocked algorithm (LAPACK `dgeqr2` followed by an
+//! explicit Q build). It is deliberately independent of the tile kernels so
+//! that tests comparing the two catch mistakes in either.
+
+use hqr_tile::DenseMatrix;
+
+/// Dense Householder QR of an `m × n` matrix with `m ≥ n`.
+///
+/// Returns `(Q, R)` with Q an `m × m` orthogonal matrix and R an `m × n`
+/// upper-triangular (trapezoidal) matrix such that `A = Q·R`.
+pub fn dense_householder_qr(a: &DenseMatrix) -> (DenseMatrix, DenseMatrix) {
+    let (m, n) = (a.rows(), a.cols());
+    assert!(m >= n, "reference QR requires m >= n");
+    let mut r = a.clone();
+    // Store reflectors (v, tau) to build Q afterwards.
+    let mut vs: Vec<(usize, Vec<f64>, f64)> = Vec::with_capacity(n);
+    for k in 0..n {
+        // Build the reflector annihilating r[k+1.., k].
+        let alpha = r.get(k, k);
+        let mut sigma = 0.0;
+        for i in (k + 1)..m {
+            sigma += r.get(i, k) * r.get(i, k);
+        }
+        let (beta, tau, v) = if sigma == 0.0 {
+            (alpha, 0.0, vec![0.0; m - k - 1])
+        } else {
+            let mu = (alpha * alpha + sigma).sqrt();
+            let beta = if alpha <= 0.0 { mu } else { -mu };
+            let tau = (beta - alpha) / beta;
+            let scale = 1.0 / (alpha - beta);
+            let v: Vec<f64> = ((k + 1)..m).map(|i| r.get(i, k) * scale).collect();
+            (beta, tau, v)
+        };
+        // Apply H to the trailing matrix r[k.., k..].
+        for j in k..n {
+            let mut w = r.get(k, j);
+            for (off, vi) in v.iter().enumerate() {
+                w += vi * r.get(k + 1 + off, j);
+            }
+            w *= tau;
+            r.set(k, j, r.get(k, j) - w);
+            for (off, vi) in v.iter().enumerate() {
+                let i = k + 1 + off;
+                r.set(i, j, r.get(i, j) - w * vi);
+            }
+        }
+        r.set(k, k, beta);
+        for i in (k + 1)..m {
+            r.set(i, k, 0.0);
+        }
+        vs.push((k, v, tau));
+    }
+    // Q = H_0 · H_1 ⋯ H_{n-1} applied to the identity (apply in reverse).
+    let mut q = DenseMatrix::identity(m, m);
+    for (k, v, tau) in vs.iter().rev() {
+        if *tau == 0.0 {
+            continue;
+        }
+        for j in 0..m {
+            let mut w = q.get(*k, j);
+            for (off, vi) in v.iter().enumerate() {
+                w += vi * q.get(*k + 1 + off, j);
+            }
+            w *= tau;
+            q.set(*k, j, q.get(*k, j) - w);
+            for (off, vi) in v.iter().enumerate() {
+                let i = *k + 1 + off;
+                q.set(i, j, q.get(i, j) - w * vi);
+            }
+        }
+    }
+    (q, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qr_reconstructs_a() {
+        let a = DenseMatrix::random(10, 6, 99);
+        let (q, r) = dense_householder_qr(&a);
+        let qr = q.matmul(&r);
+        assert!(a.sub(&qr).frob_norm() < 1e-12 * a.frob_norm().max(1.0));
+    }
+
+    #[test]
+    fn q_is_orthogonal() {
+        let a = DenseMatrix::random(8, 8, 100);
+        let (q, _) = dense_householder_qr(&a);
+        assert!(q.orthogonality_error() < 1e-12);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = DenseMatrix::random(9, 5, 101);
+        let (_, r) = dense_householder_qr(&a);
+        assert_eq!(r.max_abs_below_diagonal(), 0.0);
+    }
+
+    #[test]
+    fn square_identity_fixed_point() {
+        let a = DenseMatrix::identity(5, 5);
+        let (q, r) = dense_householder_qr(&a);
+        assert!(q.sub(&DenseMatrix::identity(5, 5)).frob_norm() < 1e-14);
+        assert!(r.sub(&DenseMatrix::identity(5, 5)).frob_norm() < 1e-14);
+    }
+
+    #[test]
+    fn tall_skinny_shapes() {
+        let a = DenseMatrix::random(20, 3, 102);
+        let (q, r) = dense_householder_qr(&a);
+        assert_eq!(q.rows(), 20);
+        assert_eq!(q.cols(), 20);
+        assert_eq!(r.rows(), 20);
+        assert_eq!(r.cols(), 3);
+        assert!(a.sub(&q.matmul(&r)).frob_norm() < 1e-12);
+    }
+}

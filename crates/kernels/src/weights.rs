@@ -1,0 +1,134 @@
+//! Kernel cost model of §II: "Assuming square b-by-b tiles and using a b³/3
+//! floating point operation unit, the weight of GEQRT is 4, UNMQR 6, TSQRT
+//! 6, TSMQR 12, TTQRT 2, and TTMQR 6."
+
+/// The six tile kernels of Algorithm 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// Square-tile QR (make a killer triangular).
+    Geqrt,
+    /// Apply a GEQRT's Q to a trailing tile.
+    Unmqr,
+    /// Kill a square with a triangle.
+    Tsqrt,
+    /// Apply a TSQRT's Q to a trailing tile pair.
+    Tsmqr,
+    /// Kill a triangle with a triangle.
+    Ttqrt,
+    /// Apply a TTQRT's Q to a trailing tile pair.
+    Ttmqr,
+}
+
+/// The efficiency class of a kernel, which determines the sequential rate it
+/// achieves (§V-A: dTSMQR 7.21 GFlop/s = 79.4% of peak, dTTMQR 6.28 GFlop/s
+/// = 69.2% of peak on the edel nodes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KernelClass {
+    /// TS-style kernels (square second operand): cache-friendly, faster.
+    Ts,
+    /// TT-style kernels (triangular operands): more parallelism, slower.
+    Tt,
+}
+
+impl KernelKind {
+    /// Cost weight in units of b³/3 floating-point operations.
+    pub fn weight(self) -> u64 {
+        match self {
+            KernelKind::Geqrt => 4,
+            KernelKind::Unmqr => 6,
+            KernelKind::Tsqrt => 6,
+            KernelKind::Tsmqr => 12,
+            KernelKind::Ttqrt => 2,
+            KernelKind::Ttmqr => 6,
+        }
+    }
+
+    /// Floating point operations for tile size `b`.
+    pub fn flops(self, b: usize) -> f64 {
+        self.weight() as f64 * (b as f64).powi(3) / 3.0
+    }
+
+    /// Which sequential-efficiency class the kernel belongs to.
+    ///
+    /// GEQRT/TSQRT/UNMQR/TSMQR operate on at least one full square block and
+    /// run at TS rates; TTQRT/TTMQR are the triangle-triangle kernels.
+    pub fn class(self) -> KernelClass {
+        match self {
+            KernelKind::Ttqrt | KernelKind::Ttmqr => KernelClass::Tt,
+            _ => KernelClass::Ts,
+        }
+    }
+
+    /// True for the kill kernels (panel column), false for updates.
+    pub fn is_factor(self) -> bool {
+        matches!(self, KernelKind::Geqrt | KernelKind::Tsqrt | KernelKind::Ttqrt)
+    }
+
+    /// Short LAPACK-style name, as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::Geqrt => "GEQRT",
+            KernelKind::Unmqr => "UNMQR",
+            KernelKind::Tsqrt => "TSQRT",
+            KernelKind::Tsmqr => "TSMQR",
+            KernelKind::Ttqrt => "TTQRT",
+            KernelKind::Ttmqr => "TTMQR",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_match_paper() {
+        assert_eq!(KernelKind::Geqrt.weight(), 4);
+        assert_eq!(KernelKind::Unmqr.weight(), 6);
+        assert_eq!(KernelKind::Tsqrt.weight(), 6);
+        assert_eq!(KernelKind::Tsmqr.weight(), 12);
+        assert_eq!(KernelKind::Ttqrt.weight(), 2);
+        assert_eq!(KernelKind::Ttmqr.weight(), 6);
+    }
+
+    #[test]
+    fn ts_kill_equals_geqrt_plus_ttqrt() {
+        // §II: "The number of arithmetic operations performed by a TSQRT
+        // kernel is the same as that of a GEQRT followed by a TTQRT."
+        assert_eq!(
+            KernelKind::Tsqrt.weight(),
+            KernelKind::Geqrt.weight() + KernelKind::Ttqrt.weight()
+        );
+        // And the same for the updates: TSMQR = UNMQR + TTMQR.
+        assert_eq!(
+            KernelKind::Tsmqr.weight(),
+            KernelKind::Unmqr.weight() + KernelKind::Ttmqr.weight()
+        );
+    }
+
+    #[test]
+    fn flops_scale_cubically() {
+        let f1 = KernelKind::Tsmqr.flops(10);
+        let f2 = KernelKind::Tsmqr.flops(20);
+        assert!((f2 / f1 - 8.0).abs() < 1e-12);
+        assert!((KernelKind::Geqrt.flops(3) - 4.0 * 27.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classes() {
+        assert_eq!(KernelKind::Tsmqr.class(), KernelClass::Ts);
+        assert_eq!(KernelKind::Geqrt.class(), KernelClass::Ts);
+        assert_eq!(KernelKind::Ttmqr.class(), KernelClass::Tt);
+        assert_eq!(KernelKind::Ttqrt.class(), KernelClass::Tt);
+    }
+
+    #[test]
+    fn factor_vs_update() {
+        assert!(KernelKind::Geqrt.is_factor());
+        assert!(KernelKind::Tsqrt.is_factor());
+        assert!(KernelKind::Ttqrt.is_factor());
+        assert!(!KernelKind::Unmqr.is_factor());
+        assert!(!KernelKind::Tsmqr.is_factor());
+        assert!(!KernelKind::Ttmqr.is_factor());
+    }
+}

@@ -1,0 +1,266 @@
+//! DAG analysis: weighted critical paths, task histograms, and
+//! communication counting under a data layout.
+
+use std::collections::HashSet;
+
+use crate::graph::TaskGraph;
+use crate::task::Task;
+use hqr_kernels::KernelKind;
+use hqr_tile::Layout;
+
+/// Summary statistics of a task DAG.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DagStats {
+    /// Number of tasks per kernel kind, indexed by [`kind_index`].
+    pub counts: [usize; 6],
+    /// Total weight in b³/3 flop units.
+    pub total_weight: u64,
+    /// Length of the longest path, with each task costing its kernel weight.
+    pub critical_path_weight: u64,
+    /// Length of the longest path counting each task as 1.
+    pub critical_path_len: usize,
+}
+
+/// Stable index for a kernel kind.
+pub fn kind_index(k: KernelKind) -> usize {
+    match k {
+        KernelKind::Geqrt => 0,
+        KernelKind::Unmqr => 1,
+        KernelKind::Tsqrt => 2,
+        KernelKind::Tsmqr => 3,
+        KernelKind::Ttqrt => 4,
+        KernelKind::Ttmqr => 5,
+    }
+}
+
+/// Compute [`DagStats`] in one forward sweep (program order is topological).
+pub fn dag_stats(graph: &TaskGraph) -> DagStats {
+    let tasks = graph.tasks();
+    let mut counts = [0usize; 6];
+    let mut total_weight = 0u64;
+    let mut dist_w = vec![0u64; tasks.len()];
+    let mut dist_l = vec![0u32; tasks.len()];
+    let mut cp_w = 0u64;
+    let mut cp_l = 0u32;
+    for (tid, t) in tasks.iter().enumerate() {
+        counts[kind_index(t.kind)] += 1;
+        let w = t.kind.weight();
+        total_weight += w;
+        let fw = dist_w[tid] + w;
+        let fl = dist_l[tid] + 1;
+        cp_w = cp_w.max(fw);
+        cp_l = cp_l.max(fl);
+        for &s in graph.successors(tid) {
+            let s = s as usize;
+            dist_w[s] = dist_w[s].max(fw);
+            dist_l[s] = dist_l[s].max(fl);
+        }
+    }
+    DagStats {
+        counts,
+        total_weight,
+        critical_path_weight: cp_w,
+        critical_path_len: cp_l as usize,
+    }
+}
+
+/// Communication cost of executing the DAG under `layout` with the
+/// owner-computes rule: one message per (producing task, consuming node)
+/// pair whose producer and consumer live on different nodes. Returns
+/// `(message count, volume in tiles)` — volume equals the message count
+/// because every transfer carries one b×b tile (plus its small T factor,
+/// which real implementations pack into the same message).
+pub fn comm_messages(graph: &TaskGraph, layout: &Layout) -> (usize, usize) {
+    let node_of = |t: &Task| {
+        let (i, j) = t.affinity_tile();
+        layout.owner(i, j)
+    };
+    let tasks = graph.tasks();
+    let mut seen: HashSet<(u32, u32)> = HashSet::new();
+    let mut messages = 0usize;
+    for (tid, t) in tasks.iter().enumerate() {
+        let src = node_of(t);
+        for &s in graph.successors(tid) {
+            let dst = node_of(&tasks[s as usize]);
+            if src != dst && seen.insert((tid as u32, dst as u32)) {
+                messages += 1;
+            }
+        }
+    }
+    (messages, messages)
+}
+
+/// Render the task DAG in Graphviz DOT format (for inspection of small
+/// DAGs; refuses graphs above `max_tasks` to avoid megabyte dumps).
+pub fn to_dot(graph: &TaskGraph, max_tasks: usize) -> Result<String, String> {
+    let tasks = graph.tasks();
+    if tasks.len() > max_tasks {
+        return Err(format!("DAG has {} tasks (> {max_tasks})", tasks.len()));
+    }
+    let mut out = String::from("digraph hqr {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n");
+    for (tid, t) in tasks.iter().enumerate() {
+        let label = match t.kind {
+            KernelKind::Geqrt => format!("GEQRT({},{})", t.i, t.k),
+            KernelKind::Unmqr => format!("UNMQR({},{};{})", t.i, t.k, t.j),
+            KernelKind::Tsqrt => format!("TSQRT({}<-{};{})", t.i, t.piv, t.k),
+            KernelKind::Ttqrt => format!("TTQRT({}<-{};{})", t.i, t.piv, t.k),
+            KernelKind::Tsmqr => format!("TSMQR({},{};{})", t.i, t.piv, t.j),
+            KernelKind::Ttmqr => format!("TTMQR({},{};{})", t.i, t.piv, t.j),
+        };
+        let color = if t.kind.is_factor() { "lightblue" } else { "white" };
+        out.push_str(&format!("  t{tid} [label=\"{label}\", style=filled, fillcolor={color}];\n"));
+    }
+    for tid in 0..tasks.len() {
+        let mut prev = u32::MAX;
+        let mut succs: Vec<u32> = graph.successors(tid).to_vec();
+        succs.sort_unstable();
+        for s in succs {
+            if s != prev {
+                out.push_str(&format!("  t{tid} -> t{s};\n"));
+                prev = s;
+            }
+        }
+    }
+    out.push_str("}\n");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elim::ElimOp;
+    use hqr_tile::{Layout, ProcessGrid};
+
+    fn flat_elims(mt: usize, nt: usize) -> Vec<ElimOp> {
+        let mut v = Vec::new();
+        for k in 0..mt.min(nt) {
+            for i in (k + 1)..mt {
+                v.push(ElimOp::new(k as u32, i as u32, k as u32, true));
+            }
+        }
+        v
+    }
+
+    fn binary_elims_panel0(mt: usize) -> Vec<ElimOp> {
+        let mut v = Vec::new();
+        let mut stride = 1;
+        while stride < mt {
+            let mut idx = 0;
+            while idx + stride < mt {
+                v.push(ElimOp::new(0, (idx + stride) as u32, idx as u32, false));
+                idx += 2 * stride;
+            }
+            stride *= 2;
+        }
+        v
+    }
+
+    #[test]
+    fn total_weight_invariant_flat_vs_binary_single_panel() {
+        // §II: total weight is 6mn² − 2n³ regardless of the tree.
+        let mt = 8;
+        let g_flat = TaskGraph::build(mt, 1, 2, &flat_elims(mt, 1));
+        let g_bin = TaskGraph::build(mt, 1, 2, &binary_elims_panel0(mt));
+        let sf = dag_stats(&g_flat);
+        let sb = dag_stats(&g_bin);
+        let expect = (6 * mt - 2) as u64; // n = 1
+        assert_eq!(sf.total_weight, expect);
+        assert_eq!(sb.total_weight, expect);
+    }
+
+    #[test]
+    fn binary_tree_has_shorter_critical_path_tall_panel() {
+        let mt = 32;
+        let g_flat = TaskGraph::build(mt, 1, 2, &flat_elims(mt, 1));
+        let g_bin = TaskGraph::build(mt, 1, 2, &binary_elims_panel0(mt));
+        let cp_flat = dag_stats(&g_flat).critical_path_weight;
+        let cp_bin = dag_stats(&g_bin).critical_path_weight;
+        assert!(
+            cp_bin < cp_flat,
+            "binary CP {cp_bin} should beat flat CP {cp_flat} on a tall panel"
+        );
+    }
+
+    #[test]
+    fn flat_critical_path_single_panel_formula() {
+        // Flat tree, single column: GEQRT (4) then a chain of (m−1) TSQRT (6).
+        let mt = 10;
+        let g = TaskGraph::build(mt, 1, 2, &flat_elims(mt, 1));
+        let s = dag_stats(&g);
+        assert_eq!(s.critical_path_weight, 4 + 6 * (mt as u64 - 1));
+    }
+
+    #[test]
+    fn counts_flat_tree() {
+        let g = TaskGraph::build(4, 2, 2, &flat_elims(4, 2));
+        let s = dag_stats(&g);
+        assert_eq!(s.counts[kind_index(hqr_kernels::KernelKind::Geqrt)], 2);
+        assert_eq!(s.counts[kind_index(hqr_kernels::KernelKind::Tsqrt)], 3 + 2);
+        assert_eq!(s.counts[kind_index(hqr_kernels::KernelKind::Ttqrt)], 0);
+    }
+
+    #[test]
+    fn single_node_layout_needs_no_messages() {
+        let g = TaskGraph::build(6, 2, 2, &flat_elims(6, 2));
+        let (msgs, _) = comm_messages(&g, &Layout::Single);
+        assert_eq!(msgs, 0);
+    }
+
+    #[test]
+    fn block_flat_panel_uses_few_messages() {
+        // §III-A: block distribution + flat tree ⇒ the pivot crosses each
+        // cluster boundary once: p−1 kill-chain messages for one panel
+        // (plus update-related traffic when nt > 1; here nt = 1 and the
+        // graph has kills only, so exactly p−1 = 2 crossings).
+        let mt = 12;
+        let g = TaskGraph::build(mt, 1, 2, &flat_elims(mt, 1));
+        // Re-order: flat tree with natural order already proceeds top-to-
+        // bottom so the pivot visits clusters in order.
+        let layout = Layout::block_rows(3, mt);
+        let (msgs, _) = comm_messages(&g, &layout);
+        assert_eq!(msgs, 2, "pivot should cross each boundary once");
+    }
+
+    #[test]
+    fn cyclic_flat_panel_communicates_every_elimination() {
+        // §III-A: cyclic distribution + naturally-ordered flat tree is
+        // communication-intensive: every elimination crosses nodes.
+        let mt = 12;
+        let g = TaskGraph::build(mt, 1, 2, &flat_elims(mt, 1));
+        let layout = Layout::cyclic_rows(3);
+        let (msgs, _) = comm_messages(&g, &layout);
+        assert!(msgs >= mt - 2, "expected ~one message per elimination, got {msgs}");
+    }
+
+    #[test]
+    fn comm_is_zero_when_grid_is_one() {
+        let g = TaskGraph::build(5, 3, 2, &flat_elims(5, 3));
+        let layout = Layout::Cyclic2D(ProcessGrid::new(1, 1));
+        assert_eq!(comm_messages(&g, &layout).0, 0);
+    }
+
+    #[test]
+    fn critical_path_len_at_least_panels() {
+        let g = TaskGraph::build(6, 6, 2, &flat_elims(6, 6));
+        let s = dag_stats(&g);
+        assert!(s.critical_path_len >= 6);
+    }
+
+    #[test]
+    fn dot_export_mentions_every_task() {
+        let g = TaskGraph::build(3, 2, 2, &flat_elims(3, 2));
+        let dot = to_dot(&g, 100).unwrap();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("GEQRT(0,0)"));
+        assert!(dot.contains("TSQRT(1<-0;0)"));
+        assert!(dot.contains("TSMQR"));
+        assert_eq!(dot.matches(" [label=").count(), g.tasks().len());
+        assert!(dot.contains("->"), "edges rendered");
+    }
+
+    #[test]
+    fn dot_export_refuses_large_graphs() {
+        let g = TaskGraph::build(20, 20, 2, &flat_elims(20, 20));
+        assert!(to_dot(&g, 100).is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! The elimination operation — the unit in which tile QR algorithms are
+//! specified (§II: "the algorithm is entirely characterized by its
+//! elimination list").
+
+/// One elimination `elim(i, killer(i,k), k)`: tile `(victim, k)` is zeroed
+/// out by row `killer` within panel `k`.
+///
+/// `ts` selects the kernel family of Algorithm 2: `true` uses TS kernels
+/// (TSQRT/TSMQR — the victim is a square tile), `false` uses TT kernels
+/// (TTQRT/TTMQR — the victim has already been triangularized).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ElimOp {
+    /// Panel index k.
+    pub k: u32,
+    /// Row being zeroed out in column k.
+    pub victim: u32,
+    /// Row doing the killing (a triangle).
+    pub killer: u32,
+    /// TS kernels if true, TT kernels otherwise.
+    pub ts: bool,
+}
+
+impl ElimOp {
+    /// Convenience constructor.
+    pub fn new(k: u32, victim: u32, killer: u32, ts: bool) -> Self {
+        Self { k, victim, killer, ts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_roundtrip() {
+        let e = ElimOp::new(2, 7, 3, true);
+        assert_eq!(e.k, 2);
+        assert_eq!(e.victim, 7);
+        assert_eq!(e.killer, 3);
+        assert!(e.ts);
+    }
+}

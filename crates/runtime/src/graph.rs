@@ -1,0 +1,372 @@
+//! DAG construction: from an elimination list to kernel tasks and
+//! data-flow dependencies.
+//!
+//! Dependencies are discovered exactly the way DAGuE's symbolic data-flow
+//! representation does: every task declares the tile slots it reads and
+//! writes; a task depends on the last writer of each slot it touches. The
+//! slot model (see [`crate::task::SlotFamily`]) splits a panel tile's V and
+//! R parts so that trailing updates and kill kernels overlap, matching the
+//! parallelism a real dataflow runtime extracts.
+
+use crate::elim::ElimOp;
+use crate::task::{SlotFamily, Task, SLOT_FAMILIES};
+
+/// An immutable task DAG in CSR form.
+#[derive(Clone, Debug)]
+pub struct TaskGraph {
+    mt: usize,
+    nt: usize,
+    b: usize,
+    tasks: Vec<Task>,
+    /// CSR offsets into `succ`, length `tasks.len() + 1`.
+    succ_off: Vec<u32>,
+    /// Successor task ids (with multiplicity; a successor depending on two
+    /// outputs of the same predecessor appears twice, and its in-degree
+    /// counts both).
+    succ: Vec<u32>,
+    /// Number of incoming dependency edges per task.
+    in_degree: Vec<u32>,
+}
+
+impl TaskGraph {
+    /// Build the full task DAG for an `mt × nt` tiled matrix (tile size `b`)
+    /// from an elimination list ordered panel-major (all panel-k operations
+    /// before panel-k+1 operations, and in execution-priority order within
+    /// a panel).
+    ///
+    /// # Panics
+    /// Panics if the elimination list is malformed (unsorted panels, a TS
+    /// victim used as a killer, a tile killed twice, indices out of range);
+    /// use `hqr`'s validation for a user-facing error report.
+    pub fn build(mt: usize, nt: usize, b: usize, elims: &[ElimOp]) -> Self {
+        assert!(mt > 0 && nt > 0, "matrix must be non-empty");
+        assert!(mt < u16::MAX as usize && nt < u16::MAX as usize, "tile counts must fit u16");
+        let tasks = generate_tasks(mt, nt, elims);
+        let (succ_off, succ, in_degree) = build_edges(mt, nt, &tasks);
+        TaskGraph { mt, nt, b, tasks, succ_off, succ, in_degree }
+    }
+
+    /// Number of tile rows.
+    pub fn mt(&self) -> usize {
+        self.mt
+    }
+
+    /// Number of tile columns.
+    pub fn nt(&self) -> usize {
+        self.nt
+    }
+
+    /// Tile size the DAG was built for.
+    pub fn b(&self) -> usize {
+        self.b
+    }
+
+    /// All tasks, in a valid topological (program) order.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Successors of task `t` (with multiplicity).
+    pub fn successors(&self, t: usize) -> &[u32] {
+        &self.succ[self.succ_off[t] as usize..self.succ_off[t + 1] as usize]
+    }
+
+    /// In-degrees (number of dependency edges) per task.
+    pub fn in_degrees(&self) -> &[u32] {
+        &self.in_degree
+    }
+
+    /// Total number of dependency edges.
+    pub fn edge_count(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// Predecessor count of task `t`.
+    pub fn in_degree(&self, t: usize) -> u32 {
+        self.in_degree[t]
+    }
+
+    /// Sum of kernel floating-point operations over all tasks.
+    pub fn total_flops(&self) -> f64 {
+        self.tasks.iter().map(|t| t.kind.flops(self.b)).sum()
+    }
+}
+
+/// Expand an elimination list into the full kernel-task list of
+/// Algorithms 1+2, in a topological program order.
+fn generate_tasks(mt: usize, nt: usize, elims: &[ElimOp]) -> Vec<Task> {
+    let kmax = mt.min(nt);
+    // Group eliminations by panel, preserving order.
+    let mut by_panel: Vec<Vec<&ElimOp>> = vec![Vec::new(); kmax];
+    let mut last_k = 0u32;
+    for e in elims {
+        assert!(e.k >= last_k, "elimination list must be sorted by panel");
+        last_k = e.k;
+        assert!((e.k as usize) < kmax, "panel {} out of range", e.k);
+        assert!((e.victim as usize) < mt && (e.killer as usize) < mt, "row out of range");
+        by_panel[e.k as usize].push(e);
+    }
+    let mut tasks = Vec::new();
+    let mut is_triangle = vec![false; mt];
+    for k in 0..kmax {
+        let panel = &by_panel[k];
+        // Rows needing GEQRT: the diagonal row plus every killer and every
+        // TT victim. TS victims are killed as squares and must never be
+        // triangularized.
+        is_triangle[k..mt].fill(false);
+        is_triangle[k] = true;
+        for e in panel {
+            is_triangle[e.killer as usize] = true;
+            if !e.ts {
+                is_triangle[e.victim as usize] = true;
+            }
+        }
+        for e in panel {
+            if e.ts {
+                assert!(
+                    !is_triangle[e.victim as usize],
+                    "TS victim row {} of panel {k} must stay square",
+                    e.victim
+                );
+            }
+        }
+        for (i, &tri) in is_triangle.iter().enumerate().take(mt).skip(k) {
+            if tri {
+                tasks.push(Task::geqrt(k as u16, i as u16));
+                for j in (k + 1)..nt {
+                    tasks.push(Task::unmqr(k as u16, i as u16, j as u16));
+                }
+            }
+        }
+        for e in panel {
+            tasks.push(Task::kill(e.k as u16, e.victim as u16, e.killer as u16, e.ts));
+            for j in (k + 1)..nt {
+                tasks.push(Task::update(e.k as u16, e.victim as u16, e.killer as u16, j as u16, e.ts));
+            }
+        }
+    }
+    tasks
+}
+
+/// Two-pass CSR edge construction from last-writer tracking.
+fn build_edges(mt: usize, nt: usize, tasks: &[Task]) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    const NONE: u32 = u32::MAX;
+    let slots = SLOT_FAMILIES * mt * nt;
+    let slot_of = |(f, i, j): (SlotFamily, usize, usize)| (f as usize) * mt * nt + j * mt + i;
+
+    let n = tasks.len();
+    let mut out_deg = vec![0u32; n];
+    let mut in_degree = vec![0u32; n];
+    // Pass 1: count out-degrees.
+    {
+        let mut writer = vec![NONE; slots];
+        let mut preds = [0u32; 8];
+        for (tid, t) in tasks.iter().enumerate() {
+            let mut np = 0;
+            for s in t.reads().into_iter().chain(t.writes()) {
+                let w = writer[slot_of(s)];
+                if w != NONE {
+                    preds[np] = w;
+                    np += 1;
+                }
+            }
+            // Dedup (a task may read two slots produced by one predecessor);
+            // counted once so in-degree matches completion decrements.
+            preds[..np].sort_unstable();
+            let mut prev = NONE;
+            for &p in &preds[..np] {
+                if p != prev {
+                    out_deg[p as usize] += 1;
+                    in_degree[tid] += 1;
+                    prev = p;
+                }
+            }
+            for s in t.writes() {
+                writer[slot_of(s)] = tid as u32;
+            }
+        }
+    }
+    let mut succ_off = vec![0u32; n + 1];
+    for i in 0..n {
+        succ_off[i + 1] = succ_off[i] + out_deg[i];
+    }
+    let mut succ = vec![0u32; succ_off[n] as usize];
+    // Pass 2: fill.
+    {
+        let mut writer = vec![NONE; slots];
+        let mut cursor: Vec<u32> = succ_off[..n].to_vec();
+        let mut preds = [0u32; 8];
+        for (tid, t) in tasks.iter().enumerate() {
+            let mut np = 0;
+            for s in t.reads().into_iter().chain(t.writes()) {
+                let w = writer[slot_of(s)];
+                if w != NONE {
+                    preds[np] = w;
+                    np += 1;
+                }
+            }
+            preds[..np].sort_unstable();
+            let mut prev = NONE;
+            for &p in &preds[..np] {
+                if p != prev {
+                    succ[cursor[p as usize] as usize] = tid as u32;
+                    cursor[p as usize] += 1;
+                    prev = p;
+                }
+            }
+            for s in t.writes() {
+                writer[slot_of(s)] = tid as u32;
+            }
+        }
+    }
+    (succ_off, succ, in_degree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hqr_kernels::KernelKind;
+
+    /// Flat-tree elimination list for an `mt × nt` matrix (the [BBD+10]
+    /// sequence: in every panel, the diagonal row kills all rows below with
+    /// TS kernels, top to bottom).
+    fn flat_elims(mt: usize, nt: usize) -> Vec<ElimOp> {
+        let mut v = Vec::new();
+        for k in 0..mt.min(nt) {
+            for i in (k + 1)..mt {
+                v.push(ElimOp::new(k as u32, i as u32, k as u32, true));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn single_tile_has_one_task() {
+        let g = TaskGraph::build(1, 1, 4, &[]);
+        assert_eq!(g.tasks().len(), 1);
+        assert_eq!(g.tasks()[0].kind, KernelKind::Geqrt);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn flat_tree_task_counts() {
+        // For m×n flat tree: per panel k: 1 GEQRT + (nt-1-k) UNMQR +
+        // (mt-1-k) TSQRT + (mt-1-k)(nt-1-k) TSMQR.
+        let (mt, nt) = (4, 3);
+        let g = TaskGraph::build(mt, nt, 2, &flat_elims(mt, nt));
+        let count = |kind: KernelKind| g.tasks().iter().filter(|t| t.kind == kind).count();
+        assert_eq!(count(KernelKind::Geqrt), 3);
+        assert_eq!(count(KernelKind::Unmqr), 2 + 1); // panels 0,1 (panel 2 has none)
+        assert_eq!(count(KernelKind::Tsqrt), 3 + 2 + 1);
+        assert_eq!(count(KernelKind::Tsmqr), 3 * 2 + 2); // (mt-1-k)(nt-1-k) per panel
+        assert_eq!(count(KernelKind::Ttqrt), 0);
+    }
+
+    #[test]
+    fn program_order_is_topological() {
+        let (mt, nt) = (6, 4);
+        let g = TaskGraph::build(mt, nt, 2, &flat_elims(mt, nt));
+        // every edge must go forward in task order
+        for t in 0..g.tasks().len() {
+            for &s in g.successors(t) {
+                assert!((s as usize) > t, "edge {t} -> {s} goes backwards");
+            }
+        }
+    }
+
+    #[test]
+    fn in_degree_matches_edges() {
+        let (mt, nt) = (5, 5);
+        let g = TaskGraph::build(mt, nt, 2, &flat_elims(mt, nt));
+        let mut indeg = vec![0u32; g.tasks().len()];
+        for t in 0..g.tasks().len() {
+            for &s in g.successors(t) {
+                indeg[s as usize] += 1;
+            }
+        }
+        assert_eq!(indeg, g.in_degrees());
+    }
+
+    #[test]
+    fn first_geqrt_has_no_dependencies() {
+        let g = TaskGraph::build(3, 3, 2, &flat_elims(3, 3));
+        assert_eq!(g.tasks()[0], Task::geqrt(0, 0));
+        assert_eq!(g.in_degree(0), 0);
+    }
+
+    #[test]
+    fn kill_chain_serializes_on_pivot() {
+        // Flat tree on a single panel: TSQRT(1) -> TSQRT(2) -> TSQRT(3)
+        // must form a chain through the pivot tile.
+        let g = TaskGraph::build(4, 1, 2, &flat_elims(4, 1));
+        let ids: Vec<usize> = g
+            .tasks()
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.kind == KernelKind::Tsqrt)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(ids.len(), 3);
+        for w in ids.windows(2) {
+            assert!(g.successors(w[0]).contains(&(w[1] as u32)), "kill chain broken");
+        }
+    }
+
+    #[test]
+    fn unmqr_does_not_block_kills() {
+        // The V-copy slot means TSQRT(k=0, i=1, piv=0) must NOT depend on
+        // UNMQR(0, 0, j) — only on GEQRT(0,0).
+        let g = TaskGraph::build(2, 2, 2, &flat_elims(2, 2));
+        let tsqrt_id = g.tasks().iter().position(|t| t.kind == KernelKind::Tsqrt).unwrap();
+        let unmqr_id = g.tasks().iter().position(|t| t.kind == KernelKind::Unmqr).unwrap();
+        assert!(
+            !g.successors(unmqr_id).contains(&(tsqrt_id as u32)),
+            "UNMQR must not gate the kill chain"
+        );
+        assert_eq!(g.in_degree(tsqrt_id), 1, "TSQRT depends only on GEQRT");
+    }
+
+    #[test]
+    fn tt_victim_gets_geqrt() {
+        // Binary-tree single panel on 2 rows with TT kernels: both rows
+        // triangularized.
+        let elims = vec![ElimOp::new(0, 1, 0, false)];
+        let g = TaskGraph::build(2, 1, 2, &elims);
+        let geqrts = g.tasks().iter().filter(|t| t.kind == KernelKind::Geqrt).count();
+        assert_eq!(geqrts, 2);
+        assert_eq!(g.tasks().iter().filter(|t| t.kind == KernelKind::Ttqrt).count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must stay square")]
+    fn ts_victim_that_kills_is_rejected() {
+        // Row 1 is TS-killed but also kills row 2 -> invalid.
+        let elims =
+            vec![ElimOp::new(0, 2, 1, true), ElimOp::new(0, 1, 0, true)];
+        let _ = TaskGraph::build(3, 1, 2, &elims);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by panel")]
+    fn unsorted_panels_rejected() {
+        let elims = vec![ElimOp::new(1, 2, 1, true), ElimOp::new(0, 1, 0, true)];
+        let _ = TaskGraph::build(3, 2, 2, &elims);
+    }
+
+    #[test]
+    fn total_flops_matches_weight_invariant() {
+        // §II: total weight = 6mn² − 2n³ in b³/3 units, for any list.
+        let (mt, nt) = (6, 4);
+        let g = TaskGraph::build(mt, nt, 3, &flat_elims(mt, nt));
+        let expected_weight = 6.0 * (mt * nt * nt) as f64 - 2.0 * (nt * nt * nt) as f64;
+        let expected = expected_weight * 27.0 / 3.0;
+        assert!((g.total_flops() - expected).abs() < 1e-9, "{} vs {expected}", g.total_flops());
+    }
+
+    #[test]
+    fn square_matrix_last_panel_only_geqrt() {
+        let g = TaskGraph::build(3, 3, 2, &flat_elims(3, 3));
+        let last = g.tasks().last().unwrap();
+        assert_eq!(*last, Task::geqrt(2, 2));
+    }
+}

@@ -1,0 +1,29 @@
+//! Task-DAG runtime for tiled QR factorizations — the reproduction's
+//! substitute for the DAGuE/PaRSEC scheduling environment (§IV-C).
+//!
+//! As in DAGuE, "a tiled QR algorithm is fully determined by its elimination
+//! list": callers hand the runtime an ordered list of [`ElimOp`]s and the
+//! runtime derives every kernel task and every dependency from the data flow
+//! (which tile each task reads and writes). The same [`TaskGraph`] feeds
+//! three consumers:
+//!
+//! * [`exec::execute_serial`] — in-order execution on one thread;
+//! * [`exec::execute_parallel`] — a work-stealing multithreaded executor
+//!   with data-reuse (LIFO) scheduling, mirroring DAGuE's "each core will
+//!   try to execute close successors of the last task it ran";
+//! * the `hqr-sim` crate — a discrete-event cluster simulator that replays
+//!   the DAG on a modeled distributed machine.
+
+pub mod analysis;
+pub mod apply_graph;
+pub mod elim;
+pub mod exec;
+pub mod graph;
+pub mod store;
+pub mod task;
+
+pub use apply_graph::{apply_q_parallel, ApplyGraph, ApplyTask};
+pub use elim::ElimOp;
+pub use exec::{execute_parallel, execute_parallel_ib, execute_parallel_traced, execute_serial, execute_serial_ib, ExecTrace, TFactors, TaskRecord};
+pub use graph::TaskGraph;
+pub use task::Task;

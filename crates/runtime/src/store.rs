@@ -1,0 +1,143 @@
+//! Shared tile storage for concurrent kernel execution.
+//!
+//! The DAG guarantees exclusive-writer discipline: two tasks may only touch
+//! the same buffer concurrently if both only read it. The executor therefore
+//! hands kernels plain `&mut [f64]` views manufactured from raw pointers;
+//! the safety argument is the data-flow construction in [`crate::graph`]
+//! (every read and every write of a slot is ordered after the slot's last
+//! writer). This is precisely the contract DAGuE's runtime relies on.
+
+use crate::exec::TFactors;
+use crate::task::Task;
+use hqr_kernels::blocked::{geqrt_ib, tsmqr_ib, tsqrt_ib, ttmqr_ib, ttqrt_ib, unmqr_ib};
+use hqr_kernels::{geqrt, tsmqr, tsqrt, ttmqr, ttqrt, unmqr, KernelKind, Trans};
+use hqr_tile::TiledMatrix;
+
+/// Raw-pointer view over the matrix tiles and the factor buffers.
+pub struct TileStore {
+    b: usize,
+    /// Inner block size; `ib == b` selects the unblocked kernels.
+    ib: usize,
+    mt: usize,
+    a: Vec<*mut f64>,
+    vg: Vec<*mut f64>,
+    tg: Vec<*mut f64>,
+    tk: Vec<*mut f64>,
+}
+
+// SAFETY: the store is only used by the executors, which enforce the DAG's
+// exclusive-writer discipline; distinct tasks running concurrently never
+// obtain overlapping mutable views.
+unsafe impl Send for TileStore {}
+unsafe impl Sync for TileStore {}
+
+fn ptrs(v: &mut [Option<Box<[f64]>>]) -> Vec<*mut f64> {
+    v.iter_mut()
+        .map(|o| o.as_mut().map_or(std::ptr::null_mut(), |b| b.as_mut_ptr()))
+        .collect()
+}
+
+impl TileStore {
+    /// Build a store over a matrix and its (pre-allocated) factor buffers,
+    /// using the unblocked kernels.
+    pub fn new(a: &mut TiledMatrix, f: &mut TFactors) -> Self {
+        let b = a.b();
+        Self::with_ib(a, f, b)
+    }
+
+    /// [`TileStore::new`] with an explicit inner block size (PLASMA's IB);
+    /// `ib == b` selects the unblocked kernels.
+    pub fn with_ib(a: &mut TiledMatrix, f: &mut TFactors, ib: usize) -> Self {
+        assert_eq!(a.mt(), f.mt, "matrix/factor shape mismatch");
+        assert_eq!(a.nt(), f.nt, "matrix/factor shape mismatch");
+        assert_eq!(a.b(), f.b, "tile size mismatch");
+        assert!(ib > 0 && ib <= a.b(), "inner block size must be in 1..=b");
+        TileStore {
+            b: a.b(),
+            ib,
+            mt: a.mt(),
+            a: a.tile_ptrs(),
+            vg: ptrs(&mut f.vg),
+            tg: ptrs(&mut f.tg),
+            tk: ptrs(&mut f.tk),
+        }
+    }
+
+    // The `&self -> &mut` shape is deliberate: exclusivity is established
+    // by the DAG (exclusive-writer discipline), not by the borrow checker —
+    // the same contract an UnsafeCell-based store would express.
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    fn slice(&self, ptr: *mut f64) -> &mut [f64] {
+        debug_assert!(!ptr.is_null(), "kernel touched an unallocated buffer");
+        // SAFETY: buffers are b*b doubles, alive for the store's lifetime;
+        // exclusivity is guaranteed by the caller (DAG discipline).
+        unsafe { std::slice::from_raw_parts_mut(ptr, self.b * self.b) }
+    }
+
+    #[inline]
+    fn a(&self, i: usize, j: usize) -> &mut [f64] {
+        self.slice(self.a[i + j * self.mt])
+    }
+
+    /// Execute one kernel task against the store.
+    ///
+    /// # Safety
+    /// The caller must guarantee that no other thread concurrently executes
+    /// a task whose read/write set overlaps this task's write set — which is
+    /// exactly what executing tasks in DAG order provides.
+    pub unsafe fn run_task(&self, t: &Task) {
+        let (b, ib) = (self.b, self.ib);
+        let blocked = ib < b;
+        let (k, i, piv, j) = (t.k as usize, t.i as usize, t.piv as usize, t.j as usize);
+        let fslot = |v: &Vec<*mut f64>| self.slice(v[i + k * self.mt]);
+        match t.kind {
+            KernelKind::Geqrt => {
+                let tile = self.a(i, k);
+                if blocked {
+                    geqrt_ib(b, ib, tile, fslot(&self.tg));
+                } else {
+                    geqrt(b, tile, fslot(&self.tg));
+                }
+                // Copy V out so UNMQRs read it while kills rewrite the
+                // tile's R part (the logical V/R tile split of the DAG).
+                fslot(&self.vg).copy_from_slice(tile);
+            }
+            KernelKind::Unmqr => {
+                if blocked {
+                    unmqr_ib(b, ib, fslot(&self.vg), fslot(&self.tg), self.a(i, j), Trans::Trans);
+                } else {
+                    unmqr(b, fslot(&self.vg), fslot(&self.tg), self.a(i, j), Trans::Trans);
+                }
+            }
+            KernelKind::Tsqrt => {
+                if blocked {
+                    tsqrt_ib(b, ib, self.a(piv, k), self.a(i, k), fslot(&self.tk));
+                } else {
+                    tsqrt(b, self.a(piv, k), self.a(i, k), fslot(&self.tk));
+                }
+            }
+            KernelKind::Ttqrt => {
+                if blocked {
+                    ttqrt_ib(b, ib, self.a(piv, k), self.a(i, k), fslot(&self.tk));
+                } else {
+                    ttqrt(b, self.a(piv, k), self.a(i, k), fslot(&self.tk));
+                }
+            }
+            KernelKind::Tsmqr => {
+                if blocked {
+                    tsmqr_ib(b, ib, self.a(i, k), fslot(&self.tk), self.a(piv, j), self.a(i, j), Trans::Trans);
+                } else {
+                    tsmqr(b, self.a(i, k), fslot(&self.tk), self.a(piv, j), self.a(i, j), Trans::Trans);
+                }
+            }
+            KernelKind::Ttmqr => {
+                if blocked {
+                    ttmqr_ib(b, ib, self.a(i, k), fslot(&self.tk), self.a(piv, j), self.a(i, j), Trans::Trans);
+                } else {
+                    ttmqr(b, self.a(i, k), fslot(&self.tk), self.a(piv, j), self.a(i, j), Trans::Trans);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests of the task-DAG runtime over *randomly generated*
+//! valid elimination lists — not just the structured trees the library
+//! ships, but arbitrary members of the combinatorial space of §III.
+
+use hqr_runtime::{execute_parallel, execute_serial, ElimOp, TaskGraph};
+use hqr_tile::TiledMatrix;
+use proptest::prelude::*;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Generate a random valid elimination list: per panel, repeatedly pick a
+/// random alive non-top row as the victim and any alive row above it as
+/// the killer (TT kernels, which are unconditionally valid).
+fn random_elims(mt: usize, nt: usize, seed: u64) -> Vec<ElimOp> {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for k in 0..mt.min(nt) {
+        let mut alive: Vec<u32> = (k as u32..mt as u32).collect();
+        while alive.len() > 1 {
+            let vpos = rng.gen_range(1..alive.len());
+            let upos = rng.gen_range(0..vpos);
+            out.push(ElimOp::new(k as u32, alive[vpos], alive[upos], false));
+            alive.remove(vpos);
+        }
+        alive.shuffle(&mut rng); // survivor identity is irrelevant beyond validity
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random lists build acyclic DAGs whose program order is topological
+    /// and whose weight matches the §II invariant.
+    #[test]
+    fn random_lists_build_valid_dags(mt in 1usize..12, nt in 1usize..6, seed in any::<u64>()) {
+        let elims = random_elims(mt, nt, seed);
+        let g = TaskGraph::build(mt, nt, 3, &elims);
+        let mut indeg = vec![0u32; g.tasks().len()];
+        for t in 0..g.tasks().len() {
+            for &s in g.successors(t) {
+                prop_assert!((s as usize) > t);
+                indeg[s as usize] += 1;
+            }
+        }
+        prop_assert_eq!(&indeg[..], g.in_degrees());
+        // Weight invariant (m >= n case).
+        if mt >= nt {
+            let expect: u64 = 6 * (mt * nt * nt) as u64 - 2 * (nt * nt * nt) as u64;
+            let total: u64 = g.tasks().iter().map(|t| t.kind.weight()).sum();
+            prop_assert_eq!(total, expect);
+        }
+    }
+
+    /// For any random tree, parallel execution is bitwise equal to serial.
+    #[test]
+    fn parallel_equals_serial_on_random_trees(
+        mt in 2usize..9, nt in 1usize..5, b in 1usize..5,
+        seed in any::<u64>(), threads in 2usize..5,
+    ) {
+        let elims = random_elims(mt, nt, seed);
+        let g = TaskGraph::build(mt, nt, b, &elims);
+        let mut a1 = TiledMatrix::random(mt, nt, b, seed ^ 0xABCD);
+        let mut a2 = a1.clone();
+        let _ = execute_serial(&g, &mut a1);
+        let _ = execute_parallel(&g, &mut a2, threads);
+        let (d1, d2) = (a1.to_dense(), a2.to_dense());
+        prop_assert_eq!(d1.data(), d2.data());
+    }
+
+    /// Any random tree produces the same R (up to diagonal signs) as the
+    /// flat tree: the factorization is tree-independent.
+    #[test]
+    fn r_independent_of_random_tree(mt in 2usize..7, nt in 1usize..4, seed in any::<u64>()) {
+        let b = 4usize;
+        let flat: Vec<ElimOp> = (0..mt.min(nt))
+            .flat_map(|k| ((k + 1)..mt).map(move |i| ElimOp::new(k as u32, i as u32, k as u32, true)))
+            .collect();
+        let rand_list = random_elims(mt, nt, seed);
+        let r_of = |ops: &[ElimOp]| {
+            let g = TaskGraph::build(mt, nt, b, ops);
+            let mut a = TiledMatrix::random(mt, nt, b, 4242);
+            let _ = execute_serial(&g, &mut a);
+            a.to_dense().upper_triangle()
+        };
+        let r1 = r_of(&flat);
+        let r2 = r_of(&rand_list);
+        for d in 0..(nt * b).min(mt * b) {
+            let sign = if r1.get(d, d) * r2.get(d, d) >= 0.0 { 1.0 } else { -1.0 };
+            for j in d..nt * b {
+                prop_assert!(
+                    (r1.get(d, j) - sign * r2.get(d, j)).abs() < 1e-9,
+                    "R mismatch at ({}, {})", d, j
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,559 @@
+//! The discrete-event engine: replay a task DAG on a modeled cluster.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use hqr_runtime::TaskGraph;
+use hqr_tile::Layout;
+
+use crate::platform::Platform;
+
+/// Result of a simulated execution.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// End-to-end wall-clock time (seconds).
+    pub makespan: f64,
+    /// Total floating-point operations executed.
+    pub total_flops: f64,
+    /// Achieved rate in GFlop/s (the paper's y-axis).
+    pub gflops: f64,
+    /// Fraction of the platform's theoretical peak.
+    pub efficiency: f64,
+    /// Inter-node messages sent.
+    pub messages: usize,
+    /// Bytes moved between nodes.
+    pub bytes: f64,
+    /// Messages per producing-kernel kind, indexed by
+    /// [`hqr_runtime::analysis::kind_index`] — shows where the traffic
+    /// comes from (e.g. the high-level tree's kills versus update fan-out).
+    pub messages_by_kind: [usize; 6],
+    /// Per-node busy time (seconds of core-time actually computing).
+    pub node_busy: Vec<f64>,
+}
+
+impl SimReport {
+    /// Average core utilization over the makespan.
+    pub fn utilization(&self, platform: &Platform) -> f64 {
+        let core_seconds = self.makespan * (platform.nodes * platform.cores_per_node) as f64;
+        if core_seconds == 0.0 {
+            0.0
+        } else {
+            self.node_busy.iter().sum::<f64>() / core_seconds
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum EventKind {
+    /// All inputs of the task are available on its node.
+    Ready(u32),
+    /// The task finished executing (`gpu` records the pool it occupied).
+    Done { tid: u32, gpu: bool },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Which ready task a node's idle core picks — the scheduler's priority
+/// function, which the paper leaves as "a very promising but technically
+/// challenging direction" for study. The `ablations` bench compares them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Panel-first, factor kernels before updates, left-to-right trailing
+    /// columns — the DAGuE-style default (§IV-C).
+    PanelFirst,
+    /// Plain arrival order (no priorities).
+    Fifo,
+    /// Longest weighted path to the DAG exit first (critical-path
+    /// scheduling).
+    CriticalPath,
+}
+
+/// Ready-queue priority: lower sorts first.
+fn panel_first_priority(t: &hqr_runtime::Task) -> u64 {
+    let upd = if t.kind.is_factor() { 0u64 } else { 1u64 };
+    ((t.k as u64) << 48) | (upd << 40) | ((t.j as u64) << 20) | t.i as u64
+}
+
+/// Weighted longest path from each task to the DAG exit (one reverse
+/// sweep; program order is topological).
+fn paths_to_exit(graph: &TaskGraph) -> Vec<u64> {
+    let tasks = graph.tasks();
+    let mut dist = vec![0u64; tasks.len()];
+    for tid in (0..tasks.len()).rev() {
+        let mut best = 0u64;
+        for &s in graph.successors(tid) {
+            best = best.max(dist[s as usize]);
+        }
+        dist[tid] = best + tasks[tid].kind.weight();
+    }
+    dist
+}
+
+/// Simulate the DAG on `platform` with tiles distributed by `layout`
+/// (owner-computes: each task runs on the node owning its output tile),
+/// using the default panel-first scheduling policy.
+///
+/// ```
+/// use hqr_runtime::{ElimOp, TaskGraph};
+/// use hqr_sim::{simulate, Platform};
+/// use hqr_tile::Layout;
+/// // A 4×1-tile flat-tree panel on one edel node.
+/// let elims: Vec<ElimOp> =
+///     (1..4).map(|i| ElimOp::new(0, i, 0, true)).collect();
+/// let graph = TaskGraph::build(4, 1, 280, &elims);
+/// let report = simulate(&graph, &Layout::Single, &Platform::edel());
+/// assert!(report.gflops > 0.0);
+/// assert_eq!(report.messages, 0, "single node never communicates");
+/// ```
+pub fn simulate(graph: &TaskGraph, layout: &Layout, platform: &Platform) -> SimReport {
+    simulate_with_policy(graph, layout, platform, SchedPolicy::PanelFirst)
+}
+
+/// [`simulate`] with an explicit scheduling policy.
+pub fn simulate_with_policy(
+    graph: &TaskGraph,
+    layout: &Layout,
+    platform: &Platform,
+    policy: SchedPolicy,
+) -> SimReport {
+    let tasks = graph.tasks();
+    let n = tasks.len();
+    let nodes = platform.nodes;
+    assert!(
+        layout.nodes() <= nodes,
+        "layout addresses {} nodes but platform has {}",
+        layout.nodes(),
+        nodes
+    );
+    let b = graph.b();
+    let tile_bytes = Platform::tile_bytes(b);
+
+    let node_of = |tid: usize| -> usize {
+        let (i, j) = tasks[tid].affinity_tile();
+        layout.owner(i, j)
+    };
+    let cp_dist = match policy {
+        SchedPolicy::CriticalPath => paths_to_exit(graph),
+        _ => Vec::new(),
+    };
+    let priority = |tid: usize| -> u64 {
+        match policy {
+            SchedPolicy::PanelFirst => panel_first_priority(&tasks[tid]),
+            SchedPolicy::Fifo => tid as u64,
+            // Longest path first ⇒ negate for the min-ordered queue.
+            SchedPolicy::CriticalPath => u64::MAX - cp_dist[tid],
+        }
+    };
+
+    let gpus_per_node = platform.accelerators.map_or(0, |a| a.per_node);
+    let gpu_speedup = platform.accelerators.map_or(1.0, |a| a.update_speedup);
+
+    let mut deps: Vec<u32> = graph.in_degrees().to_vec();
+    let mut avail: Vec<f64> = vec![0.0; n];
+    // Two ready queues per node: factor kernels are CPU-only, update
+    // kernels may run on either pool (GPU preferred when present).
+    let mut q_factor: Vec<BinaryHeap<Reverse<(u64, u32)>>> = (0..nodes).map(|_| BinaryHeap::new()).collect();
+    let mut q_update: Vec<BinaryHeap<Reverse<(u64, u32)>>> = (0..nodes).map(|_| BinaryHeap::new()).collect();
+    let mut idle: Vec<usize> = vec![platform.cores_per_node; nodes];
+    let mut idle_gpu: Vec<usize> = vec![gpus_per_node; nodes];
+    let mut nic_out: Vec<f64> = vec![0.0; nodes];
+    let mut nic_in: Vec<f64> = vec![0.0; nodes];
+    let mut busy: Vec<f64> = vec![0.0; nodes];
+
+    let mut events: BinaryHeap<Event> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut push = |events: &mut BinaryHeap<Event>, time: f64, kind: EventKind| {
+        events.push(Event { time, seq, kind });
+        seq += 1;
+    };
+
+    for (tid, &d) in deps.iter().enumerate() {
+        if d == 0 {
+            push(&mut events, 0.0, EventKind::Ready(tid as u32));
+        }
+    }
+
+    let mut makespan = 0.0f64;
+    let mut messages = 0usize;
+    let mut bytes = 0.0f64;
+    let mut messages_by_kind = [0usize; 6];
+    let mut completed = 0usize;
+    // Scratch for per-completion message deduplication (dest, arrival).
+    let mut dests: Vec<(usize, f64)> = Vec::with_capacity(8);
+
+    // Dispatch as much queued work as the node's idle pools allow.
+    macro_rules! dispatch {
+        ($node:expr, $now:expr) => {{
+            let node = $node;
+            // GPUs drain the update queue first (they only run updates).
+            while idle_gpu[node] > 0 {
+                let Some(&Reverse((_, next))) = q_update[node].peek() else { break };
+                q_update[node].pop();
+                idle_gpu[node] -= 1;
+                let dur = platform.kernel_seconds(tasks[next as usize].kind, b) / gpu_speedup;
+                busy[node] += dur;
+                push(&mut events, $now + dur, EventKind::Done { tid: next, gpu: true });
+            }
+            // Cores take the best-priority task from either queue.
+            while idle[node] > 0 {
+                let pf = q_factor[node].peek().map(|&Reverse(p)| p);
+                let pu = q_update[node].peek().map(|&Reverse(p)| p);
+                let next = match (pf, pu) {
+                    (None, None) => break,
+                    (Some(_), None) => q_factor[node].pop(),
+                    (None, Some(_)) => q_update[node].pop(),
+                    (Some(f), Some(u)) => {
+                        if f <= u {
+                            q_factor[node].pop()
+                        } else {
+                            q_update[node].pop()
+                        }
+                    }
+                };
+                let Some(Reverse((_, next))) = next else { break };
+                idle[node] -= 1;
+                let dur = platform.kernel_seconds(tasks[next as usize].kind, b);
+                busy[node] += dur;
+                push(&mut events, $now + dur, EventKind::Done { tid: next, gpu: false });
+            }
+        }};
+    }
+
+    while let Some(ev) = events.pop() {
+        let now = ev.time;
+        match ev.kind {
+            EventKind::Ready(tid) => {
+                let node = node_of(tid as usize);
+                let entry = Reverse((priority(tid as usize), tid));
+                if tasks[tid as usize].kind.is_factor() {
+                    q_factor[node].push(entry);
+                } else {
+                    q_update[node].push(entry);
+                }
+                dispatch!(node, now);
+            }
+            EventKind::Done { tid, gpu } => {
+                completed += 1;
+                makespan = makespan.max(now);
+                let src = node_of(tid as usize);
+                if gpu {
+                    idle_gpu[src] += 1;
+                } else {
+                    idle[src] += 1;
+                }
+                dests.clear();
+                for &s in graph.successors(tid as usize) {
+                    let s = s as usize;
+                    let dst = node_of(s);
+                    let t_avail = if dst == src {
+                        now
+                    } else if let Some(&(_, arr)) = dests.iter().find(|&&(d, _)| d == dst) {
+                        arr
+                    } else {
+                        // Eager send with NIC serialization at both ends;
+                        // the software overhead occupies both NICs.
+                        let occupancy = platform.link.overhead + tile_bytes / platform.link.bandwidth;
+                        let depart = now.max(nic_out[src]);
+                        nic_out[src] = depart + occupancy;
+                        let arrive = (depart + platform.link.latency).max(nic_in[dst]) + occupancy;
+                        nic_in[dst] = arrive;
+                        messages += 1;
+                        messages_by_kind[hqr_runtime::analysis::kind_index(tasks[tid as usize].kind)] += 1;
+                        bytes += tile_bytes;
+                        dests.push((dst, arrive));
+                        arrive
+                    };
+                    avail[s] = avail[s].max(t_avail);
+                    deps[s] -= 1;
+                    if deps[s] == 0 {
+                        push(&mut events, avail[s], EventKind::Ready(s as u32));
+                    }
+                }
+                // The freed core/device may pick up queued work.
+                dispatch!(src, now);
+            }
+        }
+    }
+    assert_eq!(completed, n, "simulation deadlocked: {completed}/{n} tasks ran");
+
+    let total_flops = graph.total_flops();
+    let gflops = if makespan > 0.0 { total_flops / makespan / 1e9 } else { 0.0 };
+    SimReport {
+        makespan,
+        total_flops,
+        gflops,
+        efficiency: gflops / platform.peak_gflops(),
+        messages,
+        bytes,
+        messages_by_kind,
+        node_busy: busy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::LinkModel;
+    use hqr_runtime::ElimOp;
+    use hqr_tile::{Layout, ProcessGrid};
+
+    fn flat_elims(mt: usize, nt: usize) -> Vec<ElimOp> {
+        let mut v = Vec::new();
+        for k in 0..mt.min(nt) {
+            for i in (k + 1)..mt {
+                v.push(ElimOp::new(k as u32, i as u32, k as u32, true));
+            }
+        }
+        v
+    }
+
+    fn binary_elims(mt: usize, nt: usize) -> Vec<ElimOp> {
+        let mut v = Vec::new();
+        for k in 0..mt.min(nt) {
+            let rows: Vec<u32> = (k as u32..mt as u32).collect();
+            let mut stride = 1;
+            while stride < rows.len() {
+                let mut idx = 0;
+                while idx + stride < rows.len() {
+                    v.push(ElimOp::new(k as u32, rows[idx + stride], rows[idx], false));
+                    idx += 2 * stride;
+                }
+                stride *= 2;
+            }
+        }
+        v
+    }
+
+    fn single_core_platform() -> Platform {
+        Platform { nodes: 1, cores_per_node: 1, ..Platform::edel() }
+    }
+
+    #[test]
+    fn one_core_makespan_is_total_work() {
+        let g = TaskGraph::build(4, 2, 40, &flat_elims(4, 2));
+        let p = single_core_platform();
+        let r = simulate(&g, &Layout::Single, &p);
+        let expect: f64 = g.tasks().iter().map(|t| p.kernel_seconds(t.kind, 40)).sum();
+        assert!((r.makespan - expect).abs() < 1e-12 * expect);
+        assert_eq!(r.messages, 0);
+    }
+
+    #[test]
+    fn more_cores_never_hurt_here() {
+        let g = TaskGraph::build(8, 4, 40, &binary_elims(8, 4));
+        let p1 = Platform { nodes: 1, cores_per_node: 1, ..Platform::edel() };
+        let p4 = Platform { nodes: 1, cores_per_node: 4, ..Platform::edel() };
+        let r1 = simulate(&g, &Layout::Single, &p1);
+        let r4 = simulate(&g, &Layout::Single, &p4);
+        assert!(r4.makespan <= r1.makespan + 1e-12);
+        assert!(r4.makespan >= r1.makespan / 4.0 - 1e-12, "cannot beat linear speedup");
+    }
+
+    #[test]
+    fn makespan_at_least_critical_path() {
+        let g = TaskGraph::build(6, 3, 40, &flat_elims(6, 3));
+        let p = Platform { nodes: 1, cores_per_node: 64, ..Platform::edel() };
+        let r = simulate(&g, &Layout::Single, &p);
+        // Any single task is a lower bound on the critical path.
+        let min_task = p.kernel_seconds(hqr_kernels::KernelKind::Geqrt, 40);
+        assert!(r.makespan >= min_task);
+        // And the sum/cores bound.
+        let total: f64 = g.tasks().iter().map(|t| p.kernel_seconds(t.kind, 40)).sum();
+        assert!(r.makespan >= total / 64.0 - 1e-12);
+    }
+
+    #[test]
+    fn block_flat_beats_cyclic_flat_on_single_panel() {
+        // §III-A: with a flat tree in natural order, the block layout needs
+        // p−1 pivot hops while the cyclic layout communicates every kill.
+        let mt = 24;
+        let g = TaskGraph::build(mt, 1, 40, &flat_elims(mt, 1));
+        let p = Platform { nodes: 3, cores_per_node: 1, ..Platform::edel() };
+        let r_block = simulate(&g, &Layout::block_rows(3, mt), &p);
+        let r_cyclic = simulate(&g, &Layout::cyclic_rows(3), &p);
+        assert!(r_block.messages < r_cyclic.messages);
+        assert!(r_block.makespan < r_cyclic.makespan);
+    }
+
+    #[test]
+    fn messages_counted_once_per_producer_dest_pair() {
+        // GEQRT(0,0)'s V goes to every UNMQR(0,0,j); with all trailing tiles
+        // on one remote node that is a single transfer.
+        let g = TaskGraph::build(1, 5, 40, &[]);
+        // 1×5 tiles: GEQRT + 4 UNMQRs. Put column 0 on node 0, rest on node 1.
+        let layout = Layout::Cyclic2D(ProcessGrid::new(1, 2));
+        let p = Platform { nodes: 2, cores_per_node: 1, ..Platform::edel() };
+        let r = simulate(&g, &layout, &p);
+        // UNMQR j=2,4 are on node 0 (j mod 2 == 0), j=1,3 on node 1:
+        // exactly one message (GEQRT -> node 1).
+        assert_eq!(r.messages, 1);
+    }
+
+    #[test]
+    fn zero_cost_network_matches_shared_memory() {
+        let g = TaskGraph::build(6, 2, 40, &flat_elims(6, 2));
+        let fast_link = LinkModel { latency: 0.0, bandwidth: f64::INFINITY, overhead: 0.0 };
+        let p2 = Platform { nodes: 2, cores_per_node: 1, link: fast_link, ..Platform::edel() };
+        let p_shared = Platform { nodes: 1, cores_per_node: 2, ..Platform::edel() };
+        let r2 = simulate(&g, &Layout::cyclic_rows(2), &p2);
+        let rs = simulate(&g, &Layout::Single, &p_shared);
+        // With a free network the 2×1 distributed run can only differ from
+        // the 1×2 shared-memory run through placement constraints; it can
+        // never be faster than... actually placement restricts choices, so:
+        assert!(r2.makespan >= rs.makespan - 1e-12);
+    }
+
+    #[test]
+    fn utilization_and_busy_are_consistent() {
+        let g = TaskGraph::build(6, 6, 40, &flat_elims(6, 6));
+        let p = Platform { nodes: 1, cores_per_node: 2, ..Platform::edel() };
+        let r = simulate(&g, &Layout::Single, &p);
+        let util = r.utilization(&p);
+        assert!(util > 0.0 && util <= 1.0 + 1e-12, "utilization {util}");
+        let total: f64 = g.tasks().iter().map(|t| p.kernel_seconds(t.kind, 40)).sum();
+        assert!((r.node_busy.iter().sum::<f64>() - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gflops_matches_flops_over_makespan() {
+        let g = TaskGraph::build(5, 5, 40, &flat_elims(5, 5));
+        let p = single_core_platform();
+        let r = simulate(&g, &Layout::Single, &p);
+        assert!((r.gflops - r.total_flops / r.makespan / 1e9).abs() < 1e-9);
+        // One core running TS kernels cannot exceed the TS rate nor fall
+        // below the slowest kernel rate.
+        assert!(r.gflops <= p.rates.ts_gflops + 1e-9);
+        assert!(r.gflops >= p.rates.rate(hqr_kernels::KernelKind::Geqrt) - 1e-9);
+    }
+
+    #[test]
+    fn binary_tree_scales_better_on_many_cores_tall_matrix() {
+        let mt = 32;
+        let g_flat = TaskGraph::build(mt, 1, 40, &flat_elims(mt, 1));
+        let g_bin = TaskGraph::build(mt, 1, 40, &binary_elims(mt, 1));
+        let p = Platform { nodes: 1, cores_per_node: 16, ..Platform::edel() };
+        let r_flat = simulate(&g_flat, &Layout::Single, &p);
+        let r_bin = simulate(&g_bin, &Layout::Single, &p);
+        assert!(
+            r_bin.makespan < r_flat.makespan,
+            "binary {} should beat flat {} on a tall panel with many cores",
+            r_bin.makespan,
+            r_flat.makespan
+        );
+    }
+
+    #[test]
+    fn all_policies_complete_and_are_sane() {
+        let g = TaskGraph::build(10, 4, 40, &binary_elims(10, 4));
+        let p = Platform { nodes: 2, cores_per_node: 4, ..Platform::edel() };
+        let lay = Layout::cyclic_rows(2);
+        let total: f64 = g.tasks().iter().map(|t| p.kernel_seconds(t.kind, 40)).sum();
+        for policy in [SchedPolicy::PanelFirst, SchedPolicy::Fifo, SchedPolicy::CriticalPath] {
+            let r = simulate_with_policy(&g, &lay, &p, policy);
+            assert!(r.makespan >= total / 8.0 - 1e-12, "{policy:?} beats the work bound");
+            assert!(r.makespan <= total + 1.0, "{policy:?} slower than fully serial");
+        }
+    }
+
+    #[test]
+    fn critical_path_priority_helps_or_matches_on_deep_dags() {
+        // A tall flat-tree DAG has one long chain: critical-path scheduling
+        // must not lose to FIFO.
+        let g = TaskGraph::build(24, 2, 40, &flat_elims(24, 2));
+        let p = Platform { nodes: 1, cores_per_node: 4, ..Platform::edel() };
+        let cp = simulate_with_policy(&g, &Layout::Single, &p, SchedPolicy::CriticalPath);
+        let ff = simulate_with_policy(&g, &Layout::Single, &p, SchedPolicy::Fifo);
+        assert!(cp.makespan <= ff.makespan + 1e-9, "cp {} vs fifo {}", cp.makespan, ff.makespan);
+    }
+
+    #[test]
+    fn message_kind_attribution_sums_to_total() {
+        let g = TaskGraph::build(12, 4, 40, &binary_elims(12, 4));
+        let p = Platform { nodes: 3, cores_per_node: 2, ..Platform::edel() };
+        let r = simulate(&g, &Layout::cyclic_rows(3), &p);
+        assert_eq!(r.messages_by_kind.iter().sum::<usize>(), r.messages);
+        assert!(r.messages > 0);
+    }
+
+    #[test]
+    fn accelerators_speed_up_update_heavy_dags() {
+        let g = TaskGraph::build(16, 8, 40, &flat_elims(16, 8));
+        let base = Platform { nodes: 1, cores_per_node: 4, ..Platform::edel() };
+        let accel = Platform {
+            accelerators: Some(crate::platform::Accelerators { per_node: 2, update_speedup: 8.0 }),
+            ..base
+        };
+        let r0 = simulate(&g, &Layout::Single, &base);
+        let r1 = simulate(&g, &Layout::Single, &accel);
+        assert!(
+            r1.makespan < 0.6 * r0.makespan,
+            "GPUs should cut the update-dominated makespan: {} vs {}",
+            r1.makespan,
+            r0.makespan
+        );
+        assert_eq!(r1.messages, 0);
+    }
+
+    #[test]
+    fn accelerators_do_not_help_factor_only_dags() {
+        // A single-column DAG is all factor kernels — GPUs sit idle.
+        let g = TaskGraph::build(12, 1, 40, &flat_elims(12, 1));
+        let base = Platform { nodes: 1, cores_per_node: 2, ..Platform::edel() };
+        let accel = Platform {
+            accelerators: Some(crate::platform::Accelerators { per_node: 4, update_speedup: 10.0 }),
+            ..base
+        };
+        let r0 = simulate(&g, &Layout::Single, &base);
+        let r1 = simulate(&g, &Layout::Single, &accel);
+        assert!((r0.makespan - r1.makespan).abs() < 1e-12, "no updates, no gain");
+    }
+
+    #[test]
+    fn zero_gpus_matches_baseline_exactly() {
+        let g = TaskGraph::build(10, 4, 40, &binary_elims(10, 4));
+        let base = Platform { nodes: 2, cores_per_node: 3, ..Platform::edel() };
+        let accel0 = Platform {
+            accelerators: Some(crate::platform::Accelerators { per_node: 0, update_speedup: 10.0 }),
+            ..base
+        };
+        let lay = Layout::cyclic_rows(2);
+        let r0 = simulate(&g, &lay, &base);
+        let r1 = simulate(&g, &lay, &accel0);
+        assert_eq!(r0.makespan, r1.makespan);
+        assert_eq!(r0.messages, r1.messages);
+    }
+
+    #[test]
+    #[should_panic(expected = "layout addresses")]
+    fn layout_bigger_than_platform_rejected() {
+        let g = TaskGraph::build(2, 2, 4, &flat_elims(2, 2));
+        let p = single_core_platform();
+        let _ = simulate(&g, &Layout::cyclic_rows(4), &p);
+    }
+}

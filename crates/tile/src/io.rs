@@ -1,0 +1,174 @@
+//! Minimal MatrixMarket I/O for dense matrices.
+//!
+//! Supports the two formats real workloads arrive in: `matrix array real
+//! general` (column-major dense) and `matrix coordinate real general`
+//! (sparse triplets, densified on read). Enough for the `hqr` CLI to
+//! factor user-supplied matrices.
+
+use crate::dense::DenseMatrix;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Read a MatrixMarket file into a dense matrix.
+pub fn read_matrix_market(path: &Path) -> Result<DenseMatrix, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("open {}: {e}", path.display()))?;
+    parse_matrix_market(BufReader::new(file))
+}
+
+/// Parse MatrixMarket content from any reader.
+pub fn parse_matrix_market<R: Read>(reader: BufReader<R>) -> Result<DenseMatrix, String> {
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or("empty file")?
+        .map_err(|e| e.to_string())?;
+    let h = header.to_ascii_lowercase();
+    if !h.starts_with("%%matrixmarket matrix") {
+        return Err("missing %%MatrixMarket header".into());
+    }
+    let coordinate = h.contains("coordinate");
+    if !coordinate && !h.contains("array") {
+        return Err("expected `array` or `coordinate` format".into());
+    }
+    if !h.contains("real") && !h.contains("integer") {
+        return Err("only real/integer fields are supported".into());
+    }
+    if h.contains("symmetric") || h.contains("hermitian") || h.contains("skew") {
+        return Err("only `general` symmetry is supported".into());
+    }
+    // Skip comments, find the size line.
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line.map_err(|e| e.to_string())?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        size_line = Some(t.to_string());
+        break;
+    }
+    let size_line = size_line.ok_or("missing size line")?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|x| x.parse().map_err(|_| format!("bad size entry `{x}`")))
+        .collect::<Result<_, _>>()?;
+    let expect_dims = if coordinate { 3 } else { 2 };
+    if dims.len() != expect_dims {
+        return Err(format!("size line needs {expect_dims} numbers, got {}", dims.len()));
+    }
+    let (rows, cols) = (dims[0], dims[1]);
+    if rows == 0 || cols == 0 {
+        return Err("empty matrix".into());
+    }
+    let mut m = DenseMatrix::zeros(rows, cols);
+    if coordinate {
+        let nnz = dims[2];
+        let mut seen = 0usize;
+        for line in lines {
+            let line = line.map_err(|e| e.to_string())?;
+            let t = line.trim();
+            if t.is_empty() || t.starts_with('%') {
+                continue;
+            }
+            let parts: Vec<&str> = t.split_whitespace().collect();
+            if parts.len() != 3 {
+                return Err(format!("bad triplet `{t}`"));
+            }
+            let i: usize = parts[0].parse().map_err(|_| format!("bad row `{}`", parts[0]))?;
+            let j: usize = parts[1].parse().map_err(|_| format!("bad col `{}`", parts[1]))?;
+            let v: f64 = parts[2].parse().map_err(|_| format!("bad value `{}`", parts[2]))?;
+            if i == 0 || j == 0 || i > rows || j > cols {
+                return Err(format!("entry ({i},{j}) out of bounds"));
+            }
+            m.set(i - 1, j - 1, v);
+            seen += 1;
+        }
+        if seen != nnz {
+            return Err(format!("expected {nnz} entries, found {seen}"));
+        }
+    } else {
+        let mut values = Vec::with_capacity(rows * cols);
+        for line in lines {
+            let line = line.map_err(|e| e.to_string())?;
+            for tok in line.split_whitespace() {
+                if tok.starts_with('%') {
+                    break;
+                }
+                values.push(tok.parse::<f64>().map_err(|_| format!("bad value `{tok}`"))?);
+            }
+        }
+        if values.len() != rows * cols {
+            return Err(format!("expected {} values, found {}", rows * cols, values.len()));
+        }
+        m = DenseMatrix::from_col_major(rows, cols, &values);
+    }
+    Ok(m)
+}
+
+/// Write a dense matrix in `array real general` format.
+pub fn write_matrix_market(path: &Path, m: &DenseMatrix) -> Result<(), String> {
+    let mut f = std::fs::File::create(path).map_err(|e| format!("create {}: {e}", path.display()))?;
+    let mut out = String::with_capacity(m.rows() * m.cols() * 24);
+    out.push_str("%%MatrixMarket matrix array real general\n");
+    out.push_str(&format!("{} {}\n", m.rows(), m.cols()));
+    for j in 0..m.cols() {
+        for i in 0..m.rows() {
+            out.push_str(&format!("{:.17e}\n", m.get(i, j)));
+        }
+    }
+    f.write_all(out.as_bytes()).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(s: &str) -> Result<DenseMatrix, String> {
+        parse_matrix_market(BufReader::new(s.as_bytes()))
+    }
+
+    #[test]
+    fn array_roundtrip_via_tempfile() {
+        let m = DenseMatrix::random(7, 4, 77);
+        let path = std::env::temp_dir().join("hqr_io_test.mtx");
+        write_matrix_market(&path, &m).unwrap();
+        let back = read_matrix_market(&path).unwrap();
+        assert_eq!(back.rows(), 7);
+        assert_eq!(back.cols(), 4);
+        assert!(m.sub(&back).frob_norm() < 1e-14);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn parses_array_format() {
+        let m = parse("%%MatrixMarket matrix array real general\n% comment\n2 2\n1.0\n2.0\n3.0\n4.0\n").unwrap();
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(1, 0), 2.0);
+        assert_eq!(m.get(0, 1), 3.0);
+        assert_eq!(m.get(1, 1), 4.0);
+    }
+
+    #[test]
+    fn parses_coordinate_format() {
+        let m = parse("%%MatrixMarket matrix coordinate real general\n3 2 3\n1 1 5.0\n3 2 -1.5\n2 1 2.0\n").unwrap();
+        assert_eq!(m.get(0, 0), 5.0);
+        assert_eq!(m.get(2, 1), -1.5);
+        assert_eq!(m.get(1, 0), 2.0);
+        assert_eq!(m.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_headers() {
+        assert!(parse("not matrix market\n1 1\n1.0\n").is_err());
+        assert!(parse("%%MatrixMarket matrix array complex general\n1 1\n1.0\n").is_err());
+        assert!(parse("%%MatrixMarket matrix array real symmetric\n1 1\n1.0\n").is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_counts() {
+        assert!(parse("%%MatrixMarket matrix array real general\n2 2\n1.0\n2.0\n").is_err());
+        assert!(parse("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n").is_err());
+        assert!(parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n").is_err());
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests of the tiled storage and the data layouts.
+
+use hqr_tile::{DenseMatrix, Layout, ProcessGrid, TiledMatrix};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dense → tiled → dense is the identity.
+    #[test]
+    fn tiling_roundtrip(mt in 1usize..8, nt in 1usize..8, b in 1usize..8, seed in any::<u64>()) {
+        let d = DenseMatrix::random(mt * b, nt * b, seed);
+        let t = TiledMatrix::from_dense(&d, b);
+        let back = t.to_dense();
+        prop_assert_eq!(back.data(), d.data());
+    }
+
+    /// Frobenius norms agree between representations.
+    #[test]
+    fn norms_agree(mt in 1usize..6, nt in 1usize..6, b in 1usize..6, seed in any::<u64>()) {
+        let t = TiledMatrix::random(mt, nt, b, seed);
+        prop_assert!((t.frob_norm() - t.to_dense().frob_norm()).abs() < 1e-10);
+    }
+
+    /// Every tile has exactly one owner and owners are within range: the
+    /// layouts partition the matrix.
+    #[test]
+    fn layouts_partition(
+        p in 1usize..7, q in 1usize..5, nodes in 1usize..9, block in 1usize..5,
+        mt in 1usize..20, nt in 1usize..20,
+    ) {
+        for layout in [
+            Layout::Single,
+            Layout::Cyclic2D(ProcessGrid::new(p, q)),
+            Layout::BlockCyclicRows { nodes, block },
+            Layout::block_rows(nodes, mt),
+            Layout::cyclic_rows(nodes),
+        ] {
+            let counts = layout.tile_counts(mt, nt);
+            prop_assert_eq!(counts.iter().sum::<usize>(), mt * nt);
+            for j in 0..nt {
+                for i in 0..mt {
+                    prop_assert!(layout.owner(i, j) < layout.nodes());
+                }
+            }
+        }
+    }
+
+    /// 2D cyclic ownership is translation-invariant by (p, q).
+    #[test]
+    fn cyclic2d_periodicity(p in 1usize..6, q in 1usize..6, i in 0usize..40, j in 0usize..40) {
+        let l = Layout::Cyclic2D(ProcessGrid::new(p, q));
+        prop_assert_eq!(l.owner(i, j), l.owner(i + p, j));
+        prop_assert_eq!(l.owner(i, j), l.owner(i, j + q));
+    }
+
+    /// Block-rows layout assigns contiguous row blocks in order.
+    #[test]
+    fn block_rows_monotone(nodes in 1usize..8, mt in 1usize..40) {
+        let l = Layout::block_rows(nodes, mt);
+        let mut last = 0usize;
+        for i in 0..mt {
+            let o = l.owner(i, 0);
+            prop_assert!(o >= last, "owners must be non-decreasing down the rows");
+            prop_assert!(o <= last + 1, "owners advance one node at a time");
+            last = o;
+        }
+    }
+
+    /// tile_pair_mut returns truly disjoint views in both orders.
+    #[test]
+    fn tile_pair_disjoint(mt in 2usize..5, nt in 1usize..4, b in 1usize..4, seed in any::<u64>()) {
+        let mut t = TiledMatrix::random(mt, nt, b, seed);
+        let (x, y) = t.tile_pair_mut((0, 0), (1, 0));
+        x[0] = 1.0;
+        y[0] = 2.0;
+        prop_assert_ne!(x[0], y[0]);
+    }
+}

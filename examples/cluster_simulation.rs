@@ -1,0 +1,55 @@
+//! Reproduce one point of the paper's Figure 8 on the simulated edel
+//! cluster (60 nodes × 8 cores, Infiniband 20G): HQR versus [BBD+10],
+//! [SLHD10] and the ScaLAPACK model on a 71680 × 4480 matrix (b = 280).
+//!
+//! Run with: `cargo run --release --example cluster_simulation`
+
+use hqr::baselines::{bbd10, hqr_tall_skinny, slhd10};
+use hqr::experiments::simulate_setup;
+use hqr_sim::scalapack::ScalapackModel;
+use hqr_sim::Platform;
+use hqr_tile::ProcessGrid;
+
+fn main() {
+    let b = 280usize;
+    let (m, n) = (71_680usize, 4_480usize);
+    let (mt, nt) = (m / b, n / b);
+    let grid = ProcessGrid::new(15, 4);
+    let platform = Platform::edel();
+    println!(
+        "simulated platform: {} nodes x {} cores, peak {:.1} GFlop/s",
+        platform.nodes,
+        platform.cores_per_node,
+        platform.peak_gflops()
+    );
+    println!("matrix: {m} x {n} elements ({mt} x {nt} tiles of {b})\n");
+    println!("{:<36} {:>9} {:>8} {:>10} {:>10}", "algorithm", "GFlop/s", "% peak", "messages", "GB moved");
+
+    let mut best = ("", 0.0f64);
+    for setup in [hqr_tall_skinny(mt, nt, grid), slhd10(mt, nt, 60), bbd10(mt, nt, grid)] {
+        let rep = simulate_setup(&setup, b, &platform);
+        println!(
+            "{:<36} {:>9.1} {:>7.1}% {:>10} {:>10.1}",
+            setup.name,
+            rep.gflops,
+            100.0 * rep.efficiency,
+            rep.messages,
+            rep.bytes / 1e9
+        );
+        if rep.gflops > best.1 {
+            best = ("HQR-family", rep.gflops);
+        }
+    }
+    let scal = ScalapackModel::default().run(m, n, 15, 4, &platform);
+    println!(
+        "{:<36} {:>9.1} {:>7.1}% {:>10} {:>10}",
+        "ScaLAPACK pdgeqrf (model)",
+        scal.gflops,
+        100.0 * scal.efficiency,
+        "-",
+        "-"
+    );
+    println!(
+        "\nthe paper's qualitative ranking (HQR > [SLHD10] > [BBD+10] > ScaLAPACK)\nis what this simulation reproduces; see EXPERIMENTS.md for the full sweep."
+    );
+}

@@ -1,0 +1,66 @@
+//! Gallery of reduction trees and schedules: renders the paper's
+//! Tables I–IV, the single-panel trees of Figures 1–4, and the four-level
+//! structure of the §IV-B worked example (m = 24, n = 10, p = 3, a = 2).
+//!
+//! Run with: `cargo run --release --example tree_gallery`
+
+use hqr::prelude::*;
+
+fn show_tree(name: &str, kind: TreeKind, z: usize) {
+    println!("{name} over {z} tiles:");
+    for (v, u) in kind.reduction(z) {
+        print!(" ({v}<-{u})");
+    }
+    println!("   [depth {}]", kind.depth(z));
+}
+
+fn main() {
+    println!("== Single-panel reduction trees (Figures 1, 2) ==");
+    show_tree("flat tree", TreeKind::Flat, 12);
+    show_tree("binary tree", TreeKind::Binary, 12);
+    show_tree("greedy", TreeKind::Greedy, 12);
+    show_tree("fibonacci", TreeKind::Fibonacci, 12);
+
+    println!("\n== Table I: flat tree on panel 0 ==");
+    println!("{}", Schedule::flat(12, 1).render(1));
+
+    println!("== Table II: flat tree, 3 panels ==");
+    println!("{}", Schedule::flat(12, 3).render(3));
+
+    println!("== Table III (consistent variant): binary tree, 3 panels ==");
+    println!("{}", Schedule::binary(12, 3).render(3));
+
+    println!("== Table IV: greedy, 3 panels ==");
+    println!("{}", Schedule::greedy(12, 3).render(3));
+
+    println!("== §IV-B worked example: m=24, n=10, p=3, a=2, domino on ==");
+    let cfg = HqrConfig::new(3, 1)
+        .with_a(2)
+        .with_low(TreeKind::Greedy)
+        .with_high(TreeKind::Fibonacci)
+        .with_domino(true);
+    let l = cfg.elimination_list(24, 10);
+    for k in [0usize, 1, 2] {
+        println!("panel {k}:");
+        for e in l.panel(k) {
+            println!(
+                "  elim({:>2}, {:>2}, {k})  {:?} / {}",
+                e.victim,
+                e.killer,
+                e.level,
+                if e.ts { "TS" } else { "TT" }
+            );
+        }
+    }
+    let [ts, low, coupling, high, _] = l.level_counts();
+    println!("\nlevel totals over the whole factorization:");
+    println!("  level 0 (TS domains) : {ts}");
+    println!("  level 1 (low tree)   : {low}");
+    println!("  level 2 (domino)     : {coupling}");
+    println!("  level 3 (high tree)  : {high}");
+
+    println!("\n== Task DAG of a 3x2-tile flat-tree factorization (Graphviz DOT) ==");
+    let small = Schedule::flat(3, 2).to_elim_list(true);
+    let graph = hqr_runtime::TaskGraph::build(3, 2, 4, &small.to_ops());
+    println!("{}", hqr_runtime::analysis::to_dot(&graph, 64).unwrap());
+}

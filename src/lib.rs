@@ -1,0 +1,13 @@
+//! Umbrella crate for the HQR reproduction: re-exports the workspace
+//! crates and hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`).
+//!
+//! See the `hqr` crate (in `crates/core`) for the library API, `DESIGN.md`
+//! for the system inventory, and `EXPERIMENTS.md` for the paper-vs-measured
+//! record of every table and figure.
+
+pub use hqr;
+pub use hqr_kernels;
+pub use hqr_runtime;
+pub use hqr_sim;
+pub use hqr_tile;

@@ -1,0 +1,62 @@
+//! Regression pins for the simulator calibration: the discrete-event
+//! engine is deterministic, so these mini-scale scenario outputs must not
+//! drift when the engine or the tree builders are refactored. If a change
+//! *intends* to alter the model, update the pinned values and the
+//! EXPERIMENTS.md narrative together.
+
+use hqr::baselines;
+use hqr_runtime::TaskGraph;
+use hqr_sim::{simulate, Platform, SimReport};
+use hqr_tile::ProcessGrid;
+
+fn run(setup: &baselines::AlgorithmSetup) -> SimReport {
+    let p = Platform { nodes: 6, cores_per_node: 4, ..Platform::edel() };
+    let g = TaskGraph::build(setup.elims.mt(), setup.elims.nt(), 40, &setup.elims.to_ops());
+    simulate(&g, &setup.layout, &p)
+}
+
+fn assert_close(actual: f64, expected: f64, what: &str) {
+    let rel = (actual - expected).abs() / expected.abs();
+    assert!(rel < 1e-6, "{what}: {actual:.9e} drifted from pinned {expected:.9e}");
+}
+
+#[test]
+fn pin_hqr_tall_skinny() {
+    let r = run(&baselines::hqr_tall_skinny(96, 4, ProcessGrid::new(3, 2)));
+    assert_close(r.makespan, 1.625835757e-3, "makespan");
+    assert_close(r.gflops, 1.192477976e2, "gflops");
+    assert_eq!(r.messages, 399);
+}
+
+#[test]
+fn pin_bbd10_tall_skinny() {
+    let r = run(&baselines::bbd10(96, 4, ProcessGrid::new(3, 2)));
+    assert_close(r.makespan, 4.946620741e-3, "makespan");
+    assert_close(r.gflops, 3.919389488e1, "gflops");
+    assert_eq!(r.messages, 1225);
+}
+
+#[test]
+fn pin_slhd10_tall_skinny() {
+    let r = run(&baselines::slhd10(96, 4, 6));
+    assert_close(r.makespan, 1.508026070e-3, "makespan");
+    assert_close(r.gflops, 1.285636483e2, "gflops");
+    assert_eq!(r.messages, 94);
+}
+
+#[test]
+fn pin_hqr_square() {
+    let r = run(&baselines::hqr_square(36, 36, ProcessGrid::new(3, 2)));
+    assert_close(r.makespan, 2.567126315e-2, "makespan");
+    assert_close(r.gflops, 1.550882781e2, "gflops");
+    assert_eq!(r.messages, 2164);
+}
+
+#[test]
+fn pinned_ranking_matches_paper_shape() {
+    // The mini-scale ranking mirrors Figure 8's tall-skinny ordering.
+    let grid = ProcessGrid::new(3, 2);
+    let hqr = run(&baselines::hqr_tall_skinny(96, 4, grid)).gflops;
+    let bbd = run(&baselines::bbd10(96, 4, grid)).gflops;
+    assert!(hqr > 3.0 * bbd, "HQR {hqr:.0} vs BBD+10 {bbd:.0}");
+}
