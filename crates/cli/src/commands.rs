@@ -3,10 +3,10 @@
 use crate::args::Args;
 use hqr::baselines;
 use hqr::prelude::*;
-use hqr_runtime::{analysis, TaskGraph};
+use hqr_runtime::{analysis, execute_serial, try_execute_with, ExecOptions, FaultPlan, TaskGraph};
 use hqr_sim::scalapack::ScalapackModel;
-use hqr_sim::{simulate_with_policy, Platform, SchedPolicy};
-use hqr_tile::ProcessGrid;
+use hqr_sim::{simulate_with_faults, simulate_with_policy, Platform, SchedPolicy, SimFaultPlan};
+use hqr_tile::{ProcessGrid, TiledMatrix};
 use std::time::Instant;
 
 /// Top-level usage text.
@@ -22,6 +22,12 @@ USAGE:
                 --nodes N --cores C --policy POLICY --gpus G --gpu-speedup X]
       replay the task DAG on the simulated cluster
       ALG: hqr | hqr-square | bbd10 | slhd10 | scalapack
+  hqr fault    [--rows R --cols C --tile B --grid PxQ --threads T --seed S
+                --fail K --retries N --crash-node X --crash-frac F
+                --degrade-bw F --degrade-lat F --nodes N --cores C]
+      inject a seeded fault schedule: panic K random kernel tasks in a real
+      parallel factorization (verifying bitwise recovery), then crash a
+      simulated node mid-run and report the lineage-recovery overhead
   hqr schedule [--rows MT --cols NT --tree TREE --panels P]
       print the coarse-grain unit-time schedule (Tables I-IV)
   hqr trees    [--size Z]
@@ -49,6 +55,19 @@ fn config_of(args: &Args, grid: (usize, usize)) -> HqrConfig {
         .with_domino(args.flag("domino"))
 }
 
+/// Reject zero where a positive value is required, with a clean message
+/// instead of a panic deep inside the library. Returns `Some(2)` (the exit
+/// code) on the first offending argument.
+fn require_positive(checks: &[(&str, usize)]) -> Option<i32> {
+    for &(name, v) in checks {
+        if v == 0 {
+            eprintln!("--{name} must be positive");
+            return Some(2);
+        }
+    }
+    None
+}
+
 /// `hqr factor`: factor a random matrix and verify.
 pub fn factor(args: &Args) -> i32 {
     let rows = args.usize_or("rows", 384);
@@ -58,6 +77,21 @@ pub fn factor(args: &Args) -> i32 {
     let threads = args.usize_or("threads", 4);
     let ib = args.usize_or("ib", b);
     let seed = args.usize_or("seed", 42) as u64;
+    if let Some(code) = require_positive(&[
+        ("rows", rows),
+        ("cols", cols),
+        ("tile", b),
+        ("threads", threads),
+        ("ib", ib),
+        ("grid (P)", grid.0),
+        ("grid (Q)", grid.1),
+    ]) {
+        return code;
+    }
+    if ib > b {
+        eprintln!("--ib must not exceed --tile ({ib} > {b})");
+        return 2;
+    }
     if rows < cols {
         eprintln!("factor expects rows >= cols");
         return 2;
@@ -109,17 +143,27 @@ pub fn simulate(args: &Args) -> i32 {
     let b = args.usize_or("tile", 280);
     let rows = args.usize_or("rows", 71_680);
     let cols = args.usize_or("cols", 4_480);
+    let grid = args.grid_or("grid", (15, 4));
+    if let Some(code) =
+        require_positive(&[("tile", b), ("grid (P)", grid.0), ("grid (Q)", grid.1)])
+    {
+        return code;
+    }
     let (mt, nt) = (rows / b, cols / b);
     if mt == 0 || nt == 0 {
         eprintln!("matrix smaller than one tile");
         return 2;
     }
-    let grid = args.grid_or("grid", (15, 4));
     let mut platform = Platform {
         nodes: args.usize_or("nodes", grid.0 * grid.1),
         cores_per_node: args.usize_or("cores", 8),
         ..Platform::edel()
     };
+    if let Some(code) =
+        require_positive(&[("nodes", platform.nodes), ("cores", platform.cores_per_node)])
+    {
+        return code;
+    }
     let gpus = args.usize_or("gpus", 0);
     if gpus > 0 {
         platform.accelerators = Some(hqr_sim::Accelerators {
@@ -164,7 +208,13 @@ pub fn simulate(args: &Args) -> i32 {
         if gpus > 0 { format!(" + {gpus} GPUs/node") } else { String::new() }
     );
     let t0 = Instant::now();
-    let graph = TaskGraph::build(mt, nt, b, &setup.elims.to_ops());
+    let graph = match TaskGraph::try_build(mt, nt, b, &setup.elims.to_ops()) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
     let rep = simulate_with_policy(&graph, &setup.layout, &platform, policy);
     println!("tasks     : {} ({} edges)", graph.tasks().len(), graph.edge_count());
     println!("makespan  : {:.3} s (simulated; wall {:.2} s)", rep.makespan, t0.elapsed().as_secs_f64());
@@ -182,6 +232,125 @@ pub fn simulate(args: &Args) -> i32 {
     }
     println!("utilization: {:.1}%", 100.0 * rep.utilization(&platform));
     0
+}
+
+/// `hqr fault`: seeded fault-injection demo. Part one injects kernel
+/// panics into a real parallel factorization and verifies the recovered
+/// result is bitwise-identical to the fault-free one; part two crashes a
+/// simulated node mid-run and reports the lineage-recovery overhead.
+pub fn fault(args: &Args) -> i32 {
+    let rows = args.usize_or("rows", 96);
+    let cols = args.usize_or("cols", 48);
+    let b = args.usize_or("tile", 8);
+    let grid = args.grid_or("grid", (3, 1));
+    let threads = args.usize_or("threads", 4);
+    let seed = args.usize_or("seed", 42) as u64;
+    let fail = args.usize_or("fail", 3);
+    let retries = args.usize_or("retries", 1) as u32;
+    if let Some(code) = require_positive(&[
+        ("rows", rows),
+        ("cols", cols),
+        ("tile", b),
+        ("threads", threads),
+        ("grid (P)", grid.0),
+        ("grid (Q)", grid.1),
+        ("retries", retries as usize),
+    ]) {
+        return code;
+    }
+    if rows < cols {
+        eprintln!("fault expects rows >= cols");
+        return 2;
+    }
+    let (mt, nt) = (rows.div_ceil(b), cols.div_ceil(b));
+    let cfg = config_of(args, grid);
+    let setup = baselines::hqr(mt, nt, ProcessGrid::new(grid.0, grid.1), cfg);
+    let graph = match TaskGraph::try_build(mt, nt, b, &setup.elims.to_ops()) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let n = graph.tasks().len();
+
+    println!("== execution: seeded kernel-panic injection ==");
+    let plan = FaultPlan::new(seed).fail_random_tasks(n, fail, 1);
+    let injected = plan.failing_tasks().count();
+    println!("graph        : {mt} x {nt} tiles of {b} ({n} tasks)");
+    println!("fault plan   : seed {seed}, {injected} tasks panic on first attempt");
+    let mut a_clean = TiledMatrix::random(mt, nt, b, seed);
+    let mut a_faulty = a_clean.clone();
+    let _ = execute_serial(&graph, &mut a_clean);
+    let opts = ExecOptions {
+        nthreads: threads,
+        max_retries: retries,
+        plan: Some(plan),
+        ..Default::default()
+    };
+    match try_execute_with(&graph, &mut a_faulty, &opts) {
+        Ok((_, stats)) => {
+            let bitwise = a_clean.to_dense().data() == a_faulty.to_dense().data();
+            println!("recovery     : {} panics caught, {} tasks recovered, {} re-executions, {} tiles rolled back",
+                stats.panics_caught, stats.tasks_recovered, stats.tasks_reexecuted, stats.tiles_rolled_back);
+            println!(
+                "bitwise check: {}",
+                if bitwise { "identical to fault-free run" } else { "MISMATCH" }
+            );
+            if !bitwise {
+                return 1;
+            }
+        }
+        Err(e) => {
+            eprintln!("execution failed to recover: {e}");
+            return 1;
+        }
+    }
+
+    println!();
+    println!("== simulation: node crash with lineage recovery ==");
+    let platform = Platform {
+        nodes: args.usize_or("nodes", grid.0 * grid.1),
+        cores_per_node: args.usize_or("cores", 4),
+        ..Platform::edel()
+    };
+    if let Some(code) =
+        require_positive(&[("nodes", platform.nodes), ("cores", platform.cores_per_node)])
+    {
+        return code;
+    }
+    let baseline = simulate_with_policy(&graph, &setup.layout, &platform, SchedPolicy::PanelFirst);
+    let crash_frac = args.f64_or("crash-frac", 0.3);
+    let crash_at = crash_frac * baseline.makespan;
+    let mut plan = match args.get("crash-node") {
+        Some(_) => SimFaultPlan::new().crash_node(args.usize_or("crash-node", 0), crash_at),
+        None => SimFaultPlan::new().crash_random_node(platform.nodes, seed, crash_at),
+    };
+    let degrade_bw = args.f64_or("degrade-bw", 1.0);
+    let degrade_lat = args.f64_or("degrade-lat", 1.0);
+    if degrade_bw != 1.0 || degrade_lat != 1.0 {
+        plan = plan.degrade_link(0.0, degrade_bw, degrade_lat);
+    }
+    let crashed = plan.crashes()[0].node;
+    println!("platform     : {} nodes x {} cores", platform.nodes, platform.cores_per_node);
+    println!("fault plan   : crash node {crashed} at t = {crash_at:.4} s ({:.0}% of fault-free makespan)",
+        100.0 * crash_frac);
+    match simulate_with_faults(&graph, &setup.layout, &platform, SchedPolicy::PanelFirst, &plan) {
+        Ok(rep) => {
+            let o = rep.overhead.expect("faulty run reports overhead");
+            println!("makespan     : {:.4} s (fault-free {:.4} s, {:+.1}%)",
+                rep.makespan, o.baseline_makespan, 100.0 * o.makespan_inflation);
+            println!("recovery     : {} tasks re-executed, {} aborted, {} nodes lost",
+                o.reexecuted_tasks, o.aborted_tasks, o.nodes_lost);
+            println!("restaging    : {} messages re-sent ({:.3} MB)",
+                o.resent_messages, o.resent_bytes / 1e6);
+            0
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            2
+        }
+    }
 }
 
 /// `hqr schedule`: coarse-grain schedule tables.
@@ -234,7 +403,13 @@ pub fn dot(args: &Args) -> i32 {
             return 2;
         }
     };
-    let graph = TaskGraph::build(mt, nt, 4, &elims.to_ops());
+    let graph = match TaskGraph::try_build(mt, nt, 4, &elims.to_ops()) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
     match analysis::to_dot(&graph, 512) {
         Ok(s) => {
             print!("{s}");
@@ -325,6 +500,50 @@ mod tests {
         assert_eq!(schedule(&args(&["--tree", "nope"])), 2);
         assert_eq!(simulate(&args(&["--algorithm", "nope"])), 2);
         assert_eq!(simulate(&args(&["--rows", "10", "--tile", "280"])), 2);
+    }
+
+    #[test]
+    fn zero_valued_inputs_exit_cleanly() {
+        // Each of these used to reach an assert/panic deep in the library.
+        assert_eq!(factor(&args(&["--tile", "0"])), 2);
+        assert_eq!(factor(&args(&["--rows", "0"])), 2);
+        assert_eq!(factor(&args(&["--threads", "0"])), 2);
+        assert_eq!(factor(&args(&["--grid", "0x2"])), 2);
+        assert_eq!(factor(&args(&["--tile", "8", "--ib", "9"])), 2);
+        assert_eq!(simulate(&args(&["--tile", "0"])), 2);
+        assert_eq!(simulate(&args(&["--nodes", "0"])), 2);
+        assert_eq!(fault(&args(&["--tile", "0"])), 2);
+        assert_eq!(fault(&args(&["--rows", "8", "--cols", "16"])), 2);
+    }
+
+    #[test]
+    fn fault_demo_recovers_end_to_end() {
+        let code = fault(&args(&[
+            "--rows", "48", "--cols", "24", "--tile", "8", "--grid", "2x1", "--threads", "2",
+            "--fail", "2", "--seed", "7",
+        ]));
+        assert_eq!(code, 0);
+    }
+
+    #[test]
+    fn fault_demo_with_explicit_crash_and_degradation() {
+        let code = fault(&args(&[
+            "--rows", "48", "--cols", "24", "--tile", "8", "--grid", "2x1", "--threads", "2",
+            "--crash-node", "1", "--crash-frac", "0.5", "--degrade-bw", "0.5", "--degrade-lat",
+            "2.0",
+        ]));
+        assert_eq!(code, 0);
+    }
+
+    #[test]
+    fn fault_rejects_crashing_only_node() {
+        // A 1x1 grid has one simulated node; crashing it must be a clean
+        // typed rejection, not a hang or panic.
+        let code = fault(&args(&[
+            "--rows", "24", "--cols", "8", "--tile", "8", "--grid", "1x1", "--threads", "2",
+            "--crash-node", "0",
+        ]));
+        assert_eq!(code, 2);
     }
 
     #[test]

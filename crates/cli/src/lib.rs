@@ -12,6 +12,7 @@ pub fn run(argv: &[String]) -> i32 {
     match argv.first().map(String::as_str) {
         Some("factor") => commands::factor(&Args::parse(&argv[1..])),
         Some("simulate") => commands::simulate(&Args::parse(&argv[1..])),
+        Some("fault") => commands::fault(&Args::parse(&argv[1..])),
         Some("schedule") => commands::schedule(&Args::parse(&argv[1..])),
         Some("trees") => commands::trees(&Args::parse(&argv[1..])),
         Some("dot") => commands::dot(&Args::parse(&argv[1..])),

@@ -8,7 +8,8 @@
 //! independent — exactly the parallelism a runtime exploits when building
 //! Q "by applying the reverse trees to the identity" (§V-A).
 
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use crossbeam_deque::{Injector, Stealer, Worker};
 use crossbeam_utils::Backoff;
@@ -265,6 +266,10 @@ pub fn apply_q_parallel(
     }
     let workers: Vec<Worker<u32>> = (0..nthreads).map(|_| Worker::new_lifo()).collect();
     let stealers: Vec<Stealer<u32>> = workers.iter().map(|w| w.stealer()).collect();
+    // A panicking kernel halts the sibling workers instead of deadlocking
+    // them; the first panic is re-raised on the calling thread.
+    let halt = AtomicBool::new(false);
+    let panicked: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
     std::thread::scope(|scope| {
         for (me, worker) in workers.into_iter().enumerate() {
             let graph = &graph;
@@ -274,9 +279,13 @@ pub fn apply_q_parallel(
             let remaining = &remaining;
             let injector = &injector;
             let stealers = &stealers;
+            let (halt, panicked) = (&halt, &panicked);
             scope.spawn(move || {
                 let backoff = Backoff::new();
                 loop {
+                    if halt.load(Ordering::Acquire) {
+                        break;
+                    }
                     let next = worker.pop().or_else(|| {
                         std::iter::repeat_with(|| {
                             injector.steal_batch_and_pop(&worker).or_else(|| {
@@ -294,7 +303,17 @@ pub fn apply_q_parallel(
                     match next {
                         Some(tid) => {
                             backoff.reset();
-                            run_apply_task(&graph.tasks[tid as usize], src, store);
+                            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                                || run_apply_task(&graph.tasks[tid as usize], src, store),
+                            ));
+                            if let Err(payload) = run {
+                                let mut slot = panicked.lock().unwrap();
+                                if slot.is_none() {
+                                    *slot = Some(payload);
+                                }
+                                halt.store(true, Ordering::Release);
+                                break;
+                            }
                             for &s in graph.successors(tid as usize) {
                                 if indeg[s as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
                                     worker.push(s);
@@ -313,6 +332,9 @@ pub fn apply_q_parallel(
             });
         }
     });
+    if let Some(payload) = panicked.into_inner().unwrap() {
+        std::panic::resume_unwind(payload);
+    }
     assert_eq!(remaining.load(Ordering::Acquire), 0, "apply-Q deadlocked");
 }
 

@@ -1,10 +1,25 @@
 //! Serial and multithreaded DAG executors.
+//!
+//! Two families of entry points share one engine:
+//!
+//! * the legacy `execute_*` functions, which panic on failure (kept for
+//!   compatibility with existing callers), and
+//! * the `try_execute_*` functions, which report every failure — kernel
+//!   panics, exhausted retry budgets, scheduler stalls — as a typed
+//!   [`ExecError`], and accept an [`ExecOptions`] enabling bounded per-task
+//!   retry with write-set rollback, deterministic fault injection
+//!   ([`FaultPlan`]) and a stall watchdog.
 
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use crossbeam_deque::{Injector, Stealer, Worker};
 use crossbeam_utils::Backoff;
 
+use crate::error::{ExecError, StallCause, StallReport};
+use crate::fault::{ExecOptions, FaultStats, QuietPanics, INJECTED_FAULT_PREFIX, POISON_STRIKES};
 use crate::graph::TaskGraph;
 use crate::store::TileStore;
 use crate::task::Task;
@@ -22,6 +37,21 @@ pub struct TFactors {
     pub(crate) vg: Vec<Option<Box<[f64]>>>,
     pub(crate) tg: Vec<Option<Box<[f64]>>>,
     pub(crate) tk: Vec<Option<Box<[f64]>>>,
+}
+
+impl std::fmt::Debug for TFactors {
+    /// Summarized (the buffers hold O(mt·nt·b²) floats).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let count = |v: &[Option<Box<[f64]>>]| v.iter().filter(|o| o.is_some()).count();
+        f.debug_struct("TFactors")
+            .field("b", &self.b)
+            .field("mt", &self.mt)
+            .field("nt", &self.nt)
+            .field("vg_buffers", &count(&self.vg))
+            .field("tg_buffers", &count(&self.tg))
+            .field("tk_buffers", &count(&self.tk))
+            .finish()
+    }
 }
 
 impl TFactors {
@@ -181,23 +211,158 @@ pub fn execute_parallel_traced(
     (f, t.expect("tracing requested"))
 }
 
-fn run_parallel(
+/// Execute with typed errors: a kernel panic is reported as
+/// [`ExecError::WorkerPanicked`] instead of unwinding through the caller.
+pub fn try_execute_serial(graph: &TaskGraph, a: &mut TiledMatrix) -> Result<TFactors, ExecError> {
+    try_execute_with(graph, a, &ExecOptions::with_threads(1)).map(|(f, _)| f)
+}
+
+/// Execute on `nthreads` workers with typed errors: a kernel panic halts
+/// the sibling workers and is reported as [`ExecError::WorkerPanicked`]
+/// instead of deadlocking the pool.
+pub fn try_execute_parallel(
     graph: &TaskGraph,
     a: &mut TiledMatrix,
     nthreads: usize,
-    trace: bool,
-    ib: usize,
-) -> (TFactors, Option<ExecTrace>) {
-    assert!(nthreads > 0, "need at least one thread");
-    if nthreads == 1 && !trace {
-        return (execute_serial_ib(graph, a, ib), None);
+) -> Result<TFactors, ExecError> {
+    try_execute_with(graph, a, &ExecOptions::with_threads(nthreads)).map(|(f, _)| f)
+}
+
+/// Fault-tolerant execution with full control: worker count, inner block
+/// size, per-task retry with write-set rollback, deterministic fault
+/// injection and a stall watchdog. Returns the factors plus recovery
+/// accounting.
+///
+/// Because a failed attempt is rolled back to the task's pre-execution
+/// state before re-running, and the kernels are deterministic, a recovered
+/// run produces a factorization bitwise-identical to a fault-free run.
+pub fn try_execute_with(
+    graph: &TaskGraph,
+    a: &mut TiledMatrix,
+    opts: &ExecOptions,
+) -> Result<(TFactors, FaultStats), ExecError> {
+    let (f, stats, _) = run_engine(graph, a, opts, false)?;
+    Ok((f, stats))
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast_ref::<&str>() {
+        Some(s) => (*s).to_string(),
+        None => match payload.downcast_ref::<String>() {
+            Some(s) => s.clone(),
+            None => "non-string panic payload".to_string(),
+        },
     }
-    let epoch = std::time::Instant::now();
+}
+
+fn set_error(slot: &Mutex<Option<ExecError>>, e: ExecError) {
+    let mut guard = slot.lock().unwrap();
+    if guard.is_none() {
+        *guard = Some(e);
+    }
+}
+
+/// Diagnostic snapshot of the scheduler state for [`ExecError::Stalled`].
+fn stall_report(
+    cause: StallCause,
+    timeout: Duration,
+    indeg: &[AtomicU32],
+    done: &[AtomicBool],
+    remaining: usize,
+) -> StallReport {
+    const CAP: usize = 16;
+    let mut completed = 0;
+    let mut stuck_frontier = Vec::new();
+    let mut blocked = Vec::new();
+    let mut truncated = false;
+    for tid in 0..indeg.len() {
+        if done[tid].load(Ordering::Acquire) {
+            completed += 1;
+            continue;
+        }
+        let d = indeg[tid].load(Ordering::Acquire);
+        if d == 0 {
+            if stuck_frontier.len() < CAP {
+                stuck_frontier.push(tid as u32);
+            } else {
+                truncated = true;
+            }
+        } else if blocked.len() < CAP {
+            blocked.push((tid as u32, d));
+        } else {
+            truncated = true;
+        }
+    }
+    StallReport { cause, timeout, completed, remaining, stuck_frontier, blocked, truncated }
+}
+
+/// How one task's execution attempt sequence ended.
+enum Outcome {
+    /// Completed (after `retried` ≥ 1 rolled-back attempts, possibly 0).
+    Done { retried: bool },
+    /// A poisoned worker gave the task back to its peers.
+    Requeue,
+    /// Out of retry budget (or no recovery enabled): abort the run.
+    Fail(String),
+}
+
+/// The shared executor engine behind every parallel entry point.
+///
+/// Workers pull tasks work-stealing style exactly as before; on top of
+/// that, each task runs inside `catch_unwind` so a panicking kernel (real
+/// or injected by the [`crate::FaultPlan`]) can be retried against a
+/// pre-execution snapshot of its write-set, reported as a typed error, or —
+/// for poisoned workers — handed back to healthy peers. A watchdog thread
+/// converts lack of progress into [`ExecError::Stalled`], and the final
+/// "pending tasks" state of the old executor is a typed error instead of
+/// an assert.
+fn run_engine(
+    graph: &TaskGraph,
+    a: &mut TiledMatrix,
+    opts: &ExecOptions,
+    trace: bool,
+) -> Result<(TFactors, FaultStats, Option<ExecTrace>), ExecError> {
+    let nthreads = opts.nthreads.max(1);
+    let b = graph.b();
+    let ib = opts.ib.unwrap_or(b);
+    if a.mt() != graph.mt() || a.nt() != graph.nt() || a.b() != b {
+        return Err(ExecError::Config {
+            message: format!(
+                "matrix is {}x{} tiles of size {} but the graph was built for {}x{} of size {b}",
+                a.mt(),
+                a.nt(),
+                a.b(),
+                graph.mt(),
+                graph.nt()
+            ),
+        });
+    }
+    if ib == 0 || ib > b {
+        return Err(ExecError::Config {
+            message: format!("inner block size {ib} must be in 1..={b}"),
+        });
+    }
+    let plan = opts.plan.as_ref().filter(|p| !p.is_empty());
+    if plan.is_some_and(|p| p.loses_any_completion()) && opts.watchdog.is_none() {
+        return Err(ExecError::Config {
+            message: "a fault plan that loses completions requires a watchdog".to_string(),
+        });
+    }
+    let recovery = opts.recovery_enabled();
+    // Expected (caught) panics shouldn't spam stderr through the global
+    // panic hook while recovery is handling them.
+    let _quiet = recovery.then(QuietPanics::engage);
+
+    let epoch = Instant::now();
     let mut f = TFactors::allocate_for(graph);
     let store = TileStore::with_ib(a, &mut f, ib);
     let n = graph.tasks().len();
     let indeg: Vec<AtomicU32> = graph.in_degrees().iter().map(|&d| AtomicU32::new(d)).collect();
+    let done: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
     let remaining = AtomicUsize::new(n);
+    let alive = AtomicUsize::new(nthreads);
+    let halt = AtomicBool::new(false);
+    let error: Mutex<Option<ExecError>> = Mutex::new(None);
     let injector: Injector<u32> = Injector::new();
     for (tid, &d) in graph.in_degrees().iter().enumerate() {
         if d == 0 {
@@ -207,19 +372,62 @@ fn run_parallel(
     let workers: Vec<Worker<u32>> = (0..nthreads).map(|_| Worker::new_lifo()).collect();
     let stealers: Vec<Stealer<u32>> = workers.iter().map(|w| w.stealer()).collect();
     let mut traces: Vec<Vec<TaskRecord>> = (0..nthreads).map(|_| Vec::new()).collect();
+    let mut stats_per: Vec<FaultStats> = vec![FaultStats::default(); nthreads];
 
     std::thread::scope(|scope| {
-        for ((me, worker), records) in workers.into_iter().enumerate().zip(traces.iter_mut()) {
+        if let Some(window) = opts.watchdog {
+            let (remaining, halt, error) = (&remaining, &halt, &error);
+            let (indeg, done) = (&indeg, &done);
+            scope.spawn(move || {
+                let poll = (window / 8).clamp(Duration::from_millis(1), Duration::from_millis(50));
+                let mut last = remaining.load(Ordering::Acquire);
+                let mut last_change = Instant::now();
+                loop {
+                    std::thread::sleep(poll);
+                    let rem = remaining.load(Ordering::Acquire);
+                    if rem == 0 || halt.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if rem != last {
+                        last = rem;
+                        last_change = Instant::now();
+                        continue;
+                    }
+                    if last_change.elapsed() >= window {
+                        set_error(
+                            error,
+                            ExecError::Stalled(stall_report(
+                                StallCause::WatchdogTimeout,
+                                window,
+                                indeg,
+                                done,
+                                rem,
+                            )),
+                        );
+                        halt.store(true, Ordering::Release);
+                        break;
+                    }
+                }
+            });
+        }
+        for (((me, worker), records), wstats) in
+            workers.into_iter().enumerate().zip(traces.iter_mut()).zip(stats_per.iter_mut())
+        {
             let store = &store;
-            let indeg = &indeg;
-            let remaining = &remaining;
+            let (indeg, done) = (&indeg, &done);
+            let (remaining, alive, halt, error) = (&remaining, &alive, &halt, &error);
             let injector = &injector;
             let stealers = &stealers;
             let tasks: &[Task] = graph.tasks();
             let graph = &*graph;
             scope.spawn(move || {
                 let backoff = Backoff::new();
+                let poisoned = plan.is_some_and(|p| p.is_poisoned(me));
+                let mut strikes = 0u32;
                 loop {
+                    if halt.load(Ordering::Acquire) {
+                        break;
+                    }
                     let next = worker.pop().or_else(|| {
                         std::iter::repeat_with(|| {
                             injector.steal_batch_and_pop(&worker).or_else(|| {
@@ -234,13 +442,60 @@ fn run_parallel(
                         .find(|s| !s.is_retry())
                         .and_then(|s| s.success())
                     });
-                    match next {
-                        Some(tid) => {
-                            backoff.reset();
-                            let t = &tasks[tid as usize];
-                            let t0 = trace.then(|| epoch.elapsed().as_secs_f64());
-                            // SAFETY: in-degree bookkeeping enforces DAG order.
+                    let Some(tid) = next else {
+                        if remaining.load(Ordering::Acquire) == 0 {
+                            break;
+                        }
+                        backoff.snooze();
+                        continue;
+                    };
+                    backoff.reset();
+                    let t = &tasks[tid as usize];
+                    let t0 = trace.then(|| epoch.elapsed().as_secs_f64());
+                    // SAFETY: every predecessor of `tid` has completed (its
+                    // in-degree reached 0) and `tid` has not, so its
+                    // read/write sets are exclusively this worker's until
+                    // completion — for the kernel and the snapshot alike.
+                    let snap = recovery.then(|| unsafe { store.snapshot(t) });
+                    let mut attempt = 0u32;
+                    let outcome = loop {
+                        let inject = poisoned
+                            || plan.is_some_and(|p| p.should_fail_attempt(tid, attempt));
+                        let run = catch_unwind(AssertUnwindSafe(|| {
+                            if inject {
+                                panic!(
+                                    "{INJECTED_FAULT_PREFIX}: task {tid} attempt {attempt} on worker {me}"
+                                );
+                            }
+                            // SAFETY: DAG order, as above.
                             unsafe { store.run_task(t) };
+                        }));
+                        match run {
+                            Ok(()) => break Outcome::Done { retried: attempt > 0 },
+                            Err(payload) => {
+                                wstats.panics_caught += 1;
+                                if let Some(s) = &snap {
+                                    // SAFETY: exclusive access, as above.
+                                    unsafe { store.rollback(s) };
+                                    wstats.tiles_rolled_back += s.tiles() as u32;
+                                }
+                                if poisoned {
+                                    break Outcome::Requeue;
+                                }
+                                if snap.is_some() && attempt < opts.max_retries {
+                                    attempt += 1;
+                                    wstats.tasks_reexecuted += 1;
+                                    continue;
+                                }
+                                break Outcome::Fail(panic_message(payload));
+                            }
+                        }
+                    };
+                    match outcome {
+                        Outcome::Done { retried } => {
+                            if retried {
+                                wstats.tasks_recovered += 1;
+                            }
                             if let Some(start) = t0 {
                                 records.push(TaskRecord {
                                     task: tid,
@@ -249,6 +504,13 @@ fn run_parallel(
                                     end: epoch.elapsed().as_secs_f64(),
                                 });
                             }
+                            done[tid as usize].store(true, Ordering::Release);
+                            if plan.is_some_and(|p| p.loses_completion(tid)) {
+                                // Dropped completion: successors are never
+                                // released and `remaining` stays high; the
+                                // (mandatory) watchdog reports the stall.
+                                continue;
+                            }
                             for &s in graph.successors(tid as usize) {
                                 if indeg[s as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
                                     worker.push(s);
@@ -256,25 +518,102 @@ fn run_parallel(
                             }
                             remaining.fetch_sub(1, Ordering::AcqRel);
                         }
-                        None => {
-                            if remaining.load(Ordering::Acquire) == 0 {
+                        Outcome::Requeue => {
+                            strikes += 1;
+                            wstats.tasks_reexecuted += 1;
+                            injector.push(tid);
+                            if strikes >= POISON_STRIKES {
+                                // The poisoned worker "dies"; its queued
+                                // work stays stealable by healthy peers.
+                                wstats.workers_lost += 1;
                                 break;
                             }
-                            backoff.snooze();
                         }
+                        Outcome::Fail(message) => {
+                            let e = if recovery {
+                                ExecError::TaskFailed {
+                                    task: tid,
+                                    kernel: t.kind,
+                                    attempts: attempt + 1,
+                                    message,
+                                }
+                            } else {
+                                ExecError::WorkerPanicked {
+                                    task: tid,
+                                    kernel: t.kind,
+                                    worker: me,
+                                    message,
+                                }
+                            };
+                            set_error(error, e);
+                            halt.store(true, Ordering::Release);
+                            break;
+                        }
+                    }
+                }
+                if alive.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    let rem = remaining.load(Ordering::Acquire);
+                    if rem > 0 && !halt.load(Ordering::Acquire) {
+                        set_error(
+                            error,
+                            ExecError::Stalled(stall_report(
+                                StallCause::AllWorkersExited,
+                                Duration::ZERO,
+                                indeg,
+                                done,
+                                rem,
+                            )),
+                        );
+                        halt.store(true, Ordering::Release);
                     }
                 }
             });
         }
     });
-    assert_eq!(remaining.load(Ordering::Acquire), 0, "executor exited with pending tasks");
+    if let Some(e) = error.into_inner().unwrap() {
+        return Err(e);
+    }
+    let rem = remaining.load(Ordering::Acquire);
+    if rem != 0 {
+        // Unreachable by construction (every exit path above reports an
+        // error first), but kept as a typed error rather than an assert.
+        return Err(ExecError::Stalled(stall_report(
+            StallCause::AllWorkersExited,
+            Duration::ZERO,
+            &indeg,
+            &done,
+            rem,
+        )));
+    }
+    let mut stats = FaultStats::default();
+    for s in &stats_per {
+        stats.merge(s);
+    }
     let exec_trace = trace.then(|| {
         let wall = epoch.elapsed().as_secs_f64();
         let mut records: Vec<TaskRecord> = traces.into_iter().flatten().collect();
         records.sort_by(|a, b| a.start.total_cmp(&b.start));
         ExecTrace { nthreads, records, wall }
     });
-    (f, exec_trace)
+    Ok((f, stats, exec_trace))
+}
+
+fn run_parallel(
+    graph: &TaskGraph,
+    a: &mut TiledMatrix,
+    nthreads: usize,
+    trace: bool,
+    ib: usize,
+) -> (TFactors, Option<ExecTrace>) {
+    assert!(nthreads > 0, "need at least one thread");
+    if nthreads == 1 && !trace {
+        return (execute_serial_ib(graph, a, ib), None);
+    }
+    let opts = ExecOptions { nthreads, ib: Some(ib), ..Default::default() };
+    match run_engine(graph, a, &opts, trace) {
+        Ok((f, _, t)) => (f, t),
+        Err(e) => panic!("{e}"),
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,279 @@
+//! Deterministic fault injection and recovery policy for the executors.
+//!
+//! A [`FaultPlan`] is a seeded, fully deterministic schedule of injected
+//! failures: fail a given task's first K attempts, poison a worker thread
+//! (every task it touches fails until it "crashes"), or drop a task's
+//! completion notification (to exercise the stall watchdog). Injected
+//! failures are real `panic!`s raised inside the kernel-execution
+//! `catch_unwind` scope, so they exercise exactly the recovery path a real
+//! kernel panic would take: write-set rollback plus bounded retry.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Once;
+use std::time::Duration;
+
+/// Marker prefix used by every injected panic, so logs distinguish
+/// simulated faults from genuine kernel failures.
+pub const INJECTED_FAULT_PREFIX: &str = "injected fault";
+
+/// How many failures a poisoned worker inflicts before it stops taking
+/// work (simulating the worker dying): each failed task is re-enqueued for
+/// healthy peers, so a run with at least one healthy worker always makes
+/// progress.
+pub(crate) const POISON_STRIKES: u32 = 3;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic, seeded schedule of injected execution faults.
+///
+/// Plans are value types built with a fluent API:
+///
+/// ```
+/// use hqr_runtime::FaultPlan;
+/// let plan = FaultPlan::new(42).fail_task(3, 1).fail_random_tasks(100, 3, 1);
+/// assert!(plan.planned_failures() >= 4);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    /// task id -> number of initial attempts that must fail.
+    fail_first: BTreeMap<u32, u32>,
+    /// Worker threads whose every attempt fails.
+    poisoned: BTreeSet<usize>,
+    /// Tasks whose completion notification is dropped (the task runs, its
+    /// successors are never released) — watchdog-test fuel.
+    lost: BTreeSet<u32>,
+}
+
+impl FaultPlan {
+    /// An empty plan carrying `seed` for its randomized builders.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, ..Default::default() }
+    }
+
+    /// The seed the randomized builders derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Fail task `task`'s first `attempts` attempts.
+    pub fn fail_task(mut self, task: u32, attempts: u32) -> Self {
+        if attempts > 0 {
+            *self.fail_first.entry(task).or_insert(0) += attempts;
+        }
+        self
+    }
+
+    /// Pick `count` distinct tasks out of `n_tasks` (deterministically from
+    /// the seed) and fail each one's first `attempts` attempts.
+    pub fn fail_random_tasks(mut self, n_tasks: usize, count: usize, attempts: u32) -> Self {
+        let mut state = self.seed ^ 0xfa17_fa17_fa17_fa17;
+        let want = count.min(n_tasks);
+        let mut picked = BTreeSet::new();
+        while picked.len() < want {
+            let tid = (splitmix64(&mut state) % n_tasks.max(1) as u64) as u32;
+            picked.insert(tid);
+        }
+        for tid in picked {
+            self = self.fail_task(tid, attempts);
+        }
+        self
+    }
+
+    /// Poison worker thread `worker`: every task attempt it makes fails
+    /// (without consuming the tasks' retry budgets; failed tasks are handed
+    /// back to healthy peers). After a few strikes the worker stops taking
+    /// work, modeling a dying worker.
+    pub fn poison_worker(mut self, worker: usize) -> Self {
+        self.poisoned.insert(worker);
+        self
+    }
+
+    /// Drop task `task`'s completion: it executes, but its successors are
+    /// never released. Pair with a watchdog to observe the resulting stall.
+    pub fn lose_completion(mut self, task: u32) -> Self {
+        self.lost.insert(task);
+        self
+    }
+
+    /// Tasks with scheduled attempt failures, as `(task, attempts)` pairs.
+    pub fn failing_tasks(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.fail_first.iter().map(|(&t, &k)| (t, k))
+    }
+
+    /// Total number of scheduled attempt failures (excluding poison).
+    pub fn planned_failures(&self) -> usize {
+        self.fail_first.values().map(|&k| k as usize).sum()
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.fail_first.is_empty() && self.poisoned.is_empty() && self.lost.is_empty()
+    }
+
+    pub(crate) fn should_fail_attempt(&self, task: u32, attempt: u32) -> bool {
+        self.fail_first.get(&task).is_some_and(|&k| attempt < k)
+    }
+
+    pub(crate) fn is_poisoned(&self, worker: usize) -> bool {
+        self.poisoned.contains(&worker)
+    }
+
+    pub(crate) fn loses_completion(&self, task: u32) -> bool {
+        self.lost.contains(&task)
+    }
+
+    pub(crate) fn loses_any_completion(&self) -> bool {
+        !self.lost.is_empty()
+    }
+}
+
+/// Per-run recovery accounting, returned alongside the factors by
+/// [`crate::exec::try_execute_with`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Panics caught by the executor (injected and genuine).
+    pub panics_caught: u32,
+    /// Tasks that completed after at least one failed attempt.
+    pub tasks_recovered: u32,
+    /// Task re-executions (retries plus poison re-enqueues).
+    pub tasks_reexecuted: u32,
+    /// Tile buffers restored from pre-execution snapshots.
+    pub tiles_rolled_back: u32,
+    /// Workers that stopped taking work after repeated poison strikes.
+    pub workers_lost: u32,
+}
+
+impl FaultStats {
+    pub(crate) fn merge(&mut self, other: &FaultStats) {
+        self.panics_caught += other.panics_caught;
+        self.tasks_recovered += other.tasks_recovered;
+        self.tasks_reexecuted += other.tasks_reexecuted;
+        self.tiles_rolled_back += other.tiles_rolled_back;
+        self.workers_lost += other.workers_lost;
+    }
+}
+
+/// Options for the fault-tolerant execution entry point
+/// [`crate::exec::try_execute_with`].
+#[derive(Debug, Clone, Default)]
+pub struct ExecOptions {
+    /// Worker threads; `0` and `1` both run a single worker.
+    pub nthreads: usize,
+    /// Inner block size (PLASMA's IB); `None` selects the unblocked
+    /// kernels (`ib == b`).
+    pub ib: Option<usize>,
+    /// Per-task retry budget after a caught panic; `0` fails fast.
+    pub max_retries: u32,
+    /// Injected fault schedule, if any.
+    pub plan: Option<FaultPlan>,
+    /// Abort (with a [`crate::StallReport`]) when no task completes within
+    /// this window.
+    pub watchdog: Option<Duration>,
+}
+
+impl ExecOptions {
+    /// Options for a plain `nthreads`-worker run with no fault handling
+    /// beyond typed errors.
+    pub fn with_threads(nthreads: usize) -> Self {
+        ExecOptions { nthreads, ..Default::default() }
+    }
+
+    /// True when panics must be recovered (snapshot + retry) rather than
+    /// reported immediately.
+    pub(crate) fn recovery_enabled(&self) -> bool {
+        self.max_retries > 0 || self.plan.is_some()
+    }
+}
+
+static QUIET_DEPTH: AtomicUsize = AtomicUsize::new(0);
+static QUIET_INSTALL: Once = Once::new();
+
+/// RAII guard that silences the global panic hook while fault-tolerant
+/// execution is active, so expected (caught) panics don't spam stderr.
+/// Nested/concurrent guards stack; the hook prints again once the last
+/// guard drops. The caught panic's message is preserved in the returned
+/// [`crate::ExecError`] either way.
+pub(crate) struct QuietPanics;
+
+impl QuietPanics {
+    pub(crate) fn engage() -> QuietPanics {
+        QUIET_INSTALL.call_once(|| {
+            let prev = std::panic::take_hook();
+            // The hook-info type is inferred (it was renamed to
+            // `PanicHookInfo` in recent toolchains; not naming it keeps
+            // this building on both sides of the rename).
+            std::panic::set_hook(Box::new(move |info| {
+                if QUIET_DEPTH.load(Ordering::SeqCst) == 0 {
+                    prev(info);
+                }
+            }));
+        });
+        QUIET_DEPTH.fetch_add(1, Ordering::SeqCst);
+        QuietPanics
+    }
+}
+
+impl Drop for QuietPanics {
+    fn drop(&mut self) {
+        QUIET_DEPTH.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fail_task_schedules_attempts() {
+        let p = FaultPlan::new(1).fail_task(5, 2);
+        assert!(p.should_fail_attempt(5, 0));
+        assert!(p.should_fail_attempt(5, 1));
+        assert!(!p.should_fail_attempt(5, 2));
+        assert!(!p.should_fail_attempt(6, 0));
+        assert_eq!(p.planned_failures(), 2);
+    }
+
+    #[test]
+    fn random_tasks_are_deterministic_and_distinct() {
+        let a = FaultPlan::new(99).fail_random_tasks(50, 5, 1);
+        let b = FaultPlan::new(99).fail_random_tasks(50, 5, 1);
+        assert_eq!(a, b, "same seed, same plan");
+        assert_eq!(a.failing_tasks().count(), 5);
+        assert!(a.failing_tasks().all(|(t, k)| (t as usize) < 50 && k == 1));
+        let c = FaultPlan::new(100).fail_random_tasks(50, 5, 1);
+        assert_ne!(a, c, "different seed, different plan");
+    }
+
+    #[test]
+    fn random_tasks_clamps_to_population() {
+        let p = FaultPlan::new(7).fail_random_tasks(3, 10, 1);
+        assert_eq!(p.failing_tasks().count(), 3);
+    }
+
+    #[test]
+    fn poison_and_lose_are_recorded() {
+        let p = FaultPlan::new(0).poison_worker(2).lose_completion(9);
+        assert!(p.is_poisoned(2));
+        assert!(!p.is_poisoned(0));
+        assert!(p.loses_completion(9));
+        assert!(!p.is_empty());
+        assert!(FaultPlan::new(0).is_empty());
+    }
+
+    #[test]
+    fn recovery_enabled_conditions() {
+        assert!(!ExecOptions::with_threads(2).recovery_enabled());
+        let o = ExecOptions { max_retries: 1, ..Default::default() };
+        assert!(o.recovery_enabled());
+        let o = ExecOptions { plan: Some(FaultPlan::new(0)), ..Default::default() };
+        assert!(o.recovery_enabled());
+    }
+}

@@ -9,6 +9,7 @@
 //! parallelism a real dataflow runtime extracts.
 
 use crate::elim::ElimOp;
+use crate::error::GraphError;
 use crate::task::{SlotFamily, Task, SLOT_FAMILIES};
 
 /// An immutable task DAG in CSR form.
@@ -35,15 +36,37 @@ impl TaskGraph {
     /// a panel).
     ///
     /// # Panics
-    /// Panics if the elimination list is malformed (unsorted panels, a TS
-    /// victim used as a killer, a tile killed twice, indices out of range);
-    /// use `hqr`'s validation for a user-facing error report.
+    /// Panics if the shape or elimination list is rejected by
+    /// [`TaskGraph::try_build`], with that error's message.
     pub fn build(mt: usize, nt: usize, b: usize, elims: &[ElimOp]) -> Self {
-        assert!(mt > 0 && nt > 0, "matrix must be non-empty");
-        assert!(mt < u16::MAX as usize && nt < u16::MAX as usize, "tile counts must fit u16");
-        let tasks = generate_tasks(mt, nt, elims);
+        match Self::try_build(mt, nt, b, elims) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`TaskGraph::build`] with validated input: a malformed shape or
+    /// elimination list (empty matrix, zero tile size, unsorted panels, a
+    /// TS victim used as a killer, indices out of range) is reported as a
+    /// [`GraphError`] instead of a panic.
+    pub fn try_build(
+        mt: usize,
+        nt: usize,
+        b: usize,
+        elims: &[ElimOp],
+    ) -> Result<Self, GraphError> {
+        if mt == 0 || nt == 0 {
+            return Err(GraphError::EmptyMatrix);
+        }
+        if b == 0 {
+            return Err(GraphError::ZeroTileSize);
+        }
+        if mt >= u16::MAX as usize || nt >= u16::MAX as usize {
+            return Err(GraphError::TileCountOverflow { mt, nt });
+        }
+        let tasks = generate_tasks(mt, nt, elims)?;
         let (succ_off, succ, in_degree) = build_edges(mt, nt, &tasks);
-        TaskGraph { mt, nt, b, tasks, succ_off, succ, in_degree }
+        Ok(TaskGraph { mt, nt, b, tasks, succ_off, succ, in_degree })
     }
 
     /// Number of tile rows.
@@ -94,16 +117,27 @@ impl TaskGraph {
 
 /// Expand an elimination list into the full kernel-task list of
 /// Algorithms 1+2, in a topological program order.
-fn generate_tasks(mt: usize, nt: usize, elims: &[ElimOp]) -> Vec<Task> {
+fn generate_tasks(mt: usize, nt: usize, elims: &[ElimOp]) -> Result<Vec<Task>, GraphError> {
     let kmax = mt.min(nt);
     // Group eliminations by panel, preserving order.
     let mut by_panel: Vec<Vec<&ElimOp>> = vec![Vec::new(); kmax];
     let mut last_k = 0u32;
-    for e in elims {
-        assert!(e.k >= last_k, "elimination list must be sorted by panel");
+    for (index, e) in elims.iter().enumerate() {
+        if e.k < last_k {
+            return Err(GraphError::UnsortedPanels { index, panel: e.k, previous: last_k });
+        }
         last_k = e.k;
-        assert!((e.k as usize) < kmax, "panel {} out of range", e.k);
-        assert!((e.victim as usize) < mt && (e.killer as usize) < mt, "row out of range");
+        if e.k as usize >= kmax {
+            return Err(GraphError::PanelOutOfRange { index, panel: e.k, kmax });
+        }
+        if e.victim as usize >= mt || e.killer as usize >= mt {
+            return Err(GraphError::RowOutOfRange {
+                index,
+                victim: e.victim,
+                killer: e.killer,
+                mt,
+            });
+        }
         by_panel[e.k as usize].push(e);
     }
     let mut tasks = Vec::new();
@@ -122,12 +156,8 @@ fn generate_tasks(mt: usize, nt: usize, elims: &[ElimOp]) -> Vec<Task> {
             }
         }
         for e in panel {
-            if e.ts {
-                assert!(
-                    !is_triangle[e.victim as usize],
-                    "TS victim row {} of panel {k} must stay square",
-                    e.victim
-                );
+            if e.ts && is_triangle[e.victim as usize] {
+                return Err(GraphError::TsVictimTriangular { panel: k as u32, victim: e.victim });
             }
         }
         for (i, &tri) in is_triangle.iter().enumerate().take(mt).skip(k) {
@@ -145,7 +175,7 @@ fn generate_tasks(mt: usize, nt: usize, elims: &[ElimOp]) -> Vec<Task> {
             }
         }
     }
-    tasks
+    Ok(tasks)
 }
 
 /// Two-pass CSR edge construction from last-writer tracking.
@@ -351,6 +381,41 @@ mod tests {
     fn unsorted_panels_rejected() {
         let elims = vec![ElimOp::new(1, 2, 1, true), ElimOp::new(0, 1, 0, true)];
         let _ = TaskGraph::build(3, 2, 2, &elims);
+    }
+
+    #[test]
+    fn try_build_reports_typed_errors() {
+        use crate::error::GraphError;
+        assert_eq!(TaskGraph::try_build(0, 1, 2, &[]).unwrap_err(), GraphError::EmptyMatrix);
+        assert_eq!(TaskGraph::try_build(2, 2, 0, &[]).unwrap_err(), GraphError::ZeroTileSize);
+        let unsorted = vec![ElimOp::new(1, 2, 1, true), ElimOp::new(0, 1, 0, true)];
+        assert!(matches!(
+            TaskGraph::try_build(3, 2, 2, &unsorted).unwrap_err(),
+            GraphError::UnsortedPanels { index: 1, .. }
+        ));
+        let bad_panel = vec![ElimOp::new(5, 1, 0, true)];
+        assert!(matches!(
+            TaskGraph::try_build(3, 2, 2, &bad_panel).unwrap_err(),
+            GraphError::PanelOutOfRange { panel: 5, .. }
+        ));
+        let bad_row = vec![ElimOp::new(0, 9, 0, true)];
+        assert!(matches!(
+            TaskGraph::try_build(3, 2, 2, &bad_row).unwrap_err(),
+            GraphError::RowOutOfRange { victim: 9, .. }
+        ));
+        let ts_killer = vec![ElimOp::new(0, 2, 1, true), ElimOp::new(0, 1, 0, true)];
+        assert!(matches!(
+            TaskGraph::try_build(3, 1, 2, &ts_killer).unwrap_err(),
+            GraphError::TsVictimTriangular { victim: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn try_build_accepts_valid_lists() {
+        let g = TaskGraph::try_build(4, 3, 2, &flat_elims(4, 3)).unwrap();
+        let g2 = TaskGraph::build(4, 3, 2, &flat_elims(4, 3));
+        assert_eq!(g.tasks(), g2.tasks());
+        assert_eq!(g.in_degrees(), g2.in_degrees());
     }
 
     #[test]

@@ -14,16 +14,27 @@
 //! * the `hqr-sim` crate — a discrete-event cluster simulator that replays
 //!   the DAG on a modeled distributed machine.
 
+//!
+//! Execution is fault-tolerant on request: the `try_execute_*` entry
+//! points report failures as typed [`ExecError`]s, and
+//! [`exec::try_execute_with`] adds bounded per-task retry with write-set
+//! rollback, a deterministic seeded [`FaultPlan`] for fault injection, and
+//! a stall watchdog (see `DESIGN.md`, "Fault tolerance").
+
 pub mod analysis;
 pub mod apply_graph;
 pub mod elim;
+pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod graph;
 pub mod store;
 pub mod task;
 
 pub use apply_graph::{apply_q_parallel, ApplyGraph, ApplyTask};
 pub use elim::ElimOp;
-pub use exec::{execute_parallel, execute_parallel_ib, execute_parallel_traced, execute_serial, execute_serial_ib, ExecTrace, TFactors, TaskRecord};
+pub use error::{ExecError, GraphError, StallCause, StallReport};
+pub use exec::{execute_parallel, execute_parallel_ib, execute_parallel_traced, execute_serial, execute_serial_ib, try_execute_parallel, try_execute_serial, try_execute_with, ExecTrace, TFactors, TaskRecord};
+pub use fault::{ExecOptions, FaultPlan, FaultStats};
 pub use graph::TaskGraph;
 pub use task::Task;

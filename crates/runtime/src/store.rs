@@ -8,7 +8,7 @@
 //! writer). This is precisely the contract DAGuE's runtime relies on.
 
 use crate::exec::TFactors;
-use crate::task::Task;
+use crate::task::{SlotFamily, Task};
 use hqr_kernels::blocked::{geqrt_ib, tsmqr_ib, tsqrt_ib, ttmqr_ib, ttqrt_ib, unmqr_ib};
 use hqr_kernels::{geqrt, tsmqr, tsqrt, ttmqr, ttqrt, unmqr, KernelKind, Trans};
 use hqr_tile::TiledMatrix;
@@ -30,6 +30,21 @@ pub struct TileStore {
 // obtain overlapping mutable views.
 unsafe impl Send for TileStore {}
 unsafe impl Sync for TileStore {}
+
+/// A pre-execution copy of one task's tile write-set (see
+/// [`TileStore::snapshot`]). Holds raw pointers into the store, so it is
+/// deliberately `!Send`: it lives and dies on the worker that took it.
+pub struct TaskSnapshot {
+    saved: Vec<(*mut f64, Box<[f64]>)>,
+    len: usize,
+}
+
+impl TaskSnapshot {
+    /// Number of tile buffers captured.
+    pub fn tiles(&self) -> usize {
+        self.saved.len()
+    }
+}
 
 fn ptrs(v: &mut [Option<Box<[f64]>>]) -> Vec<*mut f64> {
     v.iter_mut()
@@ -78,6 +93,52 @@ impl TileStore {
     #[inline]
     fn a(&self, i: usize, j: usize) -> &mut [f64] {
         self.slice(self.a[i + j * self.mt])
+    }
+
+    #[inline]
+    fn slot_ptr(&self, (fam, i, j): (SlotFamily, usize, usize)) -> *mut f64 {
+        let idx = i + j * self.mt;
+        match fam {
+            SlotFamily::A => self.a[idx],
+            SlotFamily::Vg => self.vg[idx],
+            SlotFamily::Tg => self.tg[idx],
+            SlotFamily::Tk => self.tk[idx],
+        }
+    }
+
+    /// Copy every buffer in `t`'s write-set, so a failed (panicked)
+    /// execution of `t` can be undone with [`TileStore::rollback`] before
+    /// re-running it. Taken *before* the first attempt; kernels may
+    /// read-modify-write their outputs, so re-execution is only idempotent
+    /// from the restored state.
+    ///
+    /// # Safety
+    /// Same contract as [`TileStore::run_task`]: no concurrent task may
+    /// touch `t`'s write set — which DAG order provides, since `t` has not
+    /// completed.
+    pub unsafe fn snapshot(&self, t: &Task) -> TaskSnapshot {
+        let len = self.b * self.b;
+        let saved = t
+            .writes()
+            .into_iter()
+            .map(|s| {
+                let p = self.slot_ptr(s);
+                debug_assert!(!p.is_null(), "write-set slot has no buffer");
+                (p, std::slice::from_raw_parts(p, len).to_vec().into_boxed_slice())
+            })
+            .collect();
+        TaskSnapshot { saved, len }
+    }
+
+    /// Restore the buffers captured by [`TileStore::snapshot`].
+    ///
+    /// # Safety
+    /// Same contract as [`TileStore::snapshot`], with `snap` taken from
+    /// this store.
+    pub unsafe fn rollback(&self, snap: &TaskSnapshot) {
+        for (p, data) in &snap.saved {
+            std::ptr::copy_nonoverlapping(data.as_ptr(), *p, snap.len);
+        }
     }
 
     /// Execute one kernel task against the store.
@@ -139,5 +200,43 @@ impl TileStore {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elim::ElimOp;
+    use crate::graph::TaskGraph;
+
+    #[test]
+    fn snapshot_rollback_restores_write_set() {
+        let (mt, nt, b) = (2, 2, 3);
+        let elims = vec![ElimOp::new(0, 1, 0, true)];
+        let g = TaskGraph::build(mt, nt, b, &elims);
+        let mut a = TiledMatrix::random(mt, nt, b, 5);
+        let before = a.to_dense();
+        let mut f = TFactors::allocate_for(&g);
+        let store = TileStore::new(&mut a, &mut f);
+        for t in g.tasks() {
+            // SAFETY: single-threaded, topological order.
+            unsafe {
+                let snap = store.snapshot(t);
+                assert_eq!(snap.tiles(), t.writes().len());
+                store.run_task(t);
+                store.rollback(&snap);
+                // Rolling back before "completion" must restore the exact
+                // pre-task bytes, so re-running is idempotent.
+                let again = store.snapshot(t);
+                store.run_task(t);
+                store.rollback(&again);
+                store.run_task(t);
+            }
+        }
+        drop(store);
+        // One clean execution of the same graph must match bitwise.
+        let mut a2 = TiledMatrix::from_dense(&before, b);
+        let _ = crate::exec::execute_serial(&g, &mut a2);
+        assert_eq!(a.to_dense().data(), a2.to_dense().data());
     }
 }

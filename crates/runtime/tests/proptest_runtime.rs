@@ -2,7 +2,9 @@
 //! valid elimination lists — not just the structured trees the library
 //! ships, but arbitrary members of the combinatorial space of §III.
 
-use hqr_runtime::{execute_parallel, execute_serial, ElimOp, TaskGraph};
+use hqr_runtime::{
+    execute_parallel, execute_serial, try_execute_with, ElimOp, ExecOptions, FaultPlan, TaskGraph,
+};
 use hqr_tile::TiledMatrix;
 use proptest::prelude::*;
 use rand::seq::SliceRandom;
@@ -66,6 +68,38 @@ proptest! {
         let _ = execute_parallel(&g, &mut a2, threads);
         let (d1, d2) = (a1.to_dense(), a2.to_dense());
         prop_assert_eq!(d1.data(), d2.data());
+    }
+
+    /// For any seeded fault plan whose per-task failure counts stay within
+    /// the retry budget, the recovered factorization is bitwise-identical
+    /// to the fault-free one — on random trees, random faulted task sets
+    /// and random thread counts.
+    #[test]
+    fn any_recoverable_fault_plan_is_bitwise_transparent(
+        mt in 2usize..8, nt in 1usize..5,
+        seed in any::<u64>(), faults in 1usize..5,
+        per_task in 1u32..3, threads in 2usize..5,
+    ) {
+        let b = 3usize;
+        let elims = random_elims(mt, nt, seed);
+        let g = TaskGraph::build(mt, nt, b, &elims);
+        let n = g.tasks().len();
+        let mut a1 = TiledMatrix::random(mt, nt, b, seed ^ 0x5EED);
+        let mut a2 = a1.clone();
+        let _ = execute_serial(&g, &mut a1);
+        let plan = FaultPlan::new(seed).fail_random_tasks(n, faults, per_task);
+        let planned = plan.failing_tasks().count();
+        let opts = ExecOptions {
+            nthreads: threads,
+            max_retries: per_task,
+            plan: Some(plan),
+            ..Default::default()
+        };
+        let (_, stats) = try_execute_with(&g, &mut a2, &opts).expect("faults within budget");
+        let (d1, d2) = (a1.to_dense(), a2.to_dense());
+        prop_assert_eq!(d1.data(), d2.data());
+        prop_assert_eq!(stats.tasks_recovered as usize, planned);
+        prop_assert!(stats.panics_caught as usize >= planned);
     }
 
     /// Any random tree produces the same R (up to diagonal signs) as the

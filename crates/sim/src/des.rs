@@ -1,11 +1,12 @@
 //! The discrete-event engine: replay a task DAG on a modeled cluster.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 
 use hqr_runtime::TaskGraph;
 use hqr_tile::Layout;
 
+use crate::fault::{FaultOverhead, SimError, SimFaultPlan};
 use crate::platform::Platform;
 
 /// Result of a simulated execution.
@@ -29,6 +30,9 @@ pub struct SimReport {
     pub messages_by_kind: [usize; 6],
     /// Per-node busy time (seconds of core-time actually computing).
     pub node_busy: Vec<f64>,
+    /// Recovery cost when the run was driven by a fault plan (see
+    /// [`simulate_with_faults`]); `None` for fault-free runs.
+    pub overhead: Option<FaultOverhead>,
 }
 
 impl SimReport {
@@ -45,10 +49,15 @@ impl SimReport {
 
 #[derive(Clone, Copy, Debug)]
 enum EventKind {
-    /// All inputs of the task are available on its node.
-    Ready(u32),
+    /// All inputs of the task are available on its node. `gen` is the
+    /// task's incarnation: a crash bumps it, invalidating queued events.
+    Ready { tid: u32, gen: u32 },
     /// The task finished executing (`gpu` records the pool it occupied).
-    Done { tid: u32, gpu: bool },
+    Done { tid: u32, gpu: bool, gen: u32 },
+    /// Node crash (index into the fault plan's crash list).
+    NodeCrash(usize),
+    /// Link degradation (index into the fault plan's degradation list).
+    LinkDegrade(usize),
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -136,21 +145,96 @@ pub fn simulate(graph: &TaskGraph, layout: &Layout, platform: &Platform) -> SimR
 }
 
 /// [`simulate`] with an explicit scheduling policy.
+///
+/// Panics on invalid input; [`simulate_with_faults`] is the fallible form.
 pub fn simulate_with_policy(
     graph: &TaskGraph,
     layout: &Layout,
     platform: &Platform,
     policy: SchedPolicy,
 ) -> SimReport {
+    match run_sim(graph, layout, platform, policy, &SimFaultPlan::new()) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Simulate under a seeded [`SimFaultPlan`]: node crashes abort the node's
+/// queued and in-flight tasks and lose every intermediate tile it produced;
+/// lineage-based recovery re-executes exactly the lost-but-still-needed
+/// producers on the surviving nodes (restaging surviving inputs over the
+/// interconnect), and link degradations worsen the LogGP parameters from
+/// their trigger time onward.
+///
+/// The returned report carries a [`FaultOverhead`] comparing against the
+/// fault-free baseline of the same configuration (run internally).
+///
+/// The original input tiles are assumed durably re-loadable (e.g. from the
+/// parallel file system); only *intermediate* results are lost with a node.
+///
+/// ```
+/// use hqr_runtime::{ElimOp, TaskGraph};
+/// use hqr_sim::{simulate_with_faults, Platform, SchedPolicy, SimFaultPlan};
+/// use hqr_tile::Layout;
+/// let elims: Vec<ElimOp> = (1..6).map(|i| ElimOp::new(0, i, 0, true)).collect();
+/// let graph = TaskGraph::build(6, 1, 120, &elims);
+/// let p = Platform { nodes: 3, cores_per_node: 2, ..Platform::edel() };
+/// let plan = SimFaultPlan::new().crash_node(1, 1e-4);
+/// let r = simulate_with_faults(&graph, &Layout::cyclic_rows(3), &p, SchedPolicy::PanelFirst, &plan)
+///     .unwrap();
+/// let o = r.overhead.unwrap();
+/// assert_eq!(o.nodes_lost, 1);
+/// assert!(o.baseline_makespan > 0.0 && r.makespan > 0.0);
+/// ```
+pub fn simulate_with_faults(
+    graph: &TaskGraph,
+    layout: &Layout,
+    platform: &Platform,
+    policy: SchedPolicy,
+    plan: &SimFaultPlan,
+) -> Result<SimReport, SimError> {
+    plan.validate(platform.nodes)?;
+    let mut report = run_sim(graph, layout, platform, policy, plan)?;
+    let baseline = if plan.is_empty() {
+        report.makespan
+    } else {
+        run_sim(graph, layout, platform, policy, &SimFaultPlan::new())?.makespan
+    };
+    let overhead = report.overhead.get_or_insert_with(FaultOverhead::default);
+    overhead.baseline_makespan = baseline;
+    overhead.makespan_inflation =
+        if baseline > 0.0 { report.makespan / baseline - 1.0 } else { 0.0 };
+    Ok(report)
+}
+
+/// Task incarnation states for the fault-aware engine. READY means a
+/// release (Ready event) is already in the event queue — the task must not
+/// be released a second time by a re-executed predecessor's completion.
+const BLOCKED: u8 = 0;
+const READY: u8 = 1;
+const ENQUEUED: u8 = 2;
+const RUNNING: u8 = 3;
+const DONE: u8 = 4;
+
+fn run_sim(
+    graph: &TaskGraph,
+    layout: &Layout,
+    platform: &Platform,
+    policy: SchedPolicy,
+    plan: &SimFaultPlan,
+) -> Result<SimReport, SimError> {
     let tasks = graph.tasks();
     let n = tasks.len();
     let nodes = platform.nodes;
-    assert!(
-        layout.nodes() <= nodes,
-        "layout addresses {} nodes but platform has {}",
-        layout.nodes(),
-        nodes
-    );
+    if layout.nodes() > nodes {
+        return Err(SimError::Config {
+            message: format!(
+                "layout addresses {} nodes but platform has {}",
+                layout.nodes(),
+                nodes
+            ),
+        });
+    }
     let b = graph.b();
     let tile_bytes = Platform::tile_bytes(b);
 
@@ -176,6 +260,34 @@ pub fn simulate_with_policy(
 
     let mut deps: Vec<u32> = graph.in_degrees().to_vec();
     let mut avail: Vec<f64> = vec![0.0; n];
+    // Fault-engine state: where each task currently lives (crashes re-home
+    // tasks onto survivors), its incarnation counter (stale queued events
+    // carry an old value), its lifecycle state, and — once done — the node
+    // holding its output tile.
+    let mut home: Vec<usize> = (0..n).map(node_of).collect();
+    let mut gen: Vec<u32> = vec![0; n];
+    let mut state: Vec<u8> = vec![BLOCKED; n];
+    let mut data_node: Vec<usize> = vec![usize::MAX; n];
+    let mut alive: Vec<bool> = vec![true; nodes];
+    // Link parameters may degrade mid-run.
+    let mut link = platform.link;
+    // Reverse adjacency, needed only for crash recovery's lineage walk.
+    let preds: Vec<Vec<u32>> = if plan.crashes().is_empty() {
+        Vec::new()
+    } else {
+        let mut p = vec![Vec::new(); n];
+        for t in 0..n {
+            for &s in graph.successors(t) {
+                p[s as usize].push(t as u32);
+            }
+        }
+        p
+    };
+    let mut reexecuted = 0usize;
+    let mut aborted = 0usize;
+    let mut resent_messages = 0usize;
+    let mut resent_bytes = 0.0f64;
+    let mut nodes_lost = 0usize;
     // Two ready queues per node: factor kernels are CPU-only, update
     // kernels may run on either pool (GPU preferred when present).
     let mut q_factor: Vec<BinaryHeap<Reverse<(u64, u32)>>> = (0..nodes).map(|_| BinaryHeap::new()).collect();
@@ -195,8 +307,15 @@ pub fn simulate_with_policy(
 
     for (tid, &d) in deps.iter().enumerate() {
         if d == 0 {
-            push(&mut events, 0.0, EventKind::Ready(tid as u32));
+            state[tid] = READY;
+            push(&mut events, 0.0, EventKind::Ready { tid: tid as u32, gen: 0 });
         }
+    }
+    for (ci, c) in plan.crashes().iter().enumerate() {
+        push(&mut events, c.at, EventKind::NodeCrash(ci));
+    }
+    for (di, d) in plan.degrades().iter().enumerate() {
+        push(&mut events, d.at, EventKind::LinkDegrade(di));
     }
 
     let mut makespan = 0.0f64;
@@ -216,9 +335,11 @@ pub fn simulate_with_policy(
                 let Some(&Reverse((_, next))) = q_update[node].peek() else { break };
                 q_update[node].pop();
                 idle_gpu[node] -= 1;
+                state[next as usize] = RUNNING;
                 let dur = platform.kernel_seconds(tasks[next as usize].kind, b) / gpu_speedup;
                 busy[node] += dur;
-                push(&mut events, $now + dur, EventKind::Done { tid: next, gpu: true });
+                let ev = EventKind::Done { tid: next, gpu: true, gen: gen[next as usize] };
+                push(&mut events, $now + dur, ev);
             }
             // Cores take the best-priority task from either queue.
             while idle[node] > 0 {
@@ -238,9 +359,11 @@ pub fn simulate_with_policy(
                 };
                 let Some(Reverse((_, next))) = next else { break };
                 idle[node] -= 1;
+                state[next as usize] = RUNNING;
                 let dur = platform.kernel_seconds(tasks[next as usize].kind, b);
                 busy[node] += dur;
-                push(&mut events, $now + dur, EventKind::Done { tid: next, gpu: false });
+                let ev = EventKind::Done { tid: next, gpu: false, gen: gen[next as usize] };
+                push(&mut events, $now + dur, ev);
             }
         }};
     }
@@ -248,8 +371,14 @@ pub fn simulate_with_policy(
     while let Some(ev) = events.pop() {
         let now = ev.time;
         match ev.kind {
-            EventKind::Ready(tid) => {
-                let node = node_of(tid as usize);
+            EventKind::Ready { tid, gen: g } => {
+                // A crash since this event was queued invalidated it; the
+                // recovery path re-enqueued the task under a newer gen.
+                if g != gen[tid as usize] {
+                    continue;
+                }
+                let node = home[tid as usize];
+                state[tid as usize] = ENQUEUED;
                 let entry = Reverse((priority(tid as usize), tid));
                 if tasks[tid as usize].kind.is_factor() {
                     q_factor[node].push(entry);
@@ -258,10 +387,17 @@ pub fn simulate_with_policy(
                 }
                 dispatch!(node, now);
             }
-            EventKind::Done { tid, gpu } => {
+            EventKind::Done { tid, gpu, gen: g } => {
+                // Stale completions belong to a crashed node: the core is
+                // gone, the output is lost — drop the event entirely.
+                if g != gen[tid as usize] {
+                    continue;
+                }
                 completed += 1;
                 makespan = makespan.max(now);
-                let src = node_of(tid as usize);
+                let src = home[tid as usize];
+                state[tid as usize] = DONE;
+                data_node[tid as usize] = src;
                 if gpu {
                     idle_gpu[src] += 1;
                 } else {
@@ -270,7 +406,13 @@ pub fn simulate_with_policy(
                 dests.clear();
                 for &s in graph.successors(tid as usize) {
                     let s = s as usize;
-                    let dst = node_of(s);
+                    // A re-executed producer only releases successors still
+                    // waiting; ones that already ran (or are queued/running
+                    // off their surviving local copy) are not re-triggered.
+                    if state[s] != BLOCKED {
+                        continue;
+                    }
+                    let dst = home[s];
                     let t_avail = if dst == src {
                         now
                     } else if let Some(&(_, arr)) = dests.iter().find(|&&(d, _)| d == dst) {
@@ -278,10 +420,10 @@ pub fn simulate_with_policy(
                     } else {
                         // Eager send with NIC serialization at both ends;
                         // the software overhead occupies both NICs.
-                        let occupancy = platform.link.overhead + tile_bytes / platform.link.bandwidth;
+                        let occupancy = link.overhead + tile_bytes / link.bandwidth;
                         let depart = now.max(nic_out[src]);
                         nic_out[src] = depart + occupancy;
-                        let arrive = (depart + platform.link.latency).max(nic_in[dst]) + occupancy;
+                        let arrive = (depart + link.latency).max(nic_in[dst]) + occupancy;
                         nic_in[dst] = arrive;
                         messages += 1;
                         messages_by_kind[hqr_runtime::analysis::kind_index(tasks[tid as usize].kind)] += 1;
@@ -292,19 +434,143 @@ pub fn simulate_with_policy(
                     avail[s] = avail[s].max(t_avail);
                     deps[s] -= 1;
                     if deps[s] == 0 {
-                        push(&mut events, avail[s], EventKind::Ready(s as u32));
+                        state[s] = READY;
+                        push(&mut events, avail[s], EventKind::Ready { tid: s as u32, gen: gen[s] });
                     }
                 }
                 // The freed core/device may pick up queued work.
                 dispatch!(src, now);
             }
+            EventKind::LinkDegrade(di) => {
+                let d = plan.degrades()[di];
+                link.bandwidth *= d.bandwidth_factor;
+                link.latency *= d.latency_factor;
+            }
+            EventKind::NodeCrash(ci) => {
+                let x = plan.crashes()[ci].node;
+                if !alive[x] {
+                    continue;
+                }
+                alive[x] = false;
+                nodes_lost += 1;
+                let survivors: Vec<usize> = (0..nodes).filter(|&m| alive[m]).collect();
+                debug_assert!(!survivors.is_empty(), "plan validation keeps a survivor");
+                q_factor[x].clear();
+                q_update[x].clear();
+                idle[x] = 0;
+                idle_gpu[x] = 0;
+                // Every unfinished task living on the node aborts and is
+                // deterministically re-homed onto a survivor; `restage`
+                // marks tasks whose inputs must be (re)staged to a new home.
+                let mut restage = vec![false; n];
+                for t in 0..n {
+                    if state[t] != DONE && home[t] == x {
+                        if state[t] == RUNNING {
+                            aborted += 1;
+                        }
+                        gen[t] = gen[t].wrapping_add(1);
+                        state[t] = BLOCKED;
+                        home[t] = survivors[t % survivors.len()];
+                        restage[t] = true;
+                    }
+                }
+                // Lineage closure. Delivery is eager: consumers already hold
+                // local copies of every input delivered to their node, so a
+                // lost output is only re-produced when a *re-homed* task
+                // (whose new node holds nothing) transitively needs it.
+                // Completed tasks whose output tile sat on a dead node
+                // rejoin the unfinished set and are re-homed themselves.
+                let mut work: Vec<usize> = (0..n).filter(|&t| restage[t]).collect();
+                while let Some(t) = work.pop() {
+                    for &p in &preds[t] {
+                        let p = p as usize;
+                        if state[p] == DONE && !alive[data_node[p]] {
+                            state[p] = BLOCKED;
+                            gen[p] = gen[p].wrapping_add(1);
+                            completed -= 1;
+                            reexecuted += 1;
+                            if !alive[home[p]] {
+                                home[p] = survivors[p % survivors.len()];
+                            }
+                            restage[p] = true;
+                            work.push(p);
+                        }
+                    }
+                }
+                // Rebuild in-degrees over the unfinished subgraph: tasks
+                // already queued or running proceed off their local copies,
+                // so only BLOCKED tasks wait on the recovery re-executions.
+                for t in 0..n {
+                    if state[t] != DONE {
+                        deps[t] =
+                            preds[t].iter().filter(|&&p| state[p as usize] != DONE).count() as u32;
+                    }
+                }
+                // Restage surviving inputs onto the new homes (counted as
+                // recovery traffic) and re-release tasks with no unfinished
+                // predecessors. One transfer per (producer, destination).
+                let mut sent: BTreeMap<(u32, usize), f64> = BTreeMap::new();
+                for t in 0..n {
+                    if !restage[t] {
+                        continue;
+                    }
+                    let dst = home[t];
+                    let mut at = now;
+                    for &p in &preds[t] {
+                        let p = p as usize;
+                        if state[p] != DONE {
+                            continue;
+                        }
+                        let h = data_node[p];
+                        if h == dst {
+                            continue;
+                        }
+                        let arrive = *sent.entry((p as u32, dst)).or_insert_with(|| {
+                            let occupancy = link.overhead + tile_bytes / link.bandwidth;
+                            let depart = now.max(nic_out[h]);
+                            nic_out[h] = depart + occupancy;
+                            let arrive = (depart + link.latency).max(nic_in[dst]) + occupancy;
+                            nic_in[dst] = arrive;
+                            messages += 1;
+                            resent_messages += 1;
+                            messages_by_kind
+                                [hqr_runtime::analysis::kind_index(tasks[p].kind)] += 1;
+                            bytes += tile_bytes;
+                            resent_bytes += tile_bytes;
+                            arrive
+                        });
+                        at = at.max(arrive);
+                    }
+                    avail[t] = at;
+                    if deps[t] == 0 {
+                        state[t] = READY;
+                        push(&mut events, at, EventKind::Ready { tid: t as u32, gen: gen[t] });
+                    }
+                }
+            }
         }
     }
-    assert_eq!(completed, n, "simulation deadlocked: {completed}/{n} tasks ran");
+    if completed != n {
+        return Err(SimError::Deadlock { completed, total: n });
+    }
 
     let total_flops = graph.total_flops();
     let gflops = if makespan > 0.0 { total_flops / makespan / 1e9 } else { 0.0 };
-    SimReport {
+    let overhead = if plan.is_empty() {
+        None
+    } else {
+        // Baseline fields are filled in by `simulate_with_faults`.
+        Some(FaultOverhead {
+            baseline_makespan: 0.0,
+            makespan_inflation: 0.0,
+            reexecuted_tasks: reexecuted,
+            aborted_tasks: aborted,
+            resent_messages,
+            resent_bytes,
+            nodes_lost,
+        })
+    };
+    Ok(SimReport {
         makespan,
         total_flops,
         gflops,
@@ -313,7 +579,8 @@ pub fn simulate_with_policy(
         bytes,
         messages_by_kind,
         node_busy: busy,
-    }
+        overhead,
+    })
 }
 
 #[cfg(test)]

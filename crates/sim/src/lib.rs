@@ -22,8 +22,10 @@
 //! simulator reproduces faithfully from the real DAGs.
 
 pub mod des;
+pub mod fault;
 pub mod platform;
 pub mod scalapack;
 
-pub use des::{simulate, simulate_with_policy, SchedPolicy, SimReport};
+pub use des::{simulate, simulate_with_faults, simulate_with_policy, SchedPolicy, SimReport};
+pub use fault::{FaultOverhead, LinkDegrade, NodeCrash, SimError, SimFaultPlan};
 pub use platform::{Accelerators, KernelRates, LinkModel, Platform};

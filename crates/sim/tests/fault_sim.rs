@@ -1,0 +1,182 @@
+//! Fault-injection tests for the discrete-event simulator: node crashes
+//! must recover via lineage re-execution (never deadlock), link faults must
+//! only slow things down, and every faulty run must stay deterministic.
+
+use hqr_runtime::{ElimOp, TaskGraph};
+use hqr_sim::{simulate, simulate_with_faults, Platform, SchedPolicy, SimError, SimFaultPlan};
+use hqr_tile::Layout;
+
+fn flat_elims(mt: usize, nt: usize) -> Vec<ElimOp> {
+    let mut v = Vec::new();
+    for k in 0..mt.min(nt) {
+        for i in (k + 1)..mt {
+            v.push(ElimOp::new(k as u32, i as u32, k as u32, true));
+        }
+    }
+    v
+}
+
+fn binary_elims(mt: usize, nt: usize) -> Vec<ElimOp> {
+    let mut v = Vec::new();
+    for k in 0..mt.min(nt) {
+        let rows: Vec<u32> = (k as u32..mt as u32).collect();
+        let mut stride = 1;
+        while stride < rows.len() {
+            let mut idx = 0;
+            while idx + stride < rows.len() {
+                v.push(ElimOp::new(k as u32, rows[idx + stride], rows[idx], false));
+                idx += 2 * stride;
+            }
+            stride *= 2;
+        }
+    }
+    v
+}
+
+fn test_platform(nodes: usize) -> Platform {
+    Platform { nodes, cores_per_node: 2, ..Platform::edel() }
+}
+
+/// Acceptance criterion: a node crash at t > 0 completes all tasks, with a
+/// makespan at least the fault-free one and a non-empty re-execution set.
+#[test]
+fn node_crash_mid_run_recovers_with_overhead() {
+    let (mt, nt, b) = (12, 6, 40);
+    let g = TaskGraph::build(mt, nt, b, &binary_elims(mt, nt));
+    let p = test_platform(3);
+    let lay = Layout::cyclic_rows(3);
+    let baseline = simulate(&g, &lay, &p);
+    // Crash a node ~30% into the fault-free makespan: plenty completed,
+    // plenty left to poison downstream.
+    let plan = SimFaultPlan::new().crash_node(1, 0.3 * baseline.makespan);
+    let r = simulate_with_faults(&g, &lay, &p, SchedPolicy::PanelFirst, &plan)
+        .expect("recovery must complete");
+    let o = r.overhead.as_ref().expect("faulty run reports overhead");
+    assert_eq!(o.baseline_makespan, baseline.makespan);
+    assert_eq!(o.nodes_lost, 1);
+    assert!(r.makespan >= baseline.makespan, "{} < {}", r.makespan, baseline.makespan);
+    assert!(o.makespan_inflation >= 0.0);
+    assert!(o.reexecuted_tasks > 0, "lineage closure must re-run lost producers: {o:?}");
+    assert!(o.resent_messages <= r.messages);
+    assert!(o.resent_bytes <= r.bytes);
+    assert_eq!(r.messages_by_kind.iter().sum::<usize>(), r.messages);
+}
+
+#[test]
+fn crash_after_completion_costs_nothing() {
+    let (mt, nt, b) = (8, 4, 40);
+    let g = TaskGraph::build(mt, nt, b, &flat_elims(mt, nt));
+    let p = test_platform(2);
+    let lay = Layout::cyclic_rows(2);
+    let baseline = simulate(&g, &lay, &p);
+    let plan = SimFaultPlan::new().crash_node(0, 10.0 * baseline.makespan);
+    let r = simulate_with_faults(&g, &lay, &p, SchedPolicy::PanelFirst, &plan).unwrap();
+    let o = r.overhead.unwrap();
+    assert_eq!(r.makespan, baseline.makespan);
+    assert_eq!(o.reexecuted_tasks, 0);
+    assert_eq!(o.aborted_tasks, 0);
+    assert_eq!(o.resent_messages, 0);
+}
+
+#[test]
+fn crash_at_time_zero_runs_everything_on_survivors() {
+    let (mt, nt, b) = (8, 4, 40);
+    let g = TaskGraph::build(mt, nt, b, &flat_elims(mt, nt));
+    let p = test_platform(3);
+    let lay = Layout::cyclic_rows(3);
+    let plan = SimFaultPlan::new().crash_node(2, 0.0);
+    let r = simulate_with_faults(&g, &lay, &p, SchedPolicy::PanelFirst, &plan).unwrap();
+    let o = r.overhead.unwrap();
+    // Nothing had completed, so nothing re-executes — work just re-homes.
+    assert_eq!(o.reexecuted_tasks, 0);
+    assert!(r.node_busy[2] == 0.0, "dead node must do no work");
+}
+
+#[test]
+fn link_degradation_inflates_makespan_without_losing_work() {
+    let (mt, nt, b) = (10, 5, 40);
+    let g = TaskGraph::build(mt, nt, b, &binary_elims(mt, nt));
+    let p = test_platform(4);
+    let lay = Layout::cyclic_rows(4);
+    let baseline = simulate(&g, &lay, &p);
+    // Collapse bandwidth to 2% and 10x the latency from the start.
+    let plan = SimFaultPlan::new().degrade_link(0.0, 0.02, 10.0);
+    let r = simulate_with_faults(&g, &lay, &p, SchedPolicy::PanelFirst, &plan).unwrap();
+    let o = r.overhead.unwrap();
+    assert!(r.makespan > baseline.makespan, "{} vs {}", r.makespan, baseline.makespan);
+    assert!(o.makespan_inflation > 0.0);
+    assert_eq!(o.reexecuted_tasks, 0);
+    assert_eq!(r.messages, baseline.messages, "degradation drops no traffic");
+}
+
+#[test]
+fn empty_plan_matches_fault_free_run() {
+    let (mt, nt, b) = (6, 3, 40);
+    let g = TaskGraph::build(mt, nt, b, &flat_elims(mt, nt));
+    let p = test_platform(2);
+    let lay = Layout::cyclic_rows(2);
+    let r0 = simulate(&g, &lay, &p);
+    let r1 =
+        simulate_with_faults(&g, &lay, &p, SchedPolicy::PanelFirst, &SimFaultPlan::new()).unwrap();
+    assert_eq!(r0.makespan, r1.makespan);
+    assert_eq!(r0.messages, r1.messages);
+    assert!(r1.overhead.is_some(), "fallible API always reports overhead");
+    assert_eq!(r1.overhead.unwrap().makespan_inflation, 0.0);
+}
+
+#[test]
+fn faulty_runs_are_deterministic() {
+    let (mt, nt, b) = (10, 5, 40);
+    let g = TaskGraph::build(mt, nt, b, &binary_elims(mt, nt));
+    let p = test_platform(3);
+    let lay = Layout::cyclic_rows(3);
+    let base = simulate(&g, &lay, &p).makespan;
+    let plan = SimFaultPlan::new().crash_node(0, 0.4 * base).degrade_link(0.1 * base, 0.5, 2.0);
+    let r1 = simulate_with_faults(&g, &lay, &p, SchedPolicy::PanelFirst, &plan).unwrap();
+    let r2 = simulate_with_faults(&g, &lay, &p, SchedPolicy::PanelFirst, &plan).unwrap();
+    assert_eq!(r1.makespan, r2.makespan);
+    assert_eq!(r1.messages, r2.messages);
+    assert_eq!(r1.bytes, r2.bytes);
+    assert_eq!(r1.overhead, r2.overhead);
+}
+
+#[test]
+fn double_crash_still_recovers_onto_last_survivor() {
+    let (mt, nt, b) = (8, 4, 40);
+    let g = TaskGraph::build(mt, nt, b, &flat_elims(mt, nt));
+    let p = test_platform(3);
+    let lay = Layout::cyclic_rows(3);
+    let base = simulate(&g, &lay, &p).makespan;
+    let plan = SimFaultPlan::new().crash_node(0, 0.2 * base).crash_node(1, 0.5 * base);
+    let r = simulate_with_faults(&g, &lay, &p, SchedPolicy::PanelFirst, &plan).unwrap();
+    let o = r.overhead.unwrap();
+    assert_eq!(o.nodes_lost, 2);
+    assert!(r.makespan >= base);
+}
+
+#[test]
+fn crashing_every_node_is_rejected() {
+    let g = TaskGraph::build(4, 2, 40, &flat_elims(4, 2));
+    let p = test_platform(2);
+    let plan = SimFaultPlan::new().crash_node(0, 0.1).crash_node(1, 0.2);
+    match simulate_with_faults(&g, &Layout::cyclic_rows(2), &p, SchedPolicy::PanelFirst, &plan) {
+        Err(SimError::AllNodesCrashed { nodes: 2 }) => {}
+        other => panic!("expected AllNodesCrashed, got {other:?}"),
+    }
+}
+
+#[test]
+fn invalid_layout_is_a_typed_error_in_the_fallible_api() {
+    let g = TaskGraph::build(4, 2, 40, &flat_elims(4, 2));
+    let p = test_platform(2);
+    match simulate_with_faults(
+        &g,
+        &Layout::cyclic_rows(4),
+        &p,
+        SchedPolicy::PanelFirst,
+        &SimFaultPlan::new(),
+    ) {
+        Err(SimError::Config { message }) => assert!(message.contains("layout addresses")),
+        other => panic!("expected Config error, got {other:?}"),
+    }
+}

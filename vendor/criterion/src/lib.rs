@@ -1,0 +1,335 @@
+//! Offline stand-in for `criterion` (0.5 API subset).
+//!
+//! Implements exactly the surface the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`/`bench_with_input`, `Bencher::iter`/`iter_batched`,
+//! `Throughput`, `BenchmarkId`, `black_box` — with a simple
+//! median-of-samples timer instead of criterion's statistical machinery.
+//! Output is one line per benchmark (time per iteration, plus derived
+//! throughput when declared). `--test` (as passed by `cargo test`) runs
+//! each benchmark once and skips measurement.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How iteration inputs are sized/batched (subset; all variants behave the
+/// same here: one fresh input per measured iteration).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Declared per-iteration throughput, used to derive rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements (for these benches: flops) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus parameter.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new<N: Display, P: Display>(name: N, parameter: P) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    /// Parameter-only id (criterion's `from_parameter`).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Anything usable as a benchmark id.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher<'a> {
+    samples: usize,
+    test_mode: bool,
+    result_ns: &'a mut Option<f64>,
+}
+
+impl Bencher<'_> {
+    /// Time `routine` (median over the configured samples).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            times.push(t0.elapsed().as_secs_f64() * 1e9);
+        }
+        times.sort_by(f64::total_cmp);
+        *self.result_ns = Some(times[times.len() / 2]);
+    }
+
+    /// Time `routine` over fresh inputs from `setup` (setup untimed).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            times.push(t0.elapsed().as_secs_f64() * 1e9);
+        }
+        times.sort_by(f64::total_cmp);
+        *self.result_ns = Some(times[times.len() / 2]);
+    }
+
+    /// `iter_batched` variant taking the input by reference.
+    pub fn iter_batched_ref<I, O, S: FnMut() -> I, R: FnMut(&mut I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        if self.test_mode {
+            black_box(routine(&mut setup()));
+            return;
+        }
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let mut input = setup();
+            let t0 = Instant::now();
+            black_box(routine(&mut input));
+            times.push(t0.elapsed().as_secs_f64() * 1e9);
+        }
+        times.sort_by(f64::total_cmp);
+        *self.result_ns = Some(times[times.len() / 2]);
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher<'_>)>(&mut self, id: String, mut f: F) {
+        let mut result_ns = None;
+        let mut b = Bencher {
+            samples: self.criterion.sample_size,
+            test_mode: self.criterion.test_mode,
+            result_ns: &mut result_ns,
+        };
+        f(&mut b);
+        let full = format!("{}/{}", self.name, id);
+        match result_ns {
+            None => println!("{full}: ok (test mode)"),
+            Some(ns) => {
+                let rate = self.throughput.map(|t| match t {
+                    Throughput::Elements(n) => {
+                        format!("  {:.2} Gelem/s", n as f64 / ns)
+                    }
+                    Throughput::Bytes(n) => format!("  {:.2} GB/s", n as f64 / ns),
+                });
+                println!("{full}: {} /iter{}", human_time(ns), rate.unwrap_or_default());
+            }
+        }
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        self.run(id.into_id(), f);
+        self
+    }
+
+    /// Run a parameterized benchmark in this group.
+    pub fn bench_with_input<I: IntoBenchmarkId, P: ?Sized, F: FnMut(&mut Bencher<'_>, &P)>(
+        &mut self,
+        id: I,
+        input: &P,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(id.into_id(), |b| f(b, input));
+        self
+    }
+
+    /// End the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` invokes harness=false bench binaries with `--test`;
+        // `cargo bench` passes `--bench`. Only measure in the latter case.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { sample_size: 10, test_mode }
+    }
+}
+
+impl Criterion {
+    /// Set how many samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in is sample-count based.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group<N: Display>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        let name = name.to_string();
+        BenchmarkGroup { criterion: self, name, throughput: None }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let mut g = BenchmarkGroup {
+            criterion: self,
+            name: "bench".to_string(),
+            throughput: None,
+        };
+        g.run(id.into_id(), f);
+        self
+    }
+
+    /// Print the closing summary (no-op).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declare a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        c.test_mode = false;
+        let mut g = c.benchmark_group("demo");
+        g.throughput(Throughput::Elements(1000));
+        let mut ran = 0u32;
+        g.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+            ran += 1;
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+            ran += 1;
+        });
+        g.finish();
+        assert_eq!(ran, 2);
+    }
+}

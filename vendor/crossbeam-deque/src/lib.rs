@@ -1,0 +1,270 @@
+//! Offline stand-in for `crossbeam-deque` (0.8 API subset).
+//!
+//! The real crate implements the Chase–Lev lock-free deque; this stand-in
+//! uses a mutex-protected `VecDeque` per worker. Semantics (LIFO owner pop,
+//! FIFO steal from the opposite end, batched injector steals) match the
+//! original, so executor code is oblivious to the swap; only raw throughput
+//! differs, which the tests and the DES simulator do not depend on.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Result of a steal attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was observed empty.
+    Empty,
+    /// One item was stolen.
+    Success(T),
+    /// The operation lost a race and may be retried.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// Did the attempt ask to be retried?
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+
+    /// Was the queue empty?
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// The stolen item, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Chain steal attempts: keep the first success, remember retries.
+    pub fn or_else<F: FnOnce() -> Steal<T>>(self, f: F) -> Steal<T> {
+        match self {
+            Steal::Success(t) => Steal::Success(t),
+            Steal::Empty => f(),
+            Steal::Retry => match f() {
+                Steal::Success(t) => Steal::Success(t),
+                // A retry anywhere in the chain must surface as Retry.
+                _ => Steal::Retry,
+            },
+        }
+    }
+}
+
+/// First success wins; any retry (absent a success) yields `Retry`.
+impl<T> FromIterator<Steal<T>> for Steal<T> {
+    fn from_iter<I: IntoIterator<Item = Steal<T>>>(iter: I) -> Steal<T> {
+        let mut retry = false;
+        for s in iter {
+            match s {
+                Steal::Success(t) => return Steal::Success(t),
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+        }
+        if retry {
+            Steal::Retry
+        } else {
+            Steal::Empty
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Flavor {
+    Fifo,
+    Lifo,
+}
+
+/// The owner side of a per-thread deque.
+pub struct Worker<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+    flavor: Flavor,
+}
+
+impl<T> Worker<T> {
+    /// A deque whose owner pops in FIFO order.
+    pub fn new_fifo() -> Self {
+        Worker { inner: Arc::new(Mutex::new(VecDeque::new())), flavor: Flavor::Fifo }
+    }
+
+    /// A deque whose owner pops in LIFO order (data-reuse scheduling).
+    pub fn new_lifo() -> Self {
+        Worker { inner: Arc::new(Mutex::new(VecDeque::new())), flavor: Flavor::Lifo }
+    }
+
+    /// Push onto the owner's end.
+    pub fn push(&self, task: T) {
+        self.inner.lock().unwrap().push_back(task);
+    }
+
+    /// Pop from the owner's end.
+    pub fn pop(&self) -> Option<T> {
+        let mut q = self.inner.lock().unwrap();
+        match self.flavor {
+            Flavor::Lifo => q.pop_back(),
+            Flavor::Fifo => q.pop_front(),
+        }
+    }
+
+    /// Is the deque empty right now?
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().unwrap().is_empty()
+    }
+
+    /// A handle other threads use to steal from this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer { inner: Arc::clone(&self.inner) }
+    }
+}
+
+/// The thief side of a worker's deque; steals FIFO.
+pub struct Stealer<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steal one item from the cold end.
+    pub fn steal(&self) -> Steal<T> {
+        match self.inner.lock().unwrap().pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+}
+
+/// A global FIFO injection queue.
+pub struct Injector<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// An empty injector.
+    pub fn new() -> Self {
+        Injector { inner: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Push a task into the global queue.
+    pub fn push(&self, task: T) {
+        self.inner.lock().unwrap().push_back(task);
+    }
+
+    /// Steal one task.
+    pub fn steal(&self) -> Steal<T> {
+        match self.inner.lock().unwrap().pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steal a batch into `dest`'s deque and pop one task for the caller.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        const BATCH: usize = 4;
+        let mut q = self.inner.lock().unwrap();
+        let Some(first) = q.pop_front() else {
+            return Steal::Empty;
+        };
+        let mut moved = Vec::new();
+        for _ in 0..BATCH {
+            match q.pop_front() {
+                Some(t) => moved.push(t),
+                None => break,
+            }
+        }
+        drop(q);
+        let mut dq = dest.inner.lock().unwrap();
+        for t in moved {
+            dq.push_back(t);
+        }
+        Steal::Success(first)
+    }
+
+    /// Is the queue empty right now?
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().unwrap().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_owner_fifo_thief() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal().success(), Some(1), "thief takes the cold end");
+        assert_eq!(w.pop(), Some(3), "owner takes the hot end");
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn injector_batch_moves_work() {
+        let inj = Injector::new();
+        for i in 0..8 {
+            inj.push(i);
+        }
+        let w = Worker::new_fifo();
+        assert_eq!(inj.steal_batch_and_pop(&w).success(), Some(0));
+        assert!(!w.is_empty(), "batch landed in the worker deque");
+        let drained: Vec<i32> = std::iter::from_fn(|| w.pop()).collect();
+        assert_eq!(drained, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn steal_collect_prefers_success() {
+        let all: Steal<u32> = [Steal::Empty, Steal::Retry, Steal::Success(9)].into_iter().collect();
+        assert_eq!(all.success(), Some(9));
+        let retry: Steal<u32> = [Steal::Empty, Steal::Retry].into_iter().collect();
+        assert!(retry.is_retry());
+        let empty: Steal<u32> = [Steal::Empty::<u32>, Steal::Empty].into_iter().collect();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn concurrent_stealing_loses_nothing() {
+        let inj = std::sync::Arc::new(Injector::new());
+        let n = 1000;
+        for i in 0..n {
+            inj.push(i);
+        }
+        let total = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let inj = &inj;
+                let total = &total;
+                scope.spawn(move || {
+                    let w = Worker::new_lifo();
+                    loop {
+                        let got = w.pop().or_else(|| inj.steal_batch_and_pop(&w).success());
+                        match got {
+                            Some(_) => {
+                                total.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            }
+                            None => break,
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), n);
+    }
+}

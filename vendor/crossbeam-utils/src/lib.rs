@@ -1,0 +1,72 @@
+//! Offline stand-in for `crossbeam-utils` (0.8 API subset): [`Backoff`].
+
+use std::cell::Cell;
+
+const SPIN_LIMIT: u32 = 6;
+const YIELD_LIMIT: u32 = 10;
+
+/// Exponential backoff for spin loops, mirroring
+/// `crossbeam_utils::Backoff`: brief busy-spins first, then cooperative
+/// yields once contention persists.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: Cell<u32>,
+}
+
+impl Backoff {
+    /// A fresh backoff at the lowest delay.
+    pub fn new() -> Self {
+        Backoff { step: Cell::new(0) }
+    }
+
+    /// Reset to the lowest delay (call after useful work).
+    pub fn reset(&self) {
+        self.step.set(0);
+    }
+
+    /// Busy-spin briefly (for optimistic retry loops).
+    pub fn spin(&self) {
+        for _ in 0..1u32 << self.step.get().min(SPIN_LIMIT) {
+            std::hint::spin_loop();
+        }
+        if self.step.get() <= SPIN_LIMIT {
+            self.step.set(self.step.get() + 1);
+        }
+    }
+
+    /// Spin, escalating to `thread::yield_now` when waiting persists.
+    pub fn snooze(&self) {
+        if self.step.get() <= SPIN_LIMIT {
+            for _ in 0..1u32 << self.step.get() {
+                std::hint::spin_loop();
+            }
+        } else {
+            std::thread::yield_now();
+        }
+        if self.step.get() <= YIELD_LIMIT {
+            self.step.set(self.step.get() + 1);
+        }
+    }
+
+    /// Has the backoff escalated past spinning? Callers may then park.
+    pub fn is_completed(&self) -> bool {
+        self.step.get() > YIELD_LIMIT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escalates_then_resets() {
+        let b = Backoff::new();
+        assert!(!b.is_completed());
+        for _ in 0..=YIELD_LIMIT {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+        b.reset();
+        assert!(!b.is_completed());
+    }
+}

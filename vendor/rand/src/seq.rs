@@ -1,0 +1,58 @@
+//! Slice sampling helpers (subset of `rand::seq`).
+
+use crate::{Rng, RngCore};
+
+/// Extension trait over slices (subset of `rand::seq::SliceRandom`).
+pub trait SliceRandom {
+    type Item;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+    /// Uniformly random element, `None` on an empty slice.
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_handles_empty() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        assert!([1u8, 2, 3].choose(&mut rng).is_some());
+    }
+}
