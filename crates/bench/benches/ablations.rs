@@ -22,7 +22,19 @@ fn grid_shapes() -> Vec<(usize, usize)> {
     if quick() {
         vec![(60, 1), (15, 4), (4, 15)]
     } else {
-        vec![(60, 1), (30, 2), (20, 3), (15, 4), (12, 5), (10, 6), (6, 10), (5, 12), (4, 15), (2, 30), (1, 60)]
+        vec![
+            (60, 1),
+            (30, 2),
+            (20, 3),
+            (15, 4),
+            (12, 5),
+            (10, 6),
+            (6, 10),
+            (5, 12),
+            (4, 15),
+            (2, 30),
+            (1, 60),
+        ]
     }
 }
 
@@ -32,7 +44,9 @@ fn main() {
     println!("# Ablation 1: scheduling policy (HQR, 15x4 grid, b = 280)");
     println!("| matrix | policy | GFlop/s | % peak |");
     println!("|---|---|---|---|");
-    for (mt, nt, tag) in [(1024usize, 16usize, "tall-skinny 286720x4480"), (240, 240, "square 67200x67200")] {
+    for (mt, nt, tag) in
+        [(1024usize, 16usize, "tall-skinny 286720x4480"), (240, 240, "square 67200x67200")]
+    {
         let setup = if mt > nt {
             baselines::hqr_tall_skinny(mt, nt, ProcessGrid::new(15, 4))
         } else {
@@ -126,10 +140,7 @@ fn main() {
     let g_hs = TaskGraph::build(nsq, nsq, B, &h_s.elims.to_ops());
     let g_bs = TaskGraph::build(nsq, nsq, B, &b_s.elims.to_ops());
     for overhead_us in [0.0f64, 50.0, 200.0, 500.0] {
-        let plat = Platform {
-            link: p.link.with_overhead(overhead_us * 1e-6),
-            ..p
-        };
+        let plat = Platform { link: p.link.with_overhead(overhead_us * 1e-6), ..p };
         let run = |g: &TaskGraph, lay: &Layout| {
             simulate_with_policy(g, lay, &plat, SchedPolicy::PanelFirst).gflops
         };
@@ -149,7 +160,12 @@ fn main() {
     println!("| matrix | low tree | a | GPUs | GFlop/s |");
     println!("|---|---|---|---|---|");
     let (mt_g, nt_g) = (512usize, 16usize);
-    for (low, a) in [(TreeKind::Flat, 1usize), (TreeKind::Flat, 4), (TreeKind::Greedy, 1), (TreeKind::Greedy, 4)] {
+    for (low, a) in [
+        (TreeKind::Flat, 1usize),
+        (TreeKind::Flat, 4),
+        (TreeKind::Greedy, 1),
+        (TreeKind::Greedy, 4),
+    ] {
         let cfg = HqrConfig::new(15, 4)
             .with_a(a)
             .with_low(low)

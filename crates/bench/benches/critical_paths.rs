@@ -46,7 +46,8 @@ fn main() {
             ("a=4, flat/flat, no domino", 4, TreeKind::Flat, TreeKind::Flat, false),
             ("a=4, flat/flat, domino", 4, TreeKind::Flat, TreeKind::Flat, true),
         ] {
-            let cfg = HqrConfig::new(15, 4).with_a(a).with_low(low).with_high(high).with_domino(domino);
+            let cfg =
+                HqrConfig::new(15, 4).with_a(a).with_low(low).with_high(high).with_domino(domino);
             report(label, mt, nt, &cfg.elimination_list(mt, nt));
         }
     }
@@ -58,5 +59,8 @@ fn main() {
     };
     let flat = cp(&Schedule::flat(68, 16).to_elim_list(true));
     let greedy = cp(&Schedule::greedy(68, 16).to_elim_list(false));
-    println!("flat CP = {flat}, greedy CP = {greedy}, ratio = {:.2} (paper model: 2.6)", flat / greedy);
+    println!(
+        "flat CP = {flat}, greedy CP = {greedy}, ratio = {:.2} (paper model: 2.6)",
+        flat / greedy
+    );
 }

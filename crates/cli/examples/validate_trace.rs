@@ -1,0 +1,33 @@
+//! Schema-validate Chrome Trace Format files (as `hqr trace` emits and
+//! Perfetto loads). Used by CI on the generated trace artifacts.
+//!
+//! ```sh
+//! cargo run -p hqr-cli --example validate_trace -- a.trace.json b.trace.json
+//! ```
+
+use hqr_runtime::validate_chrome_trace;
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: validate_trace FILE.trace.json [FILE...]");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        match std::fs::read_to_string(path) {
+            Ok(text) => match validate_chrome_trace(&text) {
+                Ok(events) => println!("{path}: OK ({events} events)"),
+                Err(e) => {
+                    eprintln!("{path}: INVALID: {e}");
+                    failed = true;
+                }
+            },
+            Err(e) => {
+                eprintln!("{path}: unreadable: {e}");
+                failed = true;
+            }
+        }
+    }
+    std::process::exit(i32::from(failed));
+}

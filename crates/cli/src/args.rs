@@ -67,7 +67,8 @@ impl Args {
 
     /// Boolean flag (present or `--key true/false`).
     pub fn flag(&self, key: &str) -> bool {
-        self.flags.iter().any(|f| f == key) || self.get(key).is_some_and(|v| v == "true" || v == "1")
+        self.flags.iter().any(|f| f == key)
+            || self.get(key).is_some_and(|v| v == "true" || v == "1")
     }
 
     /// A `PxQ` grid specification.

@@ -3,9 +3,16 @@
 use crate::args::Args;
 use hqr::baselines;
 use hqr::prelude::*;
-use hqr_runtime::{analysis, execute_serial, try_execute_with, ExecOptions, FaultPlan, TaskGraph};
+use hqr_runtime::trace::{chrome_trace_from_exec, realized_critical_path, RealizedPath};
+use hqr_runtime::{
+    analysis, execute_serial, try_execute_traced, try_execute_with, ExecOptions, FaultPlan,
+    TaskGraph,
+};
 use hqr_sim::scalapack::ScalapackModel;
-use hqr_sim::{simulate_with_faults, simulate_with_policy, Platform, SchedPolicy, SimFaultPlan};
+use hqr_sim::{
+    simulate_traced, simulate_with_faults, simulate_with_policy, Platform, SchedPolicy,
+    SimFaultPlan,
+};
 use hqr_tile::{ProcessGrid, TiledMatrix};
 use std::time::Instant;
 
@@ -28,6 +35,15 @@ USAGE:
       inject a seeded fault schedule: panic K random kernel tasks in a real
       parallel factorization (verifying bitwise recovery), then crash a
       simulated node mid-run and report the lineage-recovery overhead
+  hqr trace    [--backend exec|sim --out FILE.trace.json
+                --rows R --cols C --tile B --grid PxQ --a A --low TREE
+                --high TREE --domino
+                exec: --threads T --seed S --fail K --retries N
+                sim:  --nodes N --cores C --policy POLICY --gpus G
+                      --gpu-speedup X --crash-node X --crash-frac F]
+      run either backend with timeline recording, write a Chrome Trace
+      Format JSON (open at https://ui.perfetto.dev), and print a summary
+      (utilization, steal counts, top realized-critical-path tasks)
   hqr schedule [--rows MT --cols NT --tree TREE --panels P]
       print the coarse-grain unit-time schedule (Tables I-IV)
   hqr trees    [--size Z]
@@ -144,8 +160,7 @@ pub fn simulate(args: &Args) -> i32 {
     let rows = args.usize_or("rows", 71_680);
     let cols = args.usize_or("cols", 4_480);
     let grid = args.grid_or("grid", (15, 4));
-    if let Some(code) =
-        require_positive(&[("tile", b), ("grid (P)", grid.0), ("grid (Q)", grid.1)])
+    if let Some(code) = require_positive(&[("tile", b), ("grid (P)", grid.0), ("grid (Q)", grid.1)])
     {
         return code;
     }
@@ -217,7 +232,11 @@ pub fn simulate(args: &Args) -> i32 {
     };
     let rep = simulate_with_policy(&graph, &setup.layout, &platform, policy);
     println!("tasks     : {} ({} edges)", graph.tasks().len(), graph.edge_count());
-    println!("makespan  : {:.3} s (simulated; wall {:.2} s)", rep.makespan, t0.elapsed().as_secs_f64());
+    println!(
+        "makespan  : {:.3} s (simulated; wall {:.2} s)",
+        rep.makespan,
+        t0.elapsed().as_secs_f64()
+    );
     println!("GFlop/s   : {:.1} ({:.1}% of peak)", rep.gflops, 100.0 * rep.efficiency);
     println!("messages  : {} ({:.2} GB)", rep.messages, rep.bytes / 1e9);
     if rep.messages > 0 {
@@ -338,12 +357,21 @@ pub fn fault(args: &Args) -> i32 {
     match simulate_with_faults(&graph, &setup.layout, &platform, SchedPolicy::PanelFirst, &plan) {
         Ok(rep) => {
             let o = rep.overhead.expect("faulty run reports overhead");
-            println!("makespan     : {:.4} s (fault-free {:.4} s, {:+.1}%)",
-                rep.makespan, o.baseline_makespan, 100.0 * o.makespan_inflation);
-            println!("recovery     : {} tasks re-executed, {} aborted, {} nodes lost",
-                o.reexecuted_tasks, o.aborted_tasks, o.nodes_lost);
-            println!("restaging    : {} messages re-sent ({:.3} MB)",
-                o.resent_messages, o.resent_bytes / 1e6);
+            println!(
+                "makespan     : {:.4} s (fault-free {:.4} s, {:+.1}%)",
+                rep.makespan,
+                o.baseline_makespan,
+                100.0 * o.makespan_inflation
+            );
+            println!(
+                "recovery     : {} tasks re-executed, {} aborted, {} nodes lost",
+                o.reexecuted_tasks, o.aborted_tasks, o.nodes_lost
+            );
+            println!(
+                "restaging    : {} messages re-sent ({:.3} MB)",
+                o.resent_messages,
+                o.resent_bytes / 1e6
+            );
             0
         }
         Err(e) => {
@@ -351,6 +379,240 @@ pub fn fault(args: &Args) -> i32 {
             2
         }
     }
+}
+
+/// Print the heaviest steps of a realized critical path, one line per
+/// task, labeled with the kernel kind and tile coordinates.
+fn print_critical_path(cp: &RealizedPath, graph: &TaskGraph, top: usize) {
+    println!(
+        "critical path: {:.3} ms realized ({:.3} ms compute + {:.3} ms waiting, {} tasks)",
+        cp.length * 1e3,
+        cp.task_seconds * 1e3,
+        cp.comm_seconds * 1e3,
+        cp.steps.len()
+    );
+    println!("top {} tasks on the path:", top.min(cp.steps.len()));
+    for s in cp.top_tasks(top) {
+        println!(
+            "  {:<22} {:>9.3} ms  [{:.3} .. {:.3} ms]",
+            graph.tasks()[s.task as usize].label(),
+            (s.end - s.start) * 1e3,
+            s.start * 1e3,
+            s.end * 1e3
+        );
+    }
+}
+
+/// `hqr trace`: run either the real work-stealing executor or the cluster
+/// simulator with timeline recording on, write a Chrome Trace Format JSON
+/// (loadable at <https://ui.perfetto.dev> or chrome://tracing), and print
+/// a scheduling summary.
+pub fn trace(args: &Args) -> i32 {
+    let backend = args.str_or("backend", "exec");
+    match backend.as_str() {
+        "exec" | "runtime" => trace_exec(args),
+        "sim" | "simulator" => trace_sim(args),
+        other => {
+            eprintln!("unknown backend `{other}` (exec|sim)");
+            2
+        }
+    }
+}
+
+/// Write `json` to the `--out` path (or `default_name`) and confirm.
+fn write_trace(args: &Args, default_name: &str, json: &str) -> Option<i32> {
+    let out = args.str_or("out", default_name);
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("failed to write {out}: {e}");
+        return Some(2);
+    }
+    println!("trace        : {out} ({} bytes) — open at https://ui.perfetto.dev", json.len());
+    None
+}
+
+/// The `exec` backend of [`trace`]: a real parallel factorization.
+fn trace_exec(args: &Args) -> i32 {
+    let rows = args.usize_or("rows", 96);
+    let cols = args.usize_or("cols", 48);
+    let b = args.usize_or("tile", 8);
+    let grid = args.grid_or("grid", (2, 1));
+    let threads = args.usize_or("threads", 4);
+    let seed = args.usize_or("seed", 42) as u64;
+    let fail = args.usize_or("fail", 0);
+    let retries = args.usize_or("retries", 1) as u32;
+    if let Some(code) = require_positive(&[
+        ("rows", rows),
+        ("cols", cols),
+        ("tile", b),
+        ("threads", threads),
+        ("grid (P)", grid.0),
+        ("grid (Q)", grid.1),
+        ("retries", retries as usize),
+    ]) {
+        return code;
+    }
+    if rows < cols {
+        eprintln!("trace expects rows >= cols");
+        return 2;
+    }
+    let (mt, nt) = (rows.div_ceil(b), cols.div_ceil(b));
+    let setup = baselines::hqr(mt, nt, ProcessGrid::new(grid.0, grid.1), config_of(args, grid));
+    let graph = match TaskGraph::try_build(mt, nt, b, &setup.elims.to_ops()) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let n = graph.tasks().len();
+    let mut a = TiledMatrix::random(mt, nt, b, seed);
+    let opts = ExecOptions {
+        nthreads: threads,
+        max_retries: retries,
+        plan: (fail > 0).then(|| FaultPlan::new(seed).fail_random_tasks(n, fail, 1)),
+        ..Default::default()
+    };
+    println!("backend      : work-stealing executor ({threads} threads)");
+    println!("graph        : {mt} x {nt} tiles of {b} ({n} tasks, {} edges)", graph.edge_count());
+    let (_, stats, tr) = match try_execute_traced(&graph, &mut a, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("execution failed: {e}");
+            return 1;
+        }
+    };
+    if let Some(code) =
+        write_trace(args, "hqr-exec.trace.json", &chrome_trace_from_exec(&tr, graph.tasks()))
+    {
+        return code;
+    }
+    let busy: f64 = tr.records.iter().map(|r| r.end - r.start).sum();
+    println!("wall         : {:.3} ms", tr.wall * 1e3);
+    println!(
+        "utilization  : {:.1}% of {} workers",
+        100.0 * busy / (tr.wall * threads as f64).max(f64::MIN_POSITIVE),
+        threads
+    );
+    println!(
+        "scheduler    : {} local pops, {} injector pops, {} steals",
+        tr.counters.iter().map(|c| c.local_pops).sum::<u64>(),
+        tr.total_injector_pops(),
+        tr.total_steals()
+    );
+    if stats.panics_caught > 0 {
+        println!(
+            "faults       : {} panics caught, {} tasks recovered, {} re-executions",
+            stats.panics_caught, stats.tasks_recovered, stats.tasks_reexecuted
+        );
+    }
+    // Realized CP over the wall-clock records; the executor is shared
+    // memory, so there is no communication term.
+    let mut span: Vec<Option<(f64, f64)>> = vec![None; n];
+    for r in &tr.records {
+        span[r.task as usize] = Some((r.start, r.end));
+    }
+    let cp = realized_critical_path(&graph, |t| span[t as usize], |_, _| 0.0);
+    print_critical_path(&cp, &graph, 10);
+    0
+}
+
+/// The `sim` backend of [`trace`]: a traced discrete-event replay.
+fn trace_sim(args: &Args) -> i32 {
+    let b = args.usize_or("tile", 280);
+    let rows = args.usize_or("rows", 8960);
+    let cols = args.usize_or("cols", 2240);
+    let grid = args.grid_or("grid", (3, 2));
+    if let Some(code) = require_positive(&[("tile", b), ("grid (P)", grid.0), ("grid (Q)", grid.1)])
+    {
+        return code;
+    }
+    let (mt, nt) = (rows / b, cols / b);
+    if mt == 0 || nt == 0 {
+        eprintln!("matrix smaller than one tile");
+        return 2;
+    }
+    let mut platform = Platform {
+        nodes: args.usize_or("nodes", grid.0 * grid.1),
+        cores_per_node: args.usize_or("cores", 4),
+        ..Platform::edel()
+    };
+    if let Some(code) =
+        require_positive(&[("nodes", platform.nodes), ("cores", platform.cores_per_node)])
+    {
+        return code;
+    }
+    let gpus = args.usize_or("gpus", 0);
+    if gpus > 0 {
+        platform.accelerators = Some(hqr_sim::Accelerators {
+            per_node: gpus,
+            update_speedup: args.f64_or("gpu-speedup", 8.0),
+        });
+    }
+    let policy = match args.str_or("policy", "panel").as_str() {
+        "panel" => SchedPolicy::PanelFirst,
+        "fifo" => SchedPolicy::Fifo,
+        "cp" | "critical-path" => SchedPolicy::CriticalPath,
+        other => {
+            eprintln!("unknown policy `{other}` (panel|fifo|cp)");
+            return 2;
+        }
+    };
+    let setup = baselines::hqr(mt, nt, ProcessGrid::new(grid.0, grid.1), config_of(args, grid));
+    let graph = match TaskGraph::try_build(mt, nt, b, &setup.elims.to_ops()) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let mut plan = SimFaultPlan::new();
+    if args.get("crash-node").is_some() {
+        // The crash instant is a fraction of the fault-free makespan, so
+        // run the baseline once to find it.
+        let baseline = simulate_with_policy(&graph, &setup.layout, &platform, policy);
+        let crash_at = args.f64_or("crash-frac", 0.3) * baseline.makespan;
+        plan = plan.crash_node(args.usize_or("crash-node", 0), crash_at);
+    }
+    println!(
+        "backend      : cluster simulator ({} nodes x {} cores{})",
+        platform.nodes,
+        platform.cores_per_node,
+        if gpus > 0 { format!(" + {gpus} GPUs/node") } else { String::new() }
+    );
+    println!(
+        "graph        : {mt} x {nt} tiles of {b} ({} tasks, {} edges)",
+        graph.tasks().len(),
+        graph.edge_count()
+    );
+    let rep = match simulate_traced(&graph, &setup.layout, &platform, policy, &plan) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let tl = rep.timeline.as_ref().expect("traced run records a timeline");
+    if let Some(code) = write_trace(args, "hqr-sim.trace.json", &tl.to_chrome_trace(&graph)) {
+        return code;
+    }
+    println!("makespan     : {:.4} s (simulated)", rep.makespan);
+    println!("messages     : {} ({:.3} MB)", rep.messages, rep.bytes / 1e6);
+    println!("utilization  : {:.1}%", 100.0 * rep.utilization(&platform));
+    if let Some(o) = &rep.overhead {
+        println!(
+            "recovery     : {} tasks re-executed, {} messages re-sent ({:+.1}% makespan)",
+            o.reexecuted_tasks,
+            o.resent_messages,
+            100.0 * o.makespan_inflation
+        );
+    }
+    let cp = rep.critical_path.as_ref().expect("traced run extracts a CP");
+    println!(
+        "cp/makespan  : {:.1}% of the makespan is the realized critical path",
+        100.0 * cp.length / rep.makespan.max(f64::MIN_POSITIVE)
+    );
+    print_critical_path(cp, &graph, 10);
+    0
 }
 
 /// `hqr schedule`: coarse-grain schedule tables.
@@ -433,8 +695,19 @@ mod tests {
     #[test]
     fn factor_small_succeeds() {
         let code = factor(&args(&[
-            "--rows", "48", "--cols", "24", "--tile", "8", "--grid", "2x1", "--a", "2", "--domino",
-            "--threads", "2",
+            "--rows",
+            "48",
+            "--cols",
+            "24",
+            "--tile",
+            "8",
+            "--grid",
+            "2x1",
+            "--a",
+            "2",
+            "--domino",
+            "--threads",
+            "2",
         ]));
         assert_eq!(code, 0);
     }
@@ -444,14 +717,8 @@ mod tests {
         let m = hqr_tile::DenseMatrix::random(20, 8, 5);
         let path = std::env::temp_dir().join("hqr_cli_input.mtx");
         hqr_tile::io::write_matrix_market(&path, &m).unwrap();
-        let code = factor(&args(&[
-            "--input",
-            path.to_str().unwrap(),
-            "--tile",
-            "4",
-            "--grid",
-            "2x1",
-        ]));
+        let code =
+            factor(&args(&["--input", path.to_str().unwrap(), "--tile", "4", "--grid", "2x1"]));
         assert_eq!(code, 0);
         let _ = std::fs::remove_file(&path);
     }
@@ -470,8 +737,16 @@ mod tests {
     fn simulate_all_algorithms() {
         for alg in ["hqr", "hqr-tall", "hqr-square", "bbd10", "slhd10", "scalapack"] {
             let code = simulate(&args(&[
-                "--rows", "3360", "--cols", "1120", "--tile", "280", "--grid", "3x2",
-                "--algorithm", alg,
+                "--rows",
+                "3360",
+                "--cols",
+                "1120",
+                "--tile",
+                "280",
+                "--grid",
+                "3x2",
+                "--algorithm",
+                alg,
             ]));
             assert_eq!(code, 0, "{alg}");
         }
@@ -481,8 +756,8 @@ mod tests {
     fn simulate_with_gpus_and_policies() {
         for policy in ["panel", "fifo", "cp"] {
             let code = simulate(&args(&[
-                "--rows", "2240", "--cols", "1120", "--tile", "280", "--grid", "2x2",
-                "--gpus", "2", "--policy", policy,
+                "--rows", "2240", "--cols", "1120", "--tile", "280", "--grid", "2x2", "--gpus",
+                "2", "--policy", policy,
             ]));
             assert_eq!(code, 0, "{policy}");
         }
@@ -519,8 +794,20 @@ mod tests {
     #[test]
     fn fault_demo_recovers_end_to_end() {
         let code = fault(&args(&[
-            "--rows", "48", "--cols", "24", "--tile", "8", "--grid", "2x1", "--threads", "2",
-            "--fail", "2", "--seed", "7",
+            "--rows",
+            "48",
+            "--cols",
+            "24",
+            "--tile",
+            "8",
+            "--grid",
+            "2x1",
+            "--threads",
+            "2",
+            "--fail",
+            "2",
+            "--seed",
+            "7",
         ]));
         assert_eq!(code, 0);
     }
@@ -528,8 +815,23 @@ mod tests {
     #[test]
     fn fault_demo_with_explicit_crash_and_degradation() {
         let code = fault(&args(&[
-            "--rows", "48", "--cols", "24", "--tile", "8", "--grid", "2x1", "--threads", "2",
-            "--crash-node", "1", "--crash-frac", "0.5", "--degrade-bw", "0.5", "--degrade-lat",
+            "--rows",
+            "48",
+            "--cols",
+            "24",
+            "--tile",
+            "8",
+            "--grid",
+            "2x1",
+            "--threads",
+            "2",
+            "--crash-node",
+            "1",
+            "--crash-frac",
+            "0.5",
+            "--degrade-bw",
+            "0.5",
+            "--degrade-lat",
             "2.0",
         ]));
         assert_eq!(code, 0);
@@ -540,10 +842,108 @@ mod tests {
         // A 1x1 grid has one simulated node; crashing it must be a clean
         // typed rejection, not a hang or panic.
         let code = fault(&args(&[
-            "--rows", "24", "--cols", "8", "--tile", "8", "--grid", "1x1", "--threads", "2",
-            "--crash-node", "0",
+            "--rows",
+            "24",
+            "--cols",
+            "8",
+            "--tile",
+            "8",
+            "--grid",
+            "1x1",
+            "--threads",
+            "2",
+            "--crash-node",
+            "0",
         ]));
         assert_eq!(code, 2);
+    }
+
+    #[test]
+    fn trace_exec_backend_writes_valid_chrome_trace() {
+        let out = std::env::temp_dir().join("hqr_cli_trace_exec.trace.json");
+        let code = trace(&args(&[
+            "--backend",
+            "exec",
+            "--rows",
+            "48",
+            "--cols",
+            "24",
+            "--tile",
+            "8",
+            "--grid",
+            "2x1",
+            "--threads",
+            "2",
+            "--fail",
+            "1",
+            "--out",
+            out.to_str().unwrap(),
+        ]));
+        assert_eq!(code, 0);
+        let json = std::fs::read_to_string(&out).unwrap();
+        let events = hqr_runtime::validate_chrome_trace(&json).expect("schema-valid");
+        assert!(events > 0);
+        let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn trace_sim_backend_writes_valid_chrome_trace() {
+        let out = std::env::temp_dir().join("hqr_cli_trace_sim.trace.json");
+        let code = trace(&args(&[
+            "--backend",
+            "sim",
+            "--rows",
+            "2240",
+            "--cols",
+            "1120",
+            "--tile",
+            "280",
+            "--grid",
+            "2x1",
+            "--gpus",
+            "1",
+            "--out",
+            out.to_str().unwrap(),
+        ]));
+        assert_eq!(code, 0);
+        let json = std::fs::read_to_string(&out).unwrap();
+        hqr_runtime::validate_chrome_trace(&json).expect("schema-valid");
+        let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn trace_sim_backend_with_crash() {
+        let out = std::env::temp_dir().join("hqr_cli_trace_crash.trace.json");
+        let code = trace(&args(&[
+            "--backend",
+            "sim",
+            "--rows",
+            "2240",
+            "--cols",
+            "560",
+            "--tile",
+            "280",
+            "--grid",
+            "3x1",
+            "--crash-node",
+            "1",
+            "--crash-frac",
+            "0.3",
+            "--out",
+            out.to_str().unwrap(),
+        ]));
+        assert_eq!(code, 0);
+        hqr_runtime::validate_chrome_trace(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn trace_rejects_bad_inputs() {
+        assert_eq!(trace(&args(&["--backend", "nope"])), 2);
+        assert_eq!(trace(&args(&["--backend", "exec", "--tile", "0"])), 2);
+        assert_eq!(trace(&args(&["--backend", "exec", "--rows", "8", "--cols", "16"])), 2);
+        assert_eq!(trace(&args(&["--backend", "sim", "--rows", "10", "--tile", "280"])), 2);
+        assert_eq!(trace(&args(&["--backend", "exec", "--out", "/no/such/dir/x.trace.json"])), 2);
     }
 
     #[test]

@@ -18,7 +18,10 @@ fn help_prints_usage() {
 #[test]
 fn factor_small_matrix() {
     let out = hqr()
-        .args(["factor", "--rows", "64", "--cols", "32", "--tile", "8", "--grid", "2x1", "--a", "2", "--domino"])
+        .args([
+            "factor", "--rows", "64", "--cols", "32", "--tile", "8", "--grid", "2x1", "--a", "2",
+            "--domino",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
@@ -29,7 +32,17 @@ fn factor_small_matrix() {
 #[test]
 fn simulate_figure8_point() {
     let out = hqr()
-        .args(["simulate", "--rows", "8960", "--cols", "2240", "--algorithm", "hqr-tall", "--grid", "3x2"])
+        .args([
+            "simulate",
+            "--rows",
+            "8960",
+            "--cols",
+            "2240",
+            "--algorithm",
+            "hqr-tall",
+            "--grid",
+            "3x2",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -40,7 +53,10 @@ fn simulate_figure8_point() {
 
 #[test]
 fn schedule_table() {
-    let out = hqr().args(["schedule", "--rows", "12", "--cols", "3", "--tree", "greedy"]).output().unwrap();
+    let out = hqr()
+        .args(["schedule", "--rows", "12", "--cols", "3", "--tree", "greedy"])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("makespan: 8 steps"), "{text}");
@@ -48,11 +64,37 @@ fn schedule_table() {
 
 #[test]
 fn dot_is_valid_graphviz_prefix() {
-    let out = hqr().args(["dot", "--rows", "3", "--cols", "2", "--tree", "binary"]).output().unwrap();
+    let out =
+        hqr().args(["dot", "--rows", "3", "--cols", "2", "--tree", "binary"]).output().unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.starts_with("digraph hqr {"));
     assert!(text.trim_end().ends_with('}'));
+}
+
+#[test]
+fn trace_both_backends_emit_loadable_chrome_traces() {
+    for (backend, extra) in [
+        ("exec", &["--rows", "48", "--cols", "24", "--tile", "8", "--threads", "2"][..]),
+        ("sim", &["--rows", "2240", "--cols", "1120", "--tile", "280", "--gpus", "1"][..]),
+    ] {
+        let out_path = std::env::temp_dir().join(format!("hqr_bin_{backend}.trace.json"));
+        let out = hqr()
+            .args(["trace", "--backend", backend, "--grid", "2x1", "--out"])
+            .arg(&out_path)
+            .args(extra)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("critical path"), "{text}");
+        assert!(text.contains("utilization"), "{text}");
+        let json = std::fs::read_to_string(&out_path).unwrap();
+        let events = hqr_runtime::validate_chrome_trace(&json)
+            .unwrap_or_else(|e| panic!("{backend}: invalid trace: {e}"));
+        assert!(events > 0, "{backend}: empty trace");
+        let _ = std::fs::remove_file(&out_path);
+    }
 }
 
 #[test]

@@ -132,12 +132,8 @@ mod tests {
         let s = slhd10(16, 2, 4);
         // Domain heads: rows 0, 4, 8, 12 in panel 0; the inter-domain
         // reduction is a binary tree of TT kills among the heads.
-        let heads: Vec<u32> = s
-            .elims
-            .panel(0)
-            .filter(|e| e.level == Level::Low)
-            .map(|e| e.victim)
-            .collect();
+        let heads: Vec<u32> =
+            s.elims.panel(0).filter(|e| e.level == Level::Low).map(|e| e.victim).collect();
         assert_eq!(heads.len(), 3, "3 of 4 heads killed");
         for h in heads {
             assert_eq!(h % 4, 0, "only domain heads are TT victims, got {h}");
@@ -189,12 +185,8 @@ mod tests {
         let (mt, nt, r) = (16usize, 3usize, 4usize);
         let a = mt / r;
         let cfg = HqrConfig::new(1, 1).with_a(a).with_low(crate::trees::TreeKind::Binary);
-        let via_general = hqr_with_layout(
-            mt,
-            nt,
-            cfg,
-            Layout::BlockCyclicRows { nodes: r, block: a },
-        );
+        let via_general =
+            hqr_with_layout(mt, nt, cfg, Layout::BlockCyclicRows { nodes: r, block: a });
         let canonical = slhd10(mt, nt, r);
         assert_eq!(via_general.elims.to_ops(), canonical.elims.to_ops());
         assert_eq!(via_general.layout, canonical.layout);

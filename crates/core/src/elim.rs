@@ -154,7 +154,9 @@ impl ElimList {
                     return Err(format!("panel {k}: killer {u} already zeroed out"));
                 }
                 if e.ts && has_killed[v] {
-                    return Err(format!("panel {k}: TS victim {v} previously killed (is a triangle)"));
+                    return Err(format!(
+                        "panel {k}: TS victim {v} previously killed (is a triangle)"
+                    ));
                 }
                 killed[v] = true;
                 has_killed[u] = true;
@@ -164,10 +166,7 @@ impl ElimList {
             // nor killers at any point of the panel.
             for e in &panel {
                 if e.ts && has_killed[e.victim as usize] {
-                    return Err(format!(
-                        "panel {k}: TS victim {} also acts as a killer",
-                        e.victim
-                    ));
+                    return Err(format!("panel {k}: TS victim {} also acts as a killer", e.victim));
                 }
             }
             for (i, &dead) in killed.iter().enumerate().take(mt).skip(k + 1) {
@@ -184,10 +183,7 @@ impl ElimList {
 
     /// Convert to the runtime's plain operation list.
     pub fn to_ops(&self) -> Vec<ElimOp> {
-        self.elims
-            .iter()
-            .map(|e| ElimOp::new(e.k, e.victim, e.killer, e.ts))
-            .collect()
+        self.elims.iter().map(|e| ElimOp::new(e.k, e.victim, e.killer, e.ts)).collect()
     }
 }
 

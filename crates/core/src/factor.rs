@@ -269,7 +269,8 @@ mod tests {
     fn hqr_all_tree_combos_small() {
         for low in TreeKind::ALL {
             for high in [TreeKind::Flat, TreeKind::Greedy] {
-                let cfg = HqrConfig::new(2, 1).with_a(2).with_low(low).with_high(high).with_domino(true);
+                let cfg =
+                    HqrConfig::new(2, 1).with_a(2).with_low(low).with_high(high).with_domino(true);
                 let l = cfg.elimination_list(6, 3);
                 check_config(6, 3, 3, &l, Execution::Serial, 7);
             }
@@ -378,7 +379,12 @@ mod tests {
             let a0 = a.to_dense();
             let f = qr_factorize_ib(&mut a, &elims, Execution::Serial, ib);
             let chk = f.check(&a0);
-            assert!(chk.is_satisfactory(), "ib={ib}: ortho={:e} resid={:e}", chk.orthogonality, chk.residual);
+            assert!(
+                chk.is_satisfactory(),
+                "ib={ib}: ortho={:e} resid={:e}",
+                chk.orthogonality,
+                chk.residual
+            );
         }
     }
 

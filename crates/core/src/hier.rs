@@ -152,11 +152,23 @@ impl HqrConfig {
                     parts.push(band_end);
                     parts.extend(heads.iter().copied().filter(|&h| h != band_end));
                     for (vpos, upos) in self.low.reduction(parts.len()) {
-                        elims.push(Elimination::new(ku, g(parts[vpos]), g(parts[upos]), false, Level::Low));
+                        elims.push(Elimination::new(
+                            ku,
+                            g(parts[vpos]),
+                            g(parts[upos]),
+                            false,
+                            Level::Low,
+                        ));
                     }
                 } else {
                     for (vpos, upos) in self.low.reduction(heads.len()) {
-                        elims.push(Elimination::new(ku, g(heads[vpos]), g(heads[upos]), false, Level::Low));
+                        elims.push(Elimination::new(
+                            ku,
+                            g(heads[vpos]),
+                            g(heads[upos]),
+                            false,
+                            Level::Low,
+                        ));
                     }
                 }
             }
@@ -326,7 +338,11 @@ mod tests {
         for e in l.elims().iter().filter(|e| e.level == Level::TsLevel) {
             let k = e.k as usize;
             let l_loc = e.victim as usize / p;
-            assert!(l_loc > k, "TS victim {} must be below the local diagonal in panel {k}", e.victim);
+            assert!(
+                l_loc > k,
+                "TS victim {} must be below the local diagonal in panel {k}",
+                e.victim
+            );
         }
     }
 
@@ -390,10 +406,8 @@ mod tests {
         let l = cfg.elimination_list(24, 10);
         // Panel 2, cluster P0 (rows ≡ 0 mod 3): the low-tree root is
         // global row 6 (local row 2 = k).
-        let lows: Vec<_> = l
-            .panel(2)
-            .filter(|e| e.level == Level::Low && e.victim % 3 == 0)
-            .collect();
+        let lows: Vec<_> =
+            l.panel(2).filter(|e| e.level == Level::Low && e.victim % 3 == 0).collect();
         assert!(!lows.is_empty());
         for e in &lows {
             assert!(e.killer >= 6, "low-level killers sit at or below the local diagonal");

@@ -212,11 +212,8 @@ mod tests {
         let idx = PivotIndex::new(&l);
         for k in 0..10usize {
             for piv in 0..24usize {
-                let from_list: Vec<u32> = l
-                    .panel(k)
-                    .filter(|e| e.killer as usize == piv)
-                    .map(|e| e.victim)
-                    .collect();
+                let from_list: Vec<u32> =
+                    l.panel(k).filter(|e| e.killer as usize == piv).map(|e| e.victim).collect();
                 assert_eq!(idx.victims(k, piv), from_list.as_slice());
             }
         }

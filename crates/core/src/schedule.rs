@@ -100,13 +100,7 @@ impl Schedule {
         let mut next_free = vec![1u32; mt];
         for k in 0..s.kmax {
             let ready: Vec<u32> = (0..mt)
-                .map(|i| {
-                    if k == 0 || i < k {
-                        1
-                    } else {
-                        s.step[i + (k - 1) * mt] + 1
-                    }
-                })
+                .map(|i| if k == 0 || i < k { 1 } else { s.step[i + (k - 1) * mt] + 1 })
                 .collect();
             for e in list.panel(k) {
                 let (v, u) = (e.victim as usize, e.killer as usize);
@@ -233,13 +227,7 @@ impl Schedule {
             let mut panel: Vec<Elimination> = ((k + 1)..self.mt)
                 .map(|i| {
                     let u = self.killer(i, k).expect("complete schedule");
-                    Elimination::new(
-                        k as u32,
-                        i as u32,
-                        u as u32,
-                        ts,
-                        Level::Single,
-                    )
+                    Elimination::new(k as u32, i as u32, u as u32, ts, Level::Single)
                 })
                 .collect();
             panel.sort_by_key(|e| (self.step[e.victim as usize + k * self.mt], e.victim));
@@ -332,11 +320,13 @@ mod tests {
         for (i, u, t) in expect_p0 {
             assert_eq!((s.killer(i, 0), s.step(i, 0)), (Some(u), Some(t)), "P0 row {i}");
         }
-        let killers_p1 = [(2, 1), (3, 1), (4, 3), (5, 1), (6, 5), (7, 5), (8, 7), (9, 1), (10, 9), (11, 9)];
+        let killers_p1 =
+            [(2, 1), (3, 1), (4, 3), (5, 1), (6, 5), (7, 5), (8, 7), (9, 1), (10, 9), (11, 9)];
         for (i, u) in killers_p1 {
             assert_eq!(s.killer(i, 1), Some(u), "P1 row {i}");
         }
-        let killers_p2 = [(3, 2), (4, 2), (5, 4), (6, 2), (7, 6), (8, 6), (9, 8), (10, 2), (11, 10)];
+        let killers_p2 =
+            [(3, 2), (4, 2), (5, 4), (6, 2), (7, 6), (8, 6), (9, 8), (10, 2), (11, 10)];
         for (i, u) in killers_p2 {
             assert_eq!(s.killer(i, 2), Some(u), "P2 row {i}");
         }

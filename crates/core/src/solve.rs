@@ -66,10 +66,7 @@ impl QrFactorization {
         let ax = a0.matmul(x);
         (0..rhs.cols())
             .map(|j| {
-                (0..rhs.rows())
-                    .map(|i| (ax.get(i, j) - rhs.get(i, j)).powi(2))
-                    .sum::<f64>()
-                    .sqrt()
+                (0..rhs.rows()).map(|i| (ax.get(i, j) - rhs.get(i, j)).powi(2)).sum::<f64>().sqrt()
             })
             .collect()
     }

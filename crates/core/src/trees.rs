@@ -29,7 +29,8 @@ pub enum TreeKind {
 
 impl TreeKind {
     /// All four kinds, for parameter sweeps.
-    pub const ALL: [TreeKind; 4] = [TreeKind::Flat, TreeKind::Binary, TreeKind::Greedy, TreeKind::Fibonacci];
+    pub const ALL: [TreeKind; 4] =
+        [TreeKind::Flat, TreeKind::Binary, TreeKind::Greedy, TreeKind::Fibonacci];
 
     /// Parse the paper's tree names.
     pub fn parse(s: &str) -> Option<TreeKind> {
@@ -217,10 +218,7 @@ mod tests {
         // §III-B Table IV panel 0, m=12: round 1 kills rows 6..11 using
         // rows 0..5.
         let pairs = TreeKind::Greedy.reduction(12);
-        assert_eq!(
-            &pairs[..6],
-            &[(6, 0), (7, 1), (8, 2), (9, 3), (10, 4), (11, 5)]
-        );
+        assert_eq!(&pairs[..6], &[(6, 0), (7, 1), (8, 2), (9, 3), (10, 4), (11, 5)]);
         // Round 2: rows 3,4,5 killed by 0,1,2; round 3: 2 by 1... wait —
         // survivors are 0,1,2 and greedy kills ⌊3/2⌋ = 1 bottom row (2) by
         // the row 1 above; then 1 by 0.

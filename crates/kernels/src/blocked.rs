@@ -32,7 +32,15 @@ fn panels(b: usize, ib: usize) -> impl Iterator<Item = (usize, usize)> {
 
 /// Multiply the `w × n` workspace `wbuf` in place by op(T_panel), where the
 /// panel T is stored at rows 0..w, cols s..s+w of `t`.
-fn apply_t_panel(b: usize, t: &[f64], s: usize, w: usize, n: usize, wbuf: &mut [f64], trans: Trans) {
+fn apply_t_panel(
+    b: usize,
+    t: &[f64],
+    s: usize,
+    w: usize,
+    n: usize,
+    wbuf: &mut [f64],
+    trans: Trans,
+) {
     let tat = |i: usize, j: usize| t[i + (s + j) * b];
     for col in 0..n {
         let c = col * w;
@@ -345,12 +353,28 @@ fn stacked_mqr_ib(
 }
 
 /// Inner-blocked TSMQR.
-pub fn tsmqr_ib(b: usize, ib: usize, v2: &[f64], t: &[f64], a1: &mut [f64], a2: &mut [f64], trans: Trans) {
+pub fn tsmqr_ib(
+    b: usize,
+    ib: usize,
+    v2: &[f64],
+    t: &[f64],
+    a1: &mut [f64],
+    a2: &mut [f64],
+    trans: Trans,
+) {
     stacked_mqr_ib(b, ib, v2, t, a1, a2, trans, false);
 }
 
 /// Inner-blocked TTMQR.
-pub fn ttmqr_ib(b: usize, ib: usize, v2: &[f64], t: &[f64], a1: &mut [f64], a2: &mut [f64], trans: Trans) {
+pub fn ttmqr_ib(
+    b: usize,
+    ib: usize,
+    v2: &[f64],
+    t: &[f64],
+    a1: &mut [f64],
+    a2: &mut [f64],
+    trans: Trans,
+) {
     stacked_mqr_ib(b, ib, v2, t, a1, a2, trans, true);
 }
 

@@ -279,8 +279,10 @@ mod tests {
         let mut c1 = upper_of(B, &a1).data().to_vec();
         let mut c2 = vec![0.0; B * B];
         tsmqr(B, &a2, &t, &mut c1, &mut c2, Trans::NoTrans);
-        let d1 = DenseMatrix::from_col_major(B, B, &c1).sub(&DenseMatrix::from_col_major(B, B, &a1_orig));
-        let d2 = DenseMatrix::from_col_major(B, B, &c2).sub(&DenseMatrix::from_col_major(B, B, &a2_orig));
+        let d1 = DenseMatrix::from_col_major(B, B, &c1)
+            .sub(&DenseMatrix::from_col_major(B, B, &a1_orig));
+        let d2 = DenseMatrix::from_col_major(B, B, &c2)
+            .sub(&DenseMatrix::from_col_major(B, B, &a2_orig));
         assert!(d1.frob_norm() < 1e-12, "top reconstruction off by {}", d1.frob_norm());
         assert!(d2.frob_norm() < 1e-12, "bottom reconstruction off by {}", d2.frob_norm());
     }
@@ -305,13 +307,17 @@ mod tests {
     fn tsqrt_preserves_pivot_v_storage() {
         // The strict lower triangle of A1 (GEQRT's V) must be untouched.
         let mut a1 = tile_random(B, 10);
-        let lower_before: Vec<f64> =
-            (0..B).flat_map(|j| ((j + 1)..B).map(move |i| (i, j))).map(|(i, j)| a1[i + j * B]).collect();
+        let lower_before: Vec<f64> = (0..B)
+            .flat_map(|j| ((j + 1)..B).map(move |i| (i, j)))
+            .map(|(i, j)| a1[i + j * B])
+            .collect();
         let mut a2 = tile_random(B, 11);
         let mut t = vec![0.0; B * B];
         tsqrt(B, &mut a1, &mut a2, &mut t);
-        let lower_after: Vec<f64> =
-            (0..B).flat_map(|j| ((j + 1)..B).map(move |i| (i, j))).map(|(i, j)| a1[i + j * B]).collect();
+        let lower_after: Vec<f64> = (0..B)
+            .flat_map(|j| ((j + 1)..B).map(move |i| (i, j)))
+            .map(|(i, j)| a1[i + j * B])
+            .collect();
         assert_eq!(lower_before, lower_after);
     }
 
@@ -370,8 +376,10 @@ mod tests {
         let mut c1 = upper_of(B, &a1).data().to_vec();
         let mut c2 = vec![0.0; B * B];
         ttmqr(B, &a2, &t, &mut c1, &mut c2, Trans::NoTrans);
-        let d1 = DenseMatrix::from_col_major(B, B, &c1).sub(&DenseMatrix::from_col_major(B, B, &r1));
-        let d2 = DenseMatrix::from_col_major(B, B, &c2).sub(&DenseMatrix::from_col_major(B, B, &r2));
+        let d1 =
+            DenseMatrix::from_col_major(B, B, &c1).sub(&DenseMatrix::from_col_major(B, B, &r1));
+        let d2 =
+            DenseMatrix::from_col_major(B, B, &c2).sub(&DenseMatrix::from_col_major(B, B, &r2));
         assert!(d1.frob_norm() < 1e-12);
         assert!(d2.frob_norm() < 1e-12);
     }

@@ -56,12 +56,7 @@ pub fn dag_stats(graph: &TaskGraph) -> DagStats {
             dist_l[s] = dist_l[s].max(fl);
         }
     }
-    DagStats {
-        counts,
-        total_weight,
-        critical_path_weight: cp_w,
-        critical_path_len: cp_l as usize,
-    }
+    DagStats { counts, total_weight, critical_path_weight: cp_w, critical_path_len: cp_l as usize }
 }
 
 /// Communication cost of executing the DAG under `layout` with the
@@ -99,14 +94,7 @@ pub fn to_dot(graph: &TaskGraph, max_tasks: usize) -> Result<String, String> {
     }
     let mut out = String::from("digraph hqr {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n");
     for (tid, t) in tasks.iter().enumerate() {
-        let label = match t.kind {
-            KernelKind::Geqrt => format!("GEQRT({},{})", t.i, t.k),
-            KernelKind::Unmqr => format!("UNMQR({},{};{})", t.i, t.k, t.j),
-            KernelKind::Tsqrt => format!("TSQRT({}<-{};{})", t.i, t.piv, t.k),
-            KernelKind::Ttqrt => format!("TTQRT({}<-{};{})", t.i, t.piv, t.k),
-            KernelKind::Tsmqr => format!("TSMQR({},{};{})", t.i, t.piv, t.j),
-            KernelKind::Ttmqr => format!("TTMQR({},{};{})", t.i, t.piv, t.j),
-        };
+        let label = t.label();
         let color = if t.kind.is_factor() { "lightblue" } else { "white" };
         out.push_str(&format!("  t{tid} [label=\"{label}\", style=filled, fillcolor={color}];\n"));
     }

@@ -65,7 +65,11 @@ impl ApplyGraph {
                 for (i, &is_tri) in tri.iter().enumerate().take(mt).skip(k) {
                     if is_tri {
                         for jc in 0..ntc {
-                            tasks.push(ApplyTask::Geqrt { k: k as u16, i: i as u16, jc: jc as u16 });
+                            tasks.push(ApplyTask::Geqrt {
+                                k: k as u16,
+                                i: i as u16,
+                                jc: jc as u16,
+                            });
                         }
                     }
                 }
@@ -303,9 +307,10 @@ pub fn apply_q_parallel(
                     match next {
                         Some(tid) => {
                             backoff.reset();
-                            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                                || run_apply_task(&graph.tasks[tid as usize], src, store),
-                            ));
+                            let run =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    run_apply_task(&graph.tasks[tid as usize], src, store)
+                                }));
                             if let Err(payload) = run {
                                 let mut slot = panicked.lock().unwrap();
                                 if slot.is_none() {

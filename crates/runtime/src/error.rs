@@ -58,14 +58,12 @@ impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExecError::Config { message } => write!(f, "invalid execution config: {message}"),
-            ExecError::WorkerPanicked { task, kernel, worker, message } => write!(
-                f,
-                "worker {worker} panicked in task {task} ({kernel:?}): {message}"
-            ),
-            ExecError::TaskFailed { task, kernel, attempts, message } => write!(
-                f,
-                "task {task} ({kernel:?}) failed after {attempts} attempts: {message}"
-            ),
+            ExecError::WorkerPanicked { task, kernel, worker, message } => {
+                write!(f, "worker {worker} panicked in task {task} ({kernel:?}): {message}")
+            }
+            ExecError::TaskFailed { task, kernel, attempts, message } => {
+                write!(f, "task {task} ({kernel:?}) failed after {attempts} attempts: {message}")
+            }
             ExecError::Stalled(report) => write!(f, "execution stalled: {report}"),
         }
     }

@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use crossbeam_deque::{Injector, Stealer, Worker};
+use crossbeam_deque::{Injector, Steal, Stealer, Worker};
 use crossbeam_utils::Backoff;
 
 use crate::error::{ExecError, StallCause, StallReport};
@@ -136,18 +136,78 @@ pub struct TaskRecord {
     pub end: f64,
 }
 
+/// Per-worker scheduler counters, accumulated by the work-stealing loop.
+///
+/// Together they attribute every task acquisition to its source — the
+/// worker's own LIFO deque (data-reuse hits), the global injector (initial
+/// frontier and poison re-enqueues), or a peer's deque (load-balancing
+/// steals) — and count the recovery events the fault layer triggered.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerCounters {
+    /// Tasks popped from the worker's own LIFO deque.
+    pub local_pops: u64,
+    /// Tasks taken from the global injector.
+    pub injector_pops: u64,
+    /// Tasks stolen FIFO from a peer worker's deque.
+    pub steals: u64,
+    /// Panics caught while running tasks (injected and genuine).
+    pub panics_caught: u64,
+    /// Failed attempts rolled back and retried on this worker.
+    pub retries: u64,
+    /// Tasks this (poisoned) worker handed back to its peers.
+    pub requeues: u64,
+}
+
+/// What a scheduler instant event marks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InstantKind {
+    /// A task attempt panicked and the panic was caught.
+    PanicCaught,
+    /// A rolled-back task attempt is about to re-run on the same worker.
+    Retry,
+    /// A poisoned worker pushed the task back for healthy peers.
+    Requeue,
+}
+
+/// A point event on a worker's timeline (fault/retry markers).
+#[derive(Clone, Copy, Debug)]
+pub struct ExecInstant {
+    /// What happened.
+    pub kind: InstantKind,
+    /// Task involved.
+    pub task: u32,
+    /// Worker it happened on.
+    pub worker: u16,
+    /// Seconds since the executor started.
+    pub time: f64,
+}
+
 /// Timeline of a traced parallel execution.
 #[derive(Clone, Debug)]
 pub struct ExecTrace {
     /// Number of worker threads.
     pub nthreads: usize,
-    /// Per-task records, in completion order per worker.
+    /// Per-task records, sorted by start time.
     pub records: Vec<TaskRecord>,
+    /// Fault/retry instants, sorted by time.
+    pub instants: Vec<ExecInstant>,
+    /// Scheduler counters, one per worker.
+    pub counters: Vec<WorkerCounters>,
     /// Wall-clock duration of the whole execution (s).
     pub wall: f64,
 }
 
 impl ExecTrace {
+    /// Total peer-deque steals across all workers.
+    pub fn total_steals(&self) -> u64 {
+        self.counters.iter().map(|c| c.steals).sum()
+    }
+
+    /// Total injector pops across all workers.
+    pub fn total_injector_pops(&self) -> u64 {
+        self.counters.iter().map(|c| c.injector_pops).sum()
+    }
+
     /// Busy seconds per worker.
     pub fn per_worker_busy(&self) -> Vec<f64> {
         let mut busy = vec![0.0; self.nthreads];
@@ -245,6 +305,19 @@ pub fn try_execute_with(
     Ok((f, stats))
 }
 
+/// [`try_execute_with`] plus a full [`ExecTrace`]: per-task spans,
+/// fault/retry instants, and per-worker scheduler counters — everything
+/// [`crate::trace::chrome_trace_from_exec`] needs to render a Perfetto
+/// timeline.
+pub fn try_execute_traced(
+    graph: &TaskGraph,
+    a: &mut TiledMatrix,
+    opts: &ExecOptions,
+) -> Result<(TFactors, FaultStats, ExecTrace), ExecError> {
+    let (f, stats, trace) = run_engine(graph, a, opts, true)?;
+    Ok((f, stats, trace.expect("tracing requested")))
+}
+
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     match payload.downcast_ref::<&str>() {
         Some(s) => (*s).to_string(),
@@ -294,6 +367,56 @@ fn stall_report(
         }
     }
     StallReport { cause, timeout, completed, remaining, stuck_frontier, blocked, truncated }
+}
+
+/// Acquire one task for worker `me` from the injector or a peer's deque,
+/// attributing the source in `counters`. Retries transient races
+/// ([`Steal::Retry`]) until every source reports a definite answer;
+/// returns `None` only when injector and all peers were empty.
+fn steal_one(
+    injector: &Injector<u32>,
+    stealers: &[Stealer<u32>],
+    me: usize,
+    worker: &Worker<u32>,
+    counters: &mut WorkerCounters,
+) -> Option<u32> {
+    loop {
+        let mut contended = false;
+        match injector.steal_batch_and_pop(worker) {
+            Steal::Success(tid) => {
+                counters.injector_pops += 1;
+                return Some(tid);
+            }
+            Steal::Retry => contended = true,
+            Steal::Empty => {}
+        }
+        for (idx, s) in stealers.iter().enumerate() {
+            if idx == me {
+                continue;
+            }
+            match s.steal() {
+                Steal::Success(tid) => {
+                    counters.steals += 1;
+                    return Some(tid);
+                }
+                Steal::Retry => contended = true,
+                Steal::Empty => {}
+            }
+        }
+        if !contended {
+            return None;
+        }
+    }
+}
+
+/// Everything one worker thread accumulates privately and hands back when
+/// the scope joins.
+#[derive(Default)]
+struct WorkerLog {
+    records: Vec<TaskRecord>,
+    instants: Vec<ExecInstant>,
+    counters: WorkerCounters,
+    stats: FaultStats,
 }
 
 /// How one task's execution attempt sequence ended.
@@ -349,9 +472,6 @@ fn run_engine(
         });
     }
     let recovery = opts.recovery_enabled();
-    // Expected (caught) panics shouldn't spam stderr through the global
-    // panic hook while recovery is handling them.
-    let _quiet = recovery.then(QuietPanics::engage);
 
     let epoch = Instant::now();
     let mut f = TFactors::allocate_for(graph);
@@ -371,8 +491,7 @@ fn run_engine(
     }
     let workers: Vec<Worker<u32>> = (0..nthreads).map(|_| Worker::new_lifo()).collect();
     let stealers: Vec<Stealer<u32>> = workers.iter().map(|w| w.stealer()).collect();
-    let mut traces: Vec<Vec<TaskRecord>> = (0..nthreads).map(|_| Vec::new()).collect();
-    let mut stats_per: Vec<FaultStats> = vec![FaultStats::default(); nthreads];
+    let mut logs: Vec<WorkerLog> = (0..nthreads).map(|_| WorkerLog::default()).collect();
 
     std::thread::scope(|scope| {
         if let Some(window) = opts.watchdog {
@@ -410,9 +529,7 @@ fn run_engine(
                 }
             });
         }
-        for (((me, worker), records), wstats) in
-            workers.into_iter().enumerate().zip(traces.iter_mut()).zip(stats_per.iter_mut())
-        {
+        for ((me, worker), log) in workers.into_iter().enumerate().zip(logs.iter_mut()) {
             let store = &store;
             let (indeg, done) = (&indeg, &done);
             let (remaining, alive, halt, error) = (&remaining, &alive, &halt, &error);
@@ -421,27 +538,37 @@ fn run_engine(
             let tasks: &[Task] = graph.tasks();
             let graph = &*graph;
             scope.spawn(move || {
+                // Expected (caught) panics shouldn't spam stderr through
+                // the panic hook while recovery is handling them — but
+                // only on this worker thread; the rest of the process
+                // keeps its backtraces.
+                let _quiet = recovery.then(QuietPanics::engage);
                 let backoff = Backoff::new();
                 let poisoned = plan.is_some_and(|p| p.is_poisoned(me));
                 let mut strikes = 0u32;
+                let wstats = &mut log.stats;
+                let counters = &mut log.counters;
+                let mut instant = |kind: InstantKind, task: u32| {
+                    if trace {
+                        log.instants.push(ExecInstant {
+                            kind,
+                            task,
+                            worker: me as u16,
+                            time: epoch.elapsed().as_secs_f64(),
+                        });
+                    }
+                };
                 loop {
                     if halt.load(Ordering::Acquire) {
                         break;
                     }
-                    let next = worker.pop().or_else(|| {
-                        std::iter::repeat_with(|| {
-                            injector.steal_batch_and_pop(&worker).or_else(|| {
-                                stealers
-                                    .iter()
-                                    .enumerate()
-                                    .filter(|(idx, _)| *idx != me)
-                                    .map(|(_, s)| s.steal())
-                                    .collect()
-                            })
-                        })
-                        .find(|s| !s.is_retry())
-                        .and_then(|s| s.success())
-                    });
+                    let next = match worker.pop() {
+                        Some(tid) => {
+                            counters.local_pops += 1;
+                            Some(tid)
+                        }
+                        None => steal_one(injector, stealers, me, &worker, counters),
+                    };
                     let Some(tid) = next else {
                         if remaining.load(Ordering::Acquire) == 0 {
                             break;
@@ -474,6 +601,8 @@ fn run_engine(
                             Ok(()) => break Outcome::Done { retried: attempt > 0 },
                             Err(payload) => {
                                 wstats.panics_caught += 1;
+                                counters.panics_caught += 1;
+                                instant(InstantKind::PanicCaught, tid);
                                 if let Some(s) = &snap {
                                     // SAFETY: exclusive access, as above.
                                     unsafe { store.rollback(s) };
@@ -485,6 +614,8 @@ fn run_engine(
                                 if snap.is_some() && attempt < opts.max_retries {
                                     attempt += 1;
                                     wstats.tasks_reexecuted += 1;
+                                    counters.retries += 1;
+                                    instant(InstantKind::Retry, tid);
                                     continue;
                                 }
                                 break Outcome::Fail(panic_message(payload));
@@ -497,7 +628,7 @@ fn run_engine(
                                 wstats.tasks_recovered += 1;
                             }
                             if let Some(start) = t0 {
-                                records.push(TaskRecord {
+                                log.records.push(TaskRecord {
                                     task: tid,
                                     worker: me as u16,
                                     start,
@@ -521,6 +652,8 @@ fn run_engine(
                         Outcome::Requeue => {
                             strikes += 1;
                             wstats.tasks_reexecuted += 1;
+                            counters.requeues += 1;
+                            instant(InstantKind::Requeue, tid);
                             injector.push(tid);
                             if strikes >= POISON_STRIKES {
                                 // The poisoned worker "dies"; its queued
@@ -586,14 +719,21 @@ fn run_engine(
         )));
     }
     let mut stats = FaultStats::default();
-    for s in &stats_per {
-        stats.merge(s);
+    for log in &logs {
+        stats.merge(&log.stats);
     }
     let exec_trace = trace.then(|| {
         let wall = epoch.elapsed().as_secs_f64();
-        let mut records: Vec<TaskRecord> = traces.into_iter().flatten().collect();
+        let counters = logs.iter().map(|l| l.counters).collect();
+        let mut records = Vec::new();
+        let mut instants = Vec::new();
+        for log in logs {
+            records.extend(log.records);
+            instants.extend(log.instants);
+        }
         records.sort_by(|a, b| a.start.total_cmp(&b.start));
-        ExecTrace { nthreads, records, wall }
+        instants.sort_by(|a, b| a.time.total_cmp(&b.time));
+        ExecTrace { nthreads, records, instants, counters, wall }
     });
     Ok((f, stats, exec_trace))
 }

@@ -8,8 +8,8 @@
 //! `catch_unwind` scope, so they exercise exactly the recovery path a real
 //! kernel panic would take: write-set rollback plus bounded retry.
 
+use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Once;
 use std::time::Duration;
 
@@ -193,15 +193,27 @@ impl ExecOptions {
     }
 }
 
-static QUIET_DEPTH: AtomicUsize = AtomicUsize::new(0);
 static QUIET_INSTALL: Once = Once::new();
 
-/// RAII guard that silences the global panic hook while fault-tolerant
-/// execution is active, so expected (caught) panics don't spam stderr.
-/// Nested/concurrent guards stack; the hook prints again once the last
-/// guard drops. The caught panic's message is preserved in the returned
-/// [`crate::ExecError`] either way.
-pub(crate) struct QuietPanics;
+thread_local! {
+    /// Panic-hook suppression depth for the current thread only. A
+    /// process-wide counter would swallow panics from *unrelated* threads
+    /// (e.g. concurrent tests) for as long as any engine run is in flight.
+    static QUIET_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// RAII guard that silences the panic hook *for the engaging thread only*
+/// while fault-tolerant execution is active, so expected (caught) panics
+/// don't spam stderr. Each engine worker thread engages its own guard;
+/// panics raised on any other thread still reach the previous hook with a
+/// full backtrace. Nested guards on one thread stack; the hook prints
+/// again once the last one drops. The caught panic's message is preserved
+/// in the returned [`crate::ExecError`] either way.
+pub(crate) struct QuietPanics {
+    /// Pins the guard to the engaging thread (thread-local depth must be
+    /// decremented where it was incremented).
+    _not_send: std::marker::PhantomData<*const ()>,
+}
 
 impl QuietPanics {
     pub(crate) fn engage() -> QuietPanics {
@@ -211,19 +223,19 @@ impl QuietPanics {
             // `PanicHookInfo` in recent toolchains; not naming it keeps
             // this building on both sides of the rename).
             std::panic::set_hook(Box::new(move |info| {
-                if QUIET_DEPTH.load(Ordering::SeqCst) == 0 {
+                if QUIET_DEPTH.with(Cell::get) == 0 {
                     prev(info);
                 }
             }));
         });
-        QUIET_DEPTH.fetch_add(1, Ordering::SeqCst);
-        QuietPanics
+        QUIET_DEPTH.with(|d| d.set(d.get() + 1));
+        QuietPanics { _not_send: std::marker::PhantomData }
     }
 }
 
 impl Drop for QuietPanics {
     fn drop(&mut self) {
-        QUIET_DEPTH.fetch_sub(1, Ordering::SeqCst);
+        QUIET_DEPTH.with(|d| d.set(d.get() - 1));
     }
 }
 

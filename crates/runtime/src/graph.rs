@@ -49,12 +49,7 @@ impl TaskGraph {
     /// elimination list (empty matrix, zero tile size, unsorted panels, a
     /// TS victim used as a killer, indices out of range) is reported as a
     /// [`GraphError`] instead of a panic.
-    pub fn try_build(
-        mt: usize,
-        nt: usize,
-        b: usize,
-        elims: &[ElimOp],
-    ) -> Result<Self, GraphError> {
+    pub fn try_build(mt: usize, nt: usize, b: usize, elims: &[ElimOp]) -> Result<Self, GraphError> {
         if mt == 0 || nt == 0 {
             return Err(GraphError::EmptyMatrix);
         }
@@ -171,7 +166,13 @@ fn generate_tasks(mt: usize, nt: usize, elims: &[ElimOp]) -> Result<Vec<Task>, G
         for e in panel {
             tasks.push(Task::kill(e.k as u16, e.victim as u16, e.killer as u16, e.ts));
             for j in (k + 1)..nt {
-                tasks.push(Task::update(e.k as u16, e.victim as u16, e.killer as u16, j as u16, e.ts));
+                tasks.push(Task::update(
+                    e.k as u16,
+                    e.victim as u16,
+                    e.killer as u16,
+                    j as u16,
+                    e.ts,
+                ));
             }
         }
     }
@@ -371,8 +372,7 @@ mod tests {
     #[should_panic(expected = "must stay square")]
     fn ts_victim_that_kills_is_rejected() {
         // Row 1 is TS-killed but also kills row 2 -> invalid.
-        let elims =
-            vec![ElimOp::new(0, 2, 1, true), ElimOp::new(0, 1, 0, true)];
+        let elims = vec![ElimOp::new(0, 2, 1, true), ElimOp::new(0, 1, 0, true)];
         let _ = TaskGraph::build(3, 1, 2, &elims);
     }
 

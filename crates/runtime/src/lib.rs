@@ -30,11 +30,20 @@ pub mod fault;
 pub mod graph;
 pub mod store;
 pub mod task;
+pub mod trace;
 
 pub use apply_graph::{apply_q_parallel, ApplyGraph, ApplyTask};
 pub use elim::ElimOp;
 pub use error::{ExecError, GraphError, StallCause, StallReport};
-pub use exec::{execute_parallel, execute_parallel_ib, execute_parallel_traced, execute_serial, execute_serial_ib, try_execute_parallel, try_execute_serial, try_execute_with, ExecTrace, TFactors, TaskRecord};
+pub use exec::{
+    execute_parallel, execute_parallel_ib, execute_parallel_traced, execute_serial,
+    execute_serial_ib, try_execute_parallel, try_execute_serial, try_execute_traced,
+    try_execute_with, ExecInstant, ExecTrace, InstantKind, TFactors, TaskRecord, WorkerCounters,
+};
 pub use fault::{ExecOptions, FaultPlan, FaultStats};
 pub use graph::TaskGraph;
 pub use task::Task;
+pub use trace::{
+    chrome_trace_from_exec, realized_critical_path, validate_chrome_trace, ChromeTraceBuilder,
+    PathStep, RealizedPath,
+};

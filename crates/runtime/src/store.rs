@@ -47,9 +47,7 @@ impl TaskSnapshot {
 }
 
 fn ptrs(v: &mut [Option<Box<[f64]>>]) -> Vec<*mut f64> {
-    v.iter_mut()
-        .map(|o| o.as_mut().map_or(std::ptr::null_mut(), |b| b.as_mut_ptr()))
-        .collect()
+    v.iter_mut().map(|o| o.as_mut().map_or(std::ptr::null_mut(), |b| b.as_mut_ptr())).collect()
 }
 
 impl TileStore {
@@ -187,16 +185,46 @@ impl TileStore {
             }
             KernelKind::Tsmqr => {
                 if blocked {
-                    tsmqr_ib(b, ib, self.a(i, k), fslot(&self.tk), self.a(piv, j), self.a(i, j), Trans::Trans);
+                    tsmqr_ib(
+                        b,
+                        ib,
+                        self.a(i, k),
+                        fslot(&self.tk),
+                        self.a(piv, j),
+                        self.a(i, j),
+                        Trans::Trans,
+                    );
                 } else {
-                    tsmqr(b, self.a(i, k), fslot(&self.tk), self.a(piv, j), self.a(i, j), Trans::Trans);
+                    tsmqr(
+                        b,
+                        self.a(i, k),
+                        fslot(&self.tk),
+                        self.a(piv, j),
+                        self.a(i, j),
+                        Trans::Trans,
+                    );
                 }
             }
             KernelKind::Ttmqr => {
                 if blocked {
-                    ttmqr_ib(b, ib, self.a(i, k), fslot(&self.tk), self.a(piv, j), self.a(i, j), Trans::Trans);
+                    ttmqr_ib(
+                        b,
+                        ib,
+                        self.a(i, k),
+                        fslot(&self.tk),
+                        self.a(piv, j),
+                        self.a(i, j),
+                        Trans::Trans,
+                    );
                 } else {
-                    ttmqr(b, self.a(i, k), fslot(&self.tk), self.a(piv, j), self.a(i, j), Trans::Trans);
+                    ttmqr(
+                        b,
+                        self.a(i, k),
+                        fslot(&self.tk),
+                        self.a(piv, j),
+                        self.a(i, j),
+                        Trans::Trans,
+                    );
                 }
             }
         }

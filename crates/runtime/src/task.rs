@@ -65,6 +65,20 @@ impl Task {
         Task { kind, k, i: victim, piv, j }
     }
 
+    /// Human-readable label, `KERNEL(coords)` — the same naming the DOT
+    /// export and the Chrome-trace export use, so a node in a Graphviz dump
+    /// and a span in a Perfetto timeline can be matched by eye.
+    pub fn label(&self) -> String {
+        match self.kind {
+            KernelKind::Geqrt => format!("GEQRT({},{})", self.i, self.k),
+            KernelKind::Unmqr => format!("UNMQR({},{};{})", self.i, self.k, self.j),
+            KernelKind::Tsqrt => format!("TSQRT({}<-{};{})", self.i, self.piv, self.k),
+            KernelKind::Ttqrt => format!("TTQRT({}<-{};{})", self.i, self.piv, self.k),
+            KernelKind::Tsmqr => format!("TSMQR({},{};{})", self.i, self.piv, self.j),
+            KernelKind::Ttmqr => format!("TTMQR({},{};{})", self.i, self.piv, self.j),
+        }
+    }
+
     /// The tile whose owner node executes this task (owner-computes rule,
     /// matching DAGuE's data/task affinity: the task runs where its dominant
     /// output lives).
@@ -118,7 +132,11 @@ mod tests {
     #[test]
     fn task_is_compact() {
         // Multi-million-task DAGs depend on this staying small.
-        assert!(std::mem::size_of::<Task>() <= 12, "Task grew to {} bytes", std::mem::size_of::<Task>());
+        assert!(
+            std::mem::size_of::<Task>() <= 12,
+            "Task grew to {} bytes",
+            std::mem::size_of::<Task>()
+        );
     }
 
     #[test]

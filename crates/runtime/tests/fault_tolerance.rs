@@ -62,12 +62,7 @@ fn seeded_three_task_failures_recover_bitwise() {
 
     let plan = FaultPlan::new(0xC0FFEE).fail_random_tasks(n, 3, 1);
     assert_eq!(plan.failing_tasks().count(), 3, "plan must hit 3 distinct tasks");
-    let opts = ExecOptions {
-        nthreads: 4,
-        max_retries: 1,
-        plan: Some(plan),
-        ..Default::default()
-    };
+    let opts = ExecOptions { nthreads: 4, max_retries: 1, plan: Some(plan), ..Default::default() };
     let (f_faulty, stats) = try_execute_with(&g, &mut a_faulty, &opts).expect("recovers");
 
     assert_eq!(
@@ -184,11 +179,8 @@ fn watchdog_stays_quiet_on_healthy_runs() {
     let mut a1 = TiledMatrix::random(mt, nt, b, 81);
     let mut a2 = a1.clone();
     let _ = execute_serial(&g, &mut a1);
-    let opts = ExecOptions {
-        nthreads: 3,
-        watchdog: Some(Duration::from_secs(5)),
-        ..Default::default()
-    };
+    let opts =
+        ExecOptions { nthreads: 3, watchdog: Some(Duration::from_secs(5)), ..Default::default() };
     let (_, stats) = try_execute_with(&g, &mut a2, &opts).expect("healthy run");
     assert_eq!(a1.to_dense().data(), a2.to_dense().data());
     assert_eq!(stats.panics_caught, 0);
@@ -199,10 +191,7 @@ fn config_errors_are_typed() {
     let g = TaskGraph::build(3, 3, 2, &flat_elims(3, 3));
     // Tile-size mismatch between the matrix and the graph.
     let mut wrong = TiledMatrix::random(3, 3, 4, 91);
-    assert!(matches!(
-        try_execute_parallel(&g, &mut wrong, 2),
-        Err(ExecError::Config { .. })
-    ));
+    assert!(matches!(try_execute_parallel(&g, &mut wrong, 2), Err(ExecError::Config { .. })));
     // Inner block size out of range.
     let mut a = TiledMatrix::random(3, 3, 2, 92);
     let opts = ExecOptions { nthreads: 2, ib: Some(5), ..Default::default() };

@@ -3,7 +3,9 @@
 //! ships, but arbitrary members of the combinatorial space of §III.
 
 use hqr_runtime::{
-    execute_parallel, execute_serial, try_execute_with, ElimOp, ExecOptions, FaultPlan, TaskGraph,
+    chrome_trace_from_exec, execute_parallel, execute_serial, realized_critical_path,
+    try_execute_traced, try_execute_with, validate_chrome_trace, ElimOp, ExecOptions, FaultPlan,
+    TaskGraph,
 };
 use hqr_tile::TiledMatrix;
 use proptest::prelude::*;
@@ -100,6 +102,67 @@ proptest! {
         prop_assert_eq!(d1.data(), d2.data());
         prop_assert_eq!(stats.tasks_recovered as usize, planned);
         prop_assert!(stats.panics_caught as usize >= planned);
+    }
+
+    /// Trace invariants on random trees, thread counts and fault plans:
+    /// every completed task gets exactly one span and their union covers
+    /// the whole graph; per-worker spans never overlap; every span fits
+    /// inside the wall clock; scheduler counters account for every task
+    /// acquisition; the Chrome export is schema-valid; and the realized
+    /// critical path is bounded by [longest single task, wall].
+    #[test]
+    fn trace_invariants_on_random_trees(
+        mt in 2usize..8, nt in 1usize..5,
+        seed in any::<u64>(), threads in 2usize..5, faults in 0usize..3,
+    ) {
+        let b = 3usize;
+        let elims = random_elims(mt, nt, seed);
+        let g = TaskGraph::build(mt, nt, b, &elims);
+        let n = g.tasks().len();
+        let mut a = TiledMatrix::random(mt, nt, b, seed ^ 0x7ACE);
+        let opts = ExecOptions {
+            nthreads: threads,
+            max_retries: 1,
+            plan: (faults > 0).then(|| FaultPlan::new(seed).fail_random_tasks(n, faults, 1)),
+            ..Default::default()
+        };
+        let (_, _, tr) = try_execute_traced(&g, &mut a, &opts).expect("faults within budget");
+        prop_assert_eq!(tr.nthreads, threads);
+        prop_assert_eq!(tr.records.len(), n, "one span per completed task");
+        let mut seen = vec![false; n];
+        for r in &tr.records {
+            prop_assert!(!seen[r.task as usize], "duplicate span for task {}", r.task);
+            seen[r.task as usize] = true;
+            prop_assert!((r.worker as usize) < threads);
+            prop_assert!(r.start <= r.end);
+            prop_assert!(r.end <= tr.wall + 1e-9);
+        }
+        prop_assert!(seen.iter().all(|&x| x), "span union covers the graph");
+        // One thread runs one task at a time: per-worker spans are disjoint.
+        let mut by_worker = tr.records.clone();
+        by_worker.sort_by(|x, y| x.worker.cmp(&y.worker).then(x.start.total_cmp(&y.start)));
+        for w in by_worker.windows(2) {
+            if w[0].worker == w[1].worker {
+                prop_assert!(w[1].start >= w[0].end, "worker {} overlaps", w[0].worker);
+            }
+        }
+        // Every execution attempt was acquired from exactly one source;
+        // inline retries re-run without re-acquiring, requeues re-acquire.
+        let acquired: u64 =
+            tr.counters.iter().map(|c| c.local_pops + c.injector_pops + c.steals).sum();
+        let requeues: u64 = tr.counters.iter().map(|c| c.requeues).sum();
+        prop_assert_eq!(acquired, n as u64 + requeues);
+        let json = chrome_trace_from_exec(&tr, g.tasks());
+        let events = validate_chrome_trace(&json).expect("schema-valid Chrome trace");
+        prop_assert!(events >= n);
+        let mut span = vec![None; n];
+        for r in &tr.records {
+            span[r.task as usize] = Some((r.start, r.end));
+        }
+        let cp = realized_critical_path(&g, |t| span[t as usize], |_, _| 0.0);
+        let longest = tr.records.iter().map(|r| r.end - r.start).fold(0.0f64, f64::max);
+        prop_assert!(cp.length >= longest - 1e-12, "CP dominates the longest task");
+        prop_assert!(cp.length <= tr.wall + 1e-9, "CP within the wall clock");
     }
 
     /// Any random tree produces the same R (up to diagonal signs) as the

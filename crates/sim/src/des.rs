@@ -3,11 +3,13 @@
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 
+use hqr_runtime::trace::{realized_critical_path, RealizedPath};
 use hqr_runtime::TaskGraph;
 use hqr_tile::Layout;
 
 use crate::fault::{FaultOverhead, SimError, SimFaultPlan};
 use crate::platform::Platform;
+use crate::timeline::{Recorder, SimInstantKind, SimTimeline};
 
 /// Result of a simulated execution.
 #[derive(Clone, Debug)]
@@ -28,21 +30,36 @@ pub struct SimReport {
     /// [`hqr_runtime::analysis::kind_index`] — shows where the traffic
     /// comes from (e.g. the high-level tree's kills versus update fan-out).
     pub messages_by_kind: [usize; 6],
-    /// Per-node busy time (seconds of core-time actually computing).
+    /// Per-node CPU-core busy time (seconds of core-time actually
+    /// computing; GPU time is in [`SimReport::node_gpu_busy`]).
     pub node_busy: Vec<f64>,
+    /// Per-node GPU busy time (seconds of GPU-time running update
+    /// kernels); all zeros on platforms without accelerators.
+    pub node_gpu_busy: Vec<f64>,
+    /// Realized critical path — the longest weighted chain of task + comm
+    /// spans actually scheduled — when the run was traced
+    /// ([`simulate_traced`]); `None` otherwise.
+    pub critical_path: Option<RealizedPath>,
+    /// Full recorded timeline when the run was traced; `None` otherwise.
+    pub timeline: Option<SimTimeline>,
     /// Recovery cost when the run was driven by a fault plan (see
     /// [`simulate_with_faults`]); `None` for fault-free runs.
     pub overhead: Option<FaultOverhead>,
 }
 
 impl SimReport {
-    /// Average core utilization over the makespan.
+    /// Average execution-slot utilization over the makespan, counting both
+    /// CPU cores and GPUs as slots: total busy seconds (core + GPU)
+    /// divided by `makespan × nodes × (cores_per_node + gpus_per_node)`.
     pub fn utilization(&self, platform: &Platform) -> f64 {
-        let core_seconds = self.makespan * (platform.nodes * platform.cores_per_node) as f64;
-        if core_seconds == 0.0 {
+        let gpus = platform.accelerators.map_or(0, |a| a.per_node);
+        let slots = platform.nodes * (platform.cores_per_node + gpus);
+        let slot_seconds = self.makespan * slots as f64;
+        if slot_seconds == 0.0 {
             0.0
         } else {
-            self.node_busy.iter().sum::<f64>() / core_seconds
+            (self.node_busy.iter().sum::<f64>() + self.node_gpu_busy.iter().sum::<f64>())
+                / slot_seconds
         }
     }
 }
@@ -81,10 +98,7 @@ impl PartialOrd for Event {
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Reverse: BinaryHeap is a max-heap, we want earliest-first.
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.time.total_cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -153,7 +167,7 @@ pub fn simulate_with_policy(
     platform: &Platform,
     policy: SchedPolicy,
 ) -> SimReport {
-    match run_sim(graph, layout, platform, policy, &SimFaultPlan::new()) {
+    match run_sim(graph, layout, platform, policy, &SimFaultPlan::new(), false) {
         Ok(r) => r,
         Err(e) => panic!("{e}"),
     }
@@ -193,12 +207,38 @@ pub fn simulate_with_faults(
     policy: SchedPolicy,
     plan: &SimFaultPlan,
 ) -> Result<SimReport, SimError> {
+    simulate_impl(graph, layout, platform, policy, plan, false)
+}
+
+/// [`simulate_with_faults`] with timeline recording enabled: the returned
+/// report additionally carries the full [`SimTimeline`] (task spans per
+/// core/GPU lane, transfer spans per NIC lane, crash/degrade instants —
+/// export with [`SimTimeline::to_chrome_trace`]) and the realized critical
+/// path extracted from it.
+pub fn simulate_traced(
+    graph: &TaskGraph,
+    layout: &Layout,
+    platform: &Platform,
+    policy: SchedPolicy,
+    plan: &SimFaultPlan,
+) -> Result<SimReport, SimError> {
+    simulate_impl(graph, layout, platform, policy, plan, true)
+}
+
+fn simulate_impl(
+    graph: &TaskGraph,
+    layout: &Layout,
+    platform: &Platform,
+    policy: SchedPolicy,
+    plan: &SimFaultPlan,
+    trace: bool,
+) -> Result<SimReport, SimError> {
     plan.validate(platform.nodes)?;
-    let mut report = run_sim(graph, layout, platform, policy, plan)?;
+    let mut report = run_sim(graph, layout, platform, policy, plan, trace)?;
     let baseline = if plan.is_empty() {
         report.makespan
     } else {
-        run_sim(graph, layout, platform, policy, &SimFaultPlan::new())?.makespan
+        run_sim(graph, layout, platform, policy, &SimFaultPlan::new(), false)?.makespan
     };
     let overhead = report.overhead.get_or_insert_with(FaultOverhead::default);
     overhead.baseline_makespan = baseline;
@@ -222,6 +262,7 @@ fn run_sim(
     platform: &Platform,
     policy: SchedPolicy,
     plan: &SimFaultPlan,
+    trace: bool,
 ) -> Result<SimReport, SimError> {
     let tasks = graph.tasks();
     let n = tasks.len();
@@ -290,13 +331,18 @@ fn run_sim(
     let mut nodes_lost = 0usize;
     // Two ready queues per node: factor kernels are CPU-only, update
     // kernels may run on either pool (GPU preferred when present).
-    let mut q_factor: Vec<BinaryHeap<Reverse<(u64, u32)>>> = (0..nodes).map(|_| BinaryHeap::new()).collect();
-    let mut q_update: Vec<BinaryHeap<Reverse<(u64, u32)>>> = (0..nodes).map(|_| BinaryHeap::new()).collect();
+    let mut q_factor: Vec<BinaryHeap<Reverse<(u64, u32)>>> =
+        (0..nodes).map(|_| BinaryHeap::new()).collect();
+    let mut q_update: Vec<BinaryHeap<Reverse<(u64, u32)>>> =
+        (0..nodes).map(|_| BinaryHeap::new()).collect();
     let mut idle: Vec<usize> = vec![platform.cores_per_node; nodes];
     let mut idle_gpu: Vec<usize> = vec![gpus_per_node; nodes];
     let mut nic_out: Vec<f64> = vec![0.0; nodes];
     let mut nic_in: Vec<f64> = vec![0.0; nodes];
     let mut busy: Vec<f64> = vec![0.0; nodes];
+    let mut gpu_busy: Vec<f64> = vec![0.0; nodes];
+    let mut rec: Option<Recorder> =
+        trace.then(|| Recorder::new(n, nodes, platform.cores_per_node, gpus_per_node));
 
     let mut events: BinaryHeap<Event> = BinaryHeap::new();
     let mut seq = 0u64;
@@ -337,7 +383,10 @@ fn run_sim(
                 idle_gpu[node] -= 1;
                 state[next as usize] = RUNNING;
                 let dur = platform.kernel_seconds(tasks[next as usize].kind, b) / gpu_speedup;
-                busy[node] += dur;
+                gpu_busy[node] += dur;
+                if let Some(rec) = rec.as_mut() {
+                    rec.dispatch(next, node, true, $now);
+                }
                 let ev = EventKind::Done { tid: next, gpu: true, gen: gen[next as usize] };
                 push(&mut events, $now + dur, ev);
             }
@@ -362,6 +411,9 @@ fn run_sim(
                 state[next as usize] = RUNNING;
                 let dur = platform.kernel_seconds(tasks[next as usize].kind, b);
                 busy[node] += dur;
+                if let Some(rec) = rec.as_mut() {
+                    rec.dispatch(next, node, false, $now);
+                }
                 let ev = EventKind::Done { tid: next, gpu: false, gen: gen[next as usize] };
                 push(&mut events, $now + dur, ev);
             }
@@ -403,6 +455,9 @@ fn run_sim(
                 } else {
                     idle[src] += 1;
                 }
+                if let Some(rec) = rec.as_mut() {
+                    rec.complete(tid, src, gpu, now);
+                }
                 dests.clear();
                 for &s in graph.successors(tid as usize) {
                     let s = s as usize;
@@ -426,16 +481,29 @@ fn run_sim(
                         let arrive = (depart + link.latency).max(nic_in[dst]) + occupancy;
                         nic_in[dst] = arrive;
                         messages += 1;
-                        messages_by_kind[hqr_runtime::analysis::kind_index(tasks[tid as usize].kind)] += 1;
+                        messages_by_kind
+                            [hqr_runtime::analysis::kind_index(tasks[tid as usize].kind)] += 1;
                         bytes += tile_bytes;
+                        if let Some(rec) = rec.as_mut() {
+                            rec.transfer(tid, src, dst, depart, arrive, false);
+                        }
                         dests.push((dst, arrive));
                         arrive
                     };
+                    if t_avail > now {
+                        if let Some(rec) = rec.as_mut() {
+                            rec.edge_arrival(tid, s as u32, t_avail);
+                        }
+                    }
                     avail[s] = avail[s].max(t_avail);
                     deps[s] -= 1;
                     if deps[s] == 0 {
                         state[s] = READY;
-                        push(&mut events, avail[s], EventKind::Ready { tid: s as u32, gen: gen[s] });
+                        push(
+                            &mut events,
+                            avail[s],
+                            EventKind::Ready { tid: s as u32, gen: gen[s] },
+                        );
                     }
                 }
                 // The freed core/device may pick up queued work.
@@ -445,6 +513,9 @@ fn run_sim(
                 let d = plan.degrades()[di];
                 link.bandwidth *= d.bandwidth_factor;
                 link.latency *= d.latency_factor;
+                if let Some(rec) = rec.as_mut() {
+                    rec.instant(SimInstantKind::LinkDegrade, 0, now);
+                }
             }
             EventKind::NodeCrash(ci) => {
                 let x = plan.crashes()[ci].node;
@@ -453,6 +524,9 @@ fn run_sim(
                 }
                 alive[x] = false;
                 nodes_lost += 1;
+                if let Some(rec) = rec.as_mut() {
+                    rec.instant(SimInstantKind::NodeCrash, x, now);
+                }
                 let survivors: Vec<usize> = (0..nodes).filter(|&m| alive[m]).collect();
                 debug_assert!(!survivors.is_empty(), "plan validation keeps a survivor");
                 q_factor[x].clear();
@@ -525,20 +599,30 @@ fn run_sim(
                         if h == dst {
                             continue;
                         }
-                        let arrive = *sent.entry((p as u32, dst)).or_insert_with(|| {
-                            let occupancy = link.overhead + tile_bytes / link.bandwidth;
-                            let depart = now.max(nic_out[h]);
-                            nic_out[h] = depart + occupancy;
-                            let arrive = (depart + link.latency).max(nic_in[dst]) + occupancy;
-                            nic_in[dst] = arrive;
-                            messages += 1;
-                            resent_messages += 1;
-                            messages_by_kind
-                                [hqr_runtime::analysis::kind_index(tasks[p].kind)] += 1;
-                            bytes += tile_bytes;
-                            resent_bytes += tile_bytes;
-                            arrive
-                        });
+                        let arrive = match sent.get(&(p as u32, dst)) {
+                            Some(&a) => a,
+                            None => {
+                                let occupancy = link.overhead + tile_bytes / link.bandwidth;
+                                let depart = now.max(nic_out[h]);
+                                nic_out[h] = depart + occupancy;
+                                let arrive = (depart + link.latency).max(nic_in[dst]) + occupancy;
+                                nic_in[dst] = arrive;
+                                messages += 1;
+                                resent_messages += 1;
+                                messages_by_kind
+                                    [hqr_runtime::analysis::kind_index(tasks[p].kind)] += 1;
+                                bytes += tile_bytes;
+                                resent_bytes += tile_bytes;
+                                if let Some(rec) = rec.as_mut() {
+                                    rec.transfer(p as u32, h, dst, depart, arrive, true);
+                                }
+                                sent.insert((p as u32, dst), arrive);
+                                arrive
+                            }
+                        };
+                        if let Some(rec) = rec.as_mut() {
+                            rec.edge_arrival(p as u32, t as u32, arrive);
+                        }
                         at = at.max(arrive);
                     }
                     avail[t] = at;
@@ -553,6 +637,30 @@ fn run_sim(
     if completed != n {
         return Err(SimError::Deadlock { completed, total: n });
     }
+
+    // Realized critical path over the *final* incarnation of every task:
+    // later spans overwrite earlier ones (crash re-executions), and the
+    // comm weight of an edge is its recorded arrival delay past the
+    // producer's completion.
+    let (timeline, critical_path) = match rec {
+        Some(rec) => {
+            let Recorder { timeline, arrival, .. } = rec;
+            let mut final_span: Vec<Option<(f64, f64)>> = vec![None; n];
+            for s in &timeline.spans {
+                final_span[s.task as usize] = Some((s.start, s.end));
+            }
+            let cp = realized_critical_path(
+                graph,
+                |t| final_span[t as usize],
+                |p, s| {
+                    let end_p = final_span[p as usize].map_or(0.0, |(_, e)| e);
+                    arrival.get(&(p, s)).map_or(0.0, |&a| (a - end_p).max(0.0))
+                },
+            );
+            (Some(timeline), Some(cp))
+        }
+        None => (None, None),
+    };
 
     let total_flops = graph.total_flops();
     let gflops = if makespan > 0.0 { total_flops / makespan / 1e9 } else { 0.0 };
@@ -579,6 +687,9 @@ fn run_sim(
         bytes,
         messages_by_kind,
         node_busy: busy,
+        node_gpu_busy: gpu_busy,
+        critical_path,
+        timeline,
         overhead,
     })
 }

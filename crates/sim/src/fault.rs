@@ -212,7 +212,11 @@ mod tests {
             SimFaultPlan::new().degrade_link(0.0, 0.0, 1.0).validate(2),
             Err(SimError::Config { .. })
         ));
-        assert!(SimFaultPlan::new().crash_node(1, 0.5).degrade_link(0.1, 0.5, 2.0).validate(3).is_ok());
+        assert!(SimFaultPlan::new()
+            .crash_node(1, 0.5)
+            .degrade_link(0.1, 0.5, 2.0)
+            .validate(3)
+            .is_ok());
     }
 
     #[test]

@@ -25,7 +25,11 @@ pub mod des;
 pub mod fault;
 pub mod platform;
 pub mod scalapack;
+pub mod timeline;
 
-pub use des::{simulate, simulate_with_faults, simulate_with_policy, SchedPolicy, SimReport};
+pub use des::{
+    simulate, simulate_traced, simulate_with_faults, simulate_with_policy, SchedPolicy, SimReport,
+};
 pub use fault::{FaultOverhead, LinkDegrade, NodeCrash, SimError, SimFaultPlan};
 pub use platform::{Accelerators, KernelRates, LinkModel, Platform};
+pub use timeline::{SimInstant, SimInstantKind, SimSpan, SimTimeline, SimTransfer};

@@ -120,10 +120,7 @@ impl Platform {
 
     /// An edel-like cluster with accelerators attached to every node.
     pub fn edel_with_accelerators(per_node: usize, update_speedup: f64) -> Self {
-        Platform {
-            accelerators: Some(Accelerators { per_node, update_speedup }),
-            ..Self::edel()
-        }
+        Platform { accelerators: Some(Accelerators { per_node, update_speedup }), ..Self::edel() }
     }
 
     /// A single shared-memory node (for intra-node studies).

@@ -72,7 +72,14 @@ pub struct ScalapackReport {
 impl ScalapackModel {
     /// Evaluate the model for an `m_elems × n_elems` matrix on `platform`
     /// with a `p × q` process grid (one process per node, threaded BLAS).
-    pub fn run(&self, m_elems: usize, n_elems: usize, p: usize, q: usize, platform: &Platform) -> ScalapackReport {
+    pub fn run(
+        &self,
+        m_elems: usize,
+        n_elems: usize,
+        p: usize,
+        q: usize,
+        platform: &Platform,
+    ) -> ScalapackReport {
         assert!(m_elems >= n_elems, "pdgeqrf model expects m >= n");
         assert!(p * q <= platform.nodes, "grid larger than platform");
         let nb = self.nb as f64;

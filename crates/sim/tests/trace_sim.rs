@@ -1,0 +1,160 @@
+//! Timeline recording, realized-critical-path bounds, and the GPU
+//! utilization regression (busy seconds were previously pooled into one
+//! counter, letting utilization exceed 1.0 on accelerated platforms).
+
+use hqr_runtime::validate_chrome_trace;
+use hqr_runtime::{ElimOp, TaskGraph};
+use hqr_sim::{
+    simulate, simulate_traced, Accelerators, Platform, SchedPolicy, SimFaultPlan, SimInstantKind,
+};
+use hqr_tile::Layout;
+
+fn flat_elims(mt: usize, nt: usize) -> Vec<ElimOp> {
+    let mut v = Vec::new();
+    for k in 0..mt.min(nt) {
+        for i in (k + 1)..mt {
+            v.push(ElimOp::new(k as u32, i as u32, k as u32, true));
+        }
+    }
+    v
+}
+
+/// Regression: on an accelerated platform, GPU seconds used to land in
+/// `node_busy` while the utilization denominator counted CPU cores only,
+/// so an update-heavy DAG reported utilization > 1.
+#[test]
+fn gpu_platform_utilization_stays_below_one() {
+    let g = TaskGraph::build(16, 8, 40, &flat_elims(16, 8));
+    let p = Platform {
+        nodes: 1,
+        cores_per_node: 4,
+        accelerators: Some(Accelerators { per_node: 2, update_speedup: 8.0 }),
+        ..Platform::edel()
+    };
+    let r = simulate(&g, &Layout::Single, &p);
+    let util = r.utilization(&p);
+    assert!(util > 0.0 && util <= 1.0 + 1e-12, "utilization {util} must be a fraction of slots");
+    // The split accounting is exhaustive: core + GPU busy covers exactly
+    // the executed kernel seconds.
+    let gpu_total: f64 = r.node_gpu_busy.iter().sum();
+    let core_total: f64 = r.node_busy.iter().sum();
+    assert!(gpu_total > 0.0, "an update-heavy DAG must use the GPUs");
+    assert!(core_total > 0.0, "factor kernels are CPU-only");
+    // No single pool can exceed its own capacity either.
+    assert!(core_total <= r.makespan * 4.0 + 1e-9);
+    assert!(gpu_total <= r.makespan * 2.0 + 1e-9);
+}
+
+#[test]
+fn cpu_only_platform_keeps_old_busy_semantics() {
+    let g = TaskGraph::build(6, 4, 40, &flat_elims(6, 4));
+    let p = Platform { nodes: 2, cores_per_node: 2, ..Platform::edel() };
+    let r = simulate(&g, &Layout::cyclic_rows(2), &p);
+    assert!(r.node_gpu_busy.iter().all(|&x| x == 0.0));
+    let total: f64 = g.tasks().iter().map(|t| p.kernel_seconds(t.kind, 40)).sum();
+    assert!((r.node_busy.iter().sum::<f64>() - total).abs() < 1e-9);
+}
+
+#[test]
+fn traced_run_matches_untraced_and_extracts_bounded_cp() {
+    let g = TaskGraph::build(10, 4, 40, &flat_elims(10, 4));
+    let p = Platform { nodes: 2, cores_per_node: 3, ..Platform::edel() };
+    let lay = Layout::cyclic_rows(2);
+    let plain = simulate(&g, &lay, &p);
+    let traced = simulate_traced(&g, &lay, &p, SchedPolicy::PanelFirst, &SimFaultPlan::new())
+        .expect("traced run");
+    // Recording is an observer: identical schedule.
+    assert_eq!(plain.makespan, traced.makespan);
+    assert_eq!(plain.messages, traced.messages);
+
+    let cp = traced.critical_path.as_ref().expect("traced run extracts a CP");
+    let longest_task =
+        g.tasks().iter().map(|t| p.kernel_seconds(t.kind, 40)).fold(0.0f64, f64::max);
+    assert!(
+        cp.length >= longest_task - 1e-12,
+        "CP {} must dominate the longest task {longest_task}",
+        cp.length
+    );
+    assert!(
+        cp.length <= traced.makespan + 1e-12,
+        "CP {} cannot exceed the makespan {}",
+        cp.length,
+        traced.makespan
+    );
+    assert!(!cp.steps.is_empty());
+    assert!((cp.task_seconds + cp.comm_seconds - cp.length).abs() < 1e-9);
+    // The chain is a real dependency chain: strictly increasing program
+    // order (program order is topological).
+    for w in cp.steps.windows(2) {
+        assert!(w[0].task < w[1].task);
+    }
+
+    let tl = traced.timeline.as_ref().expect("traced run records a timeline");
+    assert_eq!(tl.spans.len(), g.tasks().len(), "fault-free: one span per task");
+    assert_eq!(tl.transfers.len(), traced.messages, "one transfer span per message");
+    // Per-(node,lane) spans never overlap.
+    let mut spans = tl.spans.clone();
+    spans.sort_by(|a, b| {
+        (a.node, a.gpu, a.lane).cmp(&(b.node, b.gpu, b.lane)).then(a.start.total_cmp(&b.start))
+    });
+    for w in spans.windows(2) {
+        if (w[0].node, w[0].gpu, w[0].lane) == (w[1].node, w[1].gpu, w[1].lane) {
+            assert!(w[1].start >= w[0].end - 1e-12, "lane overlap: {:?} then {:?}", w[0], w[1]);
+        }
+    }
+    // Busy seconds agree with the report's split accounting.
+    let busy: f64 = traced.node_busy.iter().sum::<f64>() + traced.node_gpu_busy.iter().sum::<f64>();
+    assert!((tl.busy_seconds() - busy).abs() < 1e-9);
+
+    let json = tl.to_chrome_trace(&g);
+    let events = validate_chrome_trace(&json).expect("schema-valid Chrome trace");
+    assert!(events >= tl.spans.len() + tl.transfers.len());
+}
+
+#[test]
+fn traced_crash_run_records_instants_and_keeps_cp_bounds() {
+    let mt = 12;
+    let g = TaskGraph::build(mt, 1, 40, &flat_elims(mt, 1));
+    let p = Platform { nodes: 3, cores_per_node: 2, ..Platform::edel() };
+    let plan = SimFaultPlan::new().crash_node(1, 1e-4).degrade_link(2e-4, 0.5, 2.0);
+    let r = simulate_traced(&g, &Layout::cyclic_rows(3), &p, SchedPolicy::PanelFirst, &plan)
+        .expect("faulty traced run");
+    let tl = r.timeline.as_ref().unwrap();
+    assert!(
+        tl.instants.iter().any(|i| i.kind == SimInstantKind::NodeCrash && i.node == 1),
+        "crash instant recorded"
+    );
+    assert!(tl.instants.iter().any(|i| i.kind == SimInstantKind::LinkDegrade));
+    assert!(tl.spans.len() >= g.tasks().len(), "re-executions add spans, never remove them");
+    // Every resent (restaging) message shows up as a recovery transfer
+    // span, and only those.
+    let resent = r.overhead.as_ref().unwrap().resent_messages;
+    assert_eq!(tl.transfers.iter().filter(|t| t.recovery).count(), resent);
+    assert_eq!(tl.transfers.len(), r.messages, "one transfer span per message, resends included");
+    let cp = r.critical_path.as_ref().unwrap();
+    assert!(cp.length <= r.makespan + 1e-12);
+    assert!(cp.length > 0.0);
+    // GPUs absent: all spans are core spans with valid lane indices.
+    assert!(tl.spans.iter().all(|s| !s.gpu && (s.lane as usize) < p.cores_per_node));
+    let json = tl.to_chrome_trace(&g);
+    validate_chrome_trace(&json).expect("faulty-run trace still schema-valid");
+}
+
+#[test]
+fn gpu_spans_land_on_gpu_lanes() {
+    let g = TaskGraph::build(8, 4, 40, &flat_elims(8, 4));
+    let p = Platform {
+        nodes: 1,
+        cores_per_node: 2,
+        accelerators: Some(Accelerators { per_node: 1, update_speedup: 8.0 }),
+        ..Platform::edel()
+    };
+    let r = simulate_traced(&g, &Layout::Single, &p, SchedPolicy::PanelFirst, &SimFaultPlan::new())
+        .unwrap();
+    let tl = r.timeline.as_ref().unwrap();
+    assert!(tl.spans.iter().any(|s| s.gpu), "GPU lane used");
+    assert!(tl.spans.iter().filter(|s| s.gpu).all(|s| s.lane == 0), "one GPU -> lane 0");
+    let gpu_busy: f64 = tl.spans.iter().filter(|s| s.gpu).map(|s| s.end - s.start).sum();
+    assert!((gpu_busy - r.node_gpu_busy[0]).abs() < 1e-9);
+    validate_chrome_trace(&tl.to_chrome_trace(&g)).unwrap();
+}

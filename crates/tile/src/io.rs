@@ -18,10 +18,7 @@ pub fn read_matrix_market(path: &Path) -> Result<DenseMatrix, String> {
 /// Parse MatrixMarket content from any reader.
 pub fn parse_matrix_market<R: Read>(reader: BufReader<R>) -> Result<DenseMatrix, String> {
     let mut lines = reader.lines();
-    let header = lines
-        .next()
-        .ok_or("empty file")?
-        .map_err(|e| e.to_string())?;
+    let header = lines.next().ok_or("empty file")?.map_err(|e| e.to_string())?;
     let h = header.to_ascii_lowercase();
     if !h.starts_with("%%matrixmarket matrix") {
         return Err("missing %%MatrixMarket header".into());
@@ -107,7 +104,8 @@ pub fn parse_matrix_market<R: Read>(reader: BufReader<R>) -> Result<DenseMatrix,
 
 /// Write a dense matrix in `array real general` format.
 pub fn write_matrix_market(path: &Path, m: &DenseMatrix) -> Result<(), String> {
-    let mut f = std::fs::File::create(path).map_err(|e| format!("create {}: {e}", path.display()))?;
+    let mut f =
+        std::fs::File::create(path).map_err(|e| format!("create {}: {e}", path.display()))?;
     let mut out = String::with_capacity(m.rows() * m.cols() * 24);
     out.push_str("%%MatrixMarket matrix array real general\n");
     out.push_str(&format!("{} {}\n", m.rows(), m.cols()));
@@ -142,7 +140,9 @@ mod tests {
 
     #[test]
     fn parses_array_format() {
-        let m = parse("%%MatrixMarket matrix array real general\n% comment\n2 2\n1.0\n2.0\n3.0\n4.0\n").unwrap();
+        let m =
+            parse("%%MatrixMarket matrix array real general\n% comment\n2 2\n1.0\n2.0\n3.0\n4.0\n")
+                .unwrap();
         assert_eq!(m.get(0, 0), 1.0);
         assert_eq!(m.get(1, 0), 2.0);
         assert_eq!(m.get(0, 1), 3.0);
@@ -151,7 +151,10 @@ mod tests {
 
     #[test]
     fn parses_coordinate_format() {
-        let m = parse("%%MatrixMarket matrix coordinate real general\n3 2 3\n1 1 5.0\n3 2 -1.5\n2 1 2.0\n").unwrap();
+        let m = parse(
+            "%%MatrixMarket matrix coordinate real general\n3 2 3\n1 1 5.0\n3 2 -1.5\n2 1 2.0\n",
+        )
+        .unwrap();
         assert_eq!(m.get(0, 0), 5.0);
         assert_eq!(m.get(2, 1), -1.5);
         assert_eq!(m.get(1, 0), 2.0);

@@ -149,12 +149,7 @@ impl TiledMatrix {
 
     /// Frobenius norm of the whole matrix.
     pub fn frob_norm(&self) -> f64 {
-        self.tiles
-            .iter()
-            .flat_map(|t| t.iter())
-            .map(|x| x * x)
-            .sum::<f64>()
-            .sqrt()
+        self.tiles.iter().flat_map(|t| t.iter()).map(|x| x * x).sum::<f64>().sqrt()
     }
 
     /// Raw pointers to every tile, for the runtime's shared-tile store.

@@ -23,7 +23,10 @@ fn main() {
         platform.peak_gflops()
     );
     println!("matrix: {m} x {n} elements ({mt} x {nt} tiles of {b})\n");
-    println!("{:<36} {:>9} {:>8} {:>10} {:>10}", "algorithm", "GFlop/s", "% peak", "messages", "GB moved");
+    println!(
+        "{:<36} {:>9} {:>8} {:>10} {:>10}",
+        "algorithm", "GFlop/s", "% peak", "messages", "GB moved"
+    );
 
     let mut best = ("", 0.0f64);
     for setup in [hqr_tall_skinny(mt, nt, grid), slhd10(mt, nt, 60), bbd10(mt, nt, grid)] {

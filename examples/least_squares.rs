@@ -17,7 +17,8 @@ fn main() {
     let (m, n) = (mt * b, nt * b);
     let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
     let xs: Vec<f64> = (0..m).map(|i| -1.0 + 2.0 * i as f64 / (m - 1) as f64).collect();
-    let ys: Vec<f64> = xs.iter().map(|&x| (3.0 * x).sin() + 0.01 * (rng.gen::<f64>() - 0.5)).collect();
+    let ys: Vec<f64> =
+        xs.iter().map(|&x| (3.0 * x).sin() + 0.01 * (rng.gen::<f64>() - 0.5)).collect();
 
     // Vandermonde matrix in tiled form.
     let mut vand = DenseMatrix::zeros(m, n);

@@ -28,7 +28,15 @@ fn main() {
 
     let mut a = TiledMatrix::random(mt, nt, b, 42);
     let a0 = a.to_dense();
-    println!("matrix        : {}x{} elements ({}x{} tiles of {}x{})", a.rows(), a.cols(), mt, nt, b, b);
+    println!(
+        "matrix        : {}x{} elements ({}x{} tiles of {}x{})",
+        a.rows(),
+        a.cols(),
+        mt,
+        nt,
+        b,
+        b
+    );
 
     // Factor through the task-DAG runtime on 4 worker threads.
     let fac = qr_factorize(&mut a, &elims, Execution::Parallel(4));

@@ -23,7 +23,8 @@ fn run_and_check(cfg: HqrConfig, mt: usize, nt: usize, b: usize, exec: Execution
 fn hqr_every_tree_combination_parallel() {
     for low in TreeKind::ALL {
         for high in TreeKind::ALL {
-            let cfg = HqrConfig::new(3, 1).with_a(2).with_low(low).with_high(high).with_domino(true);
+            let cfg =
+                HqrConfig::new(3, 1).with_a(2).with_low(low).with_high(high).with_domino(true);
             run_and_check(cfg, 12, 5, 4, Execution::Parallel(4), 17);
         }
     }

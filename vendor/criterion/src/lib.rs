@@ -269,11 +269,7 @@ impl Criterion {
         id: I,
         f: F,
     ) -> &mut Self {
-        let mut g = BenchmarkGroup {
-            criterion: self,
-            name: "bench".to_string(),
-            throughput: None,
-        };
+        let mut g = BenchmarkGroup { criterion: self, name: "bench".to_string(), throughput: None };
         g.run(id.into_id(), f);
         self
     }
