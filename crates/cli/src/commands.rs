@@ -5,13 +5,14 @@ use hqr::baselines;
 use hqr::prelude::*;
 use hqr_runtime::trace::{chrome_trace_from_exec, realized_critical_path, RealizedPath};
 use hqr_runtime::{
-    analysis, execute_serial, try_execute_traced, try_execute_with, ExecOptions, FaultPlan,
-    TaskGraph,
+    analysis, execute_serial, resume_from_checkpoint, try_execute_checkpointed, try_execute_traced,
+    try_execute_with, CheckpointPolicy, CheckpointSpec, ExecOptions, FaultPlan, TaskGraph,
 };
 use hqr_sim::scalapack::ScalapackModel;
 use hqr_sim::{
-    simulate_traced, simulate_with_faults, simulate_with_policy, Platform, SchedPolicy,
-    SimFaultPlan,
+    compare_recovery_policies, find_crossover, recovery_crossover, simulate_traced,
+    simulate_with_faults, simulate_with_policy, CheckpointCostModel, Platform, RecoveryPolicy,
+    SchedPolicy, SimFaultPlan,
 };
 use hqr_tile::{ProcessGrid, TiledMatrix};
 use std::time::Instant;
@@ -31,16 +32,32 @@ USAGE:
       ALG: hqr | hqr-square | bbd10 | slhd10 | scalapack
   hqr fault    [--rows R --cols C --tile B --grid PxQ --threads T --seed S
                 --fail K --retries N --crash-node X --crash-frac F
-                --degrade-bw F --degrade-lat F --nodes N --cores C]
+                --degrade-bw F --degrade-lat F --nodes N --cores C
+                --io-bw BYTES/S --restart-cost S --ckpt-interval S
+                --crossover-max K]
       inject a seeded fault schedule: panic K random kernel tasks in a real
       parallel factorization (verifying bitwise recovery), then crash a
-      simulated node mid-run and report the lineage-recovery overhead
+      simulated node mid-run, report the lineage-recovery overhead, and
+      price lineage re-execution against checkpoint/restart (Young/Daly
+      interval unless --ckpt-interval) including a crash-rate crossover sweep
+  hqr checkpoint [--rows R --cols C --tile B --grid PxQ --a A --low TREE
+                --high TREE --domino --ib IB --threads T --seed S
+                --ckpt FILE --every-panels K --min-interval-ms MS
+                --stop-after-panel P --fail K --retries N --out FILE.trace.json]
+      factor with durable checkpoints at quiescent panel boundaries;
+      --stop-after-panel simulates a mid-run kill right after that panel's
+      checkpoint (resume later with `hqr resume`)
+  hqr resume   [--ckpt FILE --threads T --verify --out FILE.trace.json]
+      reload a checkpoint, rebuild the task graph from the stored
+      elimination list, and finish the factorization; --verify re-runs the
+      whole factorization serially and checks the factors are bitwise equal
   hqr trace    [--backend exec|sim --out FILE.trace.json
                 --rows R --cols C --tile B --grid PxQ --a A --low TREE
                 --high TREE --domino
                 exec: --threads T --seed S --fail K --retries N
                 sim:  --nodes N --cores C --policy POLICY --gpus G
-                      --gpu-speedup X --crash-node X --crash-frac F]
+                      --gpu-speedup X --crash-node X --crash-frac F
+                      --degrade-bw F --degrade-lat F]
       run either backend with timeline recording, write a Chrome Trace
       Format JSON (open at https://ui.perfetto.dev), and print a summary
       (utilization, steal counts, top realized-critical-path tasks)
@@ -78,10 +95,51 @@ fn require_positive(checks: &[(&str, usize)]) -> Option<i32> {
     for &(name, v) in checks {
         if v == 0 {
             eprintln!("--{name} must be positive");
+            eprintln!("run `hqr help` for usage");
             return Some(2);
         }
     }
     None
+}
+
+/// Reject non-finite or non-positive floats (bandwidth/latency factors,
+/// I/O rates) with a usage hint. Returns `Some(2)` on the first offender.
+fn require_positive_f64(checks: &[(&str, f64)]) -> Option<i32> {
+    for &(name, v) in checks {
+        if !v.is_finite() || v <= 0.0 {
+            eprintln!("--{name} must be a positive finite number, got {v}");
+            eprintln!("run `hqr help` for usage");
+            return Some(2);
+        }
+    }
+    None
+}
+
+/// Validate the simulated-fault arguments shared by `hqr fault` and
+/// `hqr trace --backend sim`: node indices in range, times non-negative,
+/// degradation factors positive. Returns `Some(2)` on the first offender.
+fn validate_sim_fault_args(args: &Args, nodes: usize) -> Option<i32> {
+    if let Some(raw) = args.get("crash-node") {
+        let node = args.usize_or("crash-node", 0);
+        if node >= nodes {
+            eprintln!(
+                "--crash-node {raw} is out of range: platform has {nodes} nodes (0..{})",
+                nodes - 1
+            );
+            eprintln!("run `hqr help` for usage");
+            return Some(2);
+        }
+    }
+    let crash_frac = args.f64_or("crash-frac", 0.3);
+    if !crash_frac.is_finite() || crash_frac < 0.0 {
+        eprintln!("--crash-frac must be a non-negative finite fraction, got {crash_frac}");
+        eprintln!("run `hqr help` for usage");
+        return Some(2);
+    }
+    require_positive_f64(&[
+        ("degrade-bw", args.f64_or("degrade-bw", 1.0)),
+        ("degrade-lat", args.f64_or("degrade-lat", 1.0)),
+    ])
 }
 
 /// `hqr factor`: factor a random matrix and verify.
@@ -338,6 +396,21 @@ pub fn fault(args: &Args) -> i32 {
     {
         return code;
     }
+    if let Some(code) = validate_sim_fault_args(args, platform.nodes) {
+        return code;
+    }
+    let model = CheckpointCostModel {
+        io_bandwidth: args.f64_or("io-bw", 1e9),
+        restart_overhead: args.f64_or("restart-cost", 0.5),
+    };
+    if let Some(code) = require_positive_f64(&[("io-bw", model.io_bandwidth)]) {
+        return code;
+    }
+    if !model.restart_overhead.is_finite() || model.restart_overhead < 0.0 {
+        eprintln!("--restart-cost must be non-negative, got {}", model.restart_overhead);
+        eprintln!("run `hqr help` for usage");
+        return 2;
+    }
     let baseline = simulate_with_policy(&graph, &setup.layout, &platform, SchedPolicy::PanelFirst);
     let crash_frac = args.f64_or("crash-frac", 0.3);
     let crash_at = crash_frac * baseline.makespan;
@@ -372,13 +445,256 @@ pub fn fault(args: &Args) -> i32 {
                 o.resent_messages,
                 o.resent_bytes / 1e6
             );
-            0
         }
         Err(e) => {
             eprintln!("{e}");
-            2
+            return 2;
         }
     }
+
+    println!();
+    println!("== recovery policy: lineage vs checkpoint/restart ==");
+    let interval = args.get("ckpt-interval").map(|_| args.f64_or("ckpt-interval", 0.0));
+    if let Some(tau) = interval {
+        if let Some(code) = require_positive_f64(&[("ckpt-interval", tau)]) {
+            return code;
+        }
+    }
+    let cmp = match compare_recovery_policies(
+        &graph,
+        &setup.layout,
+        &platform,
+        SchedPolicy::PanelFirst,
+        &plan,
+        &model,
+        interval,
+    ) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    println!(
+        "checkpoint   : cost {:.4} s per checkpoint, interval {:.4} s ({})",
+        cmp.checkpoint_cost,
+        cmp.interval,
+        if interval.is_some() { "from --ckpt-interval" } else { "Young/Daly" }
+    );
+    println!(
+        "lineage      : makespan {:.4} s ({:+.1}% over fault-free)",
+        cmp.lineage_makespan,
+        100.0 * (cmp.lineage_makespan / cmp.baseline_makespan - 1.0)
+    );
+    println!(
+        "ckpt/restart : makespan {:.4} s ({:+.1}% over fault-free; {} checkpoints, {:.4} s ckpt + {:.4} s rework + {:.4} s restart)",
+        cmp.checkpoint.makespan,
+        100.0 * (cmp.checkpoint.makespan / cmp.baseline_makespan - 1.0),
+        cmp.checkpoint.checkpoints_taken,
+        cmp.checkpoint.checkpoint_seconds,
+        cmp.checkpoint.rework_seconds,
+        cmp.checkpoint.restart_seconds
+    );
+    println!(
+        "winner       : {}",
+        match cmp.winner() {
+            RecoveryPolicy::Lineage => "lineage re-execution",
+            RecoveryPolicy::CheckpointRestart => "checkpoint/restart",
+        }
+    );
+
+    let max_crashes = args.usize_or("crossover-max", 4);
+    let points = match recovery_crossover(
+        &graph,
+        &setup.layout,
+        &platform,
+        SchedPolicy::PanelFirst,
+        &model,
+        seed,
+        max_crashes,
+    ) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    println!();
+    println!("crash-rate sweep (seed {seed}):");
+    println!("  crashes  rate(1/s)   lineage(s)   ckpt/restart(s)");
+    for p in &points {
+        println!(
+            "  {:>7}  {:>9.4}  {:>11.4}  {:>16.4}",
+            p.crashes, p.crash_rate, p.lineage_makespan, p.checkpoint_makespan
+        );
+    }
+    match find_crossover(&points) {
+        Some(p) => println!(
+            "crossover    : checkpoint/restart first wins at {} crash(es) per run",
+            p.crashes
+        ),
+        None => println!("crossover    : lineage re-execution wins at every tested crash rate"),
+    }
+    0
+}
+
+/// `hqr checkpoint`: factor with durable checkpoints at quiescent panel
+/// boundaries; `--stop-after-panel` simulates a mid-run kill.
+pub fn checkpoint(args: &Args) -> i32 {
+    let rows = args.usize_or("rows", 96);
+    let cols = args.usize_or("cols", 48);
+    let b = args.usize_or("tile", 8);
+    let grid = args.grid_or("grid", (2, 1));
+    let threads = args.usize_or("threads", 4);
+    let seed = args.usize_or("seed", 42) as u64;
+    let ib = args.usize_or("ib", b);
+    let fail = args.usize_or("fail", 0);
+    let retries = args.usize_or("retries", 1) as u32;
+    let every = args.usize_or("every-panels", 1);
+    let min_interval_ms = args.usize_or("min-interval-ms", 0);
+    if let Some(code) = require_positive(&[
+        ("rows", rows),
+        ("cols", cols),
+        ("tile", b),
+        ("threads", threads),
+        ("ib", ib),
+        ("grid (P)", grid.0),
+        ("grid (Q)", grid.1),
+        ("retries", retries as usize),
+        ("every-panels", every),
+    ]) {
+        return code;
+    }
+    if ib > b {
+        eprintln!("--ib must not exceed --tile ({ib} > {b})");
+        return 2;
+    }
+    if rows < cols {
+        eprintln!("checkpoint expects rows >= cols");
+        return 2;
+    }
+    let (mt, nt) = (rows.div_ceil(b), cols.div_ceil(b));
+    let setup = baselines::hqr(mt, nt, ProcessGrid::new(grid.0, grid.1), config_of(args, grid));
+    let elims = setup.elims.to_ops();
+    let graph = match TaskGraph::try_build(mt, nt, b, &elims) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let n = graph.tasks().len();
+    let panels = mt.min(nt);
+    let stop_after_panel =
+        args.get("stop-after-panel").map(|_| args.usize_or("stop-after-panel", 0));
+    if let Some(p) = stop_after_panel {
+        if p + 1 >= panels {
+            eprintln!("--stop-after-panel {p} must leave work: graph has {panels} panels");
+            eprintln!("run `hqr help` for usage");
+            return 2;
+        }
+    }
+    let path = args.str_or("ckpt", "hqr.ckpt");
+    let spec = CheckpointSpec {
+        path: std::path::Path::new(&path),
+        elims: &elims,
+        policy: CheckpointPolicy {
+            every_panels: every,
+            min_interval: std::time::Duration::from_millis(min_interval_ms as u64),
+        },
+        input_seed: seed,
+        stop_after_panel,
+    };
+    let mut a = TiledMatrix::random(mt, nt, b, seed);
+    let opts = ExecOptions {
+        nthreads: threads,
+        ib: Some(ib),
+        max_retries: retries,
+        plan: (fail > 0).then(|| FaultPlan::new(seed).fail_random_tasks(n, fail, 1)),
+        ..Default::default()
+    };
+    let traced = args.get("out").is_some();
+    println!("graph        : {mt} x {nt} tiles of {b} ({n} tasks, {panels} panels)");
+    println!("checkpoints  : {path} every {every} panel(s), min interval {min_interval_ms} ms");
+    let run = match try_execute_checkpointed(&graph, &mut a, &opts, &spec, traced) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("checkpointed execution failed: {e}");
+            return 2;
+        }
+    };
+    println!(
+        "progress     : {}/{} tasks completed, {} checkpoint(s) written",
+        run.completed_tasks, n, run.checkpoints_written
+    );
+    println!(
+        "status       : {}",
+        if run.interrupted {
+            "interrupted at a quiescent panel boundary — resume with `hqr resume`"
+        } else {
+            "factorization complete"
+        }
+    );
+    if let (true, Some(tr)) = (traced, &run.trace) {
+        let json = chrome_trace_from_exec(tr, graph.tasks());
+        if let Some(code) = write_trace(args, "hqr-checkpoint.trace.json", &json) {
+            return code;
+        }
+    }
+    0
+}
+
+/// `hqr resume`: reload a checkpoint and finish the factorization.
+pub fn resume(args: &Args) -> i32 {
+    let path = args.str_or("ckpt", "hqr.ckpt");
+    let threads = args.usize_or("threads", 4);
+    if let Some(code) = require_positive(&[("threads", threads)]) {
+        return code;
+    }
+    let opts = ExecOptions::with_threads(threads);
+    let traced = args.get("out").is_some();
+    let resumed = match resume_from_checkpoint(std::path::Path::new(&path), &opts, traced) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("failed to resume from {path}: {e}");
+            return 2;
+        }
+    };
+    let n = resumed.graph.tasks().len();
+    println!("checkpoint   : {path}");
+    println!(
+        "resumed      : {}/{} tasks were durable; {} remained",
+        resumed.resumed_from,
+        n,
+        n - resumed.resumed_from
+    );
+    println!("status       : factorization complete");
+    if let (true, Some(tr)) = (traced, &resumed.trace) {
+        let json = chrome_trace_from_exec(tr, resumed.graph.tasks());
+        if let Some(code) = write_trace(args, "hqr-resume.trace.json", &json) {
+            return code;
+        }
+    }
+    if args.flag("verify") {
+        let (mt, nt, b) = (resumed.a.mt(), resumed.a.nt(), resumed.a.b());
+        let mut a_ref = TiledMatrix::random(mt, nt, b, resumed.input_seed);
+        let f_ref = hqr_runtime::execute_serial_ib(&resumed.graph, &mut a_ref, resumed.ib);
+        let factors_ok = resumed.factors.bitwise_eq(&f_ref);
+        let (d1, d2) = (a_ref.to_dense(), resumed.a.to_dense());
+        let tiles_ok = d1.data().iter().zip(d2.data()).all(|(x, y)| x.to_bits() == y.to_bits());
+        println!(
+            "bitwise check: {}",
+            if factors_ok && tiles_ok {
+                "identical to an uninterrupted serial run"
+            } else {
+                "MISMATCH"
+            }
+        );
+        if !(factors_ok && tiles_ok) {
+            return 1;
+        }
+    }
+    0
 }
 
 /// Print the heaviest steps of a realized critical path, one line per
@@ -541,6 +857,9 @@ fn trace_sim(args: &Args) -> i32 {
     {
         return code;
     }
+    if let Some(code) = validate_sim_fault_args(args, platform.nodes) {
+        return code;
+    }
     let gpus = args.usize_or("gpus", 0);
     if gpus > 0 {
         platform.accelerators = Some(hqr_sim::Accelerators {
@@ -572,6 +891,11 @@ fn trace_sim(args: &Args) -> i32 {
         let baseline = simulate_with_policy(&graph, &setup.layout, &platform, policy);
         let crash_at = args.f64_or("crash-frac", 0.3) * baseline.makespan;
         plan = plan.crash_node(args.usize_or("crash-node", 0), crash_at);
+    }
+    let degrade_bw = args.f64_or("degrade-bw", 1.0);
+    let degrade_lat = args.f64_or("degrade-lat", 1.0);
+    if degrade_bw != 1.0 || degrade_lat != 1.0 {
+        plan = plan.degrade_link(0.0, degrade_bw, degrade_lat);
     }
     println!(
         "backend      : cluster simulator ({} nodes x {} cores{})",
@@ -947,8 +1271,201 @@ mod tests {
     }
 
     #[test]
+    fn fault_prints_policy_comparison_with_explicit_interval() {
+        let code = fault(&args(&[
+            "--rows",
+            "48",
+            "--cols",
+            "24",
+            "--tile",
+            "8",
+            "--grid",
+            "2x1",
+            "--threads",
+            "2",
+            "--ckpt-interval",
+            "0.05",
+            "--crossover-max",
+            "1",
+        ]));
+        assert_eq!(code, 0);
+    }
+
+    #[test]
+    fn fault_rejects_malformed_fault_arguments() {
+        let base = ["--rows", "48", "--cols", "24", "--tile", "8", "--grid", "2x1"];
+        let with = |extra: &[&str]| {
+            let mut v: Vec<&str> = base.to_vec();
+            v.extend_from_slice(extra);
+            fault(&args(&v))
+        };
+        // Node index out of range for the 2-node platform.
+        assert_eq!(with(&["--crash-node", "7"]), 2);
+        // Negative crash time fraction.
+        assert_eq!(with(&["--crash-node", "1", "--crash-frac", "-0.5"]), 2);
+        // Zero bandwidth / latency degradation factors.
+        assert_eq!(with(&["--degrade-bw", "0"]), 2);
+        assert_eq!(with(&["--degrade-lat", "0"]), 2);
+        // Checkpoint-model arguments must be positive where required.
+        assert_eq!(with(&["--io-bw", "0"]), 2);
+        assert_eq!(with(&["--restart-cost", "-1"]), 2);
+        assert_eq!(with(&["--ckpt-interval", "0"]), 2);
+    }
+
+    #[test]
+    fn trace_sim_rejects_malformed_fault_arguments() {
+        let base = [
+            "--backend",
+            "sim",
+            "--rows",
+            "2240",
+            "--cols",
+            "560",
+            "--tile",
+            "280",
+            "--grid",
+            "3x1",
+        ];
+        let with = |extra: &[&str]| {
+            let mut v: Vec<&str> = base.to_vec();
+            v.extend_from_slice(extra);
+            trace(&args(&v))
+        };
+        assert_eq!(with(&["--crash-node", "9"]), 2);
+        assert_eq!(with(&["--crash-node", "1", "--crash-frac", "-0.1"]), 2);
+        assert_eq!(with(&["--degrade-bw", "0"]), 2);
+    }
+
+    #[test]
+    fn trace_sim_backend_with_degradation() {
+        let out = std::env::temp_dir().join("hqr_cli_trace_degrade.trace.json");
+        let code = trace(&args(&[
+            "--backend",
+            "sim",
+            "--rows",
+            "2240",
+            "--cols",
+            "560",
+            "--tile",
+            "280",
+            "--grid",
+            "3x1",
+            "--degrade-bw",
+            "0.5",
+            "--degrade-lat",
+            "2.0",
+            "--out",
+            out.to_str().unwrap(),
+        ]));
+        assert_eq!(code, 0);
+        hqr_runtime::validate_chrome_trace(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn checkpoint_then_resume_roundtrip_is_bitwise_verified() {
+        let ckpt = std::env::temp_dir().join("hqr_cli_roundtrip.ckpt");
+        let code = checkpoint(&args(&[
+            "--rows",
+            "48",
+            "--cols",
+            "24",
+            "--tile",
+            "8",
+            "--grid",
+            "2x1",
+            "--threads",
+            "2",
+            "--stop-after-panel",
+            "0",
+            "--ckpt",
+            ckpt.to_str().unwrap(),
+        ]));
+        assert_eq!(code, 0);
+        // The `--verify` pass re-runs the whole factorization serially and
+        // exits 1 on any bitwise divergence — 0 means the resumed run is
+        // indistinguishable from an uninterrupted one.
+        let code = resume(&args(&["--ckpt", ckpt.to_str().unwrap(), "--threads", "3", "--verify"]));
+        assert_eq!(code, 0);
+        let _ = std::fs::remove_file(&ckpt);
+    }
+
+    #[test]
+    fn checkpoint_and_resume_traces_carry_instants() {
+        let ckpt = std::env::temp_dir().join("hqr_cli_traced.ckpt");
+        let out1 = std::env::temp_dir().join("hqr_cli_ckpt.trace.json");
+        let out2 = std::env::temp_dir().join("hqr_cli_resume.trace.json");
+        let code = checkpoint(&args(&[
+            "--rows",
+            "48",
+            "--cols",
+            "24",
+            "--tile",
+            "8",
+            "--grid",
+            "2x1",
+            "--threads",
+            "2",
+            "--stop-after-panel",
+            "1",
+            "--ckpt",
+            ckpt.to_str().unwrap(),
+            "--out",
+            out1.to_str().unwrap(),
+        ]));
+        assert_eq!(code, 0);
+        let json = std::fs::read_to_string(&out1).unwrap();
+        hqr_runtime::validate_chrome_trace(&json).expect("schema-valid");
+        assert!(json.contains("checkpoint written"), "checkpoint instants in the trace");
+        let code = resume(&args(&[
+            "--ckpt",
+            ckpt.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--out",
+            out2.to_str().unwrap(),
+        ]));
+        assert_eq!(code, 0);
+        let json = std::fs::read_to_string(&out2).unwrap();
+        hqr_runtime::validate_chrome_trace(&json).expect("schema-valid");
+        assert!(json.contains("resumed from checkpoint"), "resume instant in the trace");
+        for p in [&ckpt, &out1, &out2] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn checkpoint_rejects_bad_inputs() {
+        assert_eq!(checkpoint(&args(&["--tile", "0"])), 2);
+        assert_eq!(checkpoint(&args(&["--rows", "8", "--cols", "16"])), 2);
+        assert_eq!(checkpoint(&args(&["--tile", "8", "--ib", "9"])), 2);
+        assert_eq!(checkpoint(&args(&["--every-panels", "0"])), 2);
+        // Stopping at or past the last panel leaves nothing to resume.
+        assert_eq!(
+            checkpoint(&args(&[
+                "--rows",
+                "48",
+                "--cols",
+                "24",
+                "--tile",
+                "8",
+                "--stop-after-panel",
+                "2"
+            ])),
+            2
+        );
+    }
+
+    #[test]
+    fn resume_rejects_missing_checkpoint() {
+        assert_eq!(resume(&args(&["--ckpt", "/no/such/dir/x.ckpt"])), 2);
+        assert_eq!(resume(&args(&["--threads", "0"])), 2);
+    }
+
+    #[test]
     fn run_dispatches() {
         assert_eq!(crate::run(&["trees".to_string()]), 0);
+        assert_eq!(crate::run(&["resume".to_string(), "--ckpt".into(), "/no/such.ckpt".into()]), 2);
         assert_eq!(crate::run(&["help".to_string()]), 0);
         assert_eq!(crate::run(&["bogus".to_string()]), 2);
         assert_eq!(crate::run(&[]), 0);

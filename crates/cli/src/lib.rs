@@ -13,6 +13,8 @@ pub fn run(argv: &[String]) -> i32 {
         Some("factor") => commands::factor(&Args::parse(&argv[1..])),
         Some("simulate") => commands::simulate(&Args::parse(&argv[1..])),
         Some("fault") => commands::fault(&Args::parse(&argv[1..])),
+        Some("checkpoint") => commands::checkpoint(&Args::parse(&argv[1..])),
+        Some("resume") => commands::resume(&Args::parse(&argv[1..])),
         Some("trace") => commands::trace(&Args::parse(&argv[1..])),
         Some("schedule") => commands::schedule(&Args::parse(&argv[1..])),
         Some("trees") => commands::trees(&Args::parse(&argv[1..])),

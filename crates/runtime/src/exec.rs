@@ -30,6 +30,7 @@ use hqr_tile::TiledMatrix;
 /// and T factors of every GEQRT, and the T factors of every kill kernel.
 /// Together with the factored matrix (V/V2 blocks in place, R in the upper
 /// triangle) and the elimination list, they fully determine Q.
+#[derive(Clone)]
 pub struct TFactors {
     pub(crate) b: usize,
     pub(crate) mt: usize,
@@ -102,6 +103,29 @@ impl TFactors {
     pub fn tk(&self, i: usize, k: usize) -> Option<&[f64]> {
         Self::get(&self.tk, self.mt, i, k)
     }
+
+    /// Bit-exact equality of every allocated factor buffer (comparing
+    /// `f64::to_bits`, so `-0.0 != 0.0` and NaNs compare by payload) — the
+    /// check behind the "resume is bitwise-identical" guarantee.
+    pub fn bitwise_eq(&self, other: &TFactors) -> bool {
+        fn family_eq(a: &[Option<Box<[f64]>>], b: &[Option<Box<[f64]>>]) -> bool {
+            a.len() == b.len()
+                && a.iter().zip(b).all(|(x, y)| match (x, y) {
+                    (None, None) => true,
+                    (Some(x), Some(y)) => {
+                        x.len() == y.len()
+                            && x.iter().zip(y.iter()).all(|(p, q)| p.to_bits() == q.to_bits())
+                    }
+                    _ => false,
+                })
+        }
+        self.b == other.b
+            && self.mt == other.mt
+            && self.nt == other.nt
+            && family_eq(&self.vg, &other.vg)
+            && family_eq(&self.tg, &other.tg)
+            && family_eq(&self.tk, &other.tk)
+    }
 }
 
 /// Execute the DAG on the calling thread, in program order (which
@@ -167,6 +191,12 @@ pub enum InstantKind {
     Retry,
     /// A poisoned worker pushed the task back for healthy peers.
     Requeue,
+    /// A consistent checkpoint was written to disk (the `task` field holds
+    /// the number of completed tasks it covers).
+    Checkpoint,
+    /// Execution resumed from an on-disk checkpoint (the `task` field holds
+    /// the number of tasks restored as already complete).
+    Resume,
 }
 
 /// A point event on a worker's timeline (fault/retry markers).
@@ -445,6 +475,33 @@ fn run_engine(
     opts: &ExecOptions,
     trace: bool,
 ) -> Result<(TFactors, FaultStats, Option<ExecTrace>), ExecError> {
+    let mut f = TFactors::allocate_for(graph);
+    let limit = graph.tasks().len();
+    let (stats, exec_trace) = run_engine_segment(graph, a, &mut f, opts, trace, None, limit)?;
+    Ok((f, stats, exec_trace))
+}
+
+/// The engine behind [`run_engine`] and the checkpoint/resume drivers in
+/// [`crate::checkpoint`]: run the sub-DAG of tasks with index `< limit`
+/// that are not already marked in `completed`, writing into a
+/// caller-provided [`TFactors`].
+///
+/// Program order is panel-major and topological, and every predecessor of
+/// a task precedes it in the task list, so a prefix `0..limit` at a panel
+/// boundary is dependency-closed: running it to quiescence yields a
+/// consistent state that can be serialized and later resumed. `completed`
+/// must be closed under predecessors (every predecessor of a completed
+/// task is completed); the ready frontier is reconstructed by discounting
+/// completed predecessors from each remaining task's in-degree.
+pub(crate) fn run_engine_segment(
+    graph: &TaskGraph,
+    a: &mut TiledMatrix,
+    f: &mut TFactors,
+    opts: &ExecOptions,
+    trace: bool,
+    completed: Option<&[bool]>,
+    limit: usize,
+) -> Result<(FaultStats, Option<ExecTrace>), ExecError> {
     let nthreads = opts.nthreads.max(1);
     let b = graph.b();
     let ib = opts.ib.unwrap_or(b);
@@ -465,6 +522,20 @@ fn run_engine(
             message: format!("inner block size {ib} must be in 1..={b}"),
         });
     }
+    let n = graph.tasks().len();
+    if limit > n {
+        return Err(ExecError::Config {
+            message: format!("segment limit {limit} exceeds the task count {n}"),
+        });
+    }
+    if completed.is_some_and(|c| c.len() != n) {
+        return Err(ExecError::Config {
+            message: format!(
+                "completed bitmap has {} entries for {n} tasks",
+                completed.map_or(0, <[bool]>::len)
+            ),
+        });
+    }
     let plan = opts.plan.as_ref().filter(|p| !p.is_empty());
     if plan.is_some_and(|p| p.loses_any_completion()) && opts.watchdog.is_none() {
         return Err(ExecError::Config {
@@ -472,20 +543,32 @@ fn run_engine(
         });
     }
     let recovery = opts.recovery_enabled();
+    let is_done = |tid: usize| completed.is_some_and(|c| c[tid]);
 
     let epoch = Instant::now();
-    let mut f = TFactors::allocate_for(graph);
-    let store = TileStore::with_ib(a, &mut f, ib);
-    let n = graph.tasks().len();
-    let indeg: Vec<AtomicU32> = graph.in_degrees().iter().map(|&d| AtomicU32::new(d)).collect();
-    let done: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
-    let remaining = AtomicUsize::new(n);
+    let store = TileStore::with_ib(a, f, ib);
+    // Reconstruct the frontier: a remaining task's effective in-degree
+    // counts only its not-yet-completed predecessors.
+    let mut indeg0: Vec<u32> = graph.in_degrees().to_vec();
+    if completed.is_some() {
+        for t in 0..n {
+            if is_done(t) {
+                for &s in graph.successors(t) {
+                    indeg0[s as usize] -= 1;
+                }
+            }
+        }
+    }
+    let active = (0..limit).filter(|&t| !is_done(t)).count();
+    let indeg: Vec<AtomicU32> = indeg0.iter().map(|&d| AtomicU32::new(d)).collect();
+    let done: Vec<AtomicBool> = (0..n).map(|t| AtomicBool::new(is_done(t))).collect();
+    let remaining = AtomicUsize::new(active);
     let alive = AtomicUsize::new(nthreads);
     let halt = AtomicBool::new(false);
     let error: Mutex<Option<ExecError>> = Mutex::new(None);
     let injector: Injector<u32> = Injector::new();
-    for (tid, &d) in graph.in_degrees().iter().enumerate() {
-        if d == 0 {
+    for (tid, &d) in indeg0.iter().enumerate().take(limit) {
+        if d == 0 && !is_done(tid) {
             injector.push(tid as u32);
         }
     }
@@ -643,7 +726,11 @@ fn run_engine(
                                 continue;
                             }
                             for &s in graph.successors(tid as usize) {
-                                if indeg[s as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                if indeg[s as usize].fetch_sub(1, Ordering::AcqRel) == 1
+                                    && (s as usize) < limit
+                                {
+                                    // Successors past the segment limit stay
+                                    // pending for the next segment/resume.
                                     worker.push(s);
                                 }
                             }
@@ -735,7 +822,7 @@ fn run_engine(
         instants.sort_by(|a, b| a.time.total_cmp(&b.time));
         ExecTrace { nthreads, records, instants, counters, wall }
     });
-    Ok((f, stats, exec_trace))
+    Ok((stats, exec_trace))
 }
 
 fn run_parallel(

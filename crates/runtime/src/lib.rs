@@ -23,6 +23,7 @@
 
 pub mod analysis;
 pub mod apply_graph;
+pub mod checkpoint;
 pub mod elim;
 pub mod error;
 pub mod exec;
@@ -33,6 +34,11 @@ pub mod task;
 pub mod trace;
 
 pub use apply_graph::{apply_q_parallel, ApplyGraph, ApplyTask};
+pub use checkpoint::{
+    graph_fingerprint, read_checkpoint, resume_from_checkpoint, try_execute_checkpointed,
+    write_checkpoint, Checkpoint, CheckpointError, CheckpointPolicy, CheckpointRun, CheckpointSpec,
+    ResumedRun, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+};
 pub use elim::ElimOp;
 pub use error::{ExecError, GraphError, StallCause, StallReport};
 pub use exec::{

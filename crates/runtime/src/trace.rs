@@ -225,12 +225,19 @@ pub fn chrome_trace_from_exec(trace: &ExecTrace, tasks: &[Task]) -> String {
         );
     }
     for i in &trace.instants {
-        let name = match i.kind {
-            crate::exec::InstantKind::PanicCaught => "panic caught",
-            crate::exec::InstantKind::Retry => "retry after rollback",
-            crate::exec::InstantKind::Requeue => "requeued (poisoned worker)",
+        let (name, category) = match i.kind {
+            crate::exec::InstantKind::PanicCaught => ("panic caught", "fault"),
+            crate::exec::InstantKind::Retry => ("retry after rollback", "fault"),
+            crate::exec::InstantKind::Requeue => ("requeued (poisoned worker)", "fault"),
+            crate::exec::InstantKind::Checkpoint => ("checkpoint written", "checkpoint"),
+            crate::exec::InstantKind::Resume => ("resumed from checkpoint", "checkpoint"),
         };
-        b.instant(pid, i.worker as u32, name, "fault", i.time, &[("task", i.task.to_string())]);
+        // Checkpoint/resume instants mark completed-task counts, not tasks.
+        let arg = match i.kind {
+            crate::exec::InstantKind::Checkpoint | crate::exec::InstantKind::Resume => "completed",
+            _ => "task",
+        };
+        b.instant(pid, i.worker as u32, name, category, i.time, &[(arg, i.task.to_string())]);
     }
     for (w, c) in trace.counters.iter().enumerate() {
         let series: [(&str, f64); 3] = [

@@ -1,0 +1,296 @@
+//! Checkpoint/restart integration tests: kill-mid-run → resume →
+//! bitwise-identical factors, durable-format hygiene (truncation,
+//! corruption, atomic writes), fingerprint binding, and trace instants.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use hqr_runtime::{
+    chrome_trace_from_exec, execute_serial, read_checkpoint, resume_from_checkpoint,
+    try_execute_checkpointed, validate_chrome_trace, write_checkpoint, CheckpointError,
+    CheckpointPolicy, CheckpointSpec, ElimOp, ExecOptions, InstantKind, TaskGraph,
+};
+use hqr_tile::io::sibling_tmp_path;
+use hqr_tile::TiledMatrix;
+
+/// Flat-tree elimination list: row k kills every row below it.
+fn flat_elims(mt: usize, nt: usize) -> Vec<ElimOp> {
+    let mut out = Vec::new();
+    for k in 0..mt.min(nt) {
+        for i in (k + 1)..mt {
+            out.push(ElimOp::new(k as u32, i as u32, k as u32, true));
+        }
+    }
+    out
+}
+
+/// Binary-tree elimination list (TT kernels only).
+fn binary_elims(mt: usize, nt: usize) -> Vec<ElimOp> {
+    let mut out = Vec::new();
+    for k in 0..mt.min(nt) {
+        let mut alive: Vec<u32> = (k as u32..mt as u32).collect();
+        while alive.len() > 1 {
+            let mut next = Vec::new();
+            for pair in alive.chunks(2) {
+                if let [a, b] = pair {
+                    out.push(ElimOp::new(k as u32, *b, *a, false));
+                }
+                next.push(pair[0]);
+            }
+            alive = next;
+        }
+    }
+    out
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("hqr_ckpt_{name}_{}.ckpt", std::process::id()))
+}
+
+#[test]
+fn kill_mid_run_then_resume_is_bitwise_identical() {
+    let (mt, nt, b) = (6, 4, 8);
+    let elims = binary_elims(mt, nt);
+    let graph = TaskGraph::build(mt, nt, b, &elims);
+    let a0 = TiledMatrix::random(mt, nt, b, 77);
+
+    let mut a_ref = a0.clone();
+    let f_ref = execute_serial(&graph, &mut a_ref);
+
+    let path = tmp("kill_resume");
+    let mut a = a0.clone();
+    let spec = CheckpointSpec {
+        path: &path,
+        elims: &elims,
+        policy: CheckpointPolicy::default(),
+        input_seed: 77,
+        stop_after_panel: Some(1),
+    };
+    let opts = ExecOptions::with_threads(3);
+    let run = try_execute_checkpointed(&graph, &mut a, &opts, &spec, false).unwrap();
+    assert!(run.interrupted, "stopping after panel 1 of 4 must leave work");
+    assert!(run.checkpoints_written >= 1);
+    assert!(run.completed_tasks < graph.tasks().len());
+    assert!(path.exists());
+    assert!(!sibling_tmp_path(&path).exists(), "temp file must not survive");
+
+    let resumed = resume_from_checkpoint(&path, &opts, false).unwrap();
+    assert_eq!(resumed.resumed_from, run.completed_tasks);
+    assert_eq!(resumed.input_seed, 77);
+    assert!(
+        resumed.factors.bitwise_eq(&f_ref),
+        "resumed factors must be bitwise-identical to an uninterrupted run"
+    );
+    let d_ref = a_ref.to_dense();
+    let d_res = resumed.a.to_dense();
+    assert!(
+        d_ref.data().iter().zip(d_res.data().iter()).all(|(x, y)| x.to_bits() == y.to_bits()),
+        "resumed tile store must be bitwise-identical"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn uninterrupted_checkpointed_run_matches_serial() {
+    let (mt, nt, b) = (5, 3, 6);
+    let elims = flat_elims(mt, nt);
+    let graph = TaskGraph::build(mt, nt, b, &elims);
+    let a0 = TiledMatrix::random(mt, nt, b, 5);
+
+    let mut a_ref = a0.clone();
+    let f_ref = execute_serial(&graph, &mut a_ref);
+
+    let path = tmp("full_run");
+    let mut a = a0.clone();
+    let spec = CheckpointSpec {
+        path: &path,
+        elims: &elims,
+        policy: CheckpointPolicy::default(),
+        input_seed: 5,
+        stop_after_panel: None,
+    };
+    let run = try_execute_checkpointed(&graph, &mut a, &ExecOptions::with_threads(2), &spec, false)
+        .unwrap();
+    assert!(!run.interrupted);
+    assert_eq!(run.completed_tasks, graph.tasks().len());
+    // One checkpoint per panel boundary except the final (fully done) one.
+    assert_eq!(run.checkpoints_written, nt - 1);
+    assert!(run.factors.bitwise_eq(&f_ref));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn policy_every_k_and_min_interval_limit_writes() {
+    let (mt, nt, b) = (6, 6, 4);
+    let elims = flat_elims(mt, nt);
+    let graph = TaskGraph::build(mt, nt, b, &elims);
+
+    // every_panels = 2 → boundaries after panels 2, 4 (final boundary skipped).
+    let path = tmp("every_two");
+    let mut a = TiledMatrix::random(mt, nt, b, 9);
+    let spec = CheckpointSpec {
+        path: &path,
+        elims: &elims,
+        policy: CheckpointPolicy::every(2),
+        input_seed: 9,
+        stop_after_panel: None,
+    };
+    let run = try_execute_checkpointed(&graph, &mut a, &ExecOptions::with_threads(1), &spec, false)
+        .unwrap();
+    assert_eq!(run.checkpoints_written, 2);
+    let _ = std::fs::remove_file(&path);
+
+    // A prohibitive min_interval lets only the first due checkpoint through.
+    let path = tmp("min_interval");
+    let mut a = TiledMatrix::random(mt, nt, b, 9);
+    let spec = CheckpointSpec {
+        path: &path,
+        elims: &elims,
+        policy: CheckpointPolicy { every_panels: 1, min_interval: Duration::from_secs(3600) },
+        input_seed: 9,
+        stop_after_panel: None,
+    };
+    let run = try_execute_checkpointed(&graph, &mut a, &ExecOptions::with_threads(1), &spec, false)
+        .unwrap();
+    assert_eq!(run.checkpoints_written, 1);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn checkpoint_is_rejected_for_a_different_plan() {
+    let (mt, nt, b) = (5, 3, 4);
+    let elims = flat_elims(mt, nt);
+    let graph = TaskGraph::build(mt, nt, b, &elims);
+    let path = tmp("fingerprint");
+    let mut a = TiledMatrix::random(mt, nt, b, 3);
+    let spec = CheckpointSpec {
+        path: &path,
+        elims: &elims,
+        policy: CheckpointPolicy::default(),
+        input_seed: 3,
+        stop_after_panel: Some(0),
+    };
+    try_execute_checkpointed(&graph, &mut a, &ExecOptions::with_threads(1), &spec, false).unwrap();
+
+    let ckpt = read_checkpoint(&path).unwrap();
+    // Same shape, different elimination order → different fingerprint.
+    let other = TaskGraph::build(mt, nt, b, &binary_elims(mt, nt));
+    match ckpt.validate_against(&other, ckpt.ib) {
+        Err(CheckpointError::FingerprintMismatch { .. }) => {}
+        other => panic!("expected FingerprintMismatch, got {other:?}"),
+    }
+    // Same graph, different ib → also rejected.
+    let same = TaskGraph::build(mt, nt, b, &elims);
+    match ckpt.validate_against(&same, ckpt.ib + 1) {
+        Err(CheckpointError::FingerprintMismatch { .. }) => {}
+        other => panic!("expected FingerprintMismatch on ib change, got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn truncated_and_corrupt_checkpoints_are_typed_errors() {
+    let (mt, nt, b) = (4, 3, 4);
+    let elims = flat_elims(mt, nt);
+    let graph = TaskGraph::build(mt, nt, b, &elims);
+    let path = tmp("truncate");
+    let mut a = TiledMatrix::random(mt, nt, b, 11);
+    let spec = CheckpointSpec {
+        path: &path,
+        elims: &elims,
+        policy: CheckpointPolicy::default(),
+        input_seed: 11,
+        stop_after_panel: Some(0),
+    };
+    try_execute_checkpointed(&graph, &mut a, &ExecOptions::with_threads(1), &spec, false).unwrap();
+
+    let bytes = std::fs::read(&path).unwrap();
+    // Truncate mid-file (inside the tile section).
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+    match read_checkpoint(&path) {
+        Err(CheckpointError::Format(_)) => {}
+        other => panic!("expected Format error on truncation, got {other:?}"),
+    }
+    // Flip one payload byte: checksum must catch it.
+    let mut corrupt = bytes.clone();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0xff;
+    std::fs::write(&path, &corrupt).unwrap();
+    match read_checkpoint(&path) {
+        Err(CheckpointError::Format(hqr_tile::BinFormatError::ChecksumMismatch { .. })) => {}
+        other => panic!("expected ChecksumMismatch, got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn resume_rejects_conflicting_ib_and_open_bitmap() {
+    let (mt, nt, b) = (4, 3, 4);
+    let elims = flat_elims(mt, nt);
+    let graph = TaskGraph::build(mt, nt, b, &elims);
+    let path = tmp("bad_resume");
+    let mut a = TiledMatrix::random(mt, nt, b, 13);
+    let spec = CheckpointSpec {
+        path: &path,
+        elims: &elims,
+        policy: CheckpointPolicy::default(),
+        input_seed: 13,
+        stop_after_panel: Some(0),
+    };
+    let opts = ExecOptions { ib: Some(2), ..ExecOptions::with_threads(1) };
+    try_execute_checkpointed(&graph, &mut a, &opts, &spec, false).unwrap();
+
+    // Conflicting ib at resume time.
+    let conflicting = ExecOptions { ib: Some(4), ..ExecOptions::with_threads(1) };
+    match resume_from_checkpoint(&path, &conflicting, false) {
+        Err(CheckpointError::Inconsistent { .. }) => {}
+        other => panic!("expected Inconsistent on ib conflict, got {:?}", other.map(|_| ())),
+    }
+
+    // A bitmap not closed under dependencies is rejected before any
+    // kernel runs.
+    let mut ckpt = read_checkpoint(&path).unwrap();
+    let n = ckpt.completed.len();
+    ckpt.completed[n - 1] = true; // final task "done" with pending preds
+    write_checkpoint(&path, &ckpt).unwrap();
+    match resume_from_checkpoint(&path, &ExecOptions::with_threads(1), false) {
+        Err(CheckpointError::Inconsistent { .. }) => {}
+        other => panic!("expected Inconsistent on open bitmap, got {:?}", other.map(|_| ())),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn traced_runs_carry_checkpoint_and_resume_instants() {
+    let (mt, nt, b) = (6, 4, 6);
+    let elims = binary_elims(mt, nt);
+    let graph = TaskGraph::build(mt, nt, b, &elims);
+    let path = tmp("traced");
+    let mut a = TiledMatrix::random(mt, nt, b, 21);
+    let spec = CheckpointSpec {
+        path: &path,
+        elims: &elims,
+        policy: CheckpointPolicy::default(),
+        input_seed: 21,
+        stop_after_panel: Some(1),
+    };
+    let opts = ExecOptions::with_threads(2);
+    let run = try_execute_checkpointed(&graph, &mut a, &opts, &spec, true).unwrap();
+    let trace = run.trace.expect("trace requested");
+    let ckpt_instants = trace.instants.iter().filter(|i| i.kind == InstantKind::Checkpoint).count();
+    assert_eq!(ckpt_instants, run.checkpoints_written);
+    assert_eq!(trace.records.len(), run.completed_tasks);
+    let json = chrome_trace_from_exec(&trace, graph.tasks());
+    let events = validate_chrome_trace(&json).expect("valid Chrome trace");
+    assert!(events > 0);
+    assert!(json.contains("checkpoint written"));
+
+    let resumed = resume_from_checkpoint(&path, &opts, true).unwrap();
+    let rtrace = resumed.trace.expect("trace requested");
+    assert_eq!(rtrace.instants[0].kind, InstantKind::Resume);
+    assert_eq!(rtrace.instants[0].task as usize, resumed.resumed_from);
+    let json = chrome_trace_from_exec(&rtrace, resumed.graph.tasks());
+    validate_chrome_trace(&json).expect("valid Chrome trace after resume");
+    assert!(json.contains("resumed from checkpoint"));
+    let _ = std::fs::remove_file(&path);
+}

@@ -4,7 +4,8 @@
 
 use hqr_runtime::{
     chrome_trace_from_exec, execute_parallel, execute_serial, realized_critical_path,
-    try_execute_traced, try_execute_with, validate_chrome_trace, ElimOp, ExecOptions, FaultPlan,
+    resume_from_checkpoint, try_execute_checkpointed, try_execute_traced, try_execute_with,
+    validate_chrome_trace, CheckpointPolicy, CheckpointSpec, ElimOp, ExecOptions, FaultPlan,
     TaskGraph,
 };
 use hqr_tile::TiledMatrix;
@@ -75,7 +76,8 @@ proptest! {
     /// For any seeded fault plan whose per-task failure counts stay within
     /// the retry budget, the recovered factorization is bitwise-identical
     /// to the fault-free one — on random trees, random faulted task sets
-    /// and random thread counts.
+    /// and random thread counts, through both the plain and the traced
+    /// recovery paths.
     #[test]
     fn any_recoverable_fault_plan_is_bitwise_transparent(
         mt in 2usize..8, nt in 1usize..5,
@@ -86,9 +88,9 @@ proptest! {
         let elims = random_elims(mt, nt, seed);
         let g = TaskGraph::build(mt, nt, b, &elims);
         let n = g.tasks().len();
-        let mut a1 = TiledMatrix::random(mt, nt, b, seed ^ 0x5EED);
-        let mut a2 = a1.clone();
-        let _ = execute_serial(&g, &mut a1);
+        let a0 = TiledMatrix::random(mt, nt, b, seed ^ 0x5EED);
+        let (mut a1, mut a2, mut a3) = (a0.clone(), a0.clone(), a0);
+        let f1 = execute_serial(&g, &mut a1);
         let plan = FaultPlan::new(seed).fail_random_tasks(n, faults, per_task);
         let planned = plan.failing_tasks().count();
         let opts = ExecOptions {
@@ -97,11 +99,62 @@ proptest! {
             plan: Some(plan),
             ..Default::default()
         };
-        let (_, stats) = try_execute_with(&g, &mut a2, &opts).expect("faults within budget");
+        let (f2, stats) = try_execute_with(&g, &mut a2, &opts).expect("faults within budget");
         let (d1, d2) = (a1.to_dense(), a2.to_dense());
         prop_assert_eq!(d1.data(), d2.data());
+        prop_assert!(f2.bitwise_eq(&f1), "recovered factors differ from fault-free factors");
         prop_assert_eq!(stats.tasks_recovered as usize, planned);
         prop_assert!(stats.panics_caught as usize >= planned);
+        // Tracing must not change recovery semantics: same plan, traced
+        // path, same bits.
+        let (f3, _, tr) = try_execute_traced(&g, &mut a3, &opts).expect("faults within budget");
+        prop_assert!(f3.bitwise_eq(&f1), "traced recovery changed the factors");
+        let d3 = a3.to_dense();
+        prop_assert_eq!(d1.data(), d3.data());
+        prop_assert!(tr.records.len() == n);
+    }
+
+    /// Kill-and-resume transparency on random trees: checkpoint at every
+    /// panel, stop after a random panel, resume from the file — the
+    /// resumed run's factors and tile store are bitwise-identical to an
+    /// uninterrupted serial run.
+    #[test]
+    fn checkpoint_resume_bitwise_on_random_trees(
+        mt in 2usize..8, nt in 2usize..5,
+        seed in any::<u64>(), threads in 1usize..4,
+    ) {
+        let b = 3usize;
+        let elims = random_elims(mt, nt, seed);
+        let g = TaskGraph::build(mt, nt, b, &elims);
+        let a0 = TiledMatrix::random(mt, nt, b, seed ^ 0xC0DE);
+        let mut a1 = a0.clone();
+        let f1 = execute_serial(&g, &mut a1);
+
+        let panels = mt.min(nt);
+        let stop = (seed % (panels as u64 - 1)) as usize; // always before the last panel
+        let path = std::env::temp_dir()
+            .join(format!("hqr_prop_ckpt_{}_{seed:016x}.ckpt", std::process::id()));
+        let mut a2 = a0.clone();
+        let spec = CheckpointSpec {
+            path: &path,
+            elims: &elims,
+            policy: CheckpointPolicy::default(),
+            input_seed: seed,
+            stop_after_panel: Some(stop),
+        };
+        let opts = ExecOptions::with_threads(threads);
+        let run = try_execute_checkpointed(&g, &mut a2, &opts, &spec, false)
+            .expect("checkpointed segment");
+        let resumed = resume_from_checkpoint(&path, &opts, false).expect("resume");
+        let _ = std::fs::remove_file(&path);
+        prop_assert!(run.interrupted, "stop before the last panel must leave work");
+        prop_assert_eq!(resumed.resumed_from, run.completed_tasks);
+        prop_assert!(resumed.factors.bitwise_eq(&f1), "resume diverged from the serial run");
+        let (d1, d2) = (a1.to_dense(), resumed.a.to_dense());
+        prop_assert!(
+            d1.data().iter().zip(d2.data()).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "resumed tile store diverged"
+        );
     }
 
     /// Trace invariants on random trees, thread counts and fault plans:

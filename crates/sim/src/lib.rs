@@ -21,12 +21,17 @@
 //! determined by work, critical path and message structure — which the
 //! simulator reproduces faithfully from the real DAGs.
 
+pub mod checkpoint;
 pub mod des;
 pub mod fault;
 pub mod platform;
 pub mod scalapack;
 pub mod timeline;
 
+pub use checkpoint::{
+    compare_recovery_policies, find_crossover, recovery_crossover, young_daly_interval,
+    CheckpointCostModel, CheckpointOutcome, CrossoverPoint, RecoveryComparison, RecoveryPolicy,
+};
 pub use des::{
     simulate, simulate_traced, simulate_with_faults, simulate_with_policy, SchedPolicy, SimReport,
 };

@@ -1,11 +1,21 @@
-//! Minimal MatrixMarket I/O for dense matrices.
+//! Matrix and checkpoint container I/O.
 //!
-//! Supports the two formats real workloads arrive in: `matrix array real
-//! general` (column-major dense) and `matrix coordinate real general`
-//! (sparse triplets, densified on read). Enough for the `hqr` CLI to
-//! factor user-supplied matrices.
+//! Two halves:
+//!
+//! * Minimal MatrixMarket I/O for dense matrices — `matrix array real
+//!   general` (column-major dense) and `matrix coordinate real general`
+//!   (sparse triplets, densified on read). Enough for the `hqr` CLI to
+//!   factor user-supplied matrices.
+//! * A checksummed binary *section container* ([`SectionWriter`] /
+//!   [`SectionReader`]) used by `hqr-runtime`'s checkpoint format: tagged
+//!   length-prefixed sections between a magic/version header and a trailing
+//!   FNV-1a checksum, written atomically (temp file + rename) so a crash
+//!   mid-write never leaves a half-written file under the real name, and
+//!   read with typed errors ([`BinFormatError`]) for bad magic, truncation
+//!   and corruption.
 
 use crate::dense::DenseMatrix;
+use crate::matrix::TiledMatrix;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;
 
@@ -117,6 +127,345 @@ pub fn write_matrix_market(path: &Path, m: &DenseMatrix) -> Result<(), String> {
     f.write_all(out.as_bytes()).map_err(|e| e.to_string())
 }
 
+/// Why a binary section container could not be written or read.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BinFormatError {
+    /// Filesystem failure (open/create/rename), with the path involved.
+    Io {
+        /// The path being written or read.
+        path: String,
+        /// The underlying OS error.
+        message: String,
+    },
+    /// The first 8 bytes are not the expected magic — not a file of this
+    /// format at all.
+    BadMagic {
+        /// The magic the reader expected.
+        expected: [u8; 8],
+        /// What the file actually starts with.
+        found: [u8; 8],
+    },
+    /// The format version is newer (or older) than this reader supports.
+    UnsupportedVersion {
+        /// The version the reader supports.
+        expected: u32,
+        /// The version recorded in the file.
+        found: u32,
+    },
+    /// The file ends before a header, section, or the trailing checksum is
+    /// complete — e.g. a write was killed mid-flight *and* the atomic
+    /// rename was bypassed, or the file was truncated after the fact.
+    Truncated {
+        /// Byte offset at which the reader needed more data.
+        offset: usize,
+        /// Bytes the reader needed from that offset.
+        needed: usize,
+        /// Bytes actually available from that offset.
+        available: usize,
+    },
+    /// The trailing FNV-1a checksum does not match the content — the file
+    /// is complete-looking but corrupt.
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        stored: u64,
+        /// Checksum recomputed over the file's content.
+        computed: u64,
+    },
+    /// A required section is absent.
+    MissingSection {
+        /// The tag that was required.
+        tag: u32,
+    },
+    /// A section is present but its payload does not decode.
+    BadSection {
+        /// The offending section's tag.
+        tag: u32,
+        /// What was wrong with it.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for BinFormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BinFormatError::Io { path, message } => write!(f, "{path}: {message}"),
+            BinFormatError::BadMagic { expected, found } => write!(
+                f,
+                "bad magic {:?} (expected {:?})",
+                String::from_utf8_lossy(found),
+                String::from_utf8_lossy(expected)
+            ),
+            BinFormatError::UnsupportedVersion { expected, found } => {
+                write!(f, "unsupported format version {found} (reader supports {expected})")
+            }
+            BinFormatError::Truncated { offset, needed, available } => write!(
+                f,
+                "truncated file: needed {needed} bytes at offset {offset}, only {available} available"
+            ),
+            BinFormatError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch: stored {stored:#018x}, computed {computed:#018x} — file is corrupt"
+            ),
+            BinFormatError::MissingSection { tag } => write!(f, "missing section {tag}"),
+            BinFormatError::BadSection { tag, message } => {
+                write!(f, "bad section {tag}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BinFormatError {}
+
+/// FNV-1a 64-bit hash — the container's integrity checksum. Not
+/// cryptographic; it detects truncation and accidental corruption.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Builder for a checksummed binary section container.
+///
+/// Layout: `magic[8] | version:u32 | (tag:u32 | len:u64 | payload)* |
+/// fnv1a64:u64` — all integers little-endian, the checksum covering every
+/// preceding byte. [`SectionWriter::write_atomic`] stages the bytes in a
+/// sibling temp file and renames it into place, so readers never observe a
+/// partially written file under the final name.
+pub struct SectionWriter {
+    buf: Vec<u8>,
+}
+
+impl SectionWriter {
+    /// Start a container with the given magic and version.
+    pub fn new(magic: [u8; 8], version: u32) -> Self {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(&magic);
+        buf.extend_from_slice(&version.to_le_bytes());
+        Self { buf }
+    }
+
+    /// Append one tagged section.
+    pub fn section(&mut self, tag: u32, payload: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(&tag.to_le_bytes());
+        self.buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        self.buf.extend_from_slice(payload);
+        self
+    }
+
+    /// The finished container (checksum appended) as bytes.
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        let sum = fnv1a64(&self.buf);
+        self.buf.extend_from_slice(&sum.to_le_bytes());
+        self.buf
+    }
+
+    /// Write the container to `path` atomically: the bytes go to a
+    /// `<path>.tmp.<pid>` sibling first and are renamed into place, so a
+    /// crash mid-write leaves either the old file or the new one — never a
+    /// torn hybrid.
+    pub fn write_atomic(self, path: &Path) -> Result<(), BinFormatError> {
+        let bytes = self.into_bytes();
+        let tmp = sibling_tmp_path(path);
+        let io_err = |p: &Path, e: std::io::Error| BinFormatError::Io {
+            path: p.display().to_string(),
+            message: e.to_string(),
+        };
+        std::fs::write(&tmp, &bytes).map_err(|e| io_err(&tmp, e))?;
+        std::fs::rename(&tmp, path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            io_err(path, e)
+        })
+    }
+}
+
+/// The staging path [`SectionWriter::write_atomic`] renames from — in the
+/// same directory as `path` (renames across filesystems are not atomic).
+pub fn sibling_tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(format!(".tmp.{}", std::process::id()));
+    path.with_file_name(name)
+}
+
+/// Parsed view of a checksummed binary section container.
+pub struct SectionReader {
+    buf: Vec<u8>,
+    /// `(tag, payload range into buf)` in file order.
+    sections: Vec<(u32, std::ops::Range<usize>)>,
+}
+
+impl SectionReader {
+    /// Read and validate a container file: magic, version, section framing
+    /// and the trailing checksum. Every malformation is a typed
+    /// [`BinFormatError`].
+    pub fn read(path: &Path, magic: [u8; 8], version: u32) -> Result<Self, BinFormatError> {
+        let bytes = std::fs::read(path).map_err(|e| BinFormatError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        Self::from_bytes(bytes, magic, version)
+    }
+
+    /// [`SectionReader::read`] over in-memory bytes.
+    pub fn from_bytes(buf: Vec<u8>, magic: [u8; 8], version: u32) -> Result<Self, BinFormatError> {
+        if buf.len() < 12 {
+            return Err(BinFormatError::Truncated { offset: 0, needed: 12, available: buf.len() });
+        }
+        let found: [u8; 8] = buf[0..8].try_into().unwrap();
+        if found != magic {
+            return Err(BinFormatError::BadMagic { expected: magic, found });
+        }
+        let v = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+        if v != version {
+            return Err(BinFormatError::UnsupportedVersion { expected: version, found: v });
+        }
+        if buf.len() < 20 {
+            return Err(BinFormatError::Truncated {
+                offset: 12,
+                needed: 8,
+                available: buf.len() - 12,
+            });
+        }
+        let body_end = buf.len() - 8;
+        let stored = u64::from_le_bytes(buf[body_end..].try_into().unwrap());
+        let computed = fnv1a64(&buf[..body_end]);
+        if stored != computed {
+            return Err(BinFormatError::ChecksumMismatch { stored, computed });
+        }
+        let mut sections = Vec::new();
+        let mut off = 12usize;
+        while off < body_end {
+            if body_end - off < 12 {
+                return Err(BinFormatError::Truncated {
+                    offset: off,
+                    needed: 12,
+                    available: body_end - off,
+                });
+            }
+            let tag = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap());
+            let len = u64::from_le_bytes(buf[off + 4..off + 12].try_into().unwrap()) as usize;
+            let start = off + 12;
+            if body_end - start < len {
+                return Err(BinFormatError::Truncated {
+                    offset: start,
+                    needed: len,
+                    available: body_end - start,
+                });
+            }
+            sections.push((tag, start..start + len));
+            off = start + len;
+        }
+        Ok(Self { buf, sections })
+    }
+
+    /// Payload of the first section with `tag`, if present.
+    pub fn section(&self, tag: u32) -> Option<&[u8]> {
+        self.sections.iter().find(|(t, _)| *t == tag).map(|(_, r)| &self.buf[r.clone()])
+    }
+
+    /// Payload of the first section with `tag`, or
+    /// [`BinFormatError::MissingSection`].
+    pub fn require(&self, tag: u32) -> Result<&[u8], BinFormatError> {
+        self.section(tag).ok_or(BinFormatError::MissingSection { tag })
+    }
+
+    /// Tags present, in file order.
+    pub fn tags(&self) -> Vec<u32> {
+        self.sections.iter().map(|(t, _)| *t).collect()
+    }
+}
+
+/// Encode a slice of `u64` as little-endian bytes.
+pub fn bytes_of_u64s(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decode little-endian bytes into `u64`s (`tag` names the section in the
+/// error).
+pub fn u64s_of_bytes(tag: u32, bytes: &[u8]) -> Result<Vec<u64>, BinFormatError> {
+    if !bytes.len().is_multiple_of(8) {
+        return Err(BinFormatError::BadSection {
+            tag,
+            message: format!("length {} is not a multiple of 8", bytes.len()),
+        });
+    }
+    Ok(bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect())
+}
+
+/// Encode a slice of `f64` as little-endian bytes (bit-exact).
+pub fn bytes_of_f64s(values: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decode little-endian bytes into `f64`s (bit-exact).
+pub fn f64s_of_bytes(tag: u32, bytes: &[u8]) -> Result<Vec<f64>, BinFormatError> {
+    if !bytes.len().is_multiple_of(8) {
+        return Err(BinFormatError::BadSection {
+            tag,
+            message: format!("length {} is not a multiple of 8", bytes.len()),
+        });
+    }
+    Ok(bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect())
+}
+
+/// Serialize a [`TiledMatrix`] into a section payload: `mt, nt, b` as
+/// little-endian `u64` followed by every tile's elements in column-major
+/// tile order — bit-exact, so a checkpointed factorization resumes to
+/// bitwise-identical results.
+pub fn tiled_to_bytes(m: &TiledMatrix) -> Vec<u8> {
+    let (mt, nt, b) = (m.mt(), m.nt(), m.b());
+    let mut out = Vec::with_capacity(24 + mt * nt * b * b * 8);
+    out.extend_from_slice(&bytes_of_u64s(&[mt as u64, nt as u64, b as u64]));
+    for j in 0..nt {
+        for i in 0..mt {
+            out.extend_from_slice(&bytes_of_f64s(m.tile(i, j)));
+        }
+    }
+    out
+}
+
+/// Deserialize a [`TiledMatrix`] from [`tiled_to_bytes`] payload bytes.
+pub fn tiled_from_bytes(tag: u32, bytes: &[u8]) -> Result<TiledMatrix, BinFormatError> {
+    let bad = |message: String| BinFormatError::BadSection { tag, message };
+    if bytes.len() < 24 {
+        return Err(bad(format!("header needs 24 bytes, got {}", bytes.len())));
+    }
+    let dims = u64s_of_bytes(tag, &bytes[..24])?;
+    let (mt, nt, b) = (dims[0] as usize, dims[1] as usize, dims[2] as usize);
+    if mt == 0 || nt == 0 || b == 0 {
+        return Err(bad(format!("degenerate tiled shape {mt}x{nt} tiles of {b}")));
+    }
+    let expect = 24 + mt * nt * b * b * 8;
+    if bytes.len() != expect {
+        return Err(bad(format!(
+            "{mt}x{nt} tiles of {b} need {expect} bytes, got {}",
+            bytes.len()
+        )));
+    }
+    let mut m = TiledMatrix::zeros(mt, nt, b);
+    let mut off = 24usize;
+    for j in 0..nt {
+        for i in 0..mt {
+            let tile = m.tile_mut(i, j);
+            for x in tile.iter_mut() {
+                *x = f64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+                off += 8;
+            }
+        }
+    }
+    Ok(m)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,5 +522,112 @@ mod tests {
         assert!(parse("%%MatrixMarket matrix array real general\n2 2\n1.0\n2.0\n").is_err());
         assert!(parse("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n").is_err());
         assert!(parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n").is_err());
+    }
+
+    const MAGIC: [u8; 8] = *b"HQRTEST\0";
+
+    fn demo_container() -> Vec<u8> {
+        let mut w = SectionWriter::new(MAGIC, 1);
+        w.section(1, &bytes_of_u64s(&[3, 5, 7]));
+        w.section(2, &bytes_of_f64s(&[1.25, -0.5]));
+        w.section(3, b"");
+        w.into_bytes()
+    }
+
+    #[test]
+    fn section_container_roundtrips() {
+        let bytes = demo_container();
+        let r = SectionReader::from_bytes(bytes, MAGIC, 1).unwrap();
+        assert_eq!(r.tags(), vec![1, 2, 3]);
+        assert_eq!(u64s_of_bytes(1, r.require(1).unwrap()).unwrap(), vec![3, 5, 7]);
+        assert_eq!(f64s_of_bytes(2, r.require(2).unwrap()).unwrap(), vec![1.25, -0.5]);
+        assert_eq!(r.require(3).unwrap(), b"");
+        assert!(r.section(9).is_none());
+        assert!(matches!(r.require(9), Err(BinFormatError::MissingSection { tag: 9 })));
+    }
+
+    #[test]
+    fn section_container_rejects_bad_magic_and_version() {
+        let bytes = demo_container();
+        assert!(matches!(
+            SectionReader::from_bytes(bytes.clone(), *b"WRONGMAG", 1),
+            Err(BinFormatError::BadMagic { .. })
+        ));
+        assert!(matches!(
+            SectionReader::from_bytes(bytes, MAGIC, 2),
+            Err(BinFormatError::UnsupportedVersion { expected: 2, found: 1 })
+        ));
+    }
+
+    #[test]
+    fn truncation_detected_at_every_length() {
+        // Chopping the container anywhere must yield a typed error, never a
+        // panic or a silently-short parse.
+        let bytes = demo_container();
+        for cut in 0..bytes.len() {
+            let err = SectionReader::from_bytes(bytes[..cut].to_vec(), MAGIC, 1)
+                .err()
+                .unwrap_or_else(|| panic!("cut at {cut} must fail"));
+            assert!(
+                matches!(
+                    err,
+                    BinFormatError::Truncated { .. } | BinFormatError::ChecksumMismatch { .. }
+                ),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_detected_by_checksum() {
+        let mut bytes = demo_container();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        assert!(matches!(
+            SectionReader::from_bytes(bytes, MAGIC, 1),
+            Err(BinFormatError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_temp_file() {
+        let path = std::env::temp_dir().join("hqr_io_container_test.bin");
+        let mut w = SectionWriter::new(MAGIC, 1);
+        w.section(1, b"payload");
+        w.write_atomic(&path).unwrap();
+        assert!(!sibling_tmp_path(&path).exists(), "temp staging file must be renamed away");
+        let r = SectionReader::read(&path, MAGIC, 1).unwrap();
+        assert_eq!(r.require(1).unwrap(), b"payload");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn atomic_write_into_missing_dir_is_typed() {
+        let mut w = SectionWriter::new(MAGIC, 1);
+        w.section(1, b"x");
+        let err = w.write_atomic(Path::new("/no/such/dir/f.bin")).unwrap_err();
+        assert!(matches!(err, BinFormatError::Io { .. }), "{err}");
+    }
+
+    #[test]
+    fn tiled_matrix_payload_roundtrips_bitwise() {
+        let m = TiledMatrix::random(3, 2, 4, 99);
+        let bytes = tiled_to_bytes(&m);
+        let back = tiled_from_bytes(7, &bytes).unwrap();
+        assert_eq!(back.mt(), 3);
+        assert_eq!(back.nt(), 2);
+        assert_eq!(back.b(), 4);
+        assert_eq!(back.to_dense().data(), m.to_dense().data());
+    }
+
+    #[test]
+    fn tiled_matrix_payload_rejects_bad_lengths() {
+        let m = TiledMatrix::random(2, 2, 3, 1);
+        let mut bytes = tiled_to_bytes(&m);
+        bytes.pop();
+        assert!(matches!(tiled_from_bytes(7, &bytes), Err(BinFormatError::BadSection { .. })));
+        assert!(matches!(tiled_from_bytes(7, &[0u8; 10]), Err(BinFormatError::BadSection { .. })));
+        let zeros = bytes_of_u64s(&[0, 2, 3]);
+        assert!(matches!(tiled_from_bytes(7, &zeros), Err(BinFormatError::BadSection { .. })));
     }
 }

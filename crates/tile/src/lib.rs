@@ -18,5 +18,6 @@ pub mod layout;
 pub mod matrix;
 
 pub use dense::DenseMatrix;
+pub use io::{BinFormatError, SectionReader, SectionWriter};
 pub use layout::{Layout, ProcessGrid};
 pub use matrix::TiledMatrix;
