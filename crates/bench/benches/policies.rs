@@ -1,0 +1,76 @@
+//! Scheduling-policy smoke benchmark: the same tall-skinny flat-tree DAG
+//! (16x4 tiles, the latency-bound shape where ready-queue order matters
+//! most) run under every [`SchedPolicy`] on both backends.
+//!
+//! Prints a markdown makespan/utilization table. With `HQR_POLICY_GATE=1`
+//! the run fails (exit 1) if the critical-path policy regresses past
+//! `FIFO * TOLERANCE` on the real executor — the CI bench-smoke job sets
+//! this; plain `cargo bench` runs report-only because single-run wall
+//! clocks on shared machines are noisy.
+
+use hqr::prelude::*;
+use hqr_runtime::{execute_serial, try_execute_traced, ExecOptions, SchedPolicy, TaskGraph};
+use hqr_sim::simulate_with_policy;
+use hqr_tile::ProcessGrid;
+
+const TOLERANCE: f64 = 1.10;
+
+fn main() {
+    let (mt, nt, b, threads) = (16usize, 4usize, 64usize, 8usize);
+    let reps = if hqr_bench::quick() { 3 } else { 5 };
+    // Grid 1x1 with a=1 gives a single domain, so the low tree *is* the
+    // whole reduction tree: a pure flat (TS) tall-skinny factorization.
+    let cfg = HqrConfig::new(1, 1).with_a(1).with_low(TreeKind::Flat);
+    let setup = hqr::baselines::hqr(mt, nt, ProcessGrid::new(1, 1), cfg);
+    let graph = TaskGraph::build(mt, nt, b, &setup.elims.to_ops());
+    let platform = hqr_bench::platform();
+    let a0 = TiledMatrix::random(mt, nt, b, 42);
+    let mut serial = a0.clone();
+    let _ = execute_serial(&graph, &mut serial);
+    let reference = serial.to_dense();
+
+    println!("# Scheduling-policy smoke: {mt}x{nt} tiles of {b}, flat tree, {threads} threads");
+    println!("({} tasks, best of {reps} runs per policy)", graph.tasks().len());
+    println!();
+    println!("| policy | best wall (ms) | utilization | steals | sim makespan (s) |");
+    println!("|---|---|---|---|---|");
+
+    let mut rows = Vec::new();
+    for policy in SchedPolicy::ALL {
+        let mut best_wall = f64::INFINITY;
+        let mut utilization = 0.0;
+        let mut steals = 0;
+        for _ in 0..reps {
+            let mut a = a0.clone();
+            let opts = ExecOptions { nthreads: threads, policy, ..Default::default() };
+            let (_, _, tr) = try_execute_traced(&graph, &mut a, &opts).expect("fault-free run");
+            assert_eq!(reference.data(), a.to_dense().data(), "{policy} diverged from serial");
+            if tr.wall < best_wall {
+                best_wall = tr.wall;
+                let busy: f64 = tr.records.iter().map(|r| r.end - r.start).sum();
+                utilization = busy / (tr.wall * threads as f64).max(f64::MIN_POSITIVE);
+                steals = tr.total_steals();
+            }
+        }
+        let sim_makespan = simulate_with_policy(&graph, &setup.layout, &platform, policy).makespan;
+        println!(
+            "| {policy} | {:.3} | {:.1}% | {steals} | {sim_makespan:.4} |",
+            best_wall * 1e3,
+            100.0 * utilization,
+        );
+        rows.push((policy, best_wall));
+    }
+
+    let wall_of = |p: SchedPolicy| rows.iter().find(|r| r.0 == p).unwrap().1;
+    let (fifo, cp) = (wall_of(SchedPolicy::Fifo), wall_of(SchedPolicy::CriticalPath));
+    println!();
+    println!("cp/fifo wall ratio: {:.3} (gate: <= {TOLERANCE})", cp / fifo);
+    let gated = std::env::var("HQR_POLICY_GATE").map(|v| v == "1").unwrap_or(false);
+    if cp > fifo * TOLERANCE {
+        if gated {
+            eprintln!("FAIL: critical-path policy regressed past {TOLERANCE}x FIFO");
+            std::process::exit(1);
+        }
+        println!("(report-only run: set HQR_POLICY_GATE=1 to fail on regression)");
+    }
+}

@@ -31,9 +31,9 @@ USAGE:
       replay the task DAG on the simulated cluster
       ALG: hqr | hqr-square | bbd10 | slhd10 | scalapack
   hqr fault    [--rows R --cols C --tile B --grid PxQ --threads T --seed S
-                --fail K --retries N --crash-node X --crash-frac F
-                --degrade-bw F --degrade-lat F --nodes N --cores C
-                --io-bw BYTES/S --restart-cost S --ckpt-interval S
+                --fail K --retries N --policy POLICY --crash-node X
+                --crash-frac F --degrade-bw F --degrade-lat F --nodes N
+                --cores C --io-bw BYTES/S --restart-cost S --ckpt-interval S
                 --crossover-max K]
       inject a seeded fault schedule: panic K random kernel tasks in a real
       parallel factorization (verifying bitwise recovery), then crash a
@@ -55,6 +55,7 @@ USAGE:
                 --rows R --cols C --tile B --grid PxQ --a A --low TREE
                 --high TREE --domino
                 exec: --threads T --seed S --fail K --retries N
+                      --policy POLICY
                 sim:  --nodes N --cores C --policy POLICY --gpus G
                       --gpu-speedup X --crash-node X --crash-frac F
                       --degrade-bw F --degrade-lat F]
@@ -68,6 +69,7 @@ USAGE:
   hqr dot      [--rows MT --cols NT --tree TREE]
       emit the task DAG as Graphviz DOT
   TREE: flat | binary | greedy | fibonacci
+  POLICY: fifo | panel | cp   (ready-queue scheduling policy; both backends)
 ";
 
 fn tree_of(args: &Args, key: &str, default: TreeKind) -> TreeKind {
@@ -76,6 +78,20 @@ fn tree_of(args: &Args, key: &str, default: TreeKind) -> TreeKind {
         Some(v) => TreeKind::parse(v).unwrap_or_else(|| {
             eprintln!("--{key}: unknown tree `{v}` (flat|binary|greedy|fibonacci)");
             std::process::exit(2);
+        }),
+    }
+}
+
+/// Parse `--policy` (shared by `simulate`, `fault` and both `trace`
+/// backends); `default` applies when the flag is absent. Returns the exit
+/// code on an unknown spelling.
+fn policy_of(args: &Args, default: SchedPolicy) -> Result<SchedPolicy, i32> {
+    match args.get("policy") {
+        None => Ok(default),
+        Some(v) => SchedPolicy::parse(v).ok_or_else(|| {
+            eprintln!("unknown policy `{v}` (fifo|panel|cp)");
+            eprintln!("run `hqr help` for usage");
+            2
         }),
     }
 }
@@ -244,14 +260,9 @@ pub fn simulate(args: &Args) -> i32 {
             update_speedup: args.f64_or("gpu-speedup", 8.0),
         });
     }
-    let policy = match args.str_or("policy", "panel").as_str() {
-        "panel" => SchedPolicy::PanelFirst,
-        "fifo" => SchedPolicy::Fifo,
-        "cp" | "critical-path" => SchedPolicy::CriticalPath,
-        other => {
-            eprintln!("unknown policy `{other}` (panel|fifo|cp)");
-            return 2;
-        }
+    let policy = match policy_of(args, SchedPolicy::PanelFirst) {
+        Ok(p) => p,
+        Err(code) => return code,
     };
     let alg = args.str_or("algorithm", "hqr");
     let setup = match alg.as_str() {
@@ -324,6 +335,10 @@ pub fn fault(args: &Args) -> i32 {
     let seed = args.usize_or("seed", 42) as u64;
     let fail = args.usize_or("fail", 3);
     let retries = args.usize_or("retries", 1) as u32;
+    let policy = match policy_of(args, SchedPolicy::PanelFirst) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
     if let Some(code) = require_positive(&[
         ("rows", rows),
         ("cols", cols),
@@ -355,6 +370,7 @@ pub fn fault(args: &Args) -> i32 {
     let plan = FaultPlan::new(seed).fail_random_tasks(n, fail, 1);
     let injected = plan.failing_tasks().count();
     println!("graph        : {mt} x {nt} tiles of {b} ({n} tasks)");
+    println!("policy       : {policy}");
     println!("fault plan   : seed {seed}, {injected} tasks panic on first attempt");
     let mut a_clean = TiledMatrix::random(mt, nt, b, seed);
     let mut a_faulty = a_clean.clone();
@@ -363,6 +379,7 @@ pub fn fault(args: &Args) -> i32 {
         nthreads: threads,
         max_retries: retries,
         plan: Some(plan),
+        policy,
         ..Default::default()
     };
     match try_execute_with(&graph, &mut a_faulty, &opts) {
@@ -411,7 +428,7 @@ pub fn fault(args: &Args) -> i32 {
         eprintln!("run `hqr help` for usage");
         return 2;
     }
-    let baseline = simulate_with_policy(&graph, &setup.layout, &platform, SchedPolicy::PanelFirst);
+    let baseline = simulate_with_policy(&graph, &setup.layout, &platform, policy);
     let crash_frac = args.f64_or("crash-frac", 0.3);
     let crash_at = crash_frac * baseline.makespan;
     let mut plan = match args.get("crash-node") {
@@ -427,7 +444,7 @@ pub fn fault(args: &Args) -> i32 {
     println!("platform     : {} nodes x {} cores", platform.nodes, platform.cores_per_node);
     println!("fault plan   : crash node {crashed} at t = {crash_at:.4} s ({:.0}% of fault-free makespan)",
         100.0 * crash_frac);
-    match simulate_with_faults(&graph, &setup.layout, &platform, SchedPolicy::PanelFirst, &plan) {
+    match simulate_with_faults(&graph, &setup.layout, &platform, policy, &plan) {
         Ok(rep) => {
             let o = rep.overhead.expect("faulty run reports overhead");
             println!(
@@ -464,7 +481,7 @@ pub fn fault(args: &Args) -> i32 {
         &graph,
         &setup.layout,
         &platform,
-        SchedPolicy::PanelFirst,
+        policy,
         &plan,
         &model,
         interval,
@@ -508,7 +525,7 @@ pub fn fault(args: &Args) -> i32 {
         &graph,
         &setup.layout,
         &platform,
-        SchedPolicy::PanelFirst,
+        policy,
         &model,
         seed,
         max_crashes,
@@ -756,6 +773,12 @@ fn trace_exec(args: &Args) -> i32 {
     let seed = args.usize_or("seed", 42) as u64;
     let fail = args.usize_or("fail", 0);
     let retries = args.usize_or("retries", 1) as u32;
+    // The executor's historical behavior is plain FIFO release order, so
+    // that stays the default here; `hqr simulate` keeps panel-first.
+    let policy = match policy_of(args, SchedPolicy::Fifo) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
     if let Some(code) = require_positive(&[
         ("rows", rows),
         ("cols", cols),
@@ -786,9 +809,11 @@ fn trace_exec(args: &Args) -> i32 {
         nthreads: threads,
         max_retries: retries,
         plan: (fail > 0).then(|| FaultPlan::new(seed).fail_random_tasks(n, fail, 1)),
+        policy,
         ..Default::default()
     };
     println!("backend      : work-stealing executor ({threads} threads)");
+    println!("policy       : {policy}");
     println!("graph        : {mt} x {nt} tiles of {b} ({n} tasks, {} edges)", graph.edge_count());
     let (_, stats, tr) = match try_execute_traced(&graph, &mut a, &opts) {
         Ok(r) => r,
@@ -867,14 +892,9 @@ fn trace_sim(args: &Args) -> i32 {
             update_speedup: args.f64_or("gpu-speedup", 8.0),
         });
     }
-    let policy = match args.str_or("policy", "panel").as_str() {
-        "panel" => SchedPolicy::PanelFirst,
-        "fifo" => SchedPolicy::Fifo,
-        "cp" | "critical-path" => SchedPolicy::CriticalPath,
-        other => {
-            eprintln!("unknown policy `{other}` (panel|fifo|cp)");
-            return 2;
-        }
+    let policy = match policy_of(args, SchedPolicy::PanelFirst) {
+        Ok(p) => p,
+        Err(code) => return code,
     };
     let setup = baselines::hqr(mt, nt, ProcessGrid::new(grid.0, grid.1), config_of(args, grid));
     let graph = match TaskGraph::try_build(mt, nt, b, &setup.elims.to_ops()) {
@@ -1208,6 +1228,68 @@ mod tests {
         let events = hqr_runtime::validate_chrome_trace(&json).expect("schema-valid");
         assert!(events > 0);
         let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn trace_exec_backend_runs_every_policy_and_reports_it() {
+        for policy in ["fifo", "panel", "cp"] {
+            let out = std::env::temp_dir().join(format!("hqr_cli_trace_{policy}.trace.json"));
+            let code = trace(&args(&[
+                "--backend",
+                "exec",
+                "--rows",
+                "48",
+                "--cols",
+                "24",
+                "--tile",
+                "8",
+                "--grid",
+                "2x1",
+                "--threads",
+                "4",
+                "--policy",
+                policy,
+                "--out",
+                out.to_str().unwrap(),
+            ]));
+            assert_eq!(code, 0, "{policy}");
+            let json = std::fs::read_to_string(&out).unwrap();
+            hqr_runtime::validate_chrome_trace(&json).expect("schema-valid");
+            assert!(
+                json.contains(&format!("{policy} policy")),
+                "{policy}: trace process name should carry the policy"
+            );
+            let _ = std::fs::remove_file(&out);
+        }
+    }
+
+    #[test]
+    fn fault_accepts_policy_flag() {
+        let code = fault(&args(&[
+            "--rows",
+            "48",
+            "--cols",
+            "24",
+            "--tile",
+            "8",
+            "--grid",
+            "2x1",
+            "--threads",
+            "2",
+            "--fail",
+            "1",
+            "--policy",
+            "cp",
+        ]));
+        assert_eq!(code, 0);
+    }
+
+    #[test]
+    fn unknown_policy_is_rejected_everywhere() {
+        assert_eq!(trace(&args(&["--backend", "exec", "--policy", "bogus"])), 2);
+        assert_eq!(trace(&args(&["--backend", "sim", "--policy", "bogus"])), 2);
+        assert_eq!(fault(&args(&["--policy", "bogus"])), 2);
+        assert_eq!(simulate(&args(&["--policy", "bogus"])), 2);
     }
 
     #[test]

@@ -33,29 +33,43 @@ pub fn kind_index(k: KernelKind) -> usize {
     }
 }
 
-/// Compute [`DagStats`] in one forward sweep (program order is topological).
+/// Weighted longest path from each task to the DAG exit, inclusive of the
+/// task's own weight — the static *upward rank* of list scheduling, and
+/// the priority behind [`crate::sched::SchedPolicy::CriticalPath`]. One
+/// reverse sweep (program order is topological); the maximum over all
+/// tasks is the DAG's critical-path weight.
+pub fn paths_to_exit(graph: &TaskGraph) -> Vec<u64> {
+    let tasks = graph.tasks();
+    let mut dist = vec![0u64; tasks.len()];
+    for tid in (0..tasks.len()).rev() {
+        let mut best = 0u64;
+        for &s in graph.successors(tid) {
+            best = best.max(dist[s as usize]);
+        }
+        dist[tid] = best + tasks[tid].kind.weight();
+    }
+    dist
+}
+
+/// Compute [`DagStats`]: counts and hop-length in one forward sweep, the
+/// weighted critical path via [`paths_to_exit`].
 pub fn dag_stats(graph: &TaskGraph) -> DagStats {
     let tasks = graph.tasks();
     let mut counts = [0usize; 6];
     let mut total_weight = 0u64;
-    let mut dist_w = vec![0u64; tasks.len()];
     let mut dist_l = vec![0u32; tasks.len()];
-    let mut cp_w = 0u64;
     let mut cp_l = 0u32;
     for (tid, t) in tasks.iter().enumerate() {
         counts[kind_index(t.kind)] += 1;
-        let w = t.kind.weight();
-        total_weight += w;
-        let fw = dist_w[tid] + w;
+        total_weight += t.kind.weight();
         let fl = dist_l[tid] + 1;
-        cp_w = cp_w.max(fw);
         cp_l = cp_l.max(fl);
         for &s in graph.successors(tid) {
             let s = s as usize;
-            dist_w[s] = dist_w[s].max(fw);
             dist_l[s] = dist_l[s].max(fl);
         }
     }
+    let cp_w = paths_to_exit(graph).into_iter().max().unwrap_or(0);
     DagStats { counts, total_weight, critical_path_weight: cp_w, critical_path_len: cp_l as usize }
 }
 
@@ -225,6 +239,19 @@ mod tests {
         let g = TaskGraph::build(5, 3, 2, &flat_elims(5, 3));
         let layout = Layout::Cyclic2D(ProcessGrid::new(1, 1));
         assert_eq!(comm_messages(&g, &layout).0, 0);
+    }
+
+    #[test]
+    fn paths_to_exit_max_is_critical_path_weight() {
+        for (mt, nt) in [(8, 1), (6, 3), (5, 5)] {
+            let g = TaskGraph::build(mt, nt, 2, &flat_elims(mt, nt));
+            let up = paths_to_exit(&g);
+            assert_eq!(up.iter().copied().max().unwrap_or(0), dag_stats(&g).critical_path_weight);
+            // Every rank is at least the task's own weight and at most the CP.
+            for (tid, t) in g.tasks().iter().enumerate() {
+                assert!(up[tid] >= t.kind.weight());
+            }
+        }
     }
 
     #[test]

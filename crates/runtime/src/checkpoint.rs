@@ -550,6 +550,7 @@ pub fn try_execute_checkpointed(
     let mut stats = FaultStats::default();
     let mut stitched = trace.then(|| ExecTrace {
         nthreads,
+        policy: opts.policy,
         records: Vec::new(),
         instants: Vec::new(),
         counters: vec![WorkerCounters::default(); nthreads],

@@ -10,6 +10,8 @@
 //!   retry with write-set rollback, deterministic fault injection
 //!   ([`FaultPlan`]) and a stall watchdog.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -21,6 +23,7 @@ use crossbeam_utils::Backoff;
 use crate::error::{ExecError, StallCause, StallReport};
 use crate::fault::{ExecOptions, FaultStats, QuietPanics, INJECTED_FAULT_PREFIX, POISON_STRIKES};
 use crate::graph::TaskGraph;
+use crate::sched::{self, SchedPolicy};
 use crate::store::TileStore;
 use crate::task::Task;
 use hqr_kernels::KernelKind;
@@ -217,6 +220,8 @@ pub struct ExecInstant {
 pub struct ExecTrace {
     /// Number of worker threads.
     pub nthreads: usize,
+    /// Scheduling policy the run used for its shared ready queue.
+    pub policy: SchedPolicy,
     /// Per-task records, sorted by start time.
     pub records: Vec<TaskRecord>,
     /// Fault/retry instants, sorted by time.
@@ -399,12 +404,57 @@ fn stall_report(
     StallReport { cause, timeout, completed, remaining, stuck_frontier, blocked, truncated }
 }
 
-/// Acquire one task for worker `me` from the injector or a peer's deque,
-/// attributing the source in `counters`. Retries transient races
+/// Nap length for an idle worker whose exponential backoff ladder is
+/// exhausted: long enough to stop burning the core through a serial tail,
+/// short enough that newly released work (and `halt`) is observed almost
+/// immediately.
+const IDLE_PARK: Duration = Duration::from_micros(100);
+
+/// The shared ready queue feeding idle workers: the legacy FIFO injector
+/// (with batch steals into the thief's deque), or — under a prioritizing
+/// [`SchedPolicy`] — a heap ordered by the policy's static priority keys,
+/// so releases are handed out best-priority-first instead of in arrival
+/// order.
+enum GlobalQueue {
+    Fifo(Injector<u32>),
+    Prio(Mutex<BinaryHeap<Reverse<(u64, u32)>>>),
+}
+
+impl GlobalQueue {
+    fn new(policy: SchedPolicy) -> GlobalQueue {
+        match policy {
+            SchedPolicy::Fifo => GlobalQueue::Fifo(Injector::new()),
+            _ => GlobalQueue::Prio(Mutex::new(BinaryHeap::new())),
+        }
+    }
+
+    /// Enqueue `tid` under its priority key (ignored by the FIFO queue).
+    fn push(&self, tid: u32, ranks: &[u64]) {
+        match self {
+            GlobalQueue::Fifo(inj) => inj.push(tid),
+            GlobalQueue::Prio(q) => q.lock().unwrap().push(Reverse((ranks[tid as usize], tid))),
+        }
+    }
+
+    /// Take the next task: lowest key first for the heap; for the FIFO
+    /// injector a batch is stolen into `dest` and its first task returned.
+    fn take(&self, dest: &Worker<u32>) -> Steal<u32> {
+        match self {
+            GlobalQueue::Fifo(inj) => inj.steal_batch_and_pop(dest),
+            GlobalQueue::Prio(q) => match q.lock().unwrap().pop() {
+                Some(Reverse((_, tid))) => Steal::Success(tid),
+                None => Steal::Empty,
+            },
+        }
+    }
+}
+
+/// Acquire one task for worker `me` from the global queue or a peer's
+/// deque, attributing the source in `counters`. Retries transient races
 /// ([`Steal::Retry`]) until every source reports a definite answer;
-/// returns `None` only when injector and all peers were empty.
+/// returns `None` only when the global queue and all peers were empty.
 fn steal_one(
-    injector: &Injector<u32>,
+    global: &GlobalQueue,
     stealers: &[Stealer<u32>],
     me: usize,
     worker: &Worker<u32>,
@@ -412,7 +462,7 @@ fn steal_one(
 ) -> Option<u32> {
     loop {
         let mut contended = false;
-        match injector.steal_batch_and_pop(worker) {
+        match global.take(worker) {
             Steal::Success(tid) => {
                 counters.injector_pops += 1;
                 return Some(tid);
@@ -420,11 +470,12 @@ fn steal_one(
             Steal::Retry => contended = true,
             Steal::Empty => {}
         }
-        for (idx, s) in stealers.iter().enumerate() {
-            if idx == me {
-                continue;
-            }
-            match s.steal() {
+        // Start the victim scan just past `me` and wrap, so a herd of idle
+        // workers fans out across victims instead of all draining the
+        // lowest-index deques first.
+        let n = stealers.len();
+        for off in 1..n {
+            match stealers[(me + off) % n].steal() {
                 Steal::Success(tid) => {
                     counters.steals += 1;
                     return Some(tid);
@@ -566,10 +617,13 @@ pub(crate) fn run_engine_segment(
     let alive = AtomicUsize::new(nthreads);
     let halt = AtomicBool::new(false);
     let error: Mutex<Option<ExecError>> = Mutex::new(None);
-    let injector: Injector<u32> = Injector::new();
+    // Static priority keys under the active policy (lower sorts first);
+    // the FIFO queue ignores them.
+    let ranks: Vec<u64> = sched::priorities(graph, opts.policy);
+    let global = GlobalQueue::new(opts.policy);
     for (tid, &d) in indeg0.iter().enumerate().take(limit) {
         if d == 0 && !is_done(tid) {
-            injector.push(tid as u32);
+            global.push(tid as u32, &ranks);
         }
     }
     let workers: Vec<Worker<u32>> = (0..nthreads).map(|_| Worker::new_lifo()).collect();
@@ -581,11 +635,15 @@ pub(crate) fn run_engine_segment(
             let (remaining, halt, error) = (&remaining, &halt, &error);
             let (indeg, done) = (&indeg, &done);
             scope.spawn(move || {
-                let poll = (window / 8).clamp(Duration::from_millis(1), Duration::from_millis(50));
+                // Short poll slices, and shutdown checked *before* each
+                // sleep: a worker error (`halt`) or completion must not pay
+                // another full poll interval of join latency. The stall
+                // window itself is still measured against `last_change`, so
+                // polling more often than window/8 only sharpens detection.
+                let poll = (window / 8).clamp(Duration::from_millis(1), Duration::from_millis(5));
                 let mut last = remaining.load(Ordering::Acquire);
                 let mut last_change = Instant::now();
                 loop {
-                    std::thread::sleep(poll);
                     let rem = remaining.load(Ordering::Acquire);
                     if rem == 0 || halt.load(Ordering::Acquire) {
                         break;
@@ -593,9 +651,7 @@ pub(crate) fn run_engine_segment(
                     if rem != last {
                         last = rem;
                         last_change = Instant::now();
-                        continue;
-                    }
-                    if last_change.elapsed() >= window {
+                    } else if last_change.elapsed() >= window {
                         set_error(
                             error,
                             ExecError::Stalled(stall_report(
@@ -609,6 +665,7 @@ pub(crate) fn run_engine_segment(
                         halt.store(true, Ordering::Release);
                         break;
                     }
+                    std::thread::sleep(poll);
                 }
             });
         }
@@ -616,7 +673,12 @@ pub(crate) fn run_engine_segment(
             let store = &store;
             let (indeg, done) = (&indeg, &done);
             let (remaining, alive, halt, error) = (&remaining, &alive, &halt, &error);
-            let injector = &injector;
+            let global = &global;
+            // Under a prioritizing policy the release path consults the
+            // rank table; `None` selects the legacy all-local FIFO path.
+            let prio: Option<&[u64]> =
+                (opts.policy != SchedPolicy::Fifo).then_some(ranks.as_slice());
+            let ranks = ranks.as_slice();
             let stealers = &stealers;
             let tasks: &[Task] = graph.tasks();
             let graph = &*graph;
@@ -650,13 +712,21 @@ pub(crate) fn run_engine_segment(
                             counters.local_pops += 1;
                             Some(tid)
                         }
-                        None => steal_one(injector, stealers, me, &worker, counters),
+                        None => steal_one(global, stealers, me, &worker, counters),
                     };
                     let Some(tid) = next else {
                         if remaining.load(Ordering::Acquire) == 0 {
                             break;
                         }
-                        backoff.snooze();
+                        if backoff.is_completed() {
+                            // The spin/yield ladder is exhausted: park in
+                            // bounded naps instead of burning the core
+                            // through a long serial tail. New work is still
+                            // picked up within ~IDLE_PARK.
+                            std::thread::sleep(IDLE_PARK);
+                        } else {
+                            backoff.snooze();
+                        }
                         continue;
                     };
                     backoff.reset();
@@ -725,14 +795,35 @@ pub(crate) fn run_engine_segment(
                                 // (mandatory) watchdog reports the stall.
                                 continue;
                             }
+                            // Successors past the segment limit stay
+                            // pending for the next segment/resume. Under
+                            // FIFO every released successor goes to this
+                            // worker's LIFO deque (the data-reuse heuristic
+                            // of DAGuE §IV-C); under a prioritizing policy
+                            // the worker keeps only the best-ranked release
+                            // for itself and publishes the rest on the
+                            // shared priority queue, so the globally most
+                            // urgent work is never buried in one deque.
+                            let mut keep: Option<u32> = None;
                             for &s in graph.successors(tid as usize) {
                                 if indeg[s as usize].fetch_sub(1, Ordering::AcqRel) == 1
                                     && (s as usize) < limit
                                 {
-                                    // Successors past the segment limit stay
-                                    // pending for the next segment/resume.
-                                    worker.push(s);
+                                    match prio {
+                                        None => worker.push(s),
+                                        Some(p) => match keep {
+                                            Some(k) if p[s as usize] < p[k as usize] => {
+                                                global.push(k, p);
+                                                keep = Some(s);
+                                            }
+                                            Some(_) => global.push(s, p),
+                                            None => keep = Some(s),
+                                        },
+                                    }
                                 }
+                            }
+                            if let Some(s) = keep {
+                                worker.push(s);
                             }
                             remaining.fetch_sub(1, Ordering::AcqRel);
                         }
@@ -741,7 +832,7 @@ pub(crate) fn run_engine_segment(
                             wstats.tasks_reexecuted += 1;
                             counters.requeues += 1;
                             instant(InstantKind::Requeue, tid);
-                            injector.push(tid);
+                            global.push(tid, ranks);
                             if strikes >= POISON_STRIKES {
                                 // The poisoned worker "dies"; its queued
                                 // work stays stealable by healthy peers.
@@ -820,7 +911,7 @@ pub(crate) fn run_engine_segment(
         }
         records.sort_by(|a, b| a.start.total_cmp(&b.start));
         instants.sort_by(|a, b| a.time.total_cmp(&b.time));
-        ExecTrace { nthreads, records, instants, counters, wall }
+        ExecTrace { nthreads, policy: opts.policy, records, instants, counters, wall }
     });
     Ok((stats, exec_trace))
 }
@@ -1003,6 +1094,76 @@ mod tests {
         let (_, trace) = execute_parallel_traced(&g, &mut a, 1);
         assert_eq!(trace.records.len(), g.tasks().len());
         assert_eq!(trace.nthreads, 1);
+    }
+
+    #[test]
+    fn steal_scan_starts_past_self() {
+        // Regression: the victim scan used to start at index 0, so every
+        // idle worker hammered the lowest-index deques first.
+        let global = GlobalQueue::new(SchedPolicy::Fifo);
+        let workers: Vec<Worker<u32>> = (0..4).map(|_| Worker::new_lifo()).collect();
+        let stealers: Vec<Stealer<u32>> = workers.iter().map(|w| w.stealer()).collect();
+        for (i, w) in workers.iter().enumerate() {
+            if i != 1 {
+                w.push(i as u32 * 10);
+            }
+        }
+        let mut c = WorkerCounters::default();
+        let got = steal_one(&global, &stealers, 1, &workers[1], &mut c);
+        assert_eq!(got, Some(20), "worker 1 must try worker 2 first, not worker 0");
+        assert_eq!(c.steals, 1);
+        assert_eq!(c.injector_pops, 0);
+    }
+
+    #[test]
+    fn steal_scan_wraps_around() {
+        let global = GlobalQueue::new(SchedPolicy::Fifo);
+        let workers: Vec<Worker<u32>> = (0..4).map(|_| Worker::new_lifo()).collect();
+        let stealers: Vec<Stealer<u32>> = workers.iter().map(|w| w.stealer()).collect();
+        workers[0].push(7); // only worker 0 has work
+        let mut c = WorkerCounters::default();
+        let got = steal_one(&global, &stealers, 2, &workers[2], &mut c);
+        assert_eq!(got, Some(7), "scan from worker 2 must wrap 3 -> 0");
+        assert_eq!(c.steals, 1);
+        // Nothing anywhere: a definite miss, with counters untouched.
+        assert_eq!(steal_one(&global, &stealers, 2, &workers[2], &mut c), None);
+        assert_eq!(c.steals, 1);
+    }
+
+    #[test]
+    fn priority_queue_pops_best_rank_first() {
+        let global = GlobalQueue::new(SchedPolicy::CriticalPath);
+        let ranks = [5u64, 1, 9, 3];
+        for t in 0..4u32 {
+            global.push(t, &ranks);
+        }
+        let w = Worker::new_lifo();
+        let mut order = Vec::new();
+        while let Steal::Success(t) = global.take(&w) {
+            order.push(t);
+        }
+        assert_eq!(order, vec![1, 3, 0, 2], "lowest key first");
+    }
+
+    #[test]
+    fn all_policies_produce_identical_factorizations_and_report_themselves() {
+        let (mt, nt, b) = (8, 3, 4);
+        let g = TaskGraph::build(mt, nt, b, &binary_elims(mt, nt));
+        let a0 = hqr_tile::TiledMatrix::random(mt, nt, b, 37);
+        let mut serial = a0.clone();
+        let _ = execute_serial(&g, &mut serial);
+        let reference = serial.to_dense();
+        for policy in SchedPolicy::ALL {
+            let mut a = a0.clone();
+            let opts = ExecOptions { nthreads: 4, policy, ..Default::default() };
+            let (_, _, tr) = try_execute_traced(&g, &mut a, &opts).unwrap();
+            assert_eq!(tr.policy, policy, "trace must report the policy that ran");
+            assert_eq!(reference.data(), a.to_dense().data(), "{policy:?} diverged from serial");
+            // Counter accounting holds under every acquisition path.
+            let acquired: u64 =
+                tr.counters.iter().map(|c| c.local_pops + c.injector_pops + c.steals).sum();
+            assert_eq!(acquired, g.tasks().len() as u64);
+        }
     }
 
     #[test]

@@ -13,6 +13,8 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Once;
 use std::time::Duration;
 
+use crate::sched::SchedPolicy;
+
 /// Marker prefix used by every injected panic, so logs distinguish
 /// simulated faults from genuine kernel failures.
 pub const INJECTED_FAULT_PREFIX: &str = "injected fault";
@@ -177,6 +179,11 @@ pub struct ExecOptions {
     /// Abort (with a [`crate::StallReport`]) when no task completes within
     /// this window.
     pub watchdog: Option<Duration>,
+    /// How released tasks are ranked on the shared ready queue (the
+    /// per-worker LIFO deques keep their data-reuse behavior regardless).
+    /// Defaults to [`SchedPolicy::Fifo`], the executor's historical
+    /// behavior.
+    pub policy: SchedPolicy,
 }
 
 impl ExecOptions {

@@ -29,6 +29,7 @@ pub mod error;
 pub mod exec;
 pub mod fault;
 pub mod graph;
+pub mod sched;
 pub mod store;
 pub mod task;
 pub mod trace;
@@ -48,6 +49,7 @@ pub use exec::{
 };
 pub use fault::{ExecOptions, FaultPlan, FaultStats};
 pub use graph::TaskGraph;
+pub use sched::SchedPolicy;
 pub use task::Task;
 pub use trace::{
     chrome_trace_from_exec, realized_critical_path, validate_chrome_trace, ChromeTraceBuilder,

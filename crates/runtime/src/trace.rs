@@ -207,7 +207,7 @@ fn render_number(v: f64) -> String {
 pub fn chrome_trace_from_exec(trace: &ExecTrace, tasks: &[Task]) -> String {
     let mut b = ChromeTraceBuilder::new();
     let pid = 0u32;
-    b.process_name(pid, "executor (work-stealing)");
+    b.process_name(pid, &format!("executor (work-stealing, {} policy)", trace.policy));
     for w in 0..trace.nthreads {
         b.thread_name(pid, w as u32, &format!("worker {w}"), w as i64);
     }

@@ -102,40 +102,16 @@ impl Ord for Event {
     }
 }
 
-/// Which ready task a node's idle core picks — the scheduler's priority
-/// function, which the paper leaves as "a very promising but technically
-/// challenging direction" for study. The `ablations` bench compares them.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum SchedPolicy {
-    /// Panel-first, factor kernels before updates, left-to-right trailing
-    /// columns — the DAGuE-style default (§IV-C).
-    PanelFirst,
-    /// Plain arrival order (no priorities).
-    Fifo,
-    /// Longest weighted path to the DAG exit first (critical-path
-    /// scheduling).
-    CriticalPath,
-}
+/// The scheduling-policy enum shared with the real executor
+/// ([`hqr_runtime::sched`]): both backends rank ready tasks with the same
+/// static priority keys, so policy comparisons transfer between them.
+pub use hqr_runtime::sched::SchedPolicy;
 
-/// Ready-queue priority: lower sorts first.
-fn panel_first_priority(t: &hqr_runtime::Task) -> u64 {
-    let upd = if t.kind.is_factor() { 0u64 } else { 1u64 };
-    ((t.k as u64) << 48) | (upd << 40) | ((t.j as u64) << 20) | t.i as u64
-}
-
-/// Weighted longest path from each task to the DAG exit (one reverse
-/// sweep; program order is topological).
-fn paths_to_exit(graph: &TaskGraph) -> Vec<u64> {
-    let tasks = graph.tasks();
-    let mut dist = vec![0u64; tasks.len()];
-    for tid in (0..tasks.len()).rev() {
-        let mut best = 0u64;
-        for &s in graph.successors(tid) {
-            best = best.max(dist[s as usize]);
-        }
-        dist[tid] = best + tasks[tid].kind.weight();
-    }
-    dist
+/// The exact priority keys the simulator's per-node ready queues use under
+/// `policy` (lower sorts first) — exposed so the runtime-vs-sim parity
+/// test can assert both backends rank every task identically.
+pub fn priority_ranks(graph: &TaskGraph, policy: SchedPolicy) -> Vec<u64> {
+    hqr_runtime::sched::priorities(graph, policy)
 }
 
 /// Simulate the DAG on `platform` with tiles distributed by `layout`
@@ -283,18 +259,8 @@ fn run_sim(
         let (i, j) = tasks[tid].affinity_tile();
         layout.owner(i, j)
     };
-    let cp_dist = match policy {
-        SchedPolicy::CriticalPath => paths_to_exit(graph),
-        _ => Vec::new(),
-    };
-    let priority = |tid: usize| -> u64 {
-        match policy {
-            SchedPolicy::PanelFirst => panel_first_priority(&tasks[tid]),
-            SchedPolicy::Fifo => tid as u64,
-            // Longest path first ⇒ negate for the min-ordered queue.
-            SchedPolicy::CriticalPath => u64::MAX - cp_dist[tid],
-        }
-    };
+    let ranks = priority_ranks(graph, policy);
+    let priority = |tid: usize| -> u64 { ranks[tid] };
 
     let gpus_per_node = platform.accelerators.map_or(0, |a| a.per_node);
     let gpu_speedup = platform.accelerators.map_or(1.0, |a| a.update_speedup);

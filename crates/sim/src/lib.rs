@@ -33,7 +33,8 @@ pub use checkpoint::{
     CheckpointCostModel, CheckpointOutcome, CrossoverPoint, RecoveryComparison, RecoveryPolicy,
 };
 pub use des::{
-    simulate, simulate_traced, simulate_with_faults, simulate_with_policy, SchedPolicy, SimReport,
+    priority_ranks, simulate, simulate_traced, simulate_with_faults, simulate_with_policy,
+    SchedPolicy, SimReport,
 };
 pub use fault::{FaultOverhead, LinkDegrade, NodeCrash, SimError, SimFaultPlan};
 pub use platform::{Accelerators, KernelRates, LinkModel, Platform};
