@@ -5,7 +5,7 @@
 //! cargo run -p hqr-cli --example validate_trace -- a.trace.json b.trace.json
 //! ```
 
-use hqr_runtime::validate_chrome_trace;
+use hqr_runtime::{validate_chrome_trace, validate_sdc_instants};
 
 fn main() {
     let paths: Vec<String> = std::env::args().skip(1).collect();
@@ -17,7 +17,17 @@ fn main() {
     for path in &paths {
         match std::fs::read_to_string(path) {
             Ok(text) => match validate_chrome_trace(&text) {
-                Ok(events) => println!("{path}: OK ({events} events)"),
+                Ok(events) => match validate_sdc_instants(&text) {
+                    Ok((0, _)) => println!("{path}: OK ({events} events)"),
+                    Ok((detected, recomputed)) => println!(
+                        "{path}: OK ({events} events, {detected} SDC detections, \
+                         {recomputed} recomputed)"
+                    ),
+                    Err(e) => {
+                        eprintln!("{path}: INVALID SDC instants: {e}");
+                        failed = true;
+                    }
+                },
                 Err(e) => {
                     eprintln!("{path}: INVALID: {e}");
                     failed = true;

@@ -6,13 +6,14 @@ use hqr::prelude::*;
 use hqr_runtime::trace::{chrome_trace_from_exec, realized_critical_path, RealizedPath};
 use hqr_runtime::{
     analysis, execute_serial, resume_from_checkpoint, try_execute_checkpointed, try_execute_traced,
-    try_execute_with, CheckpointPolicy, CheckpointSpec, ExecOptions, FaultPlan, TaskGraph,
+    try_execute_with, CheckpointPolicy, CheckpointSpec, ExecOptions, FaultPlan, IntegrityMode,
+    TaskGraph,
 };
 use hqr_sim::scalapack::ScalapackModel;
 use hqr_sim::{
-    compare_recovery_policies, find_crossover, recovery_crossover, simulate_traced,
-    simulate_with_faults, simulate_with_policy, CheckpointCostModel, Platform, RecoveryPolicy,
-    SchedPolicy, SimFaultPlan,
+    compare_recovery_policies, find_crossover, find_sdc_crossover, recovery_crossover,
+    sdc_policy_sweep, simulate_traced, simulate_with_faults, simulate_with_policy,
+    CheckpointCostModel, Platform, RecoveryPolicy, SchedPolicy, SdcCostModel, SimFaultPlan,
 };
 use hqr_tile::{ProcessGrid, TiledMatrix};
 use std::time::Instant;
@@ -34,12 +35,17 @@ USAGE:
                 --fail K --retries N --policy POLICY --crash-node X
                 --crash-frac F --degrade-bw F --degrade-lat F --nodes N
                 --cores C --io-bw BYTES/S --restart-cost S --ckpt-interval S
-                --crossover-max K]
+                --crossover-max K --sdc-rate F --sdc-seed S
+                --integrity off|spot|full --guard-bw BYTES/S --residual-cost S]
       inject a seeded fault schedule: panic K random kernel tasks in a real
       parallel factorization (verifying bitwise recovery), then crash a
       simulated node mid-run, report the lineage-recovery overhead, and
       price lineage re-execution against checkpoint/restart (Young/Daly
-      interval unless --ckpt-interval) including a crash-rate crossover sweep
+      interval unless --ckpt-interval) including a crash-rate crossover sweep;
+      with --sdc-rate, also strike random tasks with silent single-bit flips,
+      report detected/recomputed/escaped counts under the chosen --integrity
+      mode, and price detect-recompute vs checkpoint/restart vs unprotected
+      rerun across a corruption-rate sweep
   hqr checkpoint [--rows R --cols C --tile B --grid PxQ --a A --low TREE
                 --high TREE --domino --ib IB --threads T --seed S
                 --ckpt FILE --every-panels K --min-interval-ms MS
@@ -55,7 +61,8 @@ USAGE:
                 --rows R --cols C --tile B --grid PxQ --a A --low TREE
                 --high TREE --domino
                 exec: --threads T --seed S --fail K --retries N
-                      --policy POLICY
+                      --policy POLICY --sdc-rate F --sdc-seed S
+                      --integrity off|spot|full
                 sim:  --nodes N --cores C --policy POLICY --gpus G
                       --gpu-speedup X --crash-node X --crash-frac F
                       --degrade-bw F --degrade-lat F]
@@ -156,6 +163,32 @@ fn validate_sim_fault_args(args: &Args, nodes: usize) -> Option<i32> {
         ("degrade-bw", args.f64_or("degrade-bw", 1.0)),
         ("degrade-lat", args.f64_or("degrade-lat", 1.0)),
     ])
+}
+
+/// Validate the silent-data-corruption arguments shared by `hqr fault` and
+/// `hqr trace --backend exec`: `--sdc-rate` must be a finite probability in
+/// `[0, 1]` and `--integrity` one of `off`/`spot`/`full`. When corruption is
+/// being injected the integrity mode defaults to `full`; otherwise `off`.
+/// Returns the parsed pair, or the exit code on the first offender.
+fn validate_sdc_args(args: &Args) -> Result<(f64, IntegrityMode), i32> {
+    let rate = args.f64_or("sdc-rate", 0.0);
+    if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+        eprintln!("--sdc-rate must be a probability in [0, 1], got {rate}");
+        eprintln!("run `hqr help` for usage");
+        return Err(2);
+    }
+    let default = if rate > 0.0 { IntegrityMode::Full } else { IntegrityMode::Off };
+    match args.get("integrity") {
+        None => Ok((rate, default)),
+        Some(v) => match IntegrityMode::parse(v) {
+            Some(mode) => Ok((rate, mode)),
+            None => {
+                eprintln!("--integrity: unknown mode `{v}` (off|spot|full)");
+                eprintln!("run `hqr help` for usage");
+                Err(2)
+            }
+        },
+    }
 }
 
 /// `hqr factor`: factor a random matrix and verify.
@@ -354,6 +387,10 @@ pub fn fault(args: &Args) -> i32 {
         eprintln!("fault expects rows >= cols");
         return 2;
     }
+    let (sdc_rate, integrity) = match validate_sdc_args(args) {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
     let (mt, nt) = (rows.div_ceil(b), cols.div_ceil(b));
     let cfg = config_of(args, grid);
     let setup = baselines::hqr(mt, nt, ProcessGrid::new(grid.0, grid.1), cfg);
@@ -365,6 +402,16 @@ pub fn fault(args: &Args) -> i32 {
         }
     };
     let n = graph.tasks().len();
+    let platform = Platform {
+        nodes: args.usize_or("nodes", grid.0 * grid.1),
+        cores_per_node: args.usize_or("cores", 4),
+        ..Platform::edel()
+    };
+    if let Some(code) =
+        require_positive(&[("nodes", platform.nodes), ("cores", platform.cores_per_node)])
+    {
+        return code;
+    }
 
     println!("== execution: seeded kernel-panic injection ==");
     let plan = FaultPlan::new(seed).fail_random_tasks(n, fail, 1);
@@ -374,7 +421,8 @@ pub fn fault(args: &Args) -> i32 {
     println!("fault plan   : seed {seed}, {injected} tasks panic on first attempt");
     let mut a_clean = TiledMatrix::random(mt, nt, b, seed);
     let mut a_faulty = a_clean.clone();
-    let _ = execute_serial(&graph, &mut a_clean);
+    let a_pristine = a_clean.clone();
+    let f_clean = execute_serial(&graph, &mut a_clean);
     let opts = ExecOptions {
         nthreads: threads,
         max_retries: retries,
@@ -401,18 +449,112 @@ pub fn fault(args: &Args) -> i32 {
         }
     }
 
+    if sdc_rate > 0.0 {
+        let sdc_seed = args.usize_or("sdc-seed", seed as usize) as u64;
+        let strikes = ((sdc_rate * n as f64).round() as usize).max(1);
+        let sdc_plan = FaultPlan::new(seed).corrupt_random_tasks_seeded(sdc_seed, n, strikes);
+        let planned = sdc_plan.planned_corruptions();
+        println!();
+        println!("== execution: seeded bit-flip (SDC) injection ==");
+        println!("fault plan   : sdc seed {sdc_seed}, {planned} tasks struck by a single bit flip");
+        println!("integrity    : {integrity}");
+        let mut a_sdc = a_pristine.clone();
+        let sdc_opts = ExecOptions {
+            nthreads: threads,
+            max_retries: retries.max(1),
+            plan: Some(sdc_plan),
+            policy,
+            integrity,
+            ..Default::default()
+        };
+        match try_execute_with(&graph, &mut a_sdc, &sdc_opts) {
+            Ok((f_sdc, stats)) => {
+                let (d1, d2) = (a_clean.to_dense(), a_sdc.to_dense());
+                let clean = d1.data() == d2.data() && f_sdc.bitwise_eq(&f_clean);
+                // Corruption that neither the guards nor the recompute
+                // healed must still be visible in the outputs; count it
+                // as escaped.
+                let escaped =
+                    if clean { 0 } else { (stats.sdc_injected - stats.sdc_detected).max(1) };
+                println!("summary      :  injected  detected  recomputed  escaped");
+                println!(
+                    "                {:>8}  {:>8}  {:>10}  {:>7}",
+                    stats.sdc_injected, stats.sdc_detected, stats.sdc_recomputed, escaped
+                );
+                println!(
+                    "bitwise check: {}",
+                    if clean {
+                        "identical to corruption-free run"
+                    } else {
+                        "MISMATCH (escaped SDC)"
+                    }
+                );
+                if integrity.is_on() && escaped > 0 {
+                    return 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("execution failed under SDC injection: {e}");
+                if integrity.is_on() {
+                    return 1;
+                }
+            }
+        }
+
+        println!();
+        println!("== recovery policy: SDC corruption-rate sweep ==");
+        let sdc_model = SdcCostModel {
+            guard_bandwidth: args.f64_or("guard-bw", 4e9),
+            residual_check: args.f64_or("residual-cost", 0.05),
+        };
+        let ckpt_model = CheckpointCostModel {
+            io_bandwidth: args.f64_or("io-bw", 1e9),
+            restart_overhead: args.f64_or("restart-cost", 0.5),
+        };
+        // The detect-recompute arm needs guards on; price `full` when the
+        // execution above ran unprotected.
+        let sweep_mode = if integrity.is_on() { integrity } else { IntegrityMode::Full };
+        let rates = [0.0, 1e-4, 1e-3, 1e-2, 0.05, 0.1];
+        let points = match sdc_policy_sweep(
+            &graph,
+            &setup.layout,
+            &platform,
+            policy,
+            sweep_mode,
+            &sdc_model,
+            &ckpt_model,
+            &rates,
+        ) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        };
+        println!("  rate      E[strikes]  detect-recompute(s)  ckpt/restart(s)  unprotected(s)");
+        for p in &points {
+            println!(
+                "  {:<8}  {:>10.2}  {:>19.4}  {:>15.4}  {:>14.4}",
+                format!("{:.0e}", p.rate),
+                p.expected_corruptions,
+                p.detect_recompute,
+                p.checkpoint_restart,
+                p.unprotected_rerun
+            );
+        }
+        match find_sdc_crossover(&points) {
+            Some(p) => println!(
+                "crossover    : detect-recompute first beats checkpoint/restart at rate {:.0e}",
+                p.rate
+            ),
+            None => println!(
+                "crossover    : checkpoint/restart cheaper at every tested corruption rate"
+            ),
+        }
+    }
+
     println!();
     println!("== simulation: node crash with lineage recovery ==");
-    let platform = Platform {
-        nodes: args.usize_or("nodes", grid.0 * grid.1),
-        cores_per_node: args.usize_or("cores", 4),
-        ..Platform::edel()
-    };
-    if let Some(code) =
-        require_positive(&[("nodes", platform.nodes), ("cores", platform.cores_per_node)])
-    {
-        return code;
-    }
     if let Some(code) = validate_sim_fault_args(args, platform.nodes) {
         return code;
     }
@@ -794,6 +936,10 @@ fn trace_exec(args: &Args) -> i32 {
         eprintln!("trace expects rows >= cols");
         return 2;
     }
+    let (sdc_rate, integrity) = match validate_sdc_args(args) {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
     let (mt, nt) = (rows.div_ceil(b), cols.div_ceil(b));
     let setup = baselines::hqr(mt, nt, ProcessGrid::new(grid.0, grid.1), config_of(args, grid));
     let graph = match TaskGraph::try_build(mt, nt, b, &setup.elims.to_ops()) {
@@ -805,11 +951,21 @@ fn trace_exec(args: &Args) -> i32 {
     };
     let n = graph.tasks().len();
     let mut a = TiledMatrix::random(mt, nt, b, seed);
+    let mut plan = (fail > 0).then(|| FaultPlan::new(seed).fail_random_tasks(n, fail, 1));
+    if sdc_rate > 0.0 {
+        let sdc_seed = args.usize_or("sdc-seed", seed as usize) as u64;
+        let strikes = ((sdc_rate * n as f64).round() as usize).max(1);
+        plan = Some(
+            plan.unwrap_or_else(|| FaultPlan::new(seed))
+                .corrupt_random_tasks_seeded(sdc_seed, n, strikes),
+        );
+    }
     let opts = ExecOptions {
         nthreads: threads,
-        max_retries: retries,
-        plan: (fail > 0).then(|| FaultPlan::new(seed).fail_random_tasks(n, fail, 1)),
+        max_retries: if sdc_rate > 0.0 { retries.max(1) } else { retries },
+        plan,
         policy,
+        integrity,
         ..Default::default()
     };
     println!("backend      : work-stealing executor ({threads} threads)");
@@ -844,6 +1000,12 @@ fn trace_exec(args: &Args) -> i32 {
         println!(
             "faults       : {} panics caught, {} tasks recovered, {} re-executions",
             stats.panics_caught, stats.tasks_recovered, stats.tasks_reexecuted
+        );
+    }
+    if stats.sdc_injected > 0 || integrity.is_on() {
+        println!(
+            "integrity    : {} guards — {} corruptions injected, {} detected, {} recomputed",
+            integrity, stats.sdc_injected, stats.sdc_detected, stats.sdc_recomputed
         );
     }
     // Realized CP over the wall-clock records; the executor is shared

@@ -98,6 +98,116 @@ fn trace_both_backends_emit_loadable_chrome_traces() {
 }
 
 #[test]
+fn fault_sdc_sweep_detects_everything_under_full_integrity() {
+    let out = hqr()
+        .args([
+            "fault",
+            "--rows",
+            "64",
+            "--cols",
+            "32",
+            "--tile",
+            "8",
+            "--threads",
+            "2",
+            "--sdc-rate",
+            "0.05",
+            "--seed",
+            "11",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("== execution: seeded bit-flip (SDC) injection =="), "{text}");
+    assert!(text.contains("identical to corruption-free run"), "{text}");
+    assert!(text.contains("== recovery policy: SDC corruption-rate sweep =="), "{text}");
+    assert!(text.contains("crossover"), "{text}");
+}
+
+#[test]
+fn fault_sdc_escapes_when_integrity_is_off() {
+    let out = hqr()
+        .args([
+            "fault",
+            "--rows",
+            "64",
+            "--cols",
+            "32",
+            "--tile",
+            "8",
+            "--threads",
+            "2",
+            "--sdc-rate",
+            "0.05",
+            "--seed",
+            "11",
+            "--integrity",
+            "off",
+        ])
+        .output()
+        .unwrap();
+    // Escapes are the expected outcome of an unprotected run, not a failure.
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("MISMATCH (escaped SDC)"), "{text}");
+}
+
+#[test]
+fn fault_and_trace_reject_malformed_sdc_arguments() {
+    for cmd in ["fault", "trace"] {
+        for bad in [
+            &["--sdc-rate", "1.5"][..],
+            &["--sdc-rate", "-0.1"][..],
+            &["--sdc-rate", "nan"][..],
+            &["--sdc-rate", "0.1", "--integrity", "paranoid"][..],
+        ] {
+            let out = hqr().arg(cmd).args(bad).output().unwrap();
+            assert_eq!(
+                out.status.code(),
+                Some(2),
+                "{cmd} {bad:?}: {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            assert!(String::from_utf8_lossy(&out.stderr).contains("run `hqr help` for usage"));
+        }
+    }
+}
+
+#[test]
+fn trace_exec_records_sdc_instants() {
+    let out_path = std::env::temp_dir().join("hqr_bin_sdc.trace.json");
+    let out = hqr()
+        .args([
+            "trace",
+            "--backend",
+            "exec",
+            "--rows",
+            "48",
+            "--cols",
+            "24",
+            "--tile",
+            "8",
+            "--threads",
+            "2",
+            "--sdc-rate",
+            "0.1",
+            "--out",
+        ])
+        .arg(&out_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("integrity    : full guards"), "{text}");
+    let json = std::fs::read_to_string(&out_path).unwrap();
+    let (detected, recomputed) = hqr_runtime::validate_sdc_instants(&json).unwrap();
+    assert!(detected > 0, "no SDC instants recorded");
+    assert_eq!(detected, recomputed, "every detection should recompute");
+    let _ = std::fs::remove_file(&out_path);
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let out = hqr().arg("frobnicate").output().unwrap();
     assert_eq!(out.status.code(), Some(2));

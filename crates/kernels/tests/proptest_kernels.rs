@@ -3,7 +3,7 @@
 
 use hqr_kernels::blocked::{geqrt_ib, tsmqr_ib, tsqrt_ib, unmqr_ib};
 use hqr_kernels::{geqrt, tsmqr, tsqrt, ttmqr, ttqrt, unmqr, Trans};
-use hqr_tile::DenseMatrix;
+use hqr_tile::{DenseMatrix, TileGuard};
 use proptest::prelude::*;
 
 fn norm(a: &[f64]) -> f64 {
@@ -138,6 +138,70 @@ proptest! {
         let d1: Vec<f64> = c1.iter().zip(&c1_0).map(|(x, y)| x - y).collect();
         let d2: Vec<f64> = c2.iter().zip(&c2_0).map(|(x, y)| x - y).collect();
         prop_assert!(norm(&d1) + norm(&d2) < 1e-10 * (norm(&c1_0) + norm(&c2_0)).max(1.0));
+    }
+
+    /// Tile guards across random legitimate kernel sequences: refreshing
+    /// a guard after each kernel that writes its buffer means verification
+    /// never false-positives (digest and tolerant column sums alike), and
+    /// a single bit flip afterwards is always caught.
+    #[test]
+    fn guards_track_random_kernel_sequences(
+        b in 1usize..10, seed in any::<u64>(), nops in 1usize..12,
+        ops_seed in any::<u64>(), flip_raw in any::<u64>(),
+    ) {
+        // A cheap splitmix step stands in for a `Vec` strategy (the
+        // vendored proptest has no collection support).
+        let mut opstate = ops_seed;
+        let mut next = move || {
+            opstate = opstate.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = opstate;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let ops: Vec<usize> = (0..nops).map(|_| (next() % 6) as usize).collect();
+        // Working set: two factorizable tiles, two update targets, one T.
+        let mut bufs: [Vec<f64>; 5] = [
+            tile(b, seed),
+            tile(b, seed ^ 1),
+            tile(b, seed ^ 2),
+            tile(b, seed ^ 3),
+            vec![0.0; b * b],
+        ];
+        let mut guards: Vec<TileGuard> =
+            bufs.iter().map(|x| TileGuard::compute(b, x)).collect();
+        for (step, &op) in ops.iter().enumerate() {
+            // Zero false positives before every kernel launch.
+            for (g, x) in guards.iter().zip(&bufs) {
+                prop_assert!(g.verify(x).is_ok(), "digest false positive before step {step}");
+                prop_assert!(g.verify_sums(x).is_ok(), "sum false positive before step {step}");
+            }
+            let [a1, a2, c1, c2, t] = &mut bufs;
+            // Run one kernel, then refresh exactly its write set.
+            let written: &[usize] = match op {
+                0 => { geqrt(b, a1, t); &[0, 4] }
+                1 => { unmqr(b, a1, t, c1, Trans::Trans); &[2] }
+                2 => { tsqrt(b, a1, a2, t); &[0, 1, 4] }
+                3 => { tsmqr(b, a2, t, c1, c2, Trans::Trans); &[2, 3] }
+                4 => { ttqrt(b, a1, a2, t); &[0, 1, 4] }
+                _ => { ttmqr(b, a2, t, c1, c2, Trans::Trans); &[2, 3] }
+            };
+            for &w in written {
+                guards[w].refresh(&bufs[w]);
+            }
+        }
+        for (g, x) in guards.iter().zip(&bufs) {
+            prop_assert!(g.verify(x).is_ok(), "false positive after the sequence");
+        }
+        // 100% detection: one flipped bit anywhere is caught.
+        let (which, elem, bit) =
+            ((flip_raw % 5) as usize, (flip_raw >> 3) as usize % (b * b), (flip_raw >> 32) % 64);
+        let x = &mut bufs[which][elem];
+        *x = f64::from_bits(x.to_bits() ^ (1u64 << bit));
+        prop_assert!(
+            guards[which].verify(&bufs[which]).is_err(),
+            "bit {bit} of element {elem} in buffer {which} escaped the guard"
+        );
     }
 
     /// Blocked UNMQR agrees with unblocked UNMQR when fed the same

@@ -48,6 +48,24 @@ pub enum ExecError {
         /// The last panic payload, if it was a string.
         message: String,
     },
+    /// A guard verification caught silent data corruption that
+    /// detect-recompute could not (or was not allowed to) repair: either
+    /// a commit-time mismatch persisted past the retry budget, or a
+    /// pre-launch check found the task's *inputs* corrupted — damage that
+    /// re-running the current task cannot heal.
+    SdcDetected {
+        /// Index of the detecting task in [`crate::TaskGraph::tasks`].
+        task: u32,
+        /// Kernel the task runs.
+        kernel: KernelKind,
+        /// Label of the mismatching slot, e.g. `"A(2,1)"`.
+        slot: String,
+        /// Recompute attempts made before giving up (0 for a pre-launch
+        /// input mismatch).
+        attempts: u32,
+        /// The guard mismatch description.
+        message: String,
+    },
     /// The scheduler stopped making progress: either the stall watchdog saw
     /// no task complete within its window, or every worker exited with
     /// tasks still pending.
@@ -64,6 +82,11 @@ impl fmt::Display for ExecError {
             ExecError::TaskFailed { task, kernel, attempts, message } => {
                 write!(f, "task {task} ({kernel:?}) failed after {attempts} attempts: {message}")
             }
+            ExecError::SdcDetected { task, kernel, slot, attempts, message } => write!(
+                f,
+                "silent data corruption detected at {slot} by task {task} ({kernel:?}), \
+                 not recovered after {attempts} recompute attempt(s): {message}"
+            ),
             ExecError::Stalled(report) => write!(f, "execution stalled: {report}"),
         }
     }
@@ -238,6 +261,19 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("42") && s.contains("3 attempts"), "{s}");
+    }
+
+    #[test]
+    fn sdc_error_display_names_slot_and_task() {
+        let e = ExecError::SdcDetected {
+            task: 7,
+            kernel: KernelKind::Tsmqr,
+            slot: "A(2,1)".into(),
+            attempts: 1,
+            message: "tile guard mismatch".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("A(2,1)") && s.contains("task 7") && s.contains("corruption"), "{s}");
     }
 
     #[test]

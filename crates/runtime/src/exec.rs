@@ -23,6 +23,7 @@ use crossbeam_utils::Backoff;
 use crate::error::{ExecError, StallCause, StallReport};
 use crate::fault::{ExecOptions, FaultStats, QuietPanics, INJECTED_FAULT_PREFIX, POISON_STRIKES};
 use crate::graph::TaskGraph;
+use crate::integrity::{GuardStore, IntegrityMode};
 use crate::sched::{self, SchedPolicy};
 use crate::store::TileStore;
 use crate::task::Task;
@@ -200,6 +201,10 @@ pub enum InstantKind {
     /// Execution resumed from an on-disk checkpoint (the `task` field holds
     /// the number of tasks restored as already complete).
     Resume,
+    /// A tile-guard verification caught silent data corruption.
+    SdcDetected,
+    /// A corrupted task attempt was rolled back and is about to recompute.
+    SdcRecomputed,
 }
 
 /// A point event on a worker's timeline (fault/retry markers).
@@ -508,6 +513,9 @@ enum Outcome {
     Requeue,
     /// Out of retry budget (or no recovery enabled): abort the run.
     Fail(String),
+    /// A commit-time guard mismatch persisted past the recompute budget
+    /// (or no snapshot was available to recompute from): abort the run.
+    Sdc { slot: String, message: String },
 }
 
 /// The shared executor engine behind every parallel entry point.
@@ -598,6 +606,9 @@ pub(crate) fn run_engine_segment(
 
     let epoch = Instant::now();
     let store = TileStore::with_ib(a, f, ib);
+    // One guard per slot, shared by all workers under the same DAG
+    // exclusive-writer discipline as the tile buffers themselves.
+    let guard_store = opts.integrity.is_on().then(|| GuardStore::new(graph.mt(), graph.nt()));
     // Reconstruct the frontier: a remaining task's effective in-degree
     // counts only its not-yet-completed predecessors.
     let mut indeg0: Vec<u32> = graph.in_degrees().to_vec();
@@ -671,6 +682,7 @@ pub(crate) fn run_engine_segment(
         }
         for ((me, worker), log) in workers.into_iter().enumerate().zip(logs.iter_mut()) {
             let store = &store;
+            let guards = guard_store.as_ref();
             let (indeg, done) = (&indeg, &done);
             let (remaining, alive, halt, error) = (&remaining, &alive, &halt, &error);
             let global = &global;
@@ -731,6 +743,28 @@ pub(crate) fn run_engine_segment(
                     };
                     backoff.reset();
                     let t = &tasks[tid as usize];
+                    if opts.integrity == IntegrityMode::Full {
+                        // SAFETY: `tid` is ready, so DAG order guarantees
+                        // no concurrent writer of its read or write set.
+                        if let Some(m) = guards.and_then(|g| unsafe { g.verify_inputs(store, t) }) {
+                            // Corrupted *inputs* cannot be healed by
+                            // re-running this task; report and stop.
+                            wstats.sdc_detected += 1;
+                            instant(InstantKind::SdcDetected, tid);
+                            set_error(
+                                error,
+                                ExecError::SdcDetected {
+                                    task: tid,
+                                    kernel: t.kind,
+                                    slot: m.label(),
+                                    attempts: 0,
+                                    message: m.mismatch.to_string(),
+                                },
+                            );
+                            halt.store(true, Ordering::Release);
+                            break;
+                        }
+                    }
                     let t0 = trace.then(|| epoch.elapsed().as_secs_f64());
                     // SAFETY: every predecessor of `tid` has completed (its
                     // in-degree reached 0) and `tid` has not, so its
@@ -738,6 +772,7 @@ pub(crate) fn run_engine_segment(
                     // completion — for the kernel and the snapshot alike.
                     let snap = recovery.then(|| unsafe { store.snapshot(t) });
                     let mut attempt = 0u32;
+                    let mut recomputed_sdc = false;
                     let outcome = loop {
                         let inject = poisoned
                             || plan.is_some_and(|p| p.should_fail_attempt(tid, attempt));
@@ -751,7 +786,51 @@ pub(crate) fn run_engine_segment(
                             unsafe { store.run_task(t) };
                         }));
                         match run {
-                            Ok(()) => break Outcome::Done { retried: attempt > 0 },
+                            Ok(()) => {
+                                // Kernel-postcondition hook: refresh the
+                                // write-set guards from the fresh output
+                                // while it is "hot". The window between
+                                // this hook and the commit-time check
+                                // below is where an SDC strike lands.
+                                if let Some(g) = guards {
+                                    // SAFETY: DAG order, as above.
+                                    unsafe { g.refresh_task(store, t) };
+                                }
+                                if attempt == 0 {
+                                    if let Some(fault) = plan.and_then(|p| p.sdc_for(tid)) {
+                                        // The strike happens regardless of
+                                        // the integrity mode — only the
+                                        // *verification* is optional.
+                                        // SAFETY: DAG order, as above.
+                                        unsafe { store.apply_sdc(t, &fault) };
+                                        wstats.sdc_injected += 1;
+                                    }
+                                }
+                                let found =
+                                    guards.and_then(|g| unsafe { g.verify_outputs(store, t) });
+                                let Some(m) = found else {
+                                    break Outcome::Done { retried: attempt > 0 };
+                                };
+                                wstats.sdc_detected += 1;
+                                instant(InstantKind::SdcDetected, tid);
+                                if let Some(s) = &snap {
+                                    // SAFETY: exclusive access, as above.
+                                    unsafe { store.rollback(s) };
+                                    wstats.tiles_rolled_back += s.tiles() as u32;
+                                }
+                                if snap.is_some() && attempt < opts.max_retries {
+                                    attempt += 1;
+                                    wstats.tasks_reexecuted += 1;
+                                    counters.retries += 1;
+                                    recomputed_sdc = true;
+                                    instant(InstantKind::SdcRecomputed, tid);
+                                    continue;
+                                }
+                                break Outcome::Sdc {
+                                    slot: m.label(),
+                                    message: m.mismatch.to_string(),
+                                };
+                            }
                             Err(payload) => {
                                 wstats.panics_caught += 1;
                                 counters.panics_caught += 1;
@@ -779,6 +858,9 @@ pub(crate) fn run_engine_segment(
                         Outcome::Done { retried } => {
                             if retried {
                                 wstats.tasks_recovered += 1;
+                            }
+                            if recomputed_sdc {
+                                wstats.sdc_recomputed += 1;
                             }
                             if let Some(start) = t0 {
                                 log.records.push(TaskRecord {
@@ -839,6 +921,20 @@ pub(crate) fn run_engine_segment(
                                 wstats.workers_lost += 1;
                                 break;
                             }
+                        }
+                        Outcome::Sdc { slot, message } => {
+                            set_error(
+                                error,
+                                ExecError::SdcDetected {
+                                    task: tid,
+                                    kernel: t.kind,
+                                    slot,
+                                    attempts: attempt,
+                                    message,
+                                },
+                            );
+                            halt.store(true, Ordering::Release);
+                            break;
                         }
                         Outcome::Fail(message) => {
                             let e = if recovery {

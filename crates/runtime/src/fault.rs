@@ -13,6 +13,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Once;
 use std::time::Duration;
 
+use crate::integrity::IntegrityMode;
 use crate::sched::SchedPolicy;
 
 /// Marker prefix used by every injected panic, so logs distinguish
@@ -31,6 +32,36 @@ fn splitmix64(state: &mut u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
+}
+
+/// Multiplier used by [`SdcPattern::Scale`] strikes — a silent ~0.1%
+/// scaling error, the "kernel produced slightly wrong numbers" corruption
+/// class (vs. the sharp bit flip).
+pub const SDC_SCALE_FACTOR: f64 = 1.0 + 1.0 / 1024.0;
+
+/// The corruption a silent-data-corruption strike applies to one element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SdcPattern {
+    /// XOR one bit (0..64, taken mod 64) of the element's IEEE-754 bit
+    /// pattern.
+    BitFlip(u32),
+    /// Multiply the element by [`SDC_SCALE_FACTOR`]; a zero element is
+    /// replaced by a tiny non-zero so the strike is never a no-op.
+    Scale,
+}
+
+/// One planned silent-data-corruption strike against a task's freshly
+/// written output. `slot` and `element` are raw picks reduced modulo the
+/// task's write-set size and the tile's element count at injection time,
+/// so a plan can be built without knowing the tile size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SdcFault {
+    /// Picks which write-set buffer is struck (mod the task's write count).
+    pub slot: u32,
+    /// Picks which element within the `b × b` buffer is struck (mod `b²`).
+    pub element: u32,
+    /// The corruption applied to that element.
+    pub pattern: SdcPattern,
 }
 
 /// A deterministic, seeded schedule of injected execution faults.
@@ -52,6 +83,9 @@ pub struct FaultPlan {
     /// Tasks whose completion notification is dropped (the task runs, its
     /// successors are never released) — watchdog-test fuel.
     lost: BTreeSet<u32>,
+    /// task id -> silent-data-corruption strike against its first
+    /// completed attempt's output.
+    corrupt: BTreeMap<u32, SdcFault>,
 }
 
 impl FaultPlan {
@@ -105,6 +139,47 @@ impl FaultPlan {
         self
     }
 
+    /// Schedule a silent-data-corruption strike against task `task`: after
+    /// its first attempt's kernel completes (and the postcondition guards
+    /// are published), one element of its write set is corrupted per
+    /// `fault`. Retries re-run the kernel clean, so detect-recompute
+    /// recovery converges.
+    pub fn corrupt_task(mut self, task: u32, fault: SdcFault) -> Self {
+        self.corrupt.insert(task, fault);
+        self
+    }
+
+    /// Pick `count` distinct victim tasks out of `n_tasks`
+    /// (deterministically from the plan seed) and schedule a seeded
+    /// single-bit-flip corruption against each: random write-set buffer,
+    /// random element, random bit.
+    pub fn corrupt_random_tasks(self, n_tasks: usize, count: usize) -> Self {
+        let seed = self.seed;
+        self.corrupt_random_tasks_seeded(seed, n_tasks, count)
+    }
+
+    /// [`FaultPlan::corrupt_random_tasks`] drawing from an explicit seed
+    /// (the CLI's `--sdc-seed`), so corruption picks decouple from the
+    /// panic-injection picks of [`FaultPlan::fail_random_tasks`].
+    pub fn corrupt_random_tasks_seeded(mut self, seed: u64, n_tasks: usize, count: usize) -> Self {
+        let mut state = seed ^ 0x5dc0_5dc0_5dc0_5dc0;
+        let want = count.min(n_tasks);
+        let mut picked = BTreeSet::new();
+        while picked.len() < want {
+            let tid = (splitmix64(&mut state) % n_tasks.max(1) as u64) as u32;
+            picked.insert(tid);
+        }
+        for tid in picked {
+            let fault = SdcFault {
+                slot: splitmix64(&mut state) as u32,
+                element: splitmix64(&mut state) as u32,
+                pattern: SdcPattern::BitFlip((splitmix64(&mut state) % 64) as u32),
+            };
+            self.corrupt.insert(tid, fault);
+        }
+        self
+    }
+
     /// Tasks with scheduled attempt failures, as `(task, attempts)` pairs.
     pub fn failing_tasks(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
         self.fail_first.iter().map(|(&t, &k)| (t, k))
@@ -115,13 +190,30 @@ impl FaultPlan {
         self.fail_first.values().map(|&k| k as usize).sum()
     }
 
+    /// Tasks with a scheduled corruption strike, as `(task, fault)` pairs.
+    pub fn corrupted_tasks(&self) -> impl Iterator<Item = (u32, SdcFault)> + '_ {
+        self.corrupt.iter().map(|(&t, &f)| (t, f))
+    }
+
+    /// Number of scheduled corruption strikes.
+    pub fn planned_corruptions(&self) -> usize {
+        self.corrupt.len()
+    }
+
     /// True when the plan injects nothing.
     pub fn is_empty(&self) -> bool {
-        self.fail_first.is_empty() && self.poisoned.is_empty() && self.lost.is_empty()
+        self.fail_first.is_empty()
+            && self.poisoned.is_empty()
+            && self.lost.is_empty()
+            && self.corrupt.is_empty()
     }
 
     pub(crate) fn should_fail_attempt(&self, task: u32, attempt: u32) -> bool {
         self.fail_first.get(&task).is_some_and(|&k| attempt < k)
+    }
+
+    pub(crate) fn sdc_for(&self, task: u32) -> Option<SdcFault> {
+        self.corrupt.get(&task).copied()
     }
 
     pub(crate) fn is_poisoned(&self, worker: usize) -> bool {
@@ -151,6 +243,13 @@ pub struct FaultStats {
     pub tiles_rolled_back: u32,
     /// Workers that stopped taking work after repeated poison strikes.
     pub workers_lost: u32,
+    /// Silent-data-corruption strikes actually applied by the plan.
+    pub sdc_injected: u32,
+    /// Corruptions caught by a guard verification (integrity mode on).
+    pub sdc_detected: u32,
+    /// Tasks whose output was re-produced clean after an SDC detection
+    /// (detect-recompute recoveries).
+    pub sdc_recomputed: u32,
 }
 
 impl FaultStats {
@@ -160,6 +259,9 @@ impl FaultStats {
         self.tasks_reexecuted += other.tasks_reexecuted;
         self.tiles_rolled_back += other.tiles_rolled_back;
         self.workers_lost += other.workers_lost;
+        self.sdc_injected += other.sdc_injected;
+        self.sdc_detected += other.sdc_detected;
+        self.sdc_recomputed += other.sdc_recomputed;
     }
 }
 
@@ -184,6 +286,9 @@ pub struct ExecOptions {
     /// Defaults to [`SchedPolicy::Fifo`], the executor's historical
     /// behavior.
     pub policy: SchedPolicy,
+    /// Guard-based silent-data-corruption checking; defaults to
+    /// [`IntegrityMode::Off`] (no guards, no verification cost).
+    pub integrity: IntegrityMode,
 }
 
 impl ExecOptions {
@@ -285,6 +390,34 @@ mod tests {
         assert!(p.loses_completion(9));
         assert!(!p.is_empty());
         assert!(FaultPlan::new(0).is_empty());
+    }
+
+    #[test]
+    fn random_corruptions_are_deterministic_and_distinct() {
+        let a = FaultPlan::new(7).corrupt_random_tasks(40, 6);
+        let b = FaultPlan::new(7).corrupt_random_tasks(40, 6);
+        assert_eq!(a, b, "same seed, same strikes");
+        assert_eq!(a.planned_corruptions(), 6);
+        assert!(a.corrupted_tasks().all(|(t, f)| {
+            (t as usize) < 40 && matches!(f.pattern, SdcPattern::BitFlip(bit) if bit < 64)
+        }));
+        let c = FaultPlan::new(7).corrupt_random_tasks_seeded(8, 40, 6);
+        assert_ne!(a, c, "explicit seed decouples the picks");
+        assert!(!a.is_empty());
+        assert_eq!(
+            a.sdc_for(a.corrupted_tasks().next().unwrap().0),
+            Some(a.corrupted_tasks().next().unwrap().1)
+        );
+    }
+
+    #[test]
+    fn corrupt_task_records_the_strike() {
+        let f = SdcFault { slot: 0, element: 3, pattern: SdcPattern::Scale };
+        let p = FaultPlan::new(0).corrupt_task(9, f);
+        assert_eq!(p.sdc_for(9), Some(f));
+        assert_eq!(p.sdc_for(8), None);
+        assert_eq!(p.planned_corruptions(), 1);
+        assert!(!p.is_empty());
     }
 
     #[test]

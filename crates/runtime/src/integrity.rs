@@ -1,0 +1,194 @@
+//! Executor-side silent-data-corruption (SDC) defense.
+//!
+//! Every tile-sized buffer the engine touches (matrix tiles and the
+//! `Vg`/`Tg`/`Tk` factor slots) gets a [`hqr_tile::TileGuard`] — a
+//! column-sum checksum vector plus an FNV bit digest. The lifecycle per
+//! task, under [`IntegrityMode::Spot`] or [`IntegrityMode::Full`]:
+//!
+//! 1. *(full only)* before launch, verify the guards of the task's
+//!    read set and of its write-set pre-images — corruption of data at
+//!    rest is caught before it can propagate;
+//! 2. run the kernel;
+//! 3. **postcondition hook**: refresh the write-set guards from the fresh
+//!    output while it is still "hot" (the trusted production boundary);
+//! 4. verify the write set at *commit* time — the window between the
+//!    hook and the commit is where an SDC strike lands, so a flipped bit
+//!    surfaces as a digest mismatch before the task's successors are
+//!    released.
+//!
+//! A commit-time mismatch routes into the existing write-set
+//! snapshot/rollback retry path (detect-recompute); a pre-launch mismatch
+//! cannot be healed by re-running the *current* task (its inputs are the
+//! damaged data) and surfaces as a typed
+//! [`crate::ExecError::SdcDetected`].
+
+use std::cell::UnsafeCell;
+
+use crate::store::TileStore;
+use crate::task::{SlotFamily, Task, SLOT_FAMILIES};
+use hqr_tile::{GuardMismatch, TileGuard};
+
+/// How much guard-based SDC checking the executor performs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum IntegrityMode {
+    /// No guards, no verification cost — corruption propagates silently.
+    #[default]
+    Off,
+    /// Commit-time checking only: refresh and verify each task's
+    /// write-set guards when it completes.
+    Spot,
+    /// [`IntegrityMode::Spot`] plus pre-launch verification of each
+    /// task's read set and write-set pre-images (data-at-rest coverage).
+    Full,
+}
+
+impl IntegrityMode {
+    /// Parse a CLI spelling (`off` / `spot` / `full`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "off" => Some(IntegrityMode::Off),
+            "spot" => Some(IntegrityMode::Spot),
+            "full" => Some(IntegrityMode::Full),
+            _ => None,
+        }
+    }
+
+    /// True unless the mode is [`IntegrityMode::Off`].
+    pub fn is_on(self) -> bool {
+        self != IntegrityMode::Off
+    }
+}
+
+impl std::fmt::Display for IntegrityMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            IntegrityMode::Off => "off",
+            IntegrityMode::Spot => "spot",
+            IntegrityMode::Full => "full",
+        })
+    }
+}
+
+/// A guard verification failure, located at a slot.
+pub(crate) struct SlotMismatch {
+    pub slot: (SlotFamily, usize, usize),
+    pub mismatch: GuardMismatch,
+}
+
+impl SlotMismatch {
+    /// `"A(2,1)"`-style location label.
+    pub(crate) fn label(&self) -> String {
+        let (fam, i, j) = self.slot;
+        format!("{}({i},{j})", fam.name())
+    }
+}
+
+/// One [`TileGuard`] per store slot (4 families × `mt·nt` coordinates),
+/// populated lazily: a slot is guarded from its first writer's commit on.
+///
+/// Concurrency contract: a slot's guard is written at its writer task's
+/// commit and read at dependent tasks' launches — the same DAG
+/// exclusive-writer ordering that makes [`TileStore`]'s raw views sound,
+/// hence the same `UnsafeCell` + `unsafe fn` shape.
+pub(crate) struct GuardStore {
+    slots: Vec<UnsafeCell<Option<TileGuard>>>,
+    per_family: usize,
+    mt: usize,
+}
+
+// SAFETY: access is ordered by the task DAG exactly like the tile buffers
+// themselves (see the struct docs).
+unsafe impl Sync for GuardStore {}
+
+impl GuardStore {
+    pub(crate) fn new(mt: usize, nt: usize) -> Self {
+        let per_family = mt * nt;
+        GuardStore {
+            slots: (0..SLOT_FAMILIES * per_family).map(|_| UnsafeCell::new(None)).collect(),
+            per_family,
+            mt,
+        }
+    }
+
+    fn idx(&self, (fam, i, j): (SlotFamily, usize, usize)) -> usize {
+        fam as usize * self.per_family + i + j * self.mt
+    }
+
+    /// The kernel-postcondition hook: recompute the guards of `t`'s
+    /// write set from the freshly produced output.
+    ///
+    /// # Safety
+    /// Same contract as [`TileStore::run_task`]: `t` has not completed, so
+    /// no concurrent task touches its write set (or those slots' guards).
+    pub(crate) unsafe fn refresh_task(&self, store: &TileStore, t: &Task) {
+        for s in t.writes() {
+            let data = store.slot_data(s);
+            let cell = &mut *self.slots[self.idx(s)].get();
+            match cell {
+                Some(g) => g.refresh(data),
+                None => *cell = Some(TileGuard::compute(store.b(), data)),
+            }
+        }
+    }
+
+    /// Commit-time verification of `t`'s write-set guards against the
+    /// buffers as found (after the SDC-vulnerable window).
+    ///
+    /// # Safety
+    /// Same contract as [`GuardStore::refresh_task`].
+    pub(crate) unsafe fn verify_outputs(
+        &self,
+        store: &TileStore,
+        t: &Task,
+    ) -> Option<SlotMismatch> {
+        self.verify_slots(store, t.writes())
+    }
+
+    /// Pre-launch verification of `t`'s read set and write-set pre-images.
+    /// Unguarded slots (no writer has committed them yet — e.g. pristine
+    /// input tiles) are skipped.
+    ///
+    /// # Safety
+    /// `t` is about to run: DAG order guarantees no concurrent writer of
+    /// any slot in its read or write set.
+    pub(crate) unsafe fn verify_inputs(&self, store: &TileStore, t: &Task) -> Option<SlotMismatch> {
+        self.verify_slots(store, t.reads()).or_else(|| self.verify_slots(store, t.writes()))
+    }
+
+    unsafe fn verify_slots(
+        &self,
+        store: &TileStore,
+        slots: Vec<(SlotFamily, usize, usize)>,
+    ) -> Option<SlotMismatch> {
+        for s in slots {
+            if let Some(g) = &*self.slots[self.idx(s)].get() {
+                if let Err(mismatch) = g.verify(store.slot_data(s)) {
+                    return Some(SlotMismatch { slot: s, mismatch });
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_parses_and_displays() {
+        for (s, m) in [
+            ("off", IntegrityMode::Off),
+            ("spot", IntegrityMode::Spot),
+            ("full", IntegrityMode::Full),
+        ] {
+            assert_eq!(IntegrityMode::parse(s), Some(m));
+            assert_eq!(m.to_string(), s);
+        }
+        assert_eq!(IntegrityMode::parse("paranoid"), None);
+        assert_eq!(IntegrityMode::default(), IntegrityMode::Off);
+        assert!(!IntegrityMode::Off.is_on());
+        assert!(IntegrityMode::Spot.is_on());
+        assert!(IntegrityMode::Full.is_on());
+    }
+}

@@ -19,7 +19,11 @@
 //! points report failures as typed [`ExecError`]s, and
 //! [`exec::try_execute_with`] adds bounded per-task retry with write-set
 //! rollback, a deterministic seeded [`FaultPlan`] for fault injection, and
-//! a stall watchdog (see `DESIGN.md`, "Fault tolerance").
+//! a stall watchdog (see `DESIGN.md`, "Fault tolerance"). Silent data
+//! corruption is covered by checksum [`hqr_tile::TileGuard`]s on every
+//! tile-sized buffer: an [`IntegrityMode`] on [`ExecOptions`] verifies
+//! guards around each task and routes mismatches into the same
+//! rollback/recompute path (see `DESIGN.md`, "Data integrity").
 
 pub mod analysis;
 pub mod apply_graph;
@@ -29,6 +33,7 @@ pub mod error;
 pub mod exec;
 pub mod fault;
 pub mod graph;
+pub mod integrity;
 pub mod sched;
 pub mod store;
 pub mod task;
@@ -47,11 +52,12 @@ pub use exec::{
     execute_serial_ib, try_execute_parallel, try_execute_serial, try_execute_traced,
     try_execute_with, ExecInstant, ExecTrace, InstantKind, TFactors, TaskRecord, WorkerCounters,
 };
-pub use fault::{ExecOptions, FaultPlan, FaultStats};
+pub use fault::{ExecOptions, FaultPlan, FaultStats, SdcFault, SdcPattern, SDC_SCALE_FACTOR};
 pub use graph::TaskGraph;
+pub use integrity::IntegrityMode;
 pub use sched::SchedPolicy;
 pub use task::Task;
 pub use trace::{
-    chrome_trace_from_exec, realized_critical_path, validate_chrome_trace, ChromeTraceBuilder,
-    PathStep, RealizedPath,
+    chrome_trace_from_exec, realized_critical_path, validate_chrome_trace, validate_sdc_instants,
+    ChromeTraceBuilder, PathStep, RealizedPath,
 };

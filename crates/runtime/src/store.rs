@@ -8,6 +8,7 @@
 //! writer). This is precisely the contract DAGuE's runtime relies on.
 
 use crate::exec::TFactors;
+use crate::fault::{SdcFault, SdcPattern, SDC_SCALE_FACTOR};
 use crate::task::{SlotFamily, Task};
 use hqr_kernels::blocked::{geqrt_ib, tsmqr_ib, tsqrt_ib, ttmqr_ib, ttqrt_ib, unmqr_ib};
 use hqr_kernels::{geqrt, tsmqr, tsqrt, ttmqr, ttqrt, unmqr, KernelKind, Trans};
@@ -101,6 +102,41 @@ impl TileStore {
             SlotFamily::Vg => self.vg[idx],
             SlotFamily::Tg => self.tg[idx],
             SlotFamily::Tk => self.tk[idx],
+        }
+    }
+
+    /// Tile side length.
+    pub fn b(&self) -> usize {
+        self.b
+    }
+
+    /// Read-only view of one slot's `b * b` buffer (guard computation).
+    ///
+    /// # Safety
+    /// Same contract as [`TileStore::run_task`]: no concurrent writer of
+    /// the slot, which DAG ordering of the calling task provides.
+    pub(crate) unsafe fn slot_data(&self, s: (SlotFamily, usize, usize)) -> &[f64] {
+        let p = self.slot_ptr(s);
+        debug_assert!(!p.is_null(), "slot has no buffer");
+        std::slice::from_raw_parts(p, self.b * self.b)
+    }
+
+    /// Apply a planned silent-data-corruption strike to one element of
+    /// `t`'s write set: the raw `slot`/`element` picks are reduced modulo
+    /// the write-set size and `b²` here, where both are known.
+    ///
+    /// # Safety
+    /// Same contract as [`TileStore::run_task`] for `t`'s write set.
+    pub(crate) unsafe fn apply_sdc(&self, t: &Task, f: &SdcFault) {
+        let writes = t.writes();
+        let s = writes[f.slot as usize % writes.len()];
+        let buf = self.slice(self.slot_ptr(s));
+        let x = &mut buf[f.element as usize % (self.b * self.b)];
+        match f.pattern {
+            SdcPattern::BitFlip(bit) => *x = f64::from_bits(x.to_bits() ^ (1u64 << (bit % 64))),
+            // A zero element would make scaling a no-op; plant a tiny
+            // non-zero instead so every strike really corrupts.
+            SdcPattern::Scale => *x = if *x == 0.0 { 1.0e-300 } else { *x * SDC_SCALE_FACTOR },
         }
     }
 

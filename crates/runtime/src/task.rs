@@ -42,6 +42,18 @@ pub enum SlotFamily {
 /// Number of slot families.
 pub const SLOT_FAMILIES: usize = 4;
 
+impl SlotFamily {
+    /// Short display name, e.g. for slot labels in diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            SlotFamily::A => "A",
+            SlotFamily::Vg => "Vg",
+            SlotFamily::Tg => "Tg",
+            SlotFamily::Tk => "Tk",
+        }
+    }
+}
+
 impl Task {
     /// GEQRT task.
     pub fn geqrt(k: u16, i: u16) -> Self {

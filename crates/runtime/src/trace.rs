@@ -231,6 +231,8 @@ pub fn chrome_trace_from_exec(trace: &ExecTrace, tasks: &[Task]) -> String {
             crate::exec::InstantKind::Requeue => ("requeued (poisoned worker)", "fault"),
             crate::exec::InstantKind::Checkpoint => ("checkpoint written", "checkpoint"),
             crate::exec::InstantKind::Resume => ("resumed from checkpoint", "checkpoint"),
+            crate::exec::InstantKind::SdcDetected => ("sdc detected", "sdc"),
+            crate::exec::InstantKind::SdcRecomputed => ("sdc recomputed", "sdc"),
         };
         // Checkpoint/resume instants mark completed-task counts, not tasks.
         let arg = match i.kind {
@@ -625,6 +627,44 @@ pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
     Ok(events.len())
 }
 
+/// Validate the SDC instant events of a Chrome trace: every event with
+/// `cat == "sdc"` must be an instant (`ph: "i"`) named `"sdc detected"` or
+/// `"sdc recomputed"` carrying a `task` argument, and recomputes cannot
+/// outnumber detections (each recompute follows a detection). Returns
+/// `(detected, recomputed)` counts — both zero for a clean trace.
+pub fn validate_sdc_instants(text: &str) -> Result<(usize, usize), String> {
+    let mut p = Parser::new(text);
+    let doc = p.value()?;
+    let events = match doc.get("traceEvents") {
+        Some(Json::Arr(events)) => events,
+        _ => return Err("missing top-level `traceEvents` array".into()),
+    };
+    let (mut detected, mut recomputed) = (0usize, 0usize);
+    for (i, ev) in events.iter().enumerate() {
+        if ev.get("cat").and_then(Json::as_str) != Some("sdc") {
+            continue;
+        }
+        if ev.get("ph").and_then(Json::as_str) != Some("i") {
+            return Err(format!("event {i}: sdc event is not an instant"));
+        }
+        if ev.get("args").and_then(|a| a.get("task")).is_none() {
+            return Err(format!("event {i}: sdc instant missing `args.task`"));
+        }
+        match ev.get("name").and_then(Json::as_str) {
+            Some("sdc detected") => detected += 1,
+            Some("sdc recomputed") => recomputed += 1,
+            other => return Err(format!("event {i}: unknown sdc instant name {other:?}")),
+        }
+    }
+    if recomputed > detected {
+        return Err(format!(
+            "{recomputed} sdc recomputes but only {detected} detections — every \
+             recompute must follow a detection"
+        ));
+    }
+    Ok((detected, recomputed))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -652,6 +692,29 @@ mod tests {
         let json = b.finish();
         let n = validate_chrome_trace(&json).expect("builder output validates");
         assert_eq!(n, 6, "process + 2 thread metadata + span + instant + counter");
+    }
+
+    #[test]
+    fn sdc_instant_validation_counts_and_rejects() {
+        let mut b = ChromeTraceBuilder::new();
+        b.instant(0, 1, "sdc detected", "sdc", 1e-3, &[("task", "4".into())]);
+        b.instant(0, 1, "sdc recomputed", "sdc", 2e-3, &[("task", "4".into())]);
+        b.instant(0, 1, "panic caught", "fault", 3e-3, &[("task", "5".into())]);
+        let json = b.finish();
+        assert_eq!(validate_sdc_instants(&json), Ok((1, 1)));
+
+        // A recompute without a detection is structurally impossible.
+        let mut b = ChromeTraceBuilder::new();
+        b.instant(0, 1, "sdc recomputed", "sdc", 1e-3, &[("task", "4".into())]);
+        assert!(validate_sdc_instants(&b.finish()).is_err());
+
+        // Unknown sdc names and missing task args are rejected.
+        let mut b = ChromeTraceBuilder::new();
+        b.instant(0, 1, "sdc exploded", "sdc", 1e-3, &[("task", "4".into())]);
+        assert!(validate_sdc_instants(&b.finish()).is_err());
+        let mut b = ChromeTraceBuilder::new();
+        b.instant(0, 1, "sdc detected", "sdc", 1e-3, &[]);
+        assert!(validate_sdc_instants(&b.finish()).is_err());
     }
 
     #[test]

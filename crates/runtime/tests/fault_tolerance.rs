@@ -5,8 +5,9 @@
 use std::time::Duration;
 
 use hqr_runtime::{
-    execute_serial, try_execute_parallel, try_execute_with, ElimOp, ExecError, ExecOptions,
-    FaultPlan, StallCause, TFactors, TaskGraph,
+    chrome_trace_from_exec, execute_serial, try_execute_parallel, try_execute_traced,
+    try_execute_with, validate_sdc_instants, ElimOp, ExecError, ExecOptions, FaultPlan,
+    IntegrityMode, SdcFault, SdcPattern, StallCause, TFactors, TaskGraph,
 };
 use hqr_tile::TiledMatrix;
 
@@ -207,4 +208,129 @@ fn try_parallel_matches_serial_on_clean_runs() {
     let _ = execute_serial(&g, &mut a1);
     let _ = try_execute_parallel(&g, &mut a2, 4).expect("clean run");
     assert_eq!(a1.to_dense().data(), a2.to_dense().data());
+}
+
+/// SDC acceptance: with full integrity, every injected single-bit flip is
+/// caught by the commit-time guard check and recomputed from the rollback
+/// snapshot, and the result — matrix and factor buffers alike — is
+/// bitwise-identical to a clean run.
+#[test]
+fn seeded_bitflip_corruptions_are_detected_and_recomputed() {
+    let (mt, nt, b) = (6, 4, 4);
+    let g = TaskGraph::build(mt, nt, b, &binary_elims(mt, nt));
+    let n = g.tasks().len();
+    let mut a_clean = TiledMatrix::random(mt, nt, b, 17);
+    let mut a_sdc = a_clean.clone();
+    let f_clean = execute_serial(&g, &mut a_clean);
+
+    let plan = FaultPlan::new(0xBADBEEF).corrupt_random_tasks(n, 5);
+    assert_eq!(plan.planned_corruptions(), 5, "plan must strike 5 distinct tasks");
+    let opts = ExecOptions {
+        nthreads: 4,
+        max_retries: 1,
+        plan: Some(plan),
+        integrity: IntegrityMode::Full,
+        ..Default::default()
+    };
+    let (f_sdc, stats) = try_execute_with(&g, &mut a_sdc, &opts).expect("detect-recompute");
+    assert_eq!(stats.sdc_injected, 5, "{stats:?}");
+    assert_eq!(stats.sdc_detected, 5, "every strike must be detected: {stats:?}");
+    assert_eq!(stats.sdc_recomputed, 5, "every strike must be recomputed: {stats:?}");
+    assert_eq!(
+        a_clean.to_dense().data(),
+        a_sdc.to_dense().data(),
+        "recomputed factorization must be bitwise-identical"
+    );
+    assert_factors_identical(&g, &f_clean, &f_sdc);
+}
+
+/// With integrity off the strike still happens but nothing checks it: the
+/// corruption escapes into the factorization output.
+#[test]
+fn integrity_off_lets_corruption_escape() {
+    let (mt, nt, b) = (5, 3, 3);
+    let g = TaskGraph::build(mt, nt, b, &flat_elims(mt, nt));
+    let n = g.tasks().len();
+    let mut a_clean = TiledMatrix::random(mt, nt, b, 23);
+    let mut a_sdc = a_clean.clone();
+    let f_clean = execute_serial(&g, &mut a_clean);
+
+    let plan = FaultPlan::new(99).corrupt_random_tasks(n, 3);
+    let opts = ExecOptions { nthreads: 2, max_retries: 1, plan: Some(plan), ..Default::default() };
+    let (f_sdc, stats) = try_execute_with(&g, &mut a_sdc, &opts).expect("nothing checks");
+    assert_eq!(stats.sdc_injected, 3, "{stats:?}");
+    assert_eq!(stats.sdc_detected, 0, "integrity off must not verify: {stats:?}");
+    let clean_bits =
+        a_clean.to_dense().data() == a_sdc.to_dense().data() && f_sdc.bitwise_eq(&f_clean);
+    assert!(!clean_bits, "an unguarded corruption must escape into the result");
+}
+
+/// Spot mode catches a scaling corruption too: the digest is bit-exact,
+/// not flip-specific.
+#[test]
+fn scaling_corruption_is_detected_in_spot_mode() {
+    let (mt, nt, b) = (4, 3, 3);
+    let g = TaskGraph::build(mt, nt, b, &flat_elims(mt, nt));
+    let mut a_clean = TiledMatrix::random(mt, nt, b, 41);
+    let mut a_sdc = a_clean.clone();
+    let f_clean = execute_serial(&g, &mut a_clean);
+
+    let fault = SdcFault { slot: 0, element: 3, pattern: SdcPattern::Scale };
+    let plan = FaultPlan::new(7).corrupt_task(2, fault);
+    let opts = ExecOptions {
+        nthreads: 2,
+        max_retries: 1,
+        plan: Some(plan),
+        integrity: IntegrityMode::Spot,
+        ..Default::default()
+    };
+    let (f_sdc, stats) = try_execute_with(&g, &mut a_sdc, &opts).expect("recomputes");
+    assert_eq!((stats.sdc_injected, stats.sdc_detected, stats.sdc_recomputed), (1, 1, 1));
+    assert_eq!(a_clean.to_dense().data(), a_sdc.to_dense().data());
+    assert_factors_identical(&g, &f_clean, &f_sdc);
+}
+
+/// With a zero recompute budget detection still works, but recovery is
+/// impossible: the run aborts with a typed error naming the task.
+#[test]
+fn sdc_without_recompute_budget_is_a_typed_error() {
+    let (mt, nt, b) = (4, 3, 3);
+    let g = TaskGraph::build(mt, nt, b, &flat_elims(mt, nt));
+    let mut a = TiledMatrix::random(mt, nt, b, 57);
+    let fault = SdcFault { slot: 0, element: 0, pattern: SdcPattern::BitFlip(52) };
+    let plan = FaultPlan::new(5).corrupt_task(0, fault);
+    let opts = ExecOptions {
+        nthreads: 2,
+        max_retries: 0,
+        plan: Some(plan),
+        integrity: IntegrityMode::Full,
+        ..Default::default()
+    };
+    match try_execute_with(&g, &mut a, &opts) {
+        Err(ExecError::SdcDetected { task: 0, attempts: 0, .. }) => {}
+        other => panic!("expected SdcDetected for task 0, got {other:?}"),
+    }
+}
+
+/// Detection and recompute instants flow into the Chrome trace and pass
+/// the SDC-specific validator.
+#[test]
+fn sdc_instants_appear_in_the_chrome_trace() {
+    let (mt, nt, b) = (5, 3, 3);
+    let g = TaskGraph::build(mt, nt, b, &binary_elims(mt, nt));
+    let n = g.tasks().len();
+    let mut a = TiledMatrix::random(mt, nt, b, 73);
+    let plan = FaultPlan::new(31).corrupt_random_tasks(n, 3);
+    let opts = ExecOptions {
+        nthreads: 3,
+        max_retries: 1,
+        plan: Some(plan),
+        integrity: IntegrityMode::Full,
+        ..Default::default()
+    };
+    let (_, stats, tr) = try_execute_traced(&g, &mut a, &opts).expect("recomputes");
+    assert_eq!(stats.sdc_detected, 3, "{stats:?}");
+    let json = chrome_trace_from_exec(&tr, g.tasks());
+    assert!(json.contains("sdc detected") && json.contains("sdc recomputed"), "{json}");
+    assert_eq!(validate_sdc_instants(&json), Ok((3, 3)));
 }

@@ -6,7 +6,7 @@ use hqr_runtime::{
     chrome_trace_from_exec, execute_parallel, execute_serial, realized_critical_path,
     resume_from_checkpoint, try_execute_checkpointed, try_execute_traced, try_execute_with,
     validate_chrome_trace, CheckpointPolicy, CheckpointSpec, ElimOp, ExecOptions, FaultPlan,
-    TaskGraph,
+    IntegrityMode, TaskGraph,
 };
 use hqr_tile::TiledMatrix;
 use proptest::prelude::*;
@@ -216,6 +216,70 @@ proptest! {
         let longest = tr.records.iter().map(|r| r.end - r.start).fold(0.0f64, f64::max);
         prop_assert!(cp.length >= longest - 1e-12, "CP dominates the longest task");
         prop_assert!(cp.length <= tr.wall + 1e-9, "CP within the wall clock");
+    }
+
+    /// Zero false positives: a fully guarded run with no injected
+    /// corruption over any random tree and thread count detects nothing
+    /// and matches the serial bits exactly.
+    #[test]
+    fn full_integrity_never_false_positives(
+        mt in 2usize..8, nt in 1usize..5, b in 1usize..5,
+        seed in any::<u64>(), threads in 2usize..5,
+    ) {
+        let elims = random_elims(mt, nt, seed);
+        let g = TaskGraph::build(mt, nt, b, &elims);
+        let mut a1 = TiledMatrix::random(mt, nt, b, seed ^ 0x9AD);
+        let mut a2 = a1.clone();
+        let f1 = execute_serial(&g, &mut a1);
+        let opts = ExecOptions {
+            nthreads: threads,
+            max_retries: 1,
+            integrity: IntegrityMode::Full,
+            ..Default::default()
+        };
+        let (f2, stats) = try_execute_with(&g, &mut a2, &opts).expect("clean run");
+        prop_assert_eq!(stats.sdc_injected, 0);
+        prop_assert_eq!(stats.sdc_detected, 0, "false positive: {:?}", stats);
+        let (d1, d2) = (a1.to_dense(), a2.to_dense());
+        prop_assert_eq!(d1.data(), d2.data());
+        prop_assert!(f2.bitwise_eq(&f1), "guarded clean run changed the factors");
+    }
+
+    /// 100% detection: any seeded set of single-bit-flip corruptions over
+    /// any random tree is detected and recomputed under full integrity,
+    /// and the result is bitwise-identical to the clean serial run — via
+    /// both the plain and the traced execution paths.
+    #[test]
+    fn injected_bitflips_always_detected_under_full_integrity(
+        mt in 2usize..8, nt in 1usize..5,
+        seed in any::<u64>(), strikes in 1usize..5, threads in 2usize..5,
+    ) {
+        let b = 3usize;
+        let elims = random_elims(mt, nt, seed);
+        let g = TaskGraph::build(mt, nt, b, &elims);
+        let n = g.tasks().len();
+        let a0 = TiledMatrix::random(mt, nt, b, seed ^ 0x51DC);
+        let (mut a1, mut a2, mut a3) = (a0.clone(), a0.clone(), a0);
+        let f1 = execute_serial(&g, &mut a1);
+        let plan = FaultPlan::new(seed).corrupt_random_tasks(n, strikes);
+        let planned = plan.planned_corruptions() as u32;
+        let opts = ExecOptions {
+            nthreads: threads,
+            max_retries: 1,
+            plan: Some(plan),
+            integrity: IntegrityMode::Full,
+            ..Default::default()
+        };
+        let (f2, stats) = try_execute_with(&g, &mut a2, &opts).expect("detect-recompute");
+        prop_assert_eq!(stats.sdc_injected, planned);
+        prop_assert_eq!(stats.sdc_detected, planned, "escaped strike: {:?}", stats);
+        prop_assert_eq!(stats.sdc_recomputed, planned);
+        let (d1, d2) = (a1.to_dense(), a2.to_dense());
+        prop_assert_eq!(d1.data(), d2.data());
+        prop_assert!(f2.bitwise_eq(&f1), "recomputed factors differ from clean factors");
+        let (f3, stats3, _) = try_execute_traced(&g, &mut a3, &opts).expect("traced recompute");
+        prop_assert_eq!(stats3.sdc_detected, planned);
+        prop_assert!(f3.bitwise_eq(&f1), "traced recompute changed the factors");
     }
 
     /// Any random tree produces the same R (up to diagonal signs) as the

@@ -26,6 +26,7 @@ pub mod des;
 pub mod fault;
 pub mod platform;
 pub mod scalapack;
+pub mod sdc;
 pub mod timeline;
 
 pub use checkpoint::{
@@ -38,4 +39,5 @@ pub use des::{
 };
 pub use fault::{FaultOverhead, LinkDegrade, NodeCrash, SimError, SimFaultPlan};
 pub use platform::{Accelerators, KernelRates, LinkModel, Platform};
+pub use sdc::{find_sdc_crossover, sdc_policy_sweep, SdcCostModel, SdcSweepPoint};
 pub use timeline::{SimInstant, SimInstantKind, SimSpan, SimTimeline, SimTransfer};

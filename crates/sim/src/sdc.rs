@@ -1,0 +1,290 @@
+//! Silent-data-corruption cost model and recovery-policy comparison.
+//!
+//! The runtime's guard layer (`hqr_runtime::integrity`) detects corrupted
+//! tiles at task granularity and recomputes the struck task from its
+//! rollback snapshot.  This module prices that *detect-recompute* policy
+//! against the two classical alternatives over a corruption-rate sweep:
+//!
+//! * **detect-recompute** — every task pays a verification tax `τ` (guard
+//!   reads/writes are O(b²) memory traffic against the kernels' O(b³)
+//!   flops), and each corruption costs one extra task execution:
+//!   `T·(1+τ)·(1+rate)`;
+//! * **checkpoint/restart** — no per-task guards; corruption is caught by
+//!   a residual check bundled with each periodic checkpoint, and a hit
+//!   rolls back to the last durable checkpoint.  Priced with the
+//!   Young/Daly interval for the corruption MTBF, first-order overhead
+//!   `T·C/τ* + k·(τ*/2 + R)`;
+//! * **unprotected-rerun** — run blind, verify the final residual once,
+//!   and rerun the whole factorization until a clean pass: expected
+//!   `(T + residual)/(1-p)` where `p` is the probability at least one
+//!   task was struck.
+//!
+//! The guard tax shrinks with tile size (surface-to-volume: O(b²) checksum
+//! traffic against O(b³) kernel flops), so detect-recompute wins sooner on
+//! the paper's large-tile configurations.
+
+use hqr_runtime::{IntegrityMode, TaskGraph};
+use hqr_tile::Layout;
+
+use crate::checkpoint::{young_daly_interval, CheckpointCostModel};
+use crate::des::{simulate, SchedPolicy};
+use crate::fault::SimError;
+use crate::platform::Platform;
+
+/// Cost parameters of the guard-based SDC defense.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SdcCostModel {
+    /// Sustained bytes/s one core streams while checksumming a tile
+    /// (guard refresh/verify is bandwidth-bound, not flop-bound).
+    pub guard_bandwidth: f64,
+    /// Wall-clock seconds of one end-of-run residual check
+    /// (‖A−QR‖ / ‖QᵀQ−I‖), paid by the non-guarded policies.
+    pub residual_check: f64,
+}
+
+impl Default for SdcCostModel {
+    /// ~4 GB/s streaming checksum per core, 50 ms per residual check.
+    fn default() -> Self {
+        SdcCostModel { guard_bandwidth: 4e9, residual_check: 0.05 }
+    }
+}
+
+impl SdcCostModel {
+    /// Guard passes one task pays under `mode`, in tile-buffer touches:
+    /// Spot refreshes and verifies the write set (2·w); Full adds the
+    /// pre-launch pass over the read set and write-set pre-images
+    /// (+ r + w).
+    pub fn guard_touches(mode: IntegrityMode, reads: usize, writes: usize) -> usize {
+        match mode {
+            IntegrityMode::Off => 0,
+            IntegrityMode::Spot => 2 * writes,
+            IntegrityMode::Full => 3 * writes + reads,
+        }
+    }
+
+    /// Seconds `touches` tile-buffer guard passes take on a `b × b` tile.
+    pub fn guard_seconds(&self, b: usize, touches: usize) -> f64 {
+        touches as f64 * Platform::tile_bytes(b) / self.guard_bandwidth
+    }
+
+    /// The verification tax `τ`: total guard seconds over total kernel
+    /// seconds for `graph` on `platform`.  Zero when `mode` is off;
+    /// shrinks as `b` grows (O(b²) checksum traffic vs O(b³) flops).
+    pub fn verification_tax(
+        &self,
+        graph: &TaskGraph,
+        platform: &Platform,
+        mode: IntegrityMode,
+    ) -> f64 {
+        let b = graph.b();
+        let mut guard = 0.0;
+        let mut work = 0.0;
+        for t in graph.tasks() {
+            let touches = Self::guard_touches(mode, t.reads().len(), t.writes().len());
+            guard += self.guard_seconds(b, touches);
+            work += platform.kernel_seconds(t.kind, b);
+        }
+        if work > 0.0 {
+            guard / work
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One point of the corruption-rate sweep: the three policies' expected
+/// makespans at a given per-task corruption probability.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SdcSweepPoint {
+    /// Per-task corruption probability.
+    pub rate: f64,
+    /// Expected corruption strikes over the whole run (`rate · n_tasks`).
+    pub expected_corruptions: f64,
+    /// Guard-verified execution with per-task recompute.
+    pub detect_recompute: f64,
+    /// Periodic checkpoint + residual check, rollback on a hit.
+    pub checkpoint_restart: f64,
+    /// Blind execution, full rerun until the final residual passes.
+    pub unprotected_rerun: f64,
+}
+
+/// Price the three SDC recovery policies across `rates` (per-task
+/// corruption probabilities in `[0, 1]`).  The fault-free makespan comes
+/// from the DES; the policy arms are analytic on top of it, so all three
+/// face the same baseline.
+#[allow(clippy::too_many_arguments)]
+pub fn sdc_policy_sweep(
+    graph: &TaskGraph,
+    layout: &Layout,
+    platform: &Platform,
+    policy: SchedPolicy,
+    mode: IntegrityMode,
+    model: &SdcCostModel,
+    ckpt: &CheckpointCostModel,
+    rates: &[f64],
+) -> Result<Vec<SdcSweepPoint>, SimError> {
+    if !(model.guard_bandwidth.is_finite() && model.guard_bandwidth > 0.0) {
+        return Err(SimError::Config {
+            message: format!("guard_bandwidth must be positive, got {}", model.guard_bandwidth),
+        });
+    }
+    if !(model.residual_check.is_finite() && model.residual_check >= 0.0) {
+        return Err(SimError::Config {
+            message: format!("residual_check must be >= 0, got {}", model.residual_check),
+        });
+    }
+    if let Some(&bad) = rates.iter().find(|r| !(r.is_finite() && (0.0..=1.0).contains(*r))) {
+        return Err(SimError::Config {
+            message: format!("corruption rate must be in [0, 1], got {bad}"),
+        });
+    }
+    let _ = policy; // the analytic arms share the DES baseline schedule
+    let t_base = simulate(graph, layout, platform).makespan;
+    let tau = model.verification_tax(graph, platform, mode);
+    let n = graph.tasks().len() as f64;
+    let cost =
+        ckpt.checkpoint_seconds(platform, graph.mt(), graph.nt(), graph.b()) + model.residual_check;
+
+    let mut points = Vec::with_capacity(rates.len());
+    for &rate in rates {
+        let k = rate * n;
+        let detect_recompute = t_base * (1.0 + tau) * (1.0 + rate);
+        let checkpoint_restart = if k > 0.0 {
+            let mtbf = t_base / k;
+            let interval = young_daly_interval(cost, mtbf).max(cost.max(1e-9));
+            t_base + t_base * cost / interval + k * (interval / 2.0 + ckpt.restart_overhead)
+        } else {
+            t_base + model.residual_check
+        };
+        // Probability a full pass finishes clean; floored so a certainty
+        // of corruption prices as "astronomical", not infinite.
+        let p_clean = (1.0 - rate).powf(n).max(1e-9);
+        let unprotected_rerun = (t_base + model.residual_check) / p_clean;
+        points.push(SdcSweepPoint {
+            rate,
+            expected_corruptions: k,
+            detect_recompute,
+            checkpoint_restart,
+            unprotected_rerun,
+        });
+    }
+    Ok(points)
+}
+
+/// First sweep point where guard-based detect-recompute beats
+/// checkpoint/restart, if any.  At rate 0 the guards pay their tax for
+/// nothing; as the rate grows the checkpoint arm's √-scaled I/O and
+/// rollback costs overtake the linear recompute cost.
+pub fn find_sdc_crossover(points: &[SdcSweepPoint]) -> Option<&SdcSweepPoint> {
+    points.iter().find(|p| p.rate > 0.0 && p.detect_recompute < p.checkpoint_restart)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hqr_runtime::ElimOp;
+    use hqr_tile::ProcessGrid;
+
+    fn flat_graph(mt: usize, nt: usize, b: usize) -> TaskGraph {
+        let elims: Vec<ElimOp> = (0..mt.min(nt))
+            .flat_map(|k| {
+                ((k + 1)..mt).map(move |i| ElimOp::new(k as u32, i as u32, k as u32, true))
+            })
+            .collect();
+        TaskGraph::build(mt, nt, b, &elims)
+    }
+
+    fn small_platform(nodes: usize) -> Platform {
+        Platform { nodes, cores_per_node: 2, ..Platform::edel() }
+    }
+
+    #[test]
+    fn verification_tax_orders_by_mode_and_shrinks_with_tile_size() {
+        let m = SdcCostModel::default();
+        let p = small_platform(4);
+        let g = flat_graph(6, 4, 64);
+        let off = m.verification_tax(&g, &p, IntegrityMode::Off);
+        let spot = m.verification_tax(&g, &p, IntegrityMode::Spot);
+        let full = m.verification_tax(&g, &p, IntegrityMode::Full);
+        assert_eq!(off, 0.0);
+        assert!(0.0 < spot && spot < full, "spot {spot} vs full {full}");
+        // Surface-to-volume: bigger tiles amortize the O(b²) guard work.
+        let g_big = flat_graph(6, 4, 256);
+        let full_big = m.verification_tax(&g_big, &p, IntegrityMode::Full);
+        assert!(full_big < full, "tax must shrink with b: {full_big} vs {full}");
+    }
+
+    #[test]
+    fn guard_touches_follow_the_read_write_sets() {
+        // GEQRT: w=3, r=0; TSMQR: w=2, r=2.
+        assert_eq!(SdcCostModel::guard_touches(IntegrityMode::Spot, 0, 3), 6);
+        assert_eq!(SdcCostModel::guard_touches(IntegrityMode::Full, 0, 3), 9);
+        assert_eq!(SdcCostModel::guard_touches(IntegrityMode::Spot, 2, 2), 4);
+        assert_eq!(SdcCostModel::guard_touches(IntegrityMode::Full, 2, 2), 8);
+        assert_eq!(SdcCostModel::guard_touches(IntegrityMode::Off, 2, 2), 0);
+    }
+
+    #[test]
+    fn sweep_is_well_formed_and_has_a_crossover() {
+        let g = flat_graph(8, 4, 128);
+        let p = small_platform(4);
+        let layout = Layout::Cyclic2D(ProcessGrid::new(2, 2));
+        let rates = [0.0, 1e-4, 1e-3, 1e-2, 0.05, 0.1];
+        let points = sdc_policy_sweep(
+            &g,
+            &layout,
+            &p,
+            SchedPolicy::PanelFirst,
+            IntegrityMode::Full,
+            &SdcCostModel::default(),
+            &CheckpointCostModel::default(),
+            &rates,
+        )
+        .unwrap();
+        assert_eq!(points.len(), rates.len());
+        let t_base = simulate(&g, &layout, &p).makespan;
+        // At rate 0 the guards pay their tax for nothing; the other arms
+        // only owe a residual check.
+        assert!(points[0].detect_recompute > t_base);
+        assert!(points[0].checkpoint_restart >= t_base);
+        assert_eq!(points[0].expected_corruptions, 0.0);
+        for w in points.windows(2) {
+            assert!(w[1].detect_recompute > w[0].detect_recompute);
+            assert!(w[1].unprotected_rerun >= w[0].unprotected_rerun);
+        }
+        // Somewhere in the sweep detect-recompute overtakes checkpointing.
+        let cross = find_sdc_crossover(&points).expect("crossover in 0..0.1");
+        assert!(cross.rate > 0.0);
+        assert!(cross.detect_recompute < cross.checkpoint_restart);
+        // Past the crossover, the blind policy is the worst of the three.
+        let last = points.last().unwrap();
+        assert!(last.unprotected_rerun > last.detect_recompute);
+        assert!(last.unprotected_rerun > last.checkpoint_restart);
+    }
+
+    #[test]
+    fn degenerate_model_and_rates_are_rejected() {
+        let g = flat_graph(4, 2, 64);
+        let p = small_platform(2);
+        let layout = Layout::Cyclic2D(ProcessGrid::new(2, 1));
+        let run = |model: &SdcCostModel, rates: &[f64]| {
+            sdc_policy_sweep(
+                &g,
+                &layout,
+                &p,
+                SchedPolicy::PanelFirst,
+                IntegrityMode::Full,
+                model,
+                &CheckpointCostModel::default(),
+                rates,
+            )
+        };
+        let bad = SdcCostModel { guard_bandwidth: 0.0, ..Default::default() };
+        assert!(matches!(run(&bad, &[0.0]), Err(SimError::Config { .. })));
+        let ok = SdcCostModel::default();
+        assert!(matches!(run(&ok, &[1.5]), Err(SimError::Config { .. })));
+        assert!(matches!(run(&ok, &[-0.1]), Err(SimError::Config { .. })));
+        assert!(matches!(run(&ok, &[f64::NAN]), Err(SimError::Config { .. })));
+        assert!(run(&ok, &[0.0, 0.5, 1.0]).is_ok());
+    }
+}

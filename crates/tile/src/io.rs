@@ -216,10 +216,19 @@ impl std::fmt::Display for BinFormatError {
 
 impl std::error::Error for BinFormatError {}
 
+/// FNV-1a 64-bit offset basis — the starting state for [`fnv1a64_update`].
+pub const FNV1A64_INIT: u64 = 0xcbf2_9ce4_8422_2325;
+
 /// FNV-1a 64-bit hash — the container's integrity checksum. Not
 /// cryptographic; it detects truncation and accidental corruption.
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    fnv1a64_update(FNV1A64_INIT, bytes)
+}
+
+/// Incremental form of [`fnv1a64`]: fold more bytes into a running hash
+/// seeded with [`FNV1A64_INIT`]. Chaining updates over chunks is identical
+/// to one [`fnv1a64`] call over their concatenation.
+pub fn fnv1a64_update(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
@@ -345,15 +354,20 @@ impl SectionReader {
                 });
             }
             let tag = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap());
-            let len = u64::from_le_bytes(buf[off + 4..off + 12].try_into().unwrap()) as usize;
+            let len64 = u64::from_le_bytes(buf[off + 4..off + 12].try_into().unwrap());
             let start = off + 12;
-            if body_end - start < len {
+            // Validate the 64-bit length field against the remaining body
+            // *before* narrowing it to usize: a corrupt length must fail
+            // typed here, never wrap on 32-bit targets or drive a huge
+            // downstream allocation.
+            if len64 > (body_end - start) as u64 {
                 return Err(BinFormatError::Truncated {
                     offset: start,
-                    needed: len,
+                    needed: usize::try_from(len64).unwrap_or(usize::MAX),
                     available: body_end - start,
                 });
             }
+            let len = len64 as usize;
             sections.push((tag, start..start + len));
             off = start + len;
         }
@@ -441,11 +455,23 @@ pub fn tiled_from_bytes(tag: u32, bytes: &[u8]) -> Result<TiledMatrix, BinFormat
         return Err(bad(format!("header needs 24 bytes, got {}", bytes.len())));
     }
     let dims = u64s_of_bytes(tag, &bytes[..24])?;
+    if dims.iter().any(|&d| d > usize::MAX as u64) {
+        return Err(bad(format!("dimension field overflows usize: {dims:?}")));
+    }
     let (mt, nt, b) = (dims[0] as usize, dims[1] as usize, dims[2] as usize);
     if mt == 0 || nt == 0 || b == 0 {
         return Err(bad(format!("degenerate tiled shape {mt}x{nt} tiles of {b}")));
     }
-    let expect = 24 + mt * nt * b * b * 8;
+    // Checked arithmetic: corrupt dimension fields must fail typed before
+    // `TiledMatrix::zeros` sees them — an overflowed `expect` could
+    // otherwise match `bytes.len()` and drive a huge allocation.
+    let expect = mt
+        .checked_mul(nt)
+        .and_then(|x| x.checked_mul(b))
+        .and_then(|x| x.checked_mul(b))
+        .and_then(|x| x.checked_mul(8))
+        .and_then(|x| x.checked_add(24))
+        .ok_or_else(|| bad(format!("tiled shape {mt}x{nt} tiles of {b} overflows")))?;
     if bytes.len() != expect {
         return Err(bad(format!(
             "{mt}x{nt} tiles of {b} need {expect} bytes, got {}",
@@ -618,6 +644,36 @@ mod tests {
         assert_eq!(back.nt(), 2);
         assert_eq!(back.b(), 4);
         assert_eq!(back.to_dense().data(), m.to_dense().data());
+    }
+
+    #[test]
+    fn corrupt_section_length_is_typed_not_allocated() {
+        // Hand-build a container whose section length field claims more
+        // bytes than the file holds, with a *valid* trailing checksum so
+        // the corruption survives to the framing check. The reader must
+        // fail typed on the length field, not allocate or wrap.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes()); // tag
+        buf.extend_from_slice(&u64::MAX.to_le_bytes()); // bogus length
+        let sum = fnv1a64(&buf);
+        buf.extend_from_slice(&sum.to_le_bytes());
+        match SectionReader::from_bytes(buf, MAGIC, 1) {
+            Err(BinFormatError::Truncated { available: 0, .. }) => {}
+            Err(other) => panic!("expected typed truncation, got {other:?}"),
+            Ok(_) => panic!("corrupt length field must not parse"),
+        }
+    }
+
+    #[test]
+    fn overflowing_tile_dims_fail_typed_before_allocating() {
+        // Dimension fields whose byte-count product wraps must be
+        // rejected before TiledMatrix::zeros can see them.
+        let huge = bytes_of_u64s(&[1u64 << 62, 4, 1]);
+        assert!(matches!(tiled_from_bytes(7, &huge), Err(BinFormatError::BadSection { .. })));
+        let wide = bytes_of_u64s(&[u64::MAX, 2, 2]);
+        assert!(matches!(tiled_from_bytes(7, &wide), Err(BinFormatError::BadSection { .. })));
     }
 
     #[test]
