@@ -69,6 +69,37 @@ USAGE:
       run either backend with timeline recording, write a Chrome Trace
       Format JSON (open at https://ui.perfetto.dev), and print a summary
       (utilization, steal counts, top realized-critical-path tasks)
+  hqr serve    [--socket PATH --queue FILE --threads T --mem-budget-mb MB
+                --queue-cap N --max-active N --grace-ms MS --resume]
+      run the multi-job factorization service on a local Unix socket:
+      one shared work-stealing pool multiplexes every accepted job, with
+      admission control (memory budget), bounded-queue backpressure
+      (lowest-QoS shedding), per-job deadlines/retries, and graceful
+      drain on SIGTERM (suspend in-flight work at a quiescent point and
+      persist the queue; restart with --resume to finish it)
+  hqr submit   [--socket PATH --rows R --cols C --tile B --grid PxQ
+                --low TREE --high TREE --domino --a A --ib IB --seed S
+                --qos batch|normal|interactive --policy POLICY
+                --integrity off|spot|full --retries N --job-retries N
+                --deadline-ms MS --tag NAME --inject-fail TASK:ATTEMPTS
+                --wait]
+      submit one factorization job to a running daemon; --wait polls
+      until the job reaches a terminal state (exit 0 iff completed)
+  hqr jobs     [--socket PATH]
+      list every job the daemon knows about
+  hqr cancel   [--socket PATH --id JOB]
+      cancel a queued or running job
+  hqr drain    [--socket PATH --grace-ms MS]
+      gracefully drain the daemon: finish or suspend in-flight jobs,
+      persist the queue, exit
+  hqr ping     [--socket PATH]
+      liveness check against a running daemon
+  hqr admission [--servers C --queue-cap Q --mean-service S --jobs N
+                --seed S --rate-min R --rate-max R --points K]
+      price the service's admission arms (bounded-queue backpressure vs
+      QoS shedding vs oversubscribed degradation) with a Poisson-arrival
+      simulation swept across arrival rates; reports p50/p99 latency,
+      the interactive-class p99, and loss rates per arm
   hqr schedule [--rows MT --cols NT --tree TREE --panels P]
       print the coarse-grain unit-time schedule (Tables I-IV)
   hqr trees    [--size Z]
@@ -1188,6 +1219,84 @@ pub fn dot(args: &Args) -> i32 {
             2
         }
     }
+}
+
+/// `hqr admission`: sweep the service's admission arms across arrival
+/// rates and report where each one saturates.
+pub fn admission(args: &Args) -> i32 {
+    use hqr_sim::{saturation_sweep, AdmissionConfig, AdmissionPolicy};
+    let base = AdmissionConfig {
+        servers: args.usize_or("servers", 4),
+        queue_cap: args.usize_or("queue-cap", 16),
+        mean_service: args.f64_or("mean-service", 2.0),
+        jobs: args.usize_or("jobs", 5_000),
+        seed: args.usize_or("seed", 42) as u64,
+        ..AdmissionConfig::default()
+    };
+    if let Some(code) = require_positive(&[("servers", base.servers), ("jobs", base.jobs)]) {
+        return code;
+    }
+    let rate_min = args.f64_or("rate-min", 0.25);
+    let rate_max = args.f64_or("rate-max", 4.0);
+    let points = args.usize_or("points", 7);
+    if let Some(code) = require_positive_f64(&[
+        ("mean-service", base.mean_service),
+        ("rate-min", rate_min),
+        ("rate-max", rate_max),
+    ]) {
+        return code;
+    }
+    if points < 2 || rate_max <= rate_min {
+        eprintln!("--points must be >= 2 and --rate-max > --rate-min");
+        return 2;
+    }
+    // Geometric ramp: equal multiplicative steps resolve both the flat
+    // region and the post-knee blow-up.
+    let ratio = (rate_max / rate_min).powf(1.0 / (points - 1) as f64);
+    let rates: Vec<f64> = (0..points).map(|i| rate_min * ratio.powi(i as i32)).collect();
+    println!(
+        "admission sweep: {} servers, queue cap {}, mean service {:.2}s, {} arrivals/point",
+        base.servers, base.queue_cap, base.mean_service, base.jobs
+    );
+    println!(
+        "{:>7} {:>6}  {:<8} {:>9} {:>9} {:>9} {:>8} {:>8} {:>8}",
+        "rate/s", "rho", "arm", "p50(s)", "p99(s)", "p99i(s)", "done", "shed", "refused"
+    );
+    let sweep = saturation_sweep(&base, &rates);
+    for point in &sweep {
+        for report in &point.arms {
+            println!(
+                "{:>7.3} {:>6.2}  {:<8} {:>9.3} {:>9.3} {:>9.3} {:>8} {:>8} {:>8}",
+                point.rate,
+                report.rho,
+                report.policy.name(),
+                report.p50,
+                report.p99,
+                report.p99_interactive,
+                report.completed,
+                report.shed,
+                report.rejected
+            );
+        }
+    }
+    // Report each arm's knee: the first rate where it loses jobs or its
+    // p99 exceeds 10x the unloaded service demand.
+    for (a, policy) in AdmissionPolicy::ALL.iter().enumerate() {
+        let knee = sweep.iter().find(|p| {
+            let r = &p.arms[a];
+            r.shed + r.rejected > 0 || r.p99 > 10.0 * base.mean_service
+        });
+        match knee {
+            Some(p) => println!(
+                "{:<8} saturates near {:.3} arrivals/s (rho {:.2})",
+                policy.name(),
+                p.rate,
+                p.arms[a].rho
+            ),
+            None => println!("{:<8} never saturates in this sweep", policy.name()),
+        }
+    }
+    0
 }
 
 #[cfg(test)]

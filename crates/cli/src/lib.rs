@@ -3,6 +3,9 @@
 
 pub mod args;
 pub mod commands;
+pub mod proto;
+#[cfg(unix)]
+pub mod service;
 
 pub use args::Args;
 
@@ -18,7 +21,20 @@ pub fn run(argv: &[String]) -> i32 {
         Some("trace") => commands::trace(&Args::parse(&argv[1..])),
         Some("schedule") => commands::schedule(&Args::parse(&argv[1..])),
         Some("trees") => commands::trees(&Args::parse(&argv[1..])),
+        #[cfg(unix)]
+        Some("serve") => service::serve(&Args::parse(&argv[1..])),
+        #[cfg(unix)]
+        Some("submit") => service::submit(&Args::parse(&argv[1..])),
+        #[cfg(unix)]
+        Some("jobs") => service::jobs(&Args::parse(&argv[1..])),
+        #[cfg(unix)]
+        Some("cancel") => service::cancel(&Args::parse(&argv[1..])),
+        #[cfg(unix)]
+        Some("drain") => service::drain(&Args::parse(&argv[1..])),
+        #[cfg(unix)]
+        Some("ping") => service::ping(&Args::parse(&argv[1..])),
         Some("dot") => commands::dot(&Args::parse(&argv[1..])),
+        Some("admission") => commands::admission(&Args::parse(&argv[1..])),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", commands::USAGE);
             0

@@ -1,0 +1,548 @@
+//! Wire protocol for the `hqr serve` daemon.
+//!
+//! Transport: a local Unix-domain stream socket carrying length-prefixed
+//! frames — a u64 little-endian payload length followed by that many bytes.
+//! Each payload is a [`hqr_tile::io`] section container (the same sectioned
+//! binary format used by checkpoints and the persisted submission queue),
+//! so the protocol inherits the container's magic/version handshake and
+//! tolerates unknown trailing sections for forward compatibility.
+//!
+//! One request frame yields exactly one response frame. Connections may
+//! pipeline multiple request/response exchanges; either side closing the
+//! stream between frames is a clean end of conversation.
+
+use hqr_runtime::{JobSpec, JobState, QosClass};
+use hqr_tile::io::{bytes_of_u64s, u64s_of_bytes, SectionReader, SectionWriter};
+use std::io::{self, Read, Write};
+
+/// Magic bytes identifying a protocol frame payload.
+pub const PROTO_MAGIC: [u8; 8] = *b"HQRPROT\0";
+/// Protocol version; bumped on incompatible changes.
+pub const PROTO_VERSION: u32 = 1;
+/// Upper bound on a single frame payload (defends the daemon against a
+/// corrupt or hostile length prefix). Large enough for a submission
+/// carrying a multi-gigabyte-free tiled matrix is *not* the goal — jobs
+/// beyond this belong in files, not sockets.
+pub const MAX_FRAME: u64 = 1 << 28; // 256 MiB
+
+// Section tags.
+const TAG_KIND: u32 = 1; // u64 discriminant
+const TAG_WORDS: u32 = 2; // small fixed u64 payloads (ids, counts, codes)
+const TAG_TEXT: u32 = 3; // UTF-8 text (tags, error messages)
+const TAG_SPEC: u32 = 4; // embedded JobSpec container
+const TAG_PLAN: u32 = 5; // fault-injection plan words
+const TAG_IDS: u32 = 6; // u64 id lists (drain report)
+/// Per-job sections in a `Jobs` response start here; stride 4.
+const TAG_JOB_BASE: u32 = 16;
+const JOB_STRIDE: u32 = 4;
+
+// Request discriminants.
+const K_PING: u64 = 1;
+const K_SUBMIT: u64 = 2;
+const K_JOBS: u64 = 3;
+const K_CANCEL: u64 = 4;
+const K_DRAIN: u64 = 5;
+// Response discriminants.
+const K_PONG: u64 = 101;
+const K_SUBMITTED: u64 = 102;
+const K_JOB_LIST: u64 = 103;
+const K_CANCELLED: u64 = 104;
+const K_DRAINED: u64 = 105;
+const K_ERROR: u64 = 106;
+
+/// A decoding failure: the peer sent bytes we do not understand.
+#[derive(Debug)]
+pub struct ProtoError(pub String);
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+fn bad<T>(msg: impl Into<String>) -> Result<T, ProtoError> {
+    Err(ProtoError(msg.into()))
+}
+
+/// Deterministic fault-injection policy carried alongside a submission:
+/// seed plus `(task, attempts)` pairs that panic that task for its first
+/// N attempts. Only engine-recoverable injections are expressible on the
+/// wire — worker poisoning and completion loss stay test-only, matching
+/// the pool's own submission-time rejection of unrecoverable plans.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WirePlan {
+    /// Seed for the plan (reserved for future randomized modes).
+    pub seed: u64,
+    /// `(task id, failing attempts)` pairs.
+    pub fail: Vec<(u32, u32)>,
+}
+
+impl WirePlan {
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.fail.is_empty()
+    }
+
+    fn words(&self) -> Vec<u64> {
+        let mut w = vec![self.seed, self.fail.len() as u64];
+        for &(task, attempts) in &self.fail {
+            w.push(task as u64);
+            w.push(attempts as u64);
+        }
+        w
+    }
+
+    fn of_words(words: &[u64]) -> Result<WirePlan, ProtoError> {
+        if words.len() < 2 {
+            return bad("plan section too short");
+        }
+        let n = words[1] as usize;
+        if words.len() != 2 + 2 * n {
+            return bad("plan section length mismatch");
+        }
+        let fail = (0..n).map(|i| (words[2 + 2 * i] as u32, words[3 + 2 * i] as u32)).collect();
+        Ok(WirePlan { seed: words[0], fail })
+    }
+}
+
+/// A client request.
+#[derive(Debug)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// Submit a job: the encoded [`JobSpec`] plus an optional injection
+    /// plan (specs do not serialize plans themselves).
+    Submit { spec: Box<JobSpec>, plan: WirePlan },
+    /// List all jobs the daemon knows about.
+    Jobs,
+    /// Cancel one job by id.
+    Cancel(u64),
+    /// Gracefully drain: stop admitting, give in-flight jobs `grace_ms`,
+    /// suspend the rest, persist the queue, then exit.
+    Drain { grace_ms: u64 },
+}
+
+impl Request {
+    /// Encode into a frame payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = SectionWriter::new(PROTO_MAGIC, PROTO_VERSION);
+        match self {
+            Request::Ping => {
+                w.section(TAG_KIND, &bytes_of_u64s(&[K_PING]));
+            }
+            Request::Submit { spec, plan } => {
+                w.section(TAG_KIND, &bytes_of_u64s(&[K_SUBMIT]));
+                w.section(TAG_SPEC, &spec.to_bytes());
+                if !plan.is_empty() {
+                    w.section(TAG_PLAN, &bytes_of_u64s(&plan.words()));
+                }
+            }
+            Request::Jobs => {
+                w.section(TAG_KIND, &bytes_of_u64s(&[K_JOBS]));
+            }
+            Request::Cancel(id) => {
+                w.section(TAG_KIND, &bytes_of_u64s(&[K_CANCEL]));
+                w.section(TAG_WORDS, &bytes_of_u64s(&[*id]));
+            }
+            Request::Drain { grace_ms } => {
+                w.section(TAG_KIND, &bytes_of_u64s(&[K_DRAIN]));
+                w.section(TAG_WORDS, &bytes_of_u64s(&[*grace_ms]));
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decode a frame payload.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Request, ProtoError> {
+        let r = reader(bytes)?;
+        match kind(&r)? {
+            K_PING => Ok(Request::Ping),
+            K_SUBMIT => {
+                let raw = r.require(TAG_SPEC).map_err(|e| ProtoError(e.to_string()))?;
+                let spec = JobSpec::from_bytes(raw.to_vec())
+                    .map_err(|e| ProtoError(format!("bad job spec: {e}")))?;
+                let plan = match r.section(TAG_PLAN) {
+                    None => WirePlan::default(),
+                    Some(raw) => WirePlan::of_words(
+                        &u64s_of_bytes(TAG_PLAN, raw).map_err(|e| ProtoError(e.to_string()))?,
+                    )?,
+                };
+                Ok(Request::Submit { spec: Box::new(spec), plan })
+            }
+            K_JOBS => Ok(Request::Jobs),
+            K_CANCEL => Ok(Request::Cancel(words1(&r)?)),
+            K_DRAIN => Ok(Request::Drain { grace_ms: words1(&r)? }),
+            other => bad(format!("unknown request kind {other}")),
+        }
+    }
+}
+
+/// One job's status row in a [`Response::JobList`] — [`hqr_runtime::JobView`]
+/// flattened into wire-friendly fields.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireJob {
+    /// Job id.
+    pub id: u64,
+    /// Caller-supplied label.
+    pub tag: String,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Quality-of-service class.
+    pub qos: QosClass,
+    /// Activation attempts so far.
+    pub attempts: u32,
+    /// Tasks retired / total tasks.
+    pub tasks_done: u64,
+    /// Total tasks in the job's DAG.
+    pub tasks_total: u64,
+    /// Failure description, if the job failed.
+    pub error: Option<String>,
+    /// Wall-clock milliseconds if the job reached a terminal state.
+    pub wall_ms: Option<u64>,
+}
+
+/// A daemon response.
+#[derive(Debug)]
+pub enum Response {
+    /// The daemon is alive; carries the number of non-terminal jobs.
+    Pong { live_jobs: u64 },
+    /// Submission accepted under this id.
+    Submitted(u64),
+    /// All jobs, newest last.
+    JobList(Vec<WireJob>),
+    /// Cancellation outcome: true if the job existed and was cancellable.
+    Cancelled(bool),
+    /// Drain finished: counts mirror [`hqr_runtime::DrainReport`].
+    Drained { finished: u64, suspended: Vec<u64>, persisted: u64 },
+    /// The request failed. `code` classifies submission rejections
+    /// (1 invalid, 2 over budget, 3 queue full, 4 draining, 0 other).
+    Error { code: u64, message: String },
+}
+
+impl Response {
+    /// Encode into a frame payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = SectionWriter::new(PROTO_MAGIC, PROTO_VERSION);
+        match self {
+            Response::Pong { live_jobs } => {
+                w.section(TAG_KIND, &bytes_of_u64s(&[K_PONG]));
+                w.section(TAG_WORDS, &bytes_of_u64s(&[*live_jobs]));
+            }
+            Response::Submitted(id) => {
+                w.section(TAG_KIND, &bytes_of_u64s(&[K_SUBMITTED]));
+                w.section(TAG_WORDS, &bytes_of_u64s(&[*id]));
+            }
+            Response::JobList(jobs) => {
+                w.section(TAG_KIND, &bytes_of_u64s(&[K_JOB_LIST]));
+                w.section(TAG_WORDS, &bytes_of_u64s(&[jobs.len() as u64]));
+                for (i, j) in jobs.iter().enumerate() {
+                    let base = TAG_JOB_BASE + i as u32 * JOB_STRIDE;
+                    let meta = [
+                        j.id,
+                        state_word(j.state),
+                        qos_word(j.qos),
+                        j.attempts as u64,
+                        j.tasks_done,
+                        j.tasks_total,
+                        j.wall_ms.unwrap_or(u64::MAX),
+                    ];
+                    w.section(base, &bytes_of_u64s(&meta));
+                    w.section(base + 1, j.tag.as_bytes());
+                    if let Some(e) = &j.error {
+                        w.section(base + 2, e.as_bytes());
+                    }
+                }
+            }
+            Response::Cancelled(ok) => {
+                w.section(TAG_KIND, &bytes_of_u64s(&[K_CANCELLED]));
+                w.section(TAG_WORDS, &bytes_of_u64s(&[*ok as u64]));
+            }
+            Response::Drained { finished, suspended, persisted } => {
+                w.section(TAG_KIND, &bytes_of_u64s(&[K_DRAINED]));
+                w.section(TAG_WORDS, &bytes_of_u64s(&[*finished, *persisted]));
+                w.section(TAG_IDS, &bytes_of_u64s(suspended));
+            }
+            Response::Error { code, message } => {
+                w.section(TAG_KIND, &bytes_of_u64s(&[K_ERROR]));
+                w.section(TAG_WORDS, &bytes_of_u64s(&[*code]));
+                w.section(TAG_TEXT, message.as_bytes());
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decode a frame payload.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Response, ProtoError> {
+        let r = reader(bytes)?;
+        match kind(&r)? {
+            K_PONG => Ok(Response::Pong { live_jobs: words1(&r)? }),
+            K_SUBMITTED => Ok(Response::Submitted(words1(&r)?)),
+            K_JOB_LIST => {
+                let n = words1(&r)? as usize;
+                let mut jobs = Vec::with_capacity(n);
+                for i in 0..n {
+                    let base = TAG_JOB_BASE + i as u32 * JOB_STRIDE;
+                    let raw = r.require(base).map_err(|e| ProtoError(e.to_string()))?;
+                    let m = u64s_of_bytes(base, raw).map_err(|e| ProtoError(e.to_string()))?;
+                    if m.len() != 7 {
+                        return bad(format!("job {i}: meta has {} words, want 7", m.len()));
+                    }
+                    let tag = text(&r, base + 1)?.unwrap_or_default();
+                    jobs.push(WireJob {
+                        id: m[0],
+                        state: state_of_word(m[1])?,
+                        qos: qos_of_word(m[2])?,
+                        attempts: m[3] as u32,
+                        tasks_done: m[4],
+                        tasks_total: m[5],
+                        error: text(&r, base + 2)?,
+                        wall_ms: (m[6] != u64::MAX).then_some(m[6]),
+                        tag,
+                    });
+                }
+                Ok(Response::JobList(jobs))
+            }
+            K_CANCELLED => Ok(Response::Cancelled(words1(&r)? != 0)),
+            K_DRAINED => {
+                let w = wordsn(&r, 2)?;
+                let raw = r.require(TAG_IDS).map_err(|e| ProtoError(e.to_string()))?;
+                let suspended =
+                    u64s_of_bytes(TAG_IDS, raw).map_err(|e| ProtoError(e.to_string()))?;
+                Ok(Response::Drained { finished: w[0], suspended, persisted: w[1] })
+            }
+            K_ERROR => Ok(Response::Error {
+                code: words1(&r)?,
+                message: text(&r, TAG_TEXT)?.unwrap_or_default(),
+            }),
+            other => bad(format!("unknown response kind {other}")),
+        }
+    }
+}
+
+fn reader(bytes: Vec<u8>) -> Result<SectionReader, ProtoError> {
+    SectionReader::from_bytes(bytes, PROTO_MAGIC, PROTO_VERSION)
+        .map_err(|e| ProtoError(e.to_string()))
+}
+
+fn kind(r: &SectionReader) -> Result<u64, ProtoError> {
+    let raw = r.require(TAG_KIND).map_err(|e| ProtoError(e.to_string()))?;
+    let words = u64s_of_bytes(TAG_KIND, raw).map_err(|e| ProtoError(e.to_string()))?;
+    match words.as_slice() {
+        [k] => Ok(*k),
+        _ => bad("kind section must hold exactly one word"),
+    }
+}
+
+fn wordsn(r: &SectionReader, n: usize) -> Result<Vec<u64>, ProtoError> {
+    let raw = r.require(TAG_WORDS).map_err(|e| ProtoError(e.to_string()))?;
+    let words = u64s_of_bytes(TAG_WORDS, raw).map_err(|e| ProtoError(e.to_string()))?;
+    if words.len() != n {
+        return bad(format!("words section has {} entries, want {n}", words.len()));
+    }
+    Ok(words)
+}
+
+fn words1(r: &SectionReader) -> Result<u64, ProtoError> {
+    Ok(wordsn(r, 1)?[0])
+}
+
+fn text(r: &SectionReader, tag: u32) -> Result<Option<String>, ProtoError> {
+    match r.section(tag) {
+        None => Ok(None),
+        Some(raw) => match String::from_utf8(raw.to_vec()) {
+            Ok(s) => Ok(Some(s)),
+            Err(_) => bad(format!("section {tag} is not UTF-8")),
+        },
+    }
+}
+
+fn state_word(s: JobState) -> u64 {
+    match s {
+        JobState::Queued => 0,
+        JobState::Running => 1,
+        JobState::Completed => 2,
+        JobState::Backoff => 3,
+        JobState::Cancelled => 4,
+        JobState::Shed => 5,
+        JobState::Quarantined => 6,
+        JobState::Suspended => 7,
+    }
+}
+
+fn state_of_word(w: u64) -> Result<JobState, ProtoError> {
+    Ok(match w {
+        0 => JobState::Queued,
+        1 => JobState::Running,
+        2 => JobState::Completed,
+        3 => JobState::Backoff,
+        4 => JobState::Cancelled,
+        5 => JobState::Shed,
+        6 => JobState::Quarantined,
+        7 => JobState::Suspended,
+        other => return bad(format!("unknown job state word {other}")),
+    })
+}
+
+fn qos_word(q: QosClass) -> u64 {
+    match q {
+        QosClass::Batch => 0,
+        QosClass::Normal => 1,
+        QosClass::Interactive => 2,
+    }
+}
+
+fn qos_of_word(w: u64) -> Result<QosClass, ProtoError> {
+    Ok(match w {
+        0 => QosClass::Batch,
+        1 => QosClass::Normal,
+        2 => QosClass::Interactive,
+        other => return bad(format!("unknown qos word {other}")),
+    })
+}
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = payload.len() as u64;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one length-prefixed frame. Returns `Ok(None)` on a clean EOF at a
+/// frame boundary (the peer hung up between exchanges); a truncated frame
+/// is an error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 8];
+    let mut got = 0;
+    while got < len.len() {
+        match r.read(&mut len[got..])? {
+            0 if got == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid length prefix",
+                ))
+            }
+            n => got += n,
+        }
+    }
+    let len = u64::from_le_bytes(len);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("peer announced a {len}-byte frame; cap is {MAX_FRAME}"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hqr_runtime::ElimOp;
+    use hqr_tile::TiledMatrix;
+    use std::time::Duration;
+
+    #[test]
+    fn request_roundtrips() {
+        let cases =
+            [Request::Ping, Request::Jobs, Request::Cancel(42), Request::Drain { grace_ms: 1500 }];
+        for req in cases {
+            let back = Request::from_bytes(req.to_bytes()).expect("decode");
+            assert_eq!(format!("{req:?}"), format!("{back:?}"));
+        }
+    }
+
+    #[test]
+    fn submit_roundtrips_spec_and_plan() {
+        let elims = vec![ElimOp::new(0, 1, 0, true)];
+        let mut spec = JobSpec::fresh(elims, TiledMatrix::random(2, 1, 4, 7));
+        spec.qos = QosClass::Interactive;
+        spec.deadline = Some(Duration::from_millis(250));
+        spec.tag = "tenant-a".into();
+        let plan = WirePlan { seed: 9, fail: vec![(0, 2), (3, 1)] };
+        let req = Request::Submit { spec: Box::new(spec), plan: plan.clone() };
+        let bytes = req.to_bytes();
+        match Request::from_bytes(bytes).expect("decode") {
+            Request::Submit { spec, plan: p } => {
+                assert_eq!(spec.tag, "tenant-a");
+                assert_eq!(spec.qos, QosClass::Interactive);
+                assert_eq!(spec.deadline, Some(Duration::from_millis(250)));
+                assert_eq!(p, plan);
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let jobs = vec![
+            WireJob {
+                id: 1,
+                tag: "a".into(),
+                state: JobState::Completed,
+                qos: QosClass::Normal,
+                attempts: 1,
+                tasks_done: 6,
+                tasks_total: 6,
+                error: None,
+                wall_ms: Some(12),
+            },
+            WireJob {
+                id: 2,
+                tag: String::new(),
+                state: JobState::Quarantined,
+                qos: QosClass::Batch,
+                attempts: 3,
+                tasks_done: 2,
+                tasks_total: 6,
+                error: Some("deadline exceeded".into()),
+                wall_ms: None,
+            },
+        ];
+        let cases = [
+            Response::Pong { live_jobs: 3 },
+            Response::Submitted(17),
+            Response::JobList(jobs),
+            Response::Cancelled(true),
+            Response::Drained { finished: 2, suspended: vec![4, 5], persisted: 3 },
+            Response::Error { code: 2, message: "over budget".into() },
+        ];
+        for resp in cases {
+            let back = Response::from_bytes(resp.to_bytes()).expect("decode");
+            assert_eq!(format!("{resp:?}"), format!("{back:?}"));
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_and_reject_oversize() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cur = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cur).unwrap().as_deref(), Some(&b"hello"[..]));
+        assert_eq!(read_frame(&mut cur).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut cur).unwrap(), None);
+
+        let mut lying = Vec::new();
+        lying.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        let err = read_frame(&mut std::io::Cursor::new(lying)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn garbage_is_a_typed_error() {
+        assert!(Request::from_bytes(vec![0; 32]).is_err());
+        assert!(Response::from_bytes(b"HQRPROT\0junkjunkjunk".to_vec()).is_err());
+    }
+}

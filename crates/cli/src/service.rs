@@ -1,0 +1,541 @@
+//! The `hqr serve` daemon and its client subcommands.
+//!
+//! `serve` binds a local Unix-domain socket, multiplexes every accepted
+//! submission onto one shared [`JobPool`], and answers the framed requests
+//! defined in [`crate::proto`]. The robustness contract (see `DESIGN.md`,
+//! "Service architecture"):
+//!
+//! * admission control — submissions whose working set exceeds the memory
+//!   budget are rejected with a typed error before any allocation;
+//! * backpressure — a bounded queue; when full, a new arrival either sheds
+//!   a strictly lower-QoS queued job or is refused;
+//! * graceful drain — on SIGTERM (or a `drain` request) the daemon stops
+//!   admitting, gives in-flight jobs a grace period, suspends the rest at
+//!   a quiescent point, persists the queue, and exits 0. `serve --resume`
+//!   reloads that queue, so accepted jobs survive daemon restarts.
+//!
+//! A client failure never takes the daemon down: every connection runs in
+//! its own thread and protocol or I/O errors only end that conversation.
+
+use crate::args::Args;
+use crate::proto::{read_frame, write_frame, ProtoError, Request, Response, WireJob, WirePlan};
+use hqr::baselines;
+use hqr::prelude::*;
+use hqr_runtime::{
+    load_queue, DrainReport, FaultPlan, IntegrityMode, JobPool, JobSpec, JobState, PoolConfig,
+    QosClass, SubmitError,
+};
+use hqr_tile::{ProcessGrid, TiledMatrix};
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Set by the SIGTERM/SIGINT handler; the accept loop polls it.
+static STOP: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" fn on_signal(_signum: i32) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    // SIGTERM = 15, SIGINT = 2 on every platform we build the daemon for.
+    unsafe {
+        signal(15, on_signal as extern "C" fn(i32) as usize);
+        signal(2, on_signal as extern "C" fn(i32) as usize);
+    }
+}
+
+/// Everything a connection thread needs, shared behind an `Arc`.
+struct Service {
+    pool: JobPool,
+    queue_path: PathBuf,
+    grace: Duration,
+    /// First drain wins; later requests (or the SIGTERM path) reuse the
+    /// stored report instead of draining twice.
+    drained: Mutex<Option<DrainReport>>,
+    exit: AtomicBool,
+}
+
+fn default_socket() -> PathBuf {
+    std::env::temp_dir().join("hqr.sock")
+}
+
+fn socket_of(args: &Args) -> PathBuf {
+    args.get("socket").map(PathBuf::from).unwrap_or_else(default_socket)
+}
+
+fn queue_path_of(args: &Args, socket: &Path) -> PathBuf {
+    match args.get("queue") {
+        Some(p) => PathBuf::from(p),
+        None => socket.with_extension("queue"),
+    }
+}
+
+/// `hqr serve`: run the factorization service until SIGTERM or `hqr drain`.
+pub fn serve(args: &Args) -> i32 {
+    let socket = socket_of(args);
+    let queue_path = queue_path_of(args, &socket);
+    let threads = args.usize_or("threads", 4);
+    if threads == 0 {
+        eprintln!("--threads must be positive");
+        return 2;
+    }
+    let budget_mb = args.usize_or("mem-budget-mb", 0) as u64;
+    let cfg = PoolConfig {
+        nthreads: threads,
+        mem_budget: if budget_mb == 0 { u64::MAX } else { budget_mb << 20 },
+        queue_cap: args.usize_or("queue-cap", 64),
+        max_active: args.usize_or("max-active", 0),
+        ..PoolConfig::default()
+    };
+    let svc = Arc::new(Service {
+        pool: JobPool::new(cfg),
+        queue_path: queue_path.clone(),
+        grace: Duration::from_millis(args.usize_or("grace-ms", 2000) as u64),
+        drained: Mutex::new(None),
+        exit: AtomicBool::new(false),
+    });
+
+    if args.flag("resume") {
+        match load_queue(&queue_path) {
+            Ok(entries) => {
+                let n = entries.len();
+                let mut accepted = 0usize;
+                for entry in entries {
+                    match svc.pool.submit(entry.spec) {
+                        Ok(_) => accepted += 1,
+                        Err(e) => eprintln!("resume: dropping persisted job: {e}"),
+                    }
+                }
+                println!("resumed {accepted}/{n} persisted jobs from {}", queue_path.display());
+            }
+            Err(e) if queue_path.exists() => {
+                eprintln!("cannot resume from {}: {e}", queue_path.display());
+                return 2;
+            }
+            Err(_) => println!("no persisted queue at {}; starting empty", queue_path.display()),
+        }
+    }
+
+    // A stale socket file from a crashed daemon would make bind fail.
+    let _ = std::fs::remove_file(&socket);
+    let listener = match UnixListener::bind(&socket) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("cannot bind {}: {e}", socket.display());
+            return 1;
+        }
+    };
+    if let Err(e) = listener.set_nonblocking(true) {
+        eprintln!("cannot set the listener nonblocking: {e}");
+        return 1;
+    }
+    install_signal_handlers();
+    println!("hqr serve: listening on {} ({threads} worker threads)", socket.display());
+
+    let code = loop {
+        if svc.exit.load(Ordering::SeqCst) {
+            // A drain request already quiesced and persisted the pool.
+            break 0;
+        }
+        if STOP.load(Ordering::SeqCst) {
+            println!("hqr serve: signal received, draining ...");
+            match drain_with(&svc, svc.grace) {
+                Ok(report) => {
+                    println!(
+                        "hqr serve: drained ({} finished, {} suspended, {} persisted to {})",
+                        report.finished,
+                        report.suspended.len(),
+                        report.persisted,
+                        queue_path.display()
+                    );
+                    break 0;
+                }
+                Err(e) => {
+                    eprintln!("hqr serve: drain failed: {e}");
+                    break 1;
+                }
+            }
+        }
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let svc = Arc::clone(&svc);
+                std::thread::Builder::new()
+                    .name("hqr-serve-conn".into())
+                    .spawn(move || {
+                        if let Err(e) = handle_conn(stream, &svc) {
+                            eprintln!("hqr serve: connection ended with error: {e}");
+                        }
+                    })
+                    .ok();
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => {
+                eprintln!("hqr serve: accept failed: {e}");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    };
+    let _ = std::fs::remove_file(&socket);
+    code
+}
+
+/// Serve one connection: a loop of framed request/response exchanges.
+/// Errors end this conversation only — the daemon and its jobs carry on.
+fn handle_conn(mut stream: UnixStream, svc: &Service) -> io::Result<()> {
+    while let Some(payload) = read_frame(&mut stream)? {
+        let response = match Request::from_bytes(payload) {
+            Ok(req) => respond(req, svc),
+            Err(ProtoError(msg)) => Response::Error { code: 0, message: msg },
+        };
+        write_frame(&mut stream, &response.to_bytes())?;
+        if svc.exit.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn respond(req: Request, svc: &Service) -> Response {
+    match req {
+        Request::Ping => {
+            let live = svc.pool.jobs().iter().filter(|j| !j.state.is_terminal()).count() as u64;
+            Response::Pong { live_jobs: live }
+        }
+        Request::Submit { spec, plan } => {
+            let mut spec = *spec;
+            if !plan.is_empty() {
+                let built = plan
+                    .fail
+                    .iter()
+                    .fold(FaultPlan::new(plan.seed), |p, &(task, n)| p.fail_task(task, n));
+                spec.plan = Some(built);
+            }
+            match svc.pool.submit(spec) {
+                Ok(id) => Response::Submitted(id.0),
+                Err(e) => {
+                    let code = match &e {
+                        SubmitError::Invalid { .. } => 1,
+                        SubmitError::OverBudget { .. } => 2,
+                        SubmitError::QueueFull { .. } => 3,
+                        SubmitError::Draining => 4,
+                    };
+                    Response::Error { code, message: e.to_string() }
+                }
+            }
+        }
+        Request::Jobs => Response::JobList(
+            svc.pool
+                .jobs()
+                .into_iter()
+                .map(|j| WireJob {
+                    id: j.id.0,
+                    tag: j.tag,
+                    state: j.state,
+                    qos: j.qos,
+                    attempts: j.attempts,
+                    tasks_done: j.tasks_done as u64,
+                    tasks_total: j.tasks_total as u64,
+                    error: j.error,
+                    wall_ms: j.wall.map(|w| w.as_millis() as u64),
+                })
+                .collect(),
+        ),
+        Request::Cancel(id) => Response::Cancelled(svc.pool.cancel(hqr_runtime::JobId(id))),
+        Request::Drain { grace_ms } => {
+            // A requested grace overrides the daemon default for this drain.
+            let grace =
+                if grace_ms == u64::MAX { svc.grace } else { Duration::from_millis(grace_ms) };
+            match drain_with(svc, grace) {
+                Ok(report) => Response::Drained {
+                    finished: report.finished as u64,
+                    suspended: report.suspended.iter().map(|id| id.0).collect(),
+                    persisted: report.persisted as u64,
+                },
+                Err(e) => Response::Error { code: 0, message: format!("drain failed: {e}") },
+            }
+        }
+    }
+}
+
+fn drain_with(svc: &Service, grace: Duration) -> io::Result<DrainReport> {
+    let mut slot = svc.drained.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(report) = slot.as_ref() {
+        return Ok(report.clone());
+    }
+    let report = svc.pool.drain(grace, Some(&svc.queue_path))?;
+    *slot = Some(report.clone());
+    svc.exit.store(true, Ordering::SeqCst);
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------------
+// Client side
+// ---------------------------------------------------------------------------
+
+/// One request/response exchange over a fresh connection.
+fn rpc(socket: &Path, req: &Request) -> Result<Response, String> {
+    let mut stream = UnixStream::connect(socket).map_err(|e| {
+        format!("cannot connect to {}: {e} (is `hqr serve` running?)", socket.display())
+    })?;
+    write_frame(&mut stream, &req.to_bytes()).map_err(|e| format!("send failed: {e}"))?;
+    match read_frame(&mut stream) {
+        Ok(Some(payload)) => Response::from_bytes(payload).map_err(|e| e.to_string()),
+        Ok(None) => Err("daemon closed the connection without answering".into()),
+        Err(e) => Err(format!("receive failed: {e}")),
+    }
+}
+
+/// `hqr ping`: liveness check against a running daemon.
+pub fn ping(args: &Args) -> i32 {
+    match rpc(&socket_of(args), &Request::Ping) {
+        Ok(Response::Pong { live_jobs }) => {
+            println!("daemon is alive; {live_jobs} live jobs");
+            0
+        }
+        Ok(other) => unexpected(other),
+        Err(e) => {
+            eprintln!("{e}");
+            1
+        }
+    }
+}
+
+/// Build a [`JobSpec`] from submit arguments (shared by `hqr submit` and
+/// the service tests).
+pub fn spec_of_args(args: &Args) -> Result<(JobSpec, WirePlan), String> {
+    let rows = args.usize_or("rows", 256);
+    let cols = args.usize_or("cols", 128);
+    let b = args.usize_or("tile", 16);
+    let grid = args.grid_or("grid", (2, 1));
+    let seed = args.usize_or("seed", 42) as u64;
+    for (name, v) in
+        [("rows", rows), ("cols", cols), ("tile", b), ("grid (P)", grid.0), ("grid (Q)", grid.1)]
+    {
+        if v == 0 {
+            return Err(format!("--{name} must be positive"));
+        }
+    }
+    if rows < cols {
+        return Err("submit expects rows >= cols".into());
+    }
+    let (mt, nt) = (rows.div_ceil(b), cols.div_ceil(b));
+    let cfg = HqrConfig::new(grid.0, grid.1)
+        .with_a(args.usize_or("a", 1))
+        .with_low(parse_tree(args, "low", TreeKind::Greedy)?)
+        .with_high(parse_tree(args, "high", TreeKind::Fibonacci)?)
+        .with_domino(args.flag("domino"));
+    let setup = baselines::hqr(mt, nt, ProcessGrid::new(grid.0, grid.1), cfg);
+    let mut spec = JobSpec::fresh(setup.elims.to_ops(), TiledMatrix::random(mt, nt, b, seed));
+    if let Some(ib) = args.get("ib") {
+        let ib: usize = ib.parse().map_err(|_| format!("--ib expects an integer, got `{ib}`"))?;
+        if ib == 0 || ib > b {
+            return Err(format!("--ib must be in 1..={b}, got {ib}"));
+        }
+        spec.ib = Some(ib);
+    }
+    if let Some(q) = args.get("qos") {
+        spec.qos = QosClass::parse(q)
+            .ok_or_else(|| format!("--qos: unknown class `{q}` (batch|normal|interactive)"))?;
+    }
+    if let Some(p) = args.get("policy") {
+        spec.policy = hqr_runtime::SchedPolicy::parse(p)
+            .ok_or_else(|| format!("--policy: unknown policy `{p}` (fifo|panel|cp)"))?;
+    }
+    if let Some(m) = args.get("integrity") {
+        spec.integrity = IntegrityMode::parse(m)
+            .ok_or_else(|| format!("--integrity: unknown mode `{m}` (off|spot|full)"))?;
+    }
+    spec.max_retries = args.usize_or("retries", 0) as u32;
+    spec.job_retries = args.usize_or("job-retries", 0) as u32;
+    if let Some(ms) = args.get("deadline-ms") {
+        let ms: u64 =
+            ms.parse().map_err(|_| format!("--deadline-ms expects an integer, got `{ms}`"))?;
+        spec.deadline = Some(Duration::from_millis(ms));
+    }
+    spec.tag = args.str_or("tag", "");
+    // Optional deterministic injection, `--inject-fail TASK:ATTEMPTS`.
+    let mut plan = WirePlan { seed, fail: Vec::new() };
+    if let Some(inj) = args.get("inject-fail") {
+        let (task, n) = inj
+            .split_once(':')
+            .and_then(|(t, n)| Some((t.parse().ok()?, n.parse().ok()?)))
+            .ok_or_else(|| format!("--inject-fail expects TASK:ATTEMPTS, got `{inj}`"))?;
+        plan.fail.push((task, n));
+    }
+    Ok((spec, plan))
+}
+
+fn parse_tree(args: &Args, key: &str, default: TreeKind) -> Result<TreeKind, String> {
+    match args.get(key) {
+        None => Ok(default),
+        Some(v) => TreeKind::parse(v)
+            .ok_or_else(|| format!("--{key}: unknown tree `{v}` (flat|binary|greedy|fibonacci)")),
+    }
+}
+
+/// `hqr submit`: send one factorization job to a running daemon.
+pub fn submit(args: &Args) -> i32 {
+    let socket = socket_of(args);
+    let (spec, plan) = match spec_of_args(args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let id = match rpc(&socket, &Request::Submit { spec: Box::new(spec), plan }) {
+        Ok(Response::Submitted(id)) => {
+            println!("submitted job {id}");
+            id
+        }
+        Ok(Response::Error { code, message }) => {
+            eprintln!("rejected ({}): {message}", reject_name(code));
+            return 1;
+        }
+        Ok(other) => return unexpected(other),
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    if !args.flag("wait") {
+        return 0;
+    }
+    // Poll until the job reaches a terminal state.
+    loop {
+        std::thread::sleep(Duration::from_millis(50));
+        let jobs = match rpc(&socket, &Request::Jobs) {
+            Ok(Response::JobList(jobs)) => jobs,
+            Ok(other) => return unexpected(other),
+            Err(e) => {
+                eprintln!("{e}");
+                return 1;
+            }
+        };
+        let Some(job) = jobs.iter().find(|j| j.id == id) else {
+            eprintln!("job {id} disappeared from the daemon");
+            return 1;
+        };
+        if job.state.is_terminal() {
+            print_job(job);
+            return if job.state == JobState::Completed { 0 } else { 1 };
+        }
+    }
+}
+
+fn reject_name(code: u64) -> &'static str {
+    match code {
+        1 => "invalid",
+        2 => "over budget",
+        3 => "queue full",
+        4 => "draining",
+        _ => "error",
+    }
+}
+
+fn print_job(j: &WireJob) {
+    let wall = j.wall_ms.map(|w| format!("{w} ms")).unwrap_or_else(|| "-".into());
+    let tag = if j.tag.is_empty() { "-" } else { &j.tag };
+    let err = j.error.as_deref().unwrap_or("");
+    println!(
+        "{:>5}  {:<11} {:<11} {:>3}  {:>5}/{:<5}  {:>9}  {:<12} {err}",
+        j.id,
+        j.state.name(),
+        j.qos.name(),
+        j.attempts,
+        j.tasks_done,
+        j.tasks_total,
+        wall,
+        tag
+    );
+}
+
+/// `hqr jobs`: list every job the daemon knows about.
+pub fn jobs(args: &Args) -> i32 {
+    match rpc(&socket_of(args), &Request::Jobs) {
+        Ok(Response::JobList(jobs)) => {
+            println!(
+                "{:>5}  {:<11} {:<11} {:>3}  {:>11}  {:>9}  {:<12} ERROR",
+                "ID", "STATE", "QOS", "TRY", "TASKS", "WALL", "TAG"
+            );
+            for j in &jobs {
+                print_job(j);
+            }
+            0
+        }
+        Ok(other) => unexpected(other),
+        Err(e) => {
+            eprintln!("{e}");
+            1
+        }
+    }
+}
+
+/// `hqr cancel`: cancel one job by `--id`.
+pub fn cancel(args: &Args) -> i32 {
+    let Some(id) = args.get("id") else {
+        eprintln!("cancel requires --id JOB");
+        return 2;
+    };
+    let Ok(id) = id.parse::<u64>() else {
+        eprintln!("--id expects an integer, got `{id}`");
+        return 2;
+    };
+    match rpc(&socket_of(args), &Request::Cancel(id)) {
+        Ok(Response::Cancelled(true)) => {
+            println!("job {id} cancelled");
+            0
+        }
+        Ok(Response::Cancelled(false)) => {
+            eprintln!("job {id} is unknown or already terminal");
+            1
+        }
+        Ok(other) => unexpected(other),
+        Err(e) => {
+            eprintln!("{e}");
+            1
+        }
+    }
+}
+
+/// `hqr drain`: ask the daemon to drain gracefully and exit.
+pub fn drain(args: &Args) -> i32 {
+    let grace_ms = match args.get("grace-ms") {
+        None => u64::MAX, // daemon default
+        Some(v) => match v.parse() {
+            Ok(ms) => ms,
+            Err(_) => {
+                eprintln!("--grace-ms expects an integer, got `{v}`");
+                return 2;
+            }
+        },
+    };
+    match rpc(&socket_of(args), &Request::Drain { grace_ms }) {
+        Ok(Response::Drained { finished, suspended, persisted }) => {
+            println!(
+                "drained: {finished} finished, {} suspended, {persisted} persisted",
+                suspended.len()
+            );
+            0
+        }
+        Ok(other) => unexpected(other),
+        Err(e) => {
+            eprintln!("{e}");
+            1
+        }
+    }
+}
+
+fn unexpected(resp: Response) -> i32 {
+    eprintln!("unexpected response from daemon: {resp:?}");
+    1
+}

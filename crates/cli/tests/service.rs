@@ -1,0 +1,254 @@
+//! End-to-end tests of the `hqr serve` daemon over its Unix socket,
+//! driving the compiled binary exactly as a user (or the CI smoke job)
+//! would: start the service, submit a mixed-QoS batch, watch deadlines
+//! route into retry/quarantine, SIGTERM the daemon mid-run, and resume
+//! the persisted queue in a fresh daemon — zero lost accepted jobs.
+#![cfg(unix)]
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn hqr() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hqr"))
+}
+
+/// A serve process plus its socket/queue paths; killed on drop so a
+/// failing test never leaks a daemon.
+struct Daemon {
+    child: Child,
+    socket: PathBuf,
+    queue: PathBuf,
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        let _ = std::fs::remove_file(&self.socket);
+    }
+}
+
+fn unique(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("hqr_svc_{name}_{}", std::process::id()))
+}
+
+fn start_daemon(name: &str, extra: &[&str]) -> Daemon {
+    let socket = unique(&format!("{name}.sock"));
+    let queue = unique(&format!("{name}.queue"));
+    let _ = std::fs::remove_file(&socket);
+    let sock = socket.to_str().unwrap().to_string();
+    let q = queue.to_str().unwrap().to_string();
+    let mut args = vec!["serve", "--socket", &sock, "--queue", &q, "--threads", "2"];
+    args.extend_from_slice(extra);
+    let child = hqr()
+        .args(&args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let daemon = Daemon { child, socket, queue };
+    // Wait for the socket to appear (the daemon is accepting once bound).
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !daemon.socket.exists() {
+        assert!(Instant::now() < deadline, "daemon never bound its socket");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    daemon
+}
+
+fn run(args: &[&str]) -> (i32, String, String) {
+    let out = hqr().args(args).output().expect("run hqr");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn submit_args<'a>(sock: &'a str, tag: &'a str, extra: &[&'a str]) -> Vec<&'a str> {
+    let mut v = vec![
+        "submit", "--socket", sock, "--rows", "48", "--cols", "24", "--tile", "8", "--grid", "2x1",
+        "--tag", tag,
+    ];
+    v.extend_from_slice(extra);
+    v
+}
+
+/// Poll `hqr jobs` until `pred` over its stdout holds.
+fn wait_for(sock: &str, what: &str, pred: impl Fn(&str) -> bool) -> String {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (code, out, err) = run(&["jobs", "--socket", sock]);
+        assert_eq!(code, 0, "jobs failed: {err}");
+        if pred(&out) {
+            return out;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}; last:\n{out}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn serve_completes_mixed_qos_batch_and_pings() {
+    let d = start_daemon("mixed", &[]);
+    let sock = d.socket.to_str().unwrap();
+
+    let (code, out, err) = run(&["ping", "--socket", sock]);
+    assert_eq!(code, 0, "ping failed: {err}");
+    assert!(out.contains("alive"), "{out}");
+
+    // A mixed-QoS, mixed-policy batch; all must complete.
+    let variants: &[&[&str]] = &[
+        &["--qos", "interactive", "--policy", "cp"],
+        &["--qos", "normal", "--policy", "panel", "--integrity", "spot"],
+        &["--qos", "batch", "--policy", "fifo", "--ib", "4"],
+        &["--qos", "batch", "--seed", "7"],
+    ];
+    for (i, extra) in variants.iter().enumerate() {
+        let tag = format!("job{i}");
+        let (code, out, err) = run(&submit_args(sock, &tag, extra));
+        assert_eq!(code, 0, "submit {i} failed: {err}");
+        assert!(out.contains("submitted job"), "{out}");
+    }
+    let listing = wait_for(sock, "4 completed jobs", |out| out.matches("completed").count() == 4);
+    for i in 0..4 {
+        assert!(listing.contains(&format!("job{i}")), "{listing}");
+    }
+
+    // Cancelling a terminal job reports failure, not success.
+    let (code, _, err) = run(&["cancel", "--socket", sock, "--id", "1"]);
+    assert_eq!(code, 1, "cancel of a terminal job must fail: {err}");
+}
+
+#[test]
+fn deadline_and_injected_faults_quarantine_without_hurting_neighbors() {
+    let d = start_daemon("deadline", &[]);
+    let sock = d.socket.to_str().unwrap();
+
+    // An impossible deadline with one job-level retry: Running → Backoff →
+    // Running → Quarantined.
+    let (code, _, err) = run(&submit_args(
+        sock,
+        "doomed",
+        &["--rows", "96", "--cols", "96", "--deadline-ms", "1", "--job-retries", "1"],
+    ));
+    assert_eq!(code, 0, "submit doomed: {err}");
+
+    // A task whose injected failures outlast its retry budget quarantines.
+    let (code, _, err) = run(&submit_args(
+        sock,
+        "faulty",
+        &["--inject-fail", "0:5", "--retries", "2", "--job-retries", "0"],
+    ));
+    assert_eq!(code, 0, "submit faulty: {err}");
+
+    // A healthy neighbor sharing the pool must still complete (exit 0
+    // from --wait asserts terminal state == completed).
+    let (code, out, err) = run(&submit_args(sock, "healthy", &["--wait"]));
+    assert_eq!(code, 0, "healthy job must complete: {err}\n{out}");
+
+    let listing =
+        wait_for(sock, "two quarantined jobs", |out| out.matches("quarantined").count() == 2);
+    assert!(listing.contains("deadline"), "quarantine reason names the deadline: {listing}");
+    // The doomed job consumed its retry: two activation attempts.
+    let doomed = listing.lines().find(|l| l.contains("doomed")).expect("doomed row");
+    assert!(doomed.contains(" 2 "), "doomed shows 2 attempts: {doomed}");
+}
+
+#[test]
+fn sigterm_drains_persists_and_resume_finishes_accepted_jobs() {
+    let mut d = start_daemon("drain", &["--grace-ms", "100"]);
+    let sock = d.socket.to_str().unwrap().to_string();
+
+    // Keep the two pool threads busy so later arrivals are still live when
+    // the signal lands: a deep injected-retry stall on the first task.
+    for i in 0..3 {
+        let tag = format!("work{i}");
+        let (code, _, err) =
+            run(&submit_args(&sock, &tag, &["--inject-fail", "0:40000", "--retries", "40001"]));
+        assert_eq!(code, 0, "submit {tag}: {err}");
+    }
+    wait_for(&sock, "a running job", |out| out.contains("running"));
+
+    // SIGTERM → graceful drain: exit 0, queue persisted, socket removed.
+    let pid = d.child.id().to_string();
+    let ok = Command::new("kill").args(["-TERM", &pid]).status().unwrap();
+    assert!(ok.success());
+    let status = d.child.wait().expect("serve exit status");
+    assert_eq!(status.code(), Some(0), "drained daemon exits 0");
+    assert!(d.queue.exists(), "drain persisted the queue");
+
+    let stdout = {
+        use std::io::Read;
+        let mut s = String::new();
+        d.child.stdout.take().unwrap().read_to_string(&mut s).unwrap();
+        s
+    };
+    assert!(stdout.contains("drained"), "{stdout}");
+
+    // A fresh daemon resumes the persisted queue; every accepted job
+    // reaches a terminal state (here: completed, since resumed fresh jobs
+    // carry no fault plan — plans are engine policy, never persisted).
+    let d2 = start_daemon("drain2", &["--resume", "--queue", d.queue.to_str().unwrap()]);
+    let sock2 = d2.socket.to_str().unwrap();
+    let listing =
+        wait_for(sock2, "3 resumed completions", |out| out.matches("completed").count() == 3);
+    for i in 0..3 {
+        assert!(
+            listing.contains(&format!("work{i}")),
+            "job work{i} survived the restart: {listing}"
+        );
+    }
+
+    let (code, out, _) = run(&["drain", "--socket", sock2]);
+    assert_eq!(code, 0, "client-requested drain succeeds");
+    assert!(out.contains("drained:"), "{out}");
+    let mut d2 = d2;
+    let status = d2.wait_timeout_or_kill();
+    assert_eq!(status, Some(0), "daemon exits 0 after a client drain");
+}
+
+/// `Child::wait` with a manual timeout so a hung daemon fails the test
+/// instead of wedging the suite.
+trait WaitTimeout {
+    fn wait_timeout_or_kill(&mut self) -> Option<i32>;
+}
+
+impl WaitTimeout for Daemon {
+    fn wait_timeout_or_kill(&mut self) -> Option<i32> {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            match self.child.try_wait().expect("try_wait") {
+                Some(status) => return status.code(),
+                None if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(20)),
+                None => {
+                    let _ = self.child.kill();
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn submission_rejections_are_typed_and_do_not_kill_the_daemon() {
+    let d = start_daemon("reject", &["--mem-budget-mb", "1", "--queue-cap", "1"]);
+    let sock = d.socket.to_str().unwrap();
+
+    // Working set far beyond 1 MiB: typed over-budget rejection.
+    let (code, _, err) =
+        run(&submit_args(sock, "big", &["--rows", "1024", "--cols", "1024", "--tile", "64"]));
+    assert_eq!(code, 1);
+    assert!(err.contains("over budget"), "{err}");
+
+    // Garbage arguments are caught client-side.
+    let (code, _, err) = run(&["submit", "--socket", sock, "--qos", "platinum"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("unknown class"), "{err}");
+
+    // The daemon shrugged all of it off.
+    let (code, out, _) = run(&["ping", "--socket", sock]);
+    assert_eq!(code, 0);
+    assert!(out.contains("alive"), "{out}");
+}

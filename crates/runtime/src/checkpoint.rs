@@ -257,6 +257,52 @@ impl Checkpoint {
     }
 }
 
+/// Pack an elimination list as `[count, (k, victim, killer, ts)*]` words —
+/// the encoding shared by checkpoint files and the service queue format.
+pub(crate) fn elims_to_words(elims: &[ElimOp]) -> Vec<u64> {
+    let mut words: Vec<u64> = Vec::with_capacity(1 + 4 * elims.len());
+    words.push(elims.len() as u64);
+    for e in elims {
+        words.extend([e.k as u64, e.victim as u64, e.killer as u64, e.ts as u64]);
+    }
+    words
+}
+
+/// Decode the inverse of [`elims_to_words`], reporting malformed input
+/// against section `tag`.
+pub(crate) fn elims_from_words(tag: u32, words: &[u64]) -> Result<Vec<ElimOp>, CheckpointError> {
+    let count = *words.first().ok_or_else(|| {
+        CheckpointError::Format(BinFormatError::BadSection {
+            tag,
+            message: "missing elimination count".into(),
+        })
+    })? as usize;
+    if words.len() != 1 + 4 * count {
+        return Err(CheckpointError::Format(BinFormatError::BadSection {
+            tag,
+            message: format!("{} words for {count} eliminations", words.len()),
+        }));
+    }
+    let mut elims = Vec::with_capacity(count);
+    for chunk in words[1..].chunks_exact(4) {
+        let narrow = |v: u64, what: &str| {
+            u32::try_from(v).map_err(|_| {
+                CheckpointError::Format(BinFormatError::BadSection {
+                    tag,
+                    message: format!("{what} {v} overflows u32"),
+                })
+            })
+        };
+        elims.push(ElimOp::new(
+            narrow(chunk[0], "panel")?,
+            narrow(chunk[1], "victim")?,
+            narrow(chunk[2], "killer")?,
+            chunk[3] != 0,
+        ));
+    }
+    Ok(elims)
+}
+
 fn bitmap_to_words(bits: &[bool]) -> Vec<u64> {
     let mut words = vec![0u64; bits.len().div_ceil(64)];
     for (i, &bit) in bits.iter().enumerate() {
@@ -354,11 +400,7 @@ fn checkpoint_writer(ckpt: &Checkpoint) -> SectionWriter {
         ckpt.fingerprint,
         ckpt.input_seed,
     ];
-    let mut elims: Vec<u64> = Vec::with_capacity(1 + 4 * ckpt.elims.len());
-    elims.push(ckpt.elims.len() as u64);
-    for e in &ckpt.elims {
-        elims.extend([e.k as u64, e.victim as u64, e.killer as u64, e.ts as u64]);
-    }
+    let elims = elims_to_words(&ckpt.elims);
     let mut w = SectionWriter::new(CHECKPOINT_MAGIC, CHECKPOINT_VERSION);
     w.section(SEC_HEADER, &bytes_of_u64s(&header))
         .section(SEC_ELIMS, &bytes_of_u64s(&elims))
@@ -376,10 +418,27 @@ pub fn write_checkpoint(path: &Path, ckpt: &Checkpoint) -> Result<(), Checkpoint
     Ok(())
 }
 
+/// Serialize a checkpoint into the same checksummed container bytes
+/// [`write_checkpoint`] puts on disk — used to embed suspended jobs inside
+/// the service's persisted queue file.
+pub fn checkpoint_to_bytes(ckpt: &Checkpoint) -> Vec<u8> {
+    checkpoint_writer(ckpt).into_bytes()
+}
+
+/// Decode checkpoint container bytes (the inverse of
+/// [`checkpoint_to_bytes`]), verifying the container checksum and every
+/// section's internal consistency.
+pub fn checkpoint_from_bytes(bytes: Vec<u8>) -> Result<Checkpoint, CheckpointError> {
+    decode_checkpoint(SectionReader::from_bytes(bytes, CHECKPOINT_MAGIC, CHECKPOINT_VERSION)?)
+}
+
 /// Read and fully decode a checkpoint file, verifying the container
 /// checksum and every section's internal consistency.
 pub fn read_checkpoint(path: &Path) -> Result<Checkpoint, CheckpointError> {
-    let r = SectionReader::read(path, CHECKPOINT_MAGIC, CHECKPOINT_VERSION)?;
+    decode_checkpoint(SectionReader::read(path, CHECKPOINT_MAGIC, CHECKPOINT_VERSION)?)
+}
+
+fn decode_checkpoint(r: SectionReader) -> Result<Checkpoint, CheckpointError> {
     let header = u64s_of_bytes(SEC_HEADER, r.require(SEC_HEADER)?)?;
     if header.len() != 8 {
         return Err(CheckpointError::Format(BinFormatError::BadSection {
@@ -396,35 +455,7 @@ pub fn read_checkpoint(path: &Path) -> Result<Checkpoint, CheckpointError> {
     }
 
     let elim_words = u64s_of_bytes(SEC_ELIMS, r.require(SEC_ELIMS)?)?;
-    let count = *elim_words.first().ok_or_else(|| {
-        CheckpointError::Format(BinFormatError::BadSection {
-            tag: SEC_ELIMS,
-            message: "missing elimination count".into(),
-        })
-    })? as usize;
-    if elim_words.len() != 1 + 4 * count {
-        return Err(CheckpointError::Format(BinFormatError::BadSection {
-            tag: SEC_ELIMS,
-            message: format!("{} words for {count} eliminations", elim_words.len()),
-        }));
-    }
-    let mut elims = Vec::with_capacity(count);
-    for chunk in elim_words[1..].chunks_exact(4) {
-        let narrow = |v: u64, what: &str| {
-            u32::try_from(v).map_err(|_| {
-                CheckpointError::Format(BinFormatError::BadSection {
-                    tag: SEC_ELIMS,
-                    message: format!("{what} {v} overflows u32"),
-                })
-            })
-        };
-        elims.push(ElimOp::new(
-            narrow(chunk[0], "panel")?,
-            narrow(chunk[1], "victim")?,
-            narrow(chunk[2], "killer")?,
-            chunk[3] != 0,
-        ));
-    }
+    let elims = elims_from_words(SEC_ELIMS, &elim_words)?;
 
     let completed =
         bitmap_from_words(SEC_DONE, &u64s_of_bytes(SEC_DONE, r.require(SEC_DONE)?)?, ntasks)?;

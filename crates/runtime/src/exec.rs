@@ -368,8 +368,16 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Lock a mutex, tolerating poisoning: the engine's own `catch_unwind`
+/// keeps kernel panics from unwinding through a held lock, but a daemon
+/// hosting many jobs must never let one panicked thread wedge the whole
+/// process behind a poisoned mutex.
+pub(crate) fn relock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 fn set_error(slot: &Mutex<Option<ExecError>>, e: ExecError) {
-    let mut guard = slot.lock().unwrap();
+    let mut guard = relock(slot);
     if guard.is_none() {
         *guard = Some(e);
     }
@@ -413,7 +421,7 @@ fn stall_report(
 /// exhausted: long enough to stop burning the core through a serial tail,
 /// short enough that newly released work (and `halt`) is observed almost
 /// immediately.
-const IDLE_PARK: Duration = Duration::from_micros(100);
+pub(crate) const IDLE_PARK: Duration = Duration::from_micros(100);
 
 /// The shared ready queue feeding idle workers: the legacy FIFO injector
 /// (with batch steals into the thief's deque), or — under a prioritizing
@@ -437,7 +445,7 @@ impl GlobalQueue {
     fn push(&self, tid: u32, ranks: &[u64]) {
         match self {
             GlobalQueue::Fifo(inj) => inj.push(tid),
-            GlobalQueue::Prio(q) => q.lock().unwrap().push(Reverse((ranks[tid as usize], tid))),
+            GlobalQueue::Prio(q) => relock(q).push(Reverse((ranks[tid as usize], tid))),
         }
     }
 
@@ -446,7 +454,7 @@ impl GlobalQueue {
     fn take(&self, dest: &Worker<u32>) -> Steal<u32> {
         match self {
             GlobalQueue::Fifo(inj) => inj.steal_batch_and_pop(dest),
-            GlobalQueue::Prio(q) => match q.lock().unwrap().pop() {
+            GlobalQueue::Prio(q) => match relock(q).pop() {
                 Some(Reverse((_, tid))) => Steal::Success(tid),
                 None => Steal::Empty,
             },
@@ -505,17 +513,167 @@ struct WorkerLog {
     stats: FaultStats,
 }
 
+/// Everything the shared attempt ladder needs, independent of which
+/// executor is driving it — the single-job engine below or the multi-job
+/// [`crate::pool::JobPool`]. Both push a ready task through the exact same
+/// sequence: optional input-guard pre-check, write-set snapshot,
+/// `catch_unwind` around the kernel (with planned fault/SDC injection),
+/// output-guard verification, and rollback + bounded retry.
+pub(crate) struct AttemptCtx<'a> {
+    pub store: &'a TileStore,
+    pub guards: Option<&'a GuardStore>,
+    pub plan: Option<&'a crate::fault::FaultPlan>,
+    /// Per-task retry budget after a caught panic or detected corruption.
+    pub max_retries: u32,
+    /// Snapshot/rollback enabled (retries or a fault plan are configured).
+    pub recovery: bool,
+    /// [`IntegrityMode::Full`]: verify input guards before launching.
+    pub full_integrity: bool,
+    /// This worker is poisoned by the fault plan (engine only).
+    pub poisoned: bool,
+    /// Worker index, for injected panic messages.
+    pub me: usize,
+    /// Run-level halt flag, re-checked between retry attempts so a long
+    /// retry ladder yields promptly to cancel/deadline/drain instead of
+    /// burning through its whole budget first.
+    pub halt: Option<&'a AtomicBool>,
+}
+
 /// How one task's execution attempt sequence ended.
-enum Outcome {
+pub(crate) enum AttemptEnd {
     /// Completed (after `retried` ≥ 1 rolled-back attempts, possibly 0).
-    Done { retried: bool },
+    Done { retried: bool, recomputed_sdc: bool },
     /// A poisoned worker gave the task back to its peers.
     Requeue,
     /// Out of retry budget (or no recovery enabled): abort the run.
-    Fail(String),
+    /// `attempts` counts every attempt made (initial try plus retries).
+    Fail { attempts: u32, message: String },
     /// A commit-time guard mismatch persisted past the recompute budget
     /// (or no snapshot was available to recompute from): abort the run.
-    Sdc { slot: String, message: String },
+    /// `attempts` counts the recompute attempts made.
+    Sdc { attempts: u32, slot: String, message: String },
+    /// A pre-launch check found the task's *inputs* corrupted — damage
+    /// re-running this task cannot heal.
+    InputSdc { slot: String, message: String },
+    /// The run was halted (cancel, deadline, drain, or a sibling's error)
+    /// between attempts; the task's write set is back in its pre-attempt
+    /// state and the task is NOT done.
+    Aborted,
+}
+
+/// Run one ready task through the full attempt ladder.
+///
+/// # Safety (discharged by the caller's scheduler)
+/// `t` must be ready — every predecessor completed, `t` itself not — so
+/// DAG order guarantees this worker holds exclusive access to `t`'s
+/// read/write sets for the kernel, the snapshot, and the guard updates.
+pub(crate) fn attempt_task(
+    ctx: &AttemptCtx<'_>,
+    t: &Task,
+    tid: u32,
+    wstats: &mut FaultStats,
+    counters: &mut WorkerCounters,
+    instant: &mut dyn FnMut(InstantKind),
+) -> AttemptEnd {
+    if ctx.full_integrity {
+        // SAFETY: `tid` is ready, so DAG order guarantees no concurrent
+        // writer of its read or write set.
+        if let Some(m) = ctx.guards.and_then(|g| unsafe { g.verify_inputs(ctx.store, t) }) {
+            // Corrupted *inputs* cannot be healed by re-running this task.
+            wstats.sdc_detected += 1;
+            instant(InstantKind::SdcDetected);
+            return AttemptEnd::InputSdc { slot: m.label(), message: m.mismatch.to_string() };
+        }
+    }
+    // SAFETY: exclusive access per the function contract — for the kernel
+    // and the snapshot alike.
+    let snap = ctx.recovery.then(|| unsafe { ctx.store.snapshot(t) });
+    let mut attempt = 0u32;
+    let mut recomputed_sdc = false;
+    loop {
+        // Between attempts the write set is consistent (pristine or rolled
+        // back), so this is a safe point to yield to a run-level halt.
+        if ctx.halt.is_some_and(|h| h.load(Ordering::Acquire)) {
+            return AttemptEnd::Aborted;
+        }
+        let inject = ctx.poisoned || ctx.plan.is_some_and(|p| p.should_fail_attempt(tid, attempt));
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            if inject {
+                panic!(
+                    "{INJECTED_FAULT_PREFIX}: task {tid} attempt {attempt} on worker {}",
+                    ctx.me
+                );
+            }
+            // SAFETY: DAG order, as above.
+            unsafe { ctx.store.run_task(t) };
+        }));
+        match run {
+            Ok(()) => {
+                // Kernel-postcondition hook: refresh the write-set guards
+                // from the fresh output while it is "hot". The window
+                // between this hook and the commit-time check below is
+                // where an SDC strike lands.
+                if let Some(g) = ctx.guards {
+                    // SAFETY: DAG order, as above.
+                    unsafe { g.refresh_task(ctx.store, t) };
+                }
+                if attempt == 0 {
+                    if let Some(fault) = ctx.plan.and_then(|p| p.sdc_for(tid)) {
+                        // The strike happens regardless of the integrity
+                        // mode — only the *verification* is optional.
+                        // SAFETY: DAG order, as above.
+                        unsafe { ctx.store.apply_sdc(t, &fault) };
+                        wstats.sdc_injected += 1;
+                    }
+                }
+                let found = ctx.guards.and_then(|g| unsafe { g.verify_outputs(ctx.store, t) });
+                let Some(m) = found else {
+                    return AttemptEnd::Done { retried: attempt > 0, recomputed_sdc };
+                };
+                wstats.sdc_detected += 1;
+                instant(InstantKind::SdcDetected);
+                if let Some(s) = &snap {
+                    // SAFETY: exclusive access, as above.
+                    unsafe { ctx.store.rollback(s) };
+                    wstats.tiles_rolled_back += s.tiles() as u32;
+                }
+                if snap.is_some() && attempt < ctx.max_retries {
+                    attempt += 1;
+                    wstats.tasks_reexecuted += 1;
+                    counters.retries += 1;
+                    recomputed_sdc = true;
+                    instant(InstantKind::SdcRecomputed);
+                    continue;
+                }
+                return AttemptEnd::Sdc {
+                    attempts: attempt,
+                    slot: m.label(),
+                    message: m.mismatch.to_string(),
+                };
+            }
+            Err(payload) => {
+                wstats.panics_caught += 1;
+                counters.panics_caught += 1;
+                instant(InstantKind::PanicCaught);
+                if let Some(s) = &snap {
+                    // SAFETY: exclusive access, as above.
+                    unsafe { ctx.store.rollback(s) };
+                    wstats.tiles_rolled_back += s.tiles() as u32;
+                }
+                if ctx.poisoned {
+                    return AttemptEnd::Requeue;
+                }
+                if snap.is_some() && attempt < ctx.max_retries {
+                    attempt += 1;
+                    wstats.tasks_reexecuted += 1;
+                    counters.retries += 1;
+                    instant(InstantKind::Retry);
+                    continue;
+                }
+                return AttemptEnd::Fail { attempts: attempt + 1, message: panic_message(payload) };
+            }
+        }
+    }
 }
 
 /// The shared executor engine behind every parallel entry point.
@@ -734,7 +892,13 @@ pub(crate) fn run_engine_segment(
                             // The spin/yield ladder is exhausted: park in
                             // bounded naps instead of burning the core
                             // through a long serial tail. New work is still
-                            // picked up within ~IDLE_PARK.
+                            // picked up within ~IDLE_PARK. Re-check `halt`
+                            // first: a cancel/abort raised while this worker
+                            // was scanning must not pay another park of
+                            // shutdown latency.
+                            if halt.load(Ordering::Acquire) {
+                                break;
+                            }
                             std::thread::sleep(IDLE_PARK);
                         } else {
                             backoff.snooze();
@@ -743,119 +907,26 @@ pub(crate) fn run_engine_segment(
                     };
                     backoff.reset();
                     let t = &tasks[tid as usize];
-                    if opts.integrity == IntegrityMode::Full {
-                        // SAFETY: `tid` is ready, so DAG order guarantees
-                        // no concurrent writer of its read or write set.
-                        if let Some(m) = guards.and_then(|g| unsafe { g.verify_inputs(store, t) }) {
-                            // Corrupted *inputs* cannot be healed by
-                            // re-running this task; report and stop.
-                            wstats.sdc_detected += 1;
-                            instant(InstantKind::SdcDetected, tid);
-                            set_error(
-                                error,
-                                ExecError::SdcDetected {
-                                    task: tid,
-                                    kernel: t.kind,
-                                    slot: m.label(),
-                                    attempts: 0,
-                                    message: m.mismatch.to_string(),
-                                },
-                            );
-                            halt.store(true, Ordering::Release);
-                            break;
-                        }
-                    }
-                    let t0 = trace.then(|| epoch.elapsed().as_secs_f64());
-                    // SAFETY: every predecessor of `tid` has completed (its
-                    // in-degree reached 0) and `tid` has not, so its
-                    // read/write sets are exclusively this worker's until
-                    // completion — for the kernel and the snapshot alike.
-                    let snap = recovery.then(|| unsafe { store.snapshot(t) });
-                    let mut attempt = 0u32;
-                    let mut recomputed_sdc = false;
-                    let outcome = loop {
-                        let inject = poisoned
-                            || plan.is_some_and(|p| p.should_fail_attempt(tid, attempt));
-                        let run = catch_unwind(AssertUnwindSafe(|| {
-                            if inject {
-                                panic!(
-                                    "{INJECTED_FAULT_PREFIX}: task {tid} attempt {attempt} on worker {me}"
-                                );
-                            }
-                            // SAFETY: DAG order, as above.
-                            unsafe { store.run_task(t) };
-                        }));
-                        match run {
-                            Ok(()) => {
-                                // Kernel-postcondition hook: refresh the
-                                // write-set guards from the fresh output
-                                // while it is "hot". The window between
-                                // this hook and the commit-time check
-                                // below is where an SDC strike lands.
-                                if let Some(g) = guards {
-                                    // SAFETY: DAG order, as above.
-                                    unsafe { g.refresh_task(store, t) };
-                                }
-                                if attempt == 0 {
-                                    if let Some(fault) = plan.and_then(|p| p.sdc_for(tid)) {
-                                        // The strike happens regardless of
-                                        // the integrity mode — only the
-                                        // *verification* is optional.
-                                        // SAFETY: DAG order, as above.
-                                        unsafe { store.apply_sdc(t, &fault) };
-                                        wstats.sdc_injected += 1;
-                                    }
-                                }
-                                let found =
-                                    guards.and_then(|g| unsafe { g.verify_outputs(store, t) });
-                                let Some(m) = found else {
-                                    break Outcome::Done { retried: attempt > 0 };
-                                };
-                                wstats.sdc_detected += 1;
-                                instant(InstantKind::SdcDetected, tid);
-                                if let Some(s) = &snap {
-                                    // SAFETY: exclusive access, as above.
-                                    unsafe { store.rollback(s) };
-                                    wstats.tiles_rolled_back += s.tiles() as u32;
-                                }
-                                if snap.is_some() && attempt < opts.max_retries {
-                                    attempt += 1;
-                                    wstats.tasks_reexecuted += 1;
-                                    counters.retries += 1;
-                                    recomputed_sdc = true;
-                                    instant(InstantKind::SdcRecomputed, tid);
-                                    continue;
-                                }
-                                break Outcome::Sdc {
-                                    slot: m.label(),
-                                    message: m.mismatch.to_string(),
-                                };
-                            }
-                            Err(payload) => {
-                                wstats.panics_caught += 1;
-                                counters.panics_caught += 1;
-                                instant(InstantKind::PanicCaught, tid);
-                                if let Some(s) = &snap {
-                                    // SAFETY: exclusive access, as above.
-                                    unsafe { store.rollback(s) };
-                                    wstats.tiles_rolled_back += s.tiles() as u32;
-                                }
-                                if poisoned {
-                                    break Outcome::Requeue;
-                                }
-                                if snap.is_some() && attempt < opts.max_retries {
-                                    attempt += 1;
-                                    wstats.tasks_reexecuted += 1;
-                                    counters.retries += 1;
-                                    instant(InstantKind::Retry, tid);
-                                    continue;
-                                }
-                                break Outcome::Fail(panic_message(payload));
-                            }
-                        }
+                    let ctx = AttemptCtx {
+                        store,
+                        guards,
+                        plan,
+                        max_retries: opts.max_retries,
+                        recovery,
+                        full_integrity: opts.integrity == IntegrityMode::Full,
+                        poisoned,
+                        me,
+                        halt: Some(halt),
                     };
+                    let t0 = trace.then(|| epoch.elapsed().as_secs_f64());
+                    // SAFETY contract of `attempt_task`: every predecessor
+                    // of `tid` has completed (its in-degree reached 0) and
+                    // `tid` has not, so its read/write sets are exclusively
+                    // this worker's until completion.
+                    let outcome =
+                        attempt_task(&ctx, t, tid, wstats, counters, &mut |k| instant(k, tid));
                     match outcome {
-                        Outcome::Done { retried } => {
+                        AttemptEnd::Done { retried, recomputed_sdc } => {
                             if retried {
                                 wstats.tasks_recovered += 1;
                             }
@@ -909,7 +980,7 @@ pub(crate) fn run_engine_segment(
                             }
                             remaining.fetch_sub(1, Ordering::AcqRel);
                         }
-                        Outcome::Requeue => {
+                        AttemptEnd::Requeue => {
                             strikes += 1;
                             wstats.tasks_reexecuted += 1;
                             counters.requeues += 1;
@@ -922,26 +993,45 @@ pub(crate) fn run_engine_segment(
                                 break;
                             }
                         }
-                        Outcome::Sdc { slot, message } => {
+                        AttemptEnd::Sdc { attempts, slot, message } => {
                             set_error(
                                 error,
                                 ExecError::SdcDetected {
                                     task: tid,
                                     kernel: t.kind,
                                     slot,
-                                    attempts: attempt,
+                                    attempts,
                                     message,
                                 },
                             );
                             halt.store(true, Ordering::Release);
                             break;
                         }
-                        Outcome::Fail(message) => {
+                        AttemptEnd::InputSdc { slot, message } => {
+                            set_error(
+                                error,
+                                ExecError::SdcDetected {
+                                    task: tid,
+                                    kernel: t.kind,
+                                    slot,
+                                    attempts: 0,
+                                    message,
+                                },
+                            );
+                            halt.store(true, Ordering::Release);
+                            break;
+                        }
+                        AttemptEnd::Aborted => {
+                            // Someone else halted the run and recorded why;
+                            // the task is untouched and not done.
+                            break;
+                        }
+                        AttemptEnd::Fail { attempts, message } => {
                             let e = if recovery {
                                 ExecError::TaskFailed {
                                     task: tid,
                                     kernel: t.kind,
-                                    attempts: attempt + 1,
+                                    attempts,
                                     message,
                                 }
                             } else {
@@ -977,7 +1067,7 @@ pub(crate) fn run_engine_segment(
             });
         }
     });
-    if let Some(e) = error.into_inner().unwrap() {
+    if let Some(e) = error.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner) {
         return Err(e);
     }
     let rem = remaining.load(Ordering::Acquire);

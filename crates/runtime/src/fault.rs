@@ -227,6 +227,14 @@ impl FaultPlan {
     pub(crate) fn loses_any_completion(&self) -> bool {
         !self.lost.is_empty()
     }
+
+    /// True when the plan poisons at least one worker thread. Poisoning is
+    /// a per-engine-run concept (worker indices belong to one engine's
+    /// thread pool), so the multi-job [`crate::pool::JobPool`] rejects such
+    /// plans at submission.
+    pub(crate) fn poisons_any_worker(&self) -> bool {
+        !self.poisoned.is_empty()
+    }
 }
 
 /// Per-run recovery accounting, returned alongside the factors by

@@ -34,6 +34,7 @@ pub mod exec;
 pub mod fault;
 pub mod graph;
 pub mod integrity;
+pub mod pool;
 pub mod sched;
 pub mod store;
 pub mod task;
@@ -55,6 +56,11 @@ pub use exec::{
 pub use fault::{ExecOptions, FaultPlan, FaultStats, SdcFault, SdcPattern, SDC_SCALE_FACTOR};
 pub use graph::TaskGraph;
 pub use integrity::IntegrityMode;
+pub use pool::{
+    load_queue, DrainReport, JobId, JobInput, JobOutcome, JobPool, JobResult, JobSpec, JobState,
+    JobView, PoolConfig, QosClass, QueueEntry, QueueFormatError, SubmitError, QUEUE_MAGIC,
+    QUEUE_VERSION,
+};
 pub use sched::SchedPolicy;
 pub use task::Task;
 pub use trace::{

@@ -1,0 +1,1903 @@
+//! Multi-job work-stealing pool: one shared set of worker threads
+//! multiplexing many concurrent factorization jobs.
+//!
+//! This is the structural refactor behind the `hqr serve` daemon. The
+//! single-job engine in [`crate::exec`] borrows its graph and matrix from
+//! the caller and dies with the call; the pool instead *owns* every
+//! admitted job (graph, tile store, factor buffers) behind an `Arc`, so a
+//! long-running process can interleave tasks from many tenants on one set
+//! of cores — the paper's "keep every core busy" goal lifted from one DAG
+//! to a population of DAGs.
+//!
+//! Robustness is per-tenant policy, reusing the PR 1–5 substrate through
+//! the shared attempt ladder ([`crate::exec`]'s `attempt_task`):
+//!
+//! * **admission control** — a job's working-set footprint is priced at
+//!   submission; jobs that can never fit the memory budget are rejected,
+//!   jobs that don't fit *right now* wait in a bounded queue;
+//! * **backpressure + load shedding** — when the queue is full, an arriving
+//!   higher-QoS job evicts the lowest-QoS queued job (marked [`JobState::Shed`]);
+//!   equal-or-lower QoS arrivals are rejected with a typed error;
+//! * **deadlines** — a per-job deadline halts the job's tasks and routes it
+//!   into the retry/quarantine path, generalizing the engine watchdog;
+//! * **job-level retry** — a failed or timed-out job is re-run from its
+//!   pristine payload after a capped exponential backoff, and quarantined
+//!   ([`JobState::Quarantined`]) once its retry budget is exhausted;
+//! * **graceful drain** — stop admitting, let running jobs finish within a
+//!   grace period, checkpoint the stragglers at a quiescent point (the
+//!   PR-3 machinery), and persist the whole queue to one container file
+//!   that a restarted service can resubmit from.
+//!
+//! Scheduling across jobs is QoS-major: the shared ready heap orders tasks
+//! by (QoS class, admission order, per-job policy rank), so interactive
+//! jobs preempt batch work at task granularity while each job internally
+//! honors its own [`SchedPolicy`]. Workers keep the data-reuse LIFO deque
+//! of the single-job engine: the best-ranked released successor stays
+//! local, the rest are published to the shared heap.
+//!
+//! Fault plans are supported per job (failure and SDC strikes), with two
+//! engine-only features rejected at submission: poisoned workers (worker
+//! indices belong to one engine run) and lost completions (the pool's
+//! progress accounting would wedge). Plans are also not serialized into
+//! persisted queues — injection is in-process test machinery.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::fmt;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam_deque::{Steal, Stealer, Worker};
+use crossbeam_utils::Backoff;
+
+use crate::checkpoint::{
+    checkpoint_from_bytes, checkpoint_to_bytes, elims_from_words, elims_to_words,
+    graph_fingerprint, Checkpoint, CheckpointError,
+};
+use crate::elim::ElimOp;
+use crate::error::ExecError;
+use crate::exec::{
+    attempt_task, relock, AttemptCtx, AttemptEnd, TFactors, WorkerCounters, IDLE_PARK,
+};
+use crate::fault::{FaultPlan, FaultStats};
+use crate::graph::TaskGraph;
+use crate::integrity::{GuardStore, IntegrityMode};
+use crate::sched::{self, SchedPolicy};
+use crate::store::TileStore;
+use hqr_kernels::KernelKind;
+use hqr_tile::io::{bytes_of_u64s, u64s_of_bytes, BinFormatError, SectionReader, SectionWriter};
+use hqr_tile::TiledMatrix;
+
+/// Magic bytes opening a persisted service queue file.
+pub const QUEUE_MAGIC: [u8; 8] = *b"HQRQUEUE";
+/// Queue container version.
+pub const QUEUE_VERSION: u32 = 1;
+
+const QSEC_COUNT: u32 = 1;
+/// Per-entry tags: entry `i` owns tags `QSEC_BASE + i*QSEC_STRIDE ..`.
+const QSEC_BASE: u32 = 16;
+const QSEC_STRIDE: u32 = 8;
+const QOFF_META: u32 = 0;
+const QOFF_TAG: u32 = 1;
+const QOFF_ELIMS: u32 = 2;
+const QOFF_TILES: u32 = 3;
+const QOFF_CKPT: u32 = 4;
+
+/// Opaque identifier of a job accepted by a [`JobPool`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// Quality-of-service class of a job — the tenant's priority tier.
+///
+/// Ordering is semantic: `Interactive > Normal > Batch`. The scheduler
+/// serves higher classes first at *task* granularity, admission serves
+/// them first from the queue, and load shedding evicts the lowest class
+/// first.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum QosClass {
+    /// Throughput work; first to be shed under overload.
+    Batch,
+    /// The default tier.
+    #[default]
+    Normal,
+    /// Latency-sensitive work; served first, never shed by arrivals.
+    Interactive,
+}
+
+impl QosClass {
+    /// Every class, lowest to highest priority.
+    pub const ALL: [QosClass; 3] = [QosClass::Batch, QosClass::Normal, QosClass::Interactive];
+
+    /// Parse a CLI spelling.
+    pub fn parse(s: &str) -> Option<QosClass> {
+        match s {
+            "batch" => Some(QosClass::Batch),
+            "normal" => Some(QosClass::Normal),
+            "interactive" => Some(QosClass::Interactive),
+            _ => None,
+        }
+    }
+
+    /// Canonical short name (the CLI spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            QosClass::Batch => "batch",
+            QosClass::Normal => "normal",
+            QosClass::Interactive => "interactive",
+        }
+    }
+
+    /// Min-heap key component: lower sorts first, so higher QoS gets 0.
+    fn inverted(self) -> u64 {
+        2 - self as u64
+    }
+
+    fn from_index(v: u64) -> Option<QosClass> {
+        QosClass::ALL.get(v as usize).copied()
+    }
+}
+
+impl fmt::Display for QosClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What a job starts from: a fresh matrix, or a suspended checkpoint.
+#[derive(Clone, Debug)]
+pub enum JobInput {
+    /// Factor `a` according to `elims` from scratch.
+    Fresh {
+        /// The elimination list defining the factorization DAG.
+        elims: Vec<ElimOp>,
+        /// The matrix to factor.
+        a: TiledMatrix,
+    },
+    /// Continue a factorization from a consistent checkpoint (produced by
+    /// [`crate::checkpoint`] or by a drain suspension).
+    Resume(Box<Checkpoint>),
+}
+
+/// Everything a tenant specifies about one factorization job: the input
+/// plus per-job policy for every knob PRs 1–5 added to the engine.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// What to factor.
+    pub input: JobInput,
+    /// Inner block size; `None` selects the tile size (fresh jobs) or the
+    /// checkpointed value (resumed jobs). A resumed job's `ib`, if given,
+    /// must match the checkpoint.
+    pub ib: Option<usize>,
+    /// Priority tier for scheduling, admission, and shedding.
+    pub qos: QosClass,
+    /// Ready-queue ranking *within* this job's DAG.
+    pub policy: SchedPolicy,
+    /// Silent-data-corruption guarding for this job's tasks.
+    pub integrity: IntegrityMode,
+    /// Per-task retry budget after a caught panic or detected corruption.
+    pub max_retries: u32,
+    /// Job-level re-run budget: how many times a failed or timed-out job
+    /// is re-run from its pristine payload before quarantine.
+    pub job_retries: u32,
+    /// Wall-clock budget per attempt; exceeding it halts the attempt and
+    /// routes the job into the retry/quarantine path.
+    pub deadline: Option<Duration>,
+    /// Deterministic fault injection for this job only. Poisoned workers
+    /// and lost completions are engine-only and rejected at submission;
+    /// plans are never serialized into persisted queues.
+    pub plan: Option<FaultPlan>,
+    /// Free-form label shown by `hqr jobs`.
+    pub tag: String,
+}
+
+impl JobSpec {
+    /// A fresh job with default policy (normal QoS, FIFO, no integrity
+    /// checking, no retries, no deadline).
+    pub fn fresh(elims: Vec<ElimOp>, a: TiledMatrix) -> JobSpec {
+        JobSpec {
+            input: JobInput::Fresh { elims, a },
+            ib: None,
+            qos: QosClass::default(),
+            policy: SchedPolicy::default(),
+            integrity: IntegrityMode::default(),
+            max_retries: 0,
+            job_retries: 0,
+            deadline: None,
+            plan: None,
+            tag: String::new(),
+        }
+    }
+
+    /// A job resuming from `ckpt` with default policy.
+    pub fn resume(ckpt: Checkpoint) -> JobSpec {
+        JobSpec {
+            input: JobInput::Resume(Box::new(ckpt)),
+            ..JobSpec::fresh(Vec::new(), TiledMatrix::zeros(1, 1, 1))
+        }
+    }
+
+    /// Serialize the spec (minus any fault plan) for the wire protocol and
+    /// the persisted queue. The encoding is a section container:
+    /// meta words, tag string, then either elims + tiles (fresh) or an
+    /// embedded checkpoint container (resume).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = SectionWriter::new(QUEUE_MAGIC, QUEUE_VERSION);
+        spec_sections(&mut w, self, QSEC_BASE, 0);
+        w.section(QSEC_COUNT, &bytes_of_u64s(&[1]));
+        w.into_bytes()
+    }
+
+    /// Decode the inverse of [`JobSpec::to_bytes`].
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<JobSpec, QueueFormatError> {
+        let r = SectionReader::from_bytes(bytes, QUEUE_MAGIC, QUEUE_VERSION)?;
+        let (spec, _) = spec_from_sections(&r, QSEC_BASE)?;
+        Ok(spec)
+    }
+
+    fn policy_word(&self) -> u64 {
+        match self.policy {
+            SchedPolicy::Fifo => 0,
+            SchedPolicy::PanelFirst => 1,
+            SchedPolicy::CriticalPath => 2,
+        }
+    }
+
+    fn integrity_word(&self) -> u64 {
+        match self.integrity {
+            IntegrityMode::Off => 0,
+            IntegrityMode::Spot => 1,
+            IntegrityMode::Full => 2,
+        }
+    }
+}
+
+/// Lifecycle state of a job, as reported by [`JobPool::status`].
+///
+/// ```text
+///            submit                    admit
+/// (arrival) ───────► Queued ─────────────────────► Running
+///              │        │ shed / cancel               │
+///              │        ▼                             │ finish
+///   reject     │     Shed / Cancelled                 ▼
+///  (typed Err) │                                  Completed
+///              │     Running ──fail/deadline──► Backoff ──admit──► Running
+///                       │                          │ budget exhausted
+///                       │ cancel                   ▼
+///                       ▼                      Quarantined
+///                   Cancelled      Running ──drain grace expired──► Suspended
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for admission (memory budget / active slot).
+    Queued,
+    /// Tasks are being executed by the shared pool.
+    Running,
+    /// Failed or timed out; waiting out the retry backoff before re-running.
+    Backoff,
+    /// Finished; the factors are available from [`JobPool::wait`].
+    Completed,
+    /// Cancelled by the tenant before completion.
+    Cancelled,
+    /// Evicted from the full queue by a higher-QoS arrival.
+    Shed,
+    /// Exhausted its job-level retry budget; the last error is recorded.
+    Quarantined,
+    /// Halted at a quiescent point by a drain and checkpointed; the
+    /// persisted queue holds its resumable state.
+    Suspended,
+}
+
+impl JobState {
+    /// True when the job will never run again in this pool.
+    pub fn is_terminal(self) -> bool {
+        !matches!(self, JobState::Queued | JobState::Running | JobState::Backoff)
+    }
+
+    /// Canonical lower-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Backoff => "backoff",
+            JobState::Completed => "completed",
+            JobState::Cancelled => "cancelled",
+            JobState::Shed => "shed",
+            JobState::Quarantined => "quarantined",
+            JobState::Suspended => "suspended",
+        }
+    }
+
+    /// Parse the inverse of [`JobState::name`].
+    pub fn parse(s: &str) -> Option<JobState> {
+        [
+            JobState::Queued,
+            JobState::Running,
+            JobState::Backoff,
+            JobState::Completed,
+            JobState::Cancelled,
+            JobState::Shed,
+            JobState::Quarantined,
+            JobState::Suspended,
+        ]
+        .into_iter()
+        .find(|j| j.name() == s)
+    }
+}
+
+impl fmt::Display for JobState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone)]
+pub enum SubmitError {
+    /// The spec itself is unusable (bad elimination list, bad `ib`,
+    /// engine-only fault-plan features, checkpoint mismatch, ...).
+    Invalid {
+        /// What was wrong.
+        message: String,
+    },
+    /// The job's working set alone exceeds the pool's memory budget; it
+    /// could never be admitted.
+    OverBudget {
+        /// Bytes the job needs resident.
+        need: u64,
+        /// The pool's configured budget.
+        budget: u64,
+    },
+    /// The submission queue is full and the job's QoS does not dominate
+    /// any queued job (backpressure: the caller should retry later).
+    QueueFull {
+        /// The configured queue capacity.
+        cap: usize,
+    },
+    /// The pool is draining and admits no new work.
+    Draining,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Invalid { message } => write!(f, "invalid job spec: {message}"),
+            SubmitError::OverBudget { need, budget } => {
+                write!(f, "job needs {need} bytes resident but the pool budget is {budget}")
+            }
+            SubmitError::QueueFull { cap } => {
+                write!(f, "submission queue is full ({cap} jobs) and the job's QoS sheds nothing")
+            }
+            SubmitError::Draining => write!(f, "pool is draining; submissions are closed"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Why a persisted queue file could not be decoded.
+#[derive(Debug)]
+pub enum QueueFormatError {
+    /// The container is unreadable or corrupt.
+    Format(BinFormatError),
+    /// A section decoded but its contents are inconsistent.
+    Inconsistent {
+        /// What invariant failed.
+        message: String,
+    },
+    /// An embedded checkpoint failed to decode.
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for QueueFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueueFormatError::Format(e) => write!(f, "queue format error: {e}"),
+            QueueFormatError::Inconsistent { message } => {
+                write!(f, "inconsistent queue file: {message}")
+            }
+            QueueFormatError::Checkpoint(e) => write!(f, "embedded checkpoint: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueueFormatError {}
+
+impl From<BinFormatError> for QueueFormatError {
+    fn from(e: BinFormatError) -> Self {
+        QueueFormatError::Format(e)
+    }
+}
+
+impl From<CheckpointError> for QueueFormatError {
+    fn from(e: CheckpointError) -> Self {
+        QueueFormatError::Checkpoint(e)
+    }
+}
+
+/// Snapshot of one job for `hqr jobs` listings.
+#[derive(Clone, Debug)]
+pub struct JobView {
+    /// The job's id.
+    pub id: JobId,
+    /// Tenant label.
+    pub tag: String,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Priority tier.
+    pub qos: QosClass,
+    /// Attempts started (initial run plus job-level retries).
+    pub attempts: u32,
+    /// Tasks completed in the current/last attempt.
+    pub tasks_done: usize,
+    /// Tasks in the job's DAG.
+    pub tasks_total: usize,
+    /// Last recorded error, if any.
+    pub error: Option<String>,
+    /// Wall-clock from submission to terminal state (terminal jobs only).
+    pub wall: Option<Duration>,
+}
+
+/// The factored output of a completed job.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// The factored matrix (R in the upper triangle, V blocks below).
+    pub a: TiledMatrix,
+    /// The Householder factor buffers.
+    pub factors: TFactors,
+}
+
+/// Terminal report for one job, returned by [`JobPool::wait`].
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// The job's id.
+    pub id: JobId,
+    /// The terminal state.
+    pub state: JobState,
+    /// Attempts started (initial run plus job-level retries).
+    pub attempts: u32,
+    /// The last error, if the job did not complete.
+    pub error: Option<String>,
+    /// Fault-recovery accounting accumulated across attempts.
+    pub stats: FaultStats,
+    /// The factorization (present iff `state == Completed` and this is the
+    /// first waiter to claim it).
+    pub result: Option<JobResult>,
+    /// Wall-clock from submission to the terminal state.
+    pub wall: Duration,
+}
+
+/// Pool sizing and robustness knobs.
+#[derive(Clone, Debug)]
+pub struct PoolConfig {
+    /// Worker threads shared by every job.
+    pub nthreads: usize,
+    /// Memory budget (bytes) for the *active* working set: admitted jobs'
+    /// tiles, factor buffers, and retained pristine payloads. `u64::MAX`
+    /// disables the gate.
+    pub mem_budget: u64,
+    /// Bounded submission queue: jobs accepted but not yet admitted.
+    pub queue_cap: usize,
+    /// Maximum concurrently active jobs; `0` means unbounded.
+    pub max_active: usize,
+    /// Supervisor poll interval (admission, deadlines, finalization).
+    pub tick: Duration,
+    /// First job-level retry backoff; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Upper bound on the job-level retry backoff.
+    pub backoff_cap: Duration,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            nthreads: 4,
+            mem_budget: u64::MAX,
+            queue_cap: 64,
+            max_active: 0,
+            tick: Duration::from_millis(1),
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Why an active job was halted (set once; first writer wins).
+#[derive(Debug)]
+enum Verdict {
+    /// A task exhausted its budgets; carries the engine error.
+    Fault(ExecError),
+    /// The per-attempt deadline elapsed.
+    Deadline(Duration),
+    /// The tenant cancelled the job.
+    Cancel,
+    /// A drain wants the job checkpointed at the next quiescent point.
+    Suspend,
+}
+
+/// One admitted job: the pool's unit of ownership. The [`TileStore`]'s raw
+/// pointers target the heap buffers owned by `a` and `factors` below —
+/// tiles are independently boxed slices, so moving this struct (or the
+/// `Arc` around it) never invalidates the store.
+struct ActiveJob {
+    /// Activation id — unique per *attempt*, so stale queue entries from a
+    /// previous incarnation of a retried job can never reach a new one.
+    rid: u64,
+    /// Public job id (stable across retries).
+    id: u64,
+    /// Admission order, for FCFS tie-breaking within a QoS class.
+    seq: u64,
+    qos_inv: u64,
+    graph: TaskGraph,
+    ranks: Vec<u64>,
+    store: TileStore,
+    guards: Option<GuardStore>,
+    plan: Option<FaultPlan>,
+    max_retries: u32,
+    recovery: bool,
+    full_integrity: bool,
+    indeg: Vec<AtomicU32>,
+    done: Vec<AtomicBool>,
+    remaining: AtomicUsize,
+    /// Workers currently holding (or about to run) one of this job's
+    /// tasks. Finalization requires `halted-or-finished` AND `inflight == 0`.
+    inflight: AtomicUsize,
+    halted: AtomicBool,
+    verdict: Mutex<Option<Verdict>>,
+    stats: Mutex<FaultStats>,
+    started: Instant,
+    deadline: Option<Duration>,
+    footprint: u64,
+    /// Inner block size in effect (recorded into suspension checkpoints).
+    ib: usize,
+    /// The job's elimination list (re-serialized on suspension/retry).
+    elims: Vec<ElimOp>,
+    /// Policy knobs, kept for retry and suspension re-queuing.
+    origin_policy: JobPolicy,
+    /// Pristine payload, retained while the job may still be retried.
+    origin_seed: Option<Seed>,
+    /// Backing storage for `store` (kept alive for the job's lifetime).
+    a: TiledMatrix,
+    factors: TFactors,
+}
+
+impl ActiveJob {
+    /// Record a verdict (first wins) and halt the job's tasks.
+    fn halt_with(&self, v: Verdict) {
+        let mut g = relock(&self.verdict);
+        if g.is_none() {
+            *g = Some(v);
+        }
+        drop(g);
+        self.halted.store(true, Ordering::SeqCst);
+    }
+}
+
+/// The per-job policy knobs, separated from the payload so retries and
+/// persistence can carry them around cheaply.
+#[derive(Clone, Debug)]
+struct JobPolicy {
+    ib: usize,
+    qos: QosClass,
+    policy: SchedPolicy,
+    integrity: IntegrityMode,
+    max_retries: u32,
+    job_retries: u32,
+    deadline: Option<Duration>,
+    plan: Option<FaultPlan>,
+    tag: String,
+}
+
+/// The pristine payload a retry re-runs from.
+#[derive(Clone, Debug)]
+enum Seed {
+    Fresh(TiledMatrix),
+    Resume(Box<Checkpoint>),
+}
+
+/// A job accepted but not currently active: waiting for admission, or
+/// waiting out a retry backoff.
+struct PendingJob {
+    id: u64,
+    seq: u64,
+    policy: JobPolicy,
+    elims: Vec<ElimOp>,
+    seed: Seed,
+    graph: TaskGraph,
+    footprint: u64,
+    attempts: u32,
+    not_before: Option<Instant>,
+}
+
+/// Bookkeeping for every job the pool ever accepted.
+struct JobRecord {
+    state: JobState,
+    qos: QosClass,
+    tag: String,
+    attempts: u32,
+    tasks_total: usize,
+    tasks_done: usize,
+    error: Option<String>,
+    stats: FaultStats,
+    submitted: Instant,
+    wall: Option<Duration>,
+    outcome: Option<JobOutcome>,
+}
+
+/// A job suspended by a drain: its policy plus the resumable checkpoint.
+struct SuspendedEntry {
+    policy: JobPolicy,
+    attempts: u32,
+    ckpt: Box<Checkpoint>,
+}
+
+/// What [`JobPool::drain`] accomplished.
+#[derive(Clone, Debug)]
+pub struct DrainReport {
+    /// Jobs that reached a terminal state during the drain window.
+    pub finished: usize,
+    /// Jobs halted at a quiescent point and checkpointed.
+    pub suspended: Vec<JobId>,
+    /// Entries written to the persisted queue (queued + suspended jobs).
+    pub persisted: usize,
+}
+
+/// One entry decoded from a persisted queue file.
+pub struct QueueEntry {
+    /// The job spec to resubmit ([`JobInput::Resume`] for suspended jobs).
+    pub spec: JobSpec,
+    /// Job-level attempts already consumed before persistence.
+    pub attempts: u32,
+}
+
+type ReadyKey = Reverse<(u64, u64, u64, u32, u64)>;
+
+struct Shared {
+    cfg: PoolConfig,
+    next_id: AtomicU64,
+    next_rid: AtomicU64,
+    next_seq: AtomicU64,
+    pending: Mutex<Vec<PendingJob>>,
+    records: Mutex<HashMap<u64, JobRecord>>,
+    waiters: Condvar,
+    active: RwLock<HashMap<u64, Arc<ActiveJob>>>,
+    /// Shared ready heap: (qos_inv, seq, rank, tid, rid), min-ordered.
+    ready: Mutex<BinaryHeap<ReadyKey>>,
+    cancel_requests: Mutex<Vec<u64>>,
+    suspended: Mutex<Vec<SuspendedEntry>>,
+    active_footprint: AtomicU64,
+    draining: AtomicBool,
+    stop: AtomicBool,
+}
+
+impl Shared {
+    fn push_ready(&self, job: &ActiveJob, tid: u32) {
+        relock(&self.ready).push(Reverse((
+            job.qos_inv,
+            job.seq,
+            job.ranks[tid as usize],
+            tid,
+            job.rid,
+        )));
+    }
+
+    fn notify_records<R>(&self, f: impl FnOnce(&mut HashMap<u64, JobRecord>) -> R) -> R {
+        let mut recs = relock(&self.records);
+        let r = f(&mut recs);
+        drop(recs);
+        self.waiters.notify_all();
+        r
+    }
+}
+
+/// The multi-job pool: owned worker threads plus a supervisor enforcing
+/// admission, deadlines, retry/quarantine, and drain.
+pub struct JobPool {
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Bytes resident for one admitted job: matrix tiles plus the factor
+/// buffers its graph allocates (guards are negligible next to either).
+fn working_set_bytes(graph: &TaskGraph) -> u64 {
+    let bb = (graph.b() * graph.b() * std::mem::size_of::<f64>()) as u64;
+    let tiles = (graph.mt() * graph.nt()) as u64;
+    let mut factor_bufs = 0u64;
+    for t in graph.tasks() {
+        factor_bufs += match t.kind {
+            KernelKind::Geqrt => 2,
+            KernelKind::Tsqrt | KernelKind::Ttqrt => 1,
+            _ => 0,
+        };
+    }
+    (tiles + factor_bufs) * bb
+}
+
+fn invalid(message: impl Into<String>) -> SubmitError {
+    SubmitError::Invalid { message: message.into() }
+}
+
+/// Validate a spec and build its graph + footprint. Shared by `submit`
+/// and the retry path (which revalidated once already, but is cheap).
+fn prepare(spec: &JobSpec) -> Result<(Vec<ElimOp>, TaskGraph, usize, u64), SubmitError> {
+    if let Some(p) = &spec.plan {
+        if p.poisons_any_worker() {
+            return Err(invalid("fault plans with poisoned workers are engine-only"));
+        }
+        if p.loses_any_completion() {
+            return Err(invalid("fault plans that lose completions are engine-only"));
+        }
+    }
+    let (elims, mt, nt, b) = match &spec.input {
+        JobInput::Fresh { elims, a } => (elims.clone(), a.mt(), a.nt(), a.b()),
+        JobInput::Resume(ck) => (ck.elims.clone(), ck.mt, ck.nt, ck.b),
+    };
+    let graph = TaskGraph::try_build(mt, nt, b, &elims)
+        .map_err(|e| invalid(format!("elimination list rejected: {e}")))?;
+    let ib = effective_ib(spec, b).map_err(|message| SubmitError::Invalid { message })?;
+    if let JobInput::Resume(ck) = &spec.input {
+        ck.validate_against(&graph, ib)
+            .map_err(|e| invalid(format!("checkpoint rejected: {e}")))?;
+    }
+    let footprint = working_set_bytes(&graph);
+    let retain = spec.job_retries > 0;
+    let need = if retain { footprint + matrix_bytes(&graph) } else { footprint };
+    Ok((elims, graph, ib, need))
+}
+
+fn matrix_bytes(graph: &TaskGraph) -> u64 {
+    (graph.mt() * graph.nt() * graph.b() * graph.b() * std::mem::size_of::<f64>()) as u64
+}
+
+fn effective_ib(spec: &JobSpec, b: usize) -> Result<usize, String> {
+    let ib = match (&spec.input, spec.ib) {
+        (JobInput::Resume(ck), None) => ck.ib,
+        (JobInput::Resume(ck), Some(ib)) if ib != ck.ib => {
+            return Err(format!("spec ib={ib} but the checkpoint was taken with ib={}", ck.ib));
+        }
+        (_, Some(ib)) => ib,
+        (_, None) => b,
+    };
+    if ib == 0 || ib > b {
+        return Err(format!("inner block size {ib} must be in 1..={b}"));
+    }
+    Ok(ib)
+}
+
+impl JobPool {
+    /// Spawn the worker threads and supervisor for a new pool.
+    pub fn new(cfg: PoolConfig) -> JobPool {
+        let nthreads = cfg.nthreads.max(1);
+        let shared = Arc::new(Shared {
+            cfg: PoolConfig { nthreads, ..cfg },
+            next_id: AtomicU64::new(1),
+            next_rid: AtomicU64::new(1),
+            next_seq: AtomicU64::new(1),
+            pending: Mutex::new(Vec::new()),
+            records: Mutex::new(HashMap::new()),
+            waiters: Condvar::new(),
+            active: RwLock::new(HashMap::new()),
+            ready: Mutex::new(BinaryHeap::new()),
+            cancel_requests: Mutex::new(Vec::new()),
+            suspended: Mutex::new(Vec::new()),
+            active_footprint: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+        });
+        let workers: Vec<Worker<(u64, u32)>> = (0..nthreads).map(|_| Worker::new_lifo()).collect();
+        let stealers: Arc<Vec<Stealer<(u64, u32)>>> =
+            Arc::new(workers.iter().map(Worker::stealer).collect());
+        let mut handles = Vec::with_capacity(nthreads + 1);
+        for (me, local) in workers.into_iter().enumerate() {
+            let shared = Arc::clone(&shared);
+            let stealers = Arc::clone(&stealers);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("hqr-pool-{me}"))
+                    .spawn(move || worker_loop(&shared, me, &local, &stealers))
+                    .expect("spawn pool worker"),
+            );
+        }
+        {
+            let shared = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name("hqr-pool-supervisor".into())
+                    .spawn(move || supervisor_loop(&shared))
+                    .expect("spawn pool supervisor"),
+            );
+        }
+        JobPool { shared, handles: Mutex::new(handles) }
+    }
+
+    /// Submit one job. Admission-control decisions (budget, backpressure,
+    /// shedding) happen here and in the supervisor; an `Ok` id means the
+    /// job was *accepted* and will reach a terminal state observable via
+    /// [`JobPool::wait`].
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {
+        let s = &*self.shared;
+        if s.draining.load(Ordering::SeqCst) || s.stop.load(Ordering::SeqCst) {
+            return Err(SubmitError::Draining);
+        }
+        let (elims, graph, ib, need) = prepare(&spec)?;
+        if need > s.cfg.mem_budget {
+            return Err(SubmitError::OverBudget { need, budget: s.cfg.mem_budget });
+        }
+        let JobSpec {
+            input,
+            qos,
+            policy,
+            integrity,
+            max_retries,
+            job_retries,
+            deadline,
+            plan,
+            tag,
+            ..
+        } = spec;
+        let seed = match input {
+            JobInput::Fresh { a, .. } => Seed::Fresh(a),
+            JobInput::Resume(ck) => Seed::Resume(ck),
+        };
+        let jp = JobPolicy {
+            ib,
+            qos,
+            policy,
+            integrity,
+            max_retries,
+            job_retries,
+            deadline,
+            plan,
+            tag: tag.clone(),
+        };
+        let tasks_total = graph.tasks().len();
+        let mut pending = relock(&s.pending);
+        if pending.len() >= s.cfg.queue_cap {
+            // Load shedding: evict the lowest-QoS queued job iff the
+            // arrival strictly outranks it; shed the *newest* of that
+            // class so older accepted work keeps its place.
+            let victim = pending
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.policy.qos < qos)
+                .min_by_key(|(_, p)| (p.policy.qos, Reverse(p.seq)))
+                .map(|(i, _)| i);
+            match victim {
+                Some(i) => {
+                    let shed = pending.remove(i);
+                    s.notify_records(|recs| {
+                        if let Some(r) = recs.get_mut(&shed.id) {
+                            r.state = JobState::Shed;
+                            r.wall = Some(r.submitted.elapsed());
+                            r.error = Some("shed by a higher-QoS arrival".into());
+                            r.outcome = Some(JobOutcome {
+                                id: JobId(shed.id),
+                                state: JobState::Shed,
+                                attempts: r.attempts,
+                                error: r.error.clone(),
+                                stats: r.stats,
+                                result: None,
+                                wall: r.wall.unwrap_or_default(),
+                            });
+                        }
+                    });
+                }
+                None => return Err(SubmitError::QueueFull { cap: s.cfg.queue_cap }),
+            }
+        }
+        let id = s.next_id.fetch_add(1, Ordering::Relaxed);
+        let seq = s.next_seq.fetch_add(1, Ordering::Relaxed);
+        pending.push(PendingJob {
+            id,
+            seq,
+            policy: jp,
+            elims,
+            seed,
+            graph,
+            footprint: need,
+            attempts: 0,
+            not_before: None,
+        });
+        drop(pending);
+        let mut recs = relock(&s.records);
+        recs.insert(
+            id,
+            JobRecord {
+                state: JobState::Queued,
+                qos,
+                tag,
+                attempts: 0,
+                tasks_total,
+                tasks_done: 0,
+                error: None,
+                stats: FaultStats::default(),
+                submitted: Instant::now(),
+                wall: None,
+                outcome: None,
+            },
+        );
+        drop(recs);
+        Ok(JobId(id))
+    }
+
+    /// Block until `id` reaches a terminal state and return its outcome.
+    /// The factored matrix is handed to the first waiter; later waiters
+    /// (and waits on already-reported jobs) get a payload-less outcome.
+    /// Returns `None` for ids this pool never accepted.
+    pub fn wait(&self, id: JobId) -> Option<JobOutcome> {
+        let s = &*self.shared;
+        let mut recs = relock(&s.records);
+        loop {
+            let r = recs.get_mut(&id.0)?;
+            if let Some(out) = r.outcome.take() {
+                return Some(out);
+            }
+            if r.state.is_terminal() {
+                return Some(JobOutcome {
+                    id,
+                    state: r.state,
+                    attempts: r.attempts,
+                    error: r.error.clone(),
+                    stats: r.stats,
+                    result: None,
+                    wall: r.wall.unwrap_or_default(),
+                });
+            }
+            recs = s.waiters.wait(recs).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Current snapshot of one job.
+    pub fn status(&self, id: JobId) -> Option<JobView> {
+        self.jobs().into_iter().find(|v| v.id == id)
+    }
+
+    /// Current snapshot of every job the pool has accepted, newest first.
+    pub fn jobs(&self) -> Vec<JobView> {
+        let s = &*self.shared;
+        let live: HashMap<u64, usize> = {
+            let active = s.active.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+            active
+                .values()
+                .map(|j| (j.id, j.graph.tasks().len() - j.remaining.load(Ordering::Acquire)))
+                .collect()
+        };
+        let recs = relock(&s.records);
+        let mut out: Vec<JobView> = recs
+            .iter()
+            .map(|(&id, r)| JobView {
+                id: JobId(id),
+                tag: r.tag.clone(),
+                state: r.state,
+                qos: r.qos,
+                attempts: r.attempts,
+                tasks_done: live.get(&id).copied().unwrap_or(r.tasks_done),
+                tasks_total: r.tasks_total,
+                error: r.error.clone(),
+                wall: r.wall,
+            })
+            .collect();
+        out.sort_by_key(|v| Reverse(v.id));
+        out
+    }
+
+    /// Request cancellation. Returns `false` for unknown or already
+    /// terminal jobs; otherwise the job reaches [`JobState::Cancelled`].
+    pub fn cancel(&self, id: JobId) -> bool {
+        let s = &*self.shared;
+        let recs = relock(&s.records);
+        let Some(r) = recs.get(&id.0) else { return false };
+        if r.state.is_terminal() {
+            return false;
+        }
+        drop(recs);
+        relock(&s.cancel_requests).push(id.0);
+        true
+    }
+
+    /// True when no job is queued, active, or awaiting finalization.
+    pub fn is_idle(&self) -> bool {
+        let s = &*self.shared;
+        relock(&s.pending).is_empty()
+            && s.active.read().unwrap_or_else(std::sync::PoisonError::into_inner).is_empty()
+    }
+
+    /// Graceful drain: stop admitting, give running jobs `grace` to
+    /// finish, then checkpoint the stragglers at a quiescent point and
+    /// persist the whole queue (never-started + suspended jobs) to
+    /// `persist`, if given. Blocks until the pool is quiet.
+    pub fn drain(&self, grace: Duration, persist: Option<&Path>) -> std::io::Result<DrainReport> {
+        let s = &*self.shared;
+        s.draining.store(true, Ordering::SeqCst);
+        let terminal_before: HashSet<u64> = {
+            let recs = relock(&s.records);
+            recs.iter().filter(|(_, r)| r.state.is_terminal()).map(|(&id, _)| id).collect()
+        };
+        let deadline = Instant::now() + grace;
+        loop {
+            let active_empty =
+                s.active.read().unwrap_or_else(std::sync::PoisonError::into_inner).is_empty();
+            if active_empty || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(s.cfg.tick);
+        }
+        // Suspend whatever is still running.
+        {
+            let active = s.active.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+            for job in active.values() {
+                job.halt_with(Verdict::Suspend);
+            }
+        }
+        // Quiesce. An empty active map is not enough: the supervisor
+        // removes a job from the map *before* concluding it (pushing its
+        // suspended checkpoint, settling its record), so breaking on
+        // emptiness alone can snapshot mid-conclusion and silently drop
+        // the last job. A record leaves `Running` only inside that
+        // conclusion, so also wait for every running record to settle.
+        loop {
+            let active_empty =
+                s.active.read().unwrap_or_else(std::sync::PoisonError::into_inner).is_empty();
+            let running_settled =
+                !relock(&s.records).values().any(|r| r.state == JobState::Running);
+            if active_empty && running_settled {
+                break;
+            }
+            std::thread::sleep(s.cfg.tick);
+        }
+        let mut finished = 0usize;
+        let suspended_ids: Vec<JobId>;
+        {
+            let recs = relock(&s.records);
+            suspended_ids = recs
+                .iter()
+                .filter(|(_, r)| r.state == JobState::Suspended)
+                .map(|(&id, _)| JobId(id))
+                .collect();
+            finished += recs
+                .iter()
+                .filter(|(id, r)| {
+                    !terminal_before.contains(id)
+                        && matches!(
+                            r.state,
+                            JobState::Completed | JobState::Cancelled | JobState::Quarantined
+                        )
+                })
+                .count();
+        }
+        // Persist: never-started pending jobs keep their fresh payloads;
+        // suspended jobs are embedded as resumable checkpoints.
+        let pending: Vec<PendingJob> = std::mem::take(&mut *relock(&s.pending));
+        let suspended: Vec<SuspendedEntry> = std::mem::take(&mut *relock(&s.suspended));
+        let persisted = pending.len() + suspended.len();
+        if let Some(path) = persist {
+            let mut w = SectionWriter::new(QUEUE_MAGIC, QUEUE_VERSION);
+            let mut index = 0u32;
+            for p in &pending {
+                let spec = pending_to_spec(p);
+                spec_sections(&mut w, &spec, QSEC_BASE + index * QSEC_STRIDE, p.attempts);
+                index += 1;
+            }
+            for e in &suspended {
+                let spec = suspended_to_spec(e);
+                spec_sections(&mut w, &spec, QSEC_BASE + index * QSEC_STRIDE, e.attempts);
+                index += 1;
+            }
+            w.section(QSEC_COUNT, &bytes_of_u64s(&[index as u64]));
+            w.write_atomic(path).map_err(|e| {
+                std::io::Error::other(format!("failed to persist queue to {}: {e}", path.display()))
+            })?;
+        }
+        Ok(DrainReport { finished, suspended: suspended_ids, persisted })
+    }
+
+    /// Stop the pool: finish active jobs, mark still-queued jobs as shed,
+    /// and join every thread. The pool accepts nothing afterwards.
+    pub fn shutdown(&self) {
+        let s = &*self.shared;
+        s.draining.store(true, Ordering::SeqCst);
+        loop {
+            let active_empty =
+                s.active.read().unwrap_or_else(std::sync::PoisonError::into_inner).is_empty();
+            if active_empty {
+                break;
+            }
+            std::thread::sleep(s.cfg.tick);
+        }
+        let pending: Vec<PendingJob> = std::mem::take(&mut *relock(&s.pending));
+        if !pending.is_empty() {
+            s.notify_records(|recs| {
+                for p in &pending {
+                    if let Some(r) = recs.get_mut(&p.id) {
+                        r.state = JobState::Shed;
+                        r.wall = Some(r.submitted.elapsed());
+                        r.error = Some("pool shut down before admission".into());
+                    }
+                }
+            });
+        }
+        s.stop.store(true, Ordering::SeqCst);
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *relock(&self.handles));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for JobPool {
+    fn drop(&mut self) {
+        let s = &*self.shared;
+        // Abandon outstanding work: halt active jobs so workers stop
+        // touching them, then stop the threads.
+        s.draining.store(true, Ordering::SeqCst);
+        {
+            let active = s.active.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+            for job in active.values() {
+                job.halt_with(Verdict::Cancel);
+            }
+        }
+        s.stop.store(true, Ordering::SeqCst);
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *relock(&self.handles));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Convert a never-started pending job back into a submittable spec.
+fn pending_to_spec(p: &PendingJob) -> JobSpec {
+    let input = match &p.seed {
+        Seed::Fresh(a) => JobInput::Fresh { elims: p.elims.clone(), a: a.clone() },
+        Seed::Resume(ck) => JobInput::Resume(ck.clone()),
+    };
+    policy_to_spec(input, &p.policy)
+}
+
+fn suspended_to_spec(e: &SuspendedEntry) -> JobSpec {
+    policy_to_spec(JobInput::Resume(e.ckpt.clone()), &e.policy)
+}
+
+fn policy_to_spec(input: JobInput, jp: &JobPolicy) -> JobSpec {
+    JobSpec {
+        input,
+        ib: Some(jp.ib),
+        qos: jp.qos,
+        policy: jp.policy,
+        integrity: jp.integrity,
+        max_retries: jp.max_retries,
+        job_retries: jp.job_retries,
+        deadline: jp.deadline,
+        plan: None, // injection is in-process test machinery, never persisted
+        tag: jp.tag.clone(),
+    }
+}
+
+/// Append one spec's sections to a queue container at tag `base`.
+fn spec_sections(w: &mut SectionWriter, spec: &JobSpec, base: u32, attempts: u32) {
+    let kind = match &spec.input {
+        JobInput::Fresh { .. } => 0u64,
+        JobInput::Resume(_) => 1u64,
+    };
+    let meta = [
+        kind,
+        spec.qos as u64,
+        spec.policy_word(),
+        spec.integrity_word(),
+        spec.ib.map_or(0, |ib| ib as u64),
+        spec.max_retries as u64,
+        spec.job_retries as u64,
+        spec.deadline.map_or(u64::MAX, |d| d.as_millis() as u64),
+        attempts as u64,
+    ];
+    w.section(base + QOFF_META, &bytes_of_u64s(&meta));
+    w.section(base + QOFF_TAG, spec.tag.as_bytes());
+    match &spec.input {
+        JobInput::Fresh { elims, a } => {
+            w.section(base + QOFF_ELIMS, &bytes_of_u64s(&elims_to_words(elims)));
+            w.section(base + QOFF_TILES, &hqr_tile::io::tiled_to_bytes(a));
+        }
+        JobInput::Resume(ck) => {
+            w.section(base + QOFF_CKPT, &checkpoint_to_bytes(ck));
+        }
+    }
+}
+
+fn spec_from_sections(r: &SectionReader, base: u32) -> Result<(JobSpec, u32), QueueFormatError> {
+    let meta = u64s_of_bytes(base + QOFF_META, r.require(base + QOFF_META)?)?;
+    if meta.len() != 9 {
+        return Err(QueueFormatError::Inconsistent {
+            message: format!("entry meta holds {} words, expected 9", meta.len()),
+        });
+    }
+    let qos = QosClass::from_index(meta[1]).ok_or(QueueFormatError::Inconsistent {
+        message: format!("unknown QoS index {}", meta[1]),
+    })?;
+    let policy = match meta[2] {
+        0 => SchedPolicy::Fifo,
+        1 => SchedPolicy::PanelFirst,
+        2 => SchedPolicy::CriticalPath,
+        other => {
+            return Err(QueueFormatError::Inconsistent {
+                message: format!("unknown policy index {other}"),
+            })
+        }
+    };
+    let integrity = match meta[3] {
+        0 => IntegrityMode::Off,
+        1 => IntegrityMode::Spot,
+        2 => IntegrityMode::Full,
+        other => {
+            return Err(QueueFormatError::Inconsistent {
+                message: format!("unknown integrity index {other}"),
+            })
+        }
+    };
+    let tag = String::from_utf8(r.require(base + QOFF_TAG)?.to_vec())
+        .map_err(|_| QueueFormatError::Inconsistent { message: "entry tag is not UTF-8".into() })?;
+    let input = match meta[0] {
+        0 => {
+            let words = u64s_of_bytes(base + QOFF_ELIMS, r.require(base + QOFF_ELIMS)?)?;
+            let elims = elims_from_words(base + QOFF_ELIMS, &words).map_err(|e| {
+                QueueFormatError::Inconsistent { message: format!("entry elims: {e}") }
+            })?;
+            let a =
+                hqr_tile::io::tiled_from_bytes(base + QOFF_TILES, r.require(base + QOFF_TILES)?)?;
+            JobInput::Fresh { elims, a }
+        }
+        1 => {
+            let ck = checkpoint_from_bytes(r.require(base + QOFF_CKPT)?.to_vec())?;
+            JobInput::Resume(Box::new(ck))
+        }
+        other => {
+            return Err(QueueFormatError::Inconsistent {
+                message: format!("unknown entry kind {other}"),
+            })
+        }
+    };
+    Ok((
+        JobSpec {
+            input,
+            ib: if meta[4] == 0 { None } else { Some(meta[4] as usize) },
+            qos,
+            policy,
+            integrity,
+            max_retries: meta[5] as u32,
+            job_retries: meta[6] as u32,
+            deadline: if meta[7] == u64::MAX { None } else { Some(Duration::from_millis(meta[7])) },
+            plan: None,
+            tag,
+        },
+        meta[8] as u32,
+    ))
+}
+
+/// Decode a queue file written by [`JobPool::drain`]: the entries a
+/// restarted service should resubmit (fresh jobs with their original
+/// payloads, suspended jobs as resumable checkpoints).
+pub fn load_queue(path: &Path) -> Result<Vec<QueueEntry>, QueueFormatError> {
+    let r = SectionReader::read(path, QUEUE_MAGIC, QUEUE_VERSION)?;
+    let count = u64s_of_bytes(QSEC_COUNT, r.require(QSEC_COUNT)?)?;
+    let n = *count
+        .first()
+        .ok_or(QueueFormatError::Inconsistent { message: "missing entry count".into() })?
+        as usize;
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let (spec, attempts) = spec_from_sections(&r, QSEC_BASE + (i as u32) * QSEC_STRIDE)?;
+        out.push(QueueEntry { spec, attempts });
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+fn steal_pool_task(
+    shared: &Shared,
+    stealers: &[Stealer<(u64, u32)>],
+    me: usize,
+) -> Option<(u64, u32)> {
+    loop {
+        let mut contended = false;
+        if let Some(Reverse((_, _, _, tid, rid))) = relock(&shared.ready).pop() {
+            return Some((rid, tid));
+        }
+        let n = stealers.len();
+        for off in 1..n {
+            match stealers[(me + off) % n].steal() {
+                Steal::Success(e) => return Some(e),
+                Steal::Retry => contended = true,
+                Steal::Empty => {}
+            }
+        }
+        if !contended {
+            return None;
+        }
+    }
+}
+
+fn worker_loop(
+    shared: &Shared,
+    me: usize,
+    local: &Worker<(u64, u32)>,
+    stealers: &[Stealer<(u64, u32)>],
+) {
+    // Caught panics (injected faults, kernel bugs) are expected events on
+    // this thread for the pool's whole lifetime — keep them off stderr.
+    let _quiet = crate::fault::QuietPanics::engage();
+    let backoff = Backoff::new();
+    loop {
+        let next = match local.pop() {
+            Some(e) => Some(e),
+            None => steal_pool_task(shared, stealers, me),
+        };
+        let Some((rid, tid)) = next else {
+            if shared.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            if backoff.is_completed() {
+                // Same idle discipline as the engine: bounded naps once the
+                // spin ladder is exhausted, with the stop flag re-checked
+                // first so shutdown never pays an extra park.
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                std::thread::sleep(IDLE_PARK);
+            } else {
+                backoff.snooze();
+            }
+            continue;
+        };
+        backoff.reset();
+        let job = {
+            let active = shared.active.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+            active.get(&rid).cloned()
+        };
+        // A missing rid means the incarnation already finalized (or was
+        // retired by a retry); the queue entry is stale — skip it.
+        let Some(job) = job else { continue };
+        // Inflight is raised BEFORE the halt check (and the supervisor
+        // halts BEFORE reading inflight, both SeqCst), so finalization can
+        // never observe inflight == 0 while this worker goes on to run a
+        // task: either we see `halted` and bail, or the supervisor sees
+        // our increment and waits.
+        job.inflight.fetch_add(1, Ordering::SeqCst);
+        if !job.halted.load(Ordering::SeqCst) && !job.done[tid as usize].load(Ordering::Acquire) {
+            run_job_task(shared, &job, tid, me, local);
+        }
+        job.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn run_job_task(
+    shared: &Shared,
+    job: &Arc<ActiveJob>,
+    tid: u32,
+    me: usize,
+    local: &Worker<(u64, u32)>,
+) {
+    let t = &job.graph.tasks()[tid as usize];
+    let ctx = AttemptCtx {
+        store: &job.store,
+        guards: job.guards.as_ref(),
+        plan: job.plan.as_ref(),
+        max_retries: job.max_retries,
+        recovery: job.recovery,
+        full_integrity: job.full_integrity,
+        poisoned: false,
+        me,
+        halt: Some(&job.halted),
+    };
+    let mut wstats = FaultStats::default();
+    let mut counters = WorkerCounters::default();
+    // SAFETY contract of `attempt_task`: `tid` is ready (released by its
+    // last predecessor) and not done, so within this job's DAG this worker
+    // holds exclusive access to its read/write sets; distinct jobs never
+    // share buffers at all.
+    let end = attempt_task(&ctx, t, tid, &mut wstats, &mut counters, &mut |_| {});
+    if wstats != FaultStats::default() {
+        relock(&job.stats).merge(&wstats);
+    }
+    match end {
+        AttemptEnd::Done { .. } => {
+            job.done[tid as usize].store(true, Ordering::Release);
+            // Keep the best-ranked released successor local (data reuse),
+            // publish the rest on the shared QoS-major heap.
+            let mut keep: Option<u32> = None;
+            for &s in job.graph.successors(tid as usize) {
+                if job.indeg[s as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    match keep {
+                        Some(k) if job.ranks[s as usize] < job.ranks[k as usize] => {
+                            shared.push_ready(job, k);
+                            keep = Some(s);
+                        }
+                        Some(_) => shared.push_ready(job, s),
+                        None => keep = Some(s),
+                    }
+                }
+            }
+            if let Some(s) = keep {
+                local.push((job.rid, s));
+            }
+            job.remaining.fetch_sub(1, Ordering::AcqRel);
+        }
+        AttemptEnd::Fail { attempts, message } => {
+            let e = if job.recovery {
+                ExecError::TaskFailed { task: tid, kernel: t.kind, attempts, message }
+            } else {
+                ExecError::WorkerPanicked { task: tid, kernel: t.kind, worker: me, message }
+            };
+            job.halt_with(Verdict::Fault(e));
+        }
+        AttemptEnd::Sdc { attempts, slot, message } => {
+            job.halt_with(Verdict::Fault(ExecError::SdcDetected {
+                task: tid,
+                kernel: t.kind,
+                slot,
+                attempts,
+                message,
+            }));
+        }
+        AttemptEnd::InputSdc { slot, message } => {
+            job.halt_with(Verdict::Fault(ExecError::SdcDetected {
+                task: tid,
+                kernel: t.kind,
+                slot,
+                attempts: 0,
+                message,
+            }));
+        }
+        // The job was halted between attempts (cancel/deadline/drain);
+        // whoever halted it recorded the verdict. The task is not done.
+        AttemptEnd::Aborted => {}
+        // Pool workers are never poisoned (rejected at submission).
+        AttemptEnd::Requeue => unreachable!("pool workers are never poisoned"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor side
+// ---------------------------------------------------------------------------
+
+fn supervisor_loop(shared: &Shared) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        supervisor_tick(shared);
+        std::thread::sleep(shared.cfg.tick);
+    }
+}
+
+fn supervisor_tick(shared: &Shared) {
+    process_cancellations(shared);
+    enforce_deadlines(shared);
+    finalize_jobs(shared);
+    admit_jobs(shared);
+}
+
+fn process_cancellations(shared: &Shared) {
+    let requests: Vec<u64> = std::mem::take(&mut *relock(&shared.cancel_requests));
+    if requests.is_empty() {
+        return;
+    }
+    for id in requests {
+        // Queued? Remove and mark terminal.
+        let removed = {
+            let mut pending = relock(&shared.pending);
+            match pending.iter().position(|p| p.id == id) {
+                Some(i) => {
+                    pending.remove(i);
+                    true
+                }
+                None => false,
+            }
+        };
+        if removed {
+            shared.notify_records(|recs| {
+                if let Some(r) = recs.get_mut(&id) {
+                    r.state = JobState::Cancelled;
+                    r.wall = Some(r.submitted.elapsed());
+                    r.error = Some("cancelled while queued".into());
+                }
+            });
+            continue;
+        }
+        // Active? Halt; finalization turns the verdict into Cancelled.
+        let active = shared.active.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(job) = active.values().find(|j| j.id == id) {
+            job.halt_with(Verdict::Cancel);
+        }
+    }
+}
+
+fn enforce_deadlines(shared: &Shared) {
+    let active = shared.active.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+    for job in active.values() {
+        if let Some(d) = job.deadline {
+            // A job that already finished its last task but has not been
+            // finalized yet has met its deadline — don't fail it on a
+            // supervisor scheduling artifact.
+            if !job.halted.load(Ordering::SeqCst)
+                && job.remaining.load(Ordering::Acquire) > 0
+                && job.started.elapsed() > d
+            {
+                job.halt_with(Verdict::Deadline(d));
+            }
+        }
+    }
+}
+
+/// Exponential backoff for job-level retries: `base * 2^(attempts-1)`,
+/// capped.
+fn retry_backoff(cfg: &PoolConfig, attempts: u32) -> Duration {
+    let shift = attempts.saturating_sub(1).min(20);
+    let raw = cfg.backoff_base.saturating_mul(1u32 << shift);
+    raw.min(cfg.backoff_cap)
+}
+
+fn finalize_jobs(shared: &Shared) {
+    // Snapshot candidate rids only — holding an Arc clone here would keep
+    // the strong count above 1 and wedge the ownership-recovery spin below.
+    let candidates: Vec<u64> = {
+        let active = shared.active.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+        active
+            .iter()
+            .filter(|(_, j)| {
+                let finished = j.remaining.load(Ordering::Acquire) == 0;
+                let halted = j.halted.load(Ordering::SeqCst);
+                (finished || halted) && j.inflight.load(Ordering::SeqCst) == 0
+            })
+            .map(|(&rid, _)| rid)
+            .collect()
+    };
+    for rid in candidates {
+        // A worker that raced us holds only a transient Arc clone (it sees
+        // `halted` or an all-done bitmap and drops it within one step);
+        // the unwrap spin below absorbs it.
+        let Some(arc) =
+            shared.active.write().unwrap_or_else(std::sync::PoisonError::into_inner).remove(&rid)
+        else {
+            continue;
+        };
+        shared.active_footprint.fetch_sub(arc.footprint, Ordering::SeqCst);
+        let mut arc = arc;
+        let job = loop {
+            match Arc::try_unwrap(arc) {
+                Ok(job) => break job,
+                Err(back) => {
+                    arc = back;
+                    // A worker still holds a transient clone (it will drop
+                    // it within its current scheduling step).
+                    std::thread::yield_now();
+                }
+            }
+        };
+        conclude_job(shared, job);
+    }
+}
+
+/// Turn one quiesced, owned job into a terminal record, a retry, or a
+/// suspension.
+fn conclude_job(shared: &Shared, job: ActiveJob) {
+    let verdict = relock(&job.verdict).take();
+    let stats = *relock(&job.stats);
+    let tasks_total = job.graph.tasks().len();
+    let tasks_done = tasks_total - job.remaining.load(Ordering::Acquire);
+    let id = job.id;
+    match verdict {
+        None => {
+            // Clean completion.
+            debug_assert_eq!(tasks_done, tasks_total);
+            let ActiveJob { a, factors, .. } = job;
+            shared.notify_records(|recs| {
+                if let Some(r) = recs.get_mut(&id) {
+                    r.state = JobState::Completed;
+                    r.stats.merge(&stats);
+                    r.tasks_done = tasks_done;
+                    r.wall = Some(r.submitted.elapsed());
+                    r.outcome = Some(JobOutcome {
+                        id: JobId(id),
+                        state: JobState::Completed,
+                        attempts: r.attempts,
+                        error: None,
+                        stats: r.stats,
+                        result: Some(JobResult { a, factors }),
+                        wall: r.wall.unwrap_or_default(),
+                    });
+                }
+            });
+        }
+        Some(Verdict::Cancel) => {
+            shared.notify_records(|recs| {
+                if let Some(r) = recs.get_mut(&id) {
+                    r.state = JobState::Cancelled;
+                    r.stats.merge(&stats);
+                    r.tasks_done = tasks_done;
+                    r.wall = Some(r.submitted.elapsed());
+                    r.error = Some("cancelled while running".into());
+                }
+            });
+        }
+        Some(Verdict::Suspend) => {
+            suspend_job(shared, job, stats, tasks_done);
+        }
+        Some(v) => {
+            let message = match &v {
+                Verdict::Fault(e) => e.to_string(),
+                Verdict::Deadline(d) => format!("deadline of {d:?} exceeded"),
+                _ => unreachable!(),
+            };
+            retry_or_quarantine(shared, job, stats, tasks_done, message);
+        }
+    }
+}
+
+fn suspend_job(shared: &Shared, job: ActiveJob, stats: FaultStats, tasks_done: usize) {
+    let id = job.id;
+    // At quiescence the done set is exactly the completed tasks, and a task
+    // only completes after all its predecessors did — so the set is closed
+    // under predecessors, which is precisely what `validate_against`
+    // requires of a resumable checkpoint.
+    let completed: Vec<bool> = job.done.iter().map(|d| d.load(Ordering::Acquire)).collect();
+    let ckpt = Checkpoint {
+        mt: job.graph.mt(),
+        nt: job.graph.nt(),
+        b: job.graph.b(),
+        ib: job.ib,
+        fingerprint: graph_fingerprint(&job.graph, job.ib),
+        input_seed: 0,
+        elims: job.elims.clone(),
+        completed,
+        a: job.a.clone(),
+        factors: job.factors.clone(),
+    };
+    let attempts = {
+        let recs = relock(&shared.records);
+        recs.get(&id).map_or(0, |r| r.attempts)
+    };
+    relock(&shared.suspended).push(SuspendedEntry {
+        policy: job.origin_policy.clone(),
+        attempts,
+        ckpt: Box::new(ckpt),
+    });
+    shared.notify_records(|recs| {
+        if let Some(r) = recs.get_mut(&id) {
+            r.state = JobState::Suspended;
+            r.stats.merge(&stats);
+            r.tasks_done = tasks_done;
+            r.wall = Some(r.submitted.elapsed());
+            r.error = Some("suspended by drain; state checkpointed".into());
+        }
+    });
+}
+
+fn retry_or_quarantine(
+    shared: &Shared,
+    job: ActiveJob,
+    stats: FaultStats,
+    tasks_done: usize,
+    message: String,
+) {
+    let id = job.id;
+    let seq = job.seq;
+    let attempts = {
+        let recs = relock(&shared.records);
+        recs.get(&id).map_or(1, |r| r.attempts)
+    };
+    // `attempts` counts runs started; the budget allows `job_retries`
+    // re-runs on top of the first.
+    let can_retry = attempts <= job.origin_policy.job_retries && job.origin_seed.is_some();
+    if can_retry {
+        let not_before = Instant::now() + retry_backoff(&shared.cfg, attempts);
+        let ActiveJob { origin_policy, origin_seed, elims, graph, footprint, .. } = job;
+        relock(&shared.pending).push(PendingJob {
+            id,
+            seq,
+            policy: origin_policy,
+            elims,
+            seed: origin_seed.expect("checked above"),
+            graph,
+            footprint,
+            attempts,
+            not_before: Some(not_before),
+        });
+        shared.notify_records(|recs| {
+            if let Some(r) = recs.get_mut(&id) {
+                r.state = JobState::Backoff;
+                r.stats.merge(&stats);
+                r.tasks_done = 0;
+                r.error = Some(message);
+            }
+        });
+    } else {
+        shared.notify_records(|recs| {
+            if let Some(r) = recs.get_mut(&id) {
+                r.state = JobState::Quarantined;
+                r.stats.merge(&stats);
+                r.tasks_done = tasks_done;
+                r.wall = Some(r.submitted.elapsed());
+                r.error = Some(message);
+            }
+        });
+    }
+}
+
+fn admit_jobs(shared: &Shared) {
+    if shared.draining.load(Ordering::SeqCst) {
+        return;
+    }
+    loop {
+        let admitted = {
+            let mut pending = relock(&shared.pending);
+            if pending.is_empty() {
+                break;
+            }
+            let now = Instant::now();
+            let budget = shared.cfg.mem_budget;
+            let in_use = shared.active_footprint.load(Ordering::SeqCst);
+            let active_count = {
+                let active =
+                    shared.active.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+                active.len()
+            };
+            if shared.cfg.max_active != 0 && active_count >= shared.cfg.max_active {
+                break;
+            }
+            // Highest QoS first, FCFS within a class; best-fit skip-ahead
+            // past jobs that don't currently fit the budget or are waiting
+            // out a retry backoff.
+            let mut order: Vec<usize> = (0..pending.len()).collect();
+            order.sort_by_key(|&i| (pending[i].policy.qos.inverted(), pending[i].seq));
+            let pick = order.into_iter().find(|&i| {
+                let p = &pending[i];
+                let gated = p.not_before.is_some_and(|t| now < t);
+                let fits = in_use.saturating_add(p.footprint) <= budget || active_count == 0;
+                !gated && fits
+            });
+            pick.map(|i| pending.remove(i))
+        };
+        let Some(p) = admitted else { break };
+        activate_job(shared, p);
+    }
+}
+
+fn activate_job(shared: &Shared, p: PendingJob) {
+    let PendingJob { id, seq, policy: jp, elims, seed, graph, footprint, attempts, .. } = p;
+    let n = graph.tasks().len();
+    let retain = attempts < jp.job_retries;
+    // Build the working state from the seed, retaining a pristine copy
+    // when the job may be retried again later.
+    let (mut a, mut factors, completed, seed_back): (
+        TiledMatrix,
+        TFactors,
+        Vec<bool>,
+        Option<Seed>,
+    ) = match seed {
+        Seed::Fresh(m) => {
+            let back = retain.then(|| Seed::Fresh(m.clone()));
+            (m, TFactors::allocate_for(&graph), vec![false; n], back)
+        }
+        Seed::Resume(ck) => {
+            let back = retain.then(|| Seed::Resume(ck.clone()));
+            let Checkpoint { a, factors, completed, .. } = *ck;
+            (a, factors, completed, back)
+        }
+    };
+    let store = TileStore::with_ib(&mut a, &mut factors, jp.ib);
+    let guards = jp.integrity.is_on().then(|| GuardStore::new(graph.mt(), graph.nt()));
+    let ranks = sched::priorities(&graph, jp.policy);
+    let mut indeg0: Vec<u32> = graph.in_degrees().to_vec();
+    for (t, &done) in completed.iter().enumerate() {
+        if done {
+            for &s in graph.successors(t) {
+                indeg0[s as usize] -= 1;
+            }
+        }
+    }
+    let remaining = completed.iter().filter(|&&d| !d).count();
+    let recovery = jp.max_retries > 0 || jp.plan.is_some();
+    let rid = shared.next_rid.fetch_add(1, Ordering::Relaxed);
+    let job = Arc::new(ActiveJob {
+        rid,
+        id,
+        seq,
+        qos_inv: jp.qos.inverted(),
+        ranks,
+        store,
+        guards,
+        plan: jp.plan.clone(),
+        max_retries: jp.max_retries,
+        recovery,
+        full_integrity: jp.integrity == IntegrityMode::Full,
+        indeg: indeg0.iter().map(|&d| AtomicU32::new(d)).collect(),
+        done: completed.iter().map(|&d| AtomicBool::new(d)).collect(),
+        remaining: AtomicUsize::new(remaining),
+        inflight: AtomicUsize::new(0),
+        halted: AtomicBool::new(false),
+        verdict: Mutex::new(None),
+        stats: Mutex::new(FaultStats::default()),
+        started: Instant::now(),
+        deadline: jp.deadline,
+        footprint,
+        ib: jp.ib,
+        elims,
+        origin_policy: jp,
+        origin_seed: seed_back,
+        graph,
+        a,
+        factors,
+    });
+    shared.active_footprint.fetch_add(footprint, Ordering::SeqCst);
+    {
+        let mut active = shared.active.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+        active.insert(rid, Arc::clone(&job));
+    }
+    shared.notify_records(|recs| {
+        if let Some(r) = recs.get_mut(&id) {
+            r.state = JobState::Running;
+            r.attempts += 1;
+        }
+    });
+    // Publish the initial frontier.
+    for tid in 0..n {
+        if job.indeg[tid].load(Ordering::Relaxed) == 0 && !job.done[tid].load(Ordering::Relaxed) {
+            shared.push_ready(&job, tid as u32);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qos_ordering_and_parsing() {
+        assert!(QosClass::Interactive > QosClass::Normal);
+        assert!(QosClass::Normal > QosClass::Batch);
+        for q in QosClass::ALL {
+            assert_eq!(QosClass::parse(q.name()), Some(q));
+        }
+        assert_eq!(QosClass::parse("platinum"), None);
+        assert_eq!(QosClass::Interactive.inverted(), 0);
+        assert_eq!(QosClass::Batch.inverted(), 2);
+    }
+
+    #[test]
+    fn job_state_terminality() {
+        for s in [JobState::Queued, JobState::Running, JobState::Backoff] {
+            assert!(!s.is_terminal(), "{s}");
+            assert_eq!(JobState::parse(s.name()), Some(s));
+        }
+        for s in [
+            JobState::Completed,
+            JobState::Cancelled,
+            JobState::Shed,
+            JobState::Quarantined,
+            JobState::Suspended,
+        ] {
+            assert!(s.is_terminal(), "{s}");
+            assert_eq!(JobState::parse(s.name()), Some(s));
+        }
+    }
+
+    #[test]
+    fn retry_backoff_doubles_and_caps() {
+        let cfg = PoolConfig {
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(65),
+            ..Default::default()
+        };
+        assert_eq!(retry_backoff(&cfg, 1), Duration::from_millis(10));
+        assert_eq!(retry_backoff(&cfg, 2), Duration::from_millis(20));
+        assert_eq!(retry_backoff(&cfg, 3), Duration::from_millis(40));
+        assert_eq!(retry_backoff(&cfg, 4), Duration::from_millis(65));
+        assert_eq!(retry_backoff(&cfg, 30), Duration::from_millis(65));
+    }
+}

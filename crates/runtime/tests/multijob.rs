@@ -1,0 +1,527 @@
+//! Multi-job pool integration tests: concurrent jobs racing on one shared
+//! worker pool must be bitwise-identical to their solo runs under every
+//! scheduling policy; per-job robustness policy (fault injection, retry,
+//! deadlines, QoS shedding, drain/resume) must affect only the job it
+//! belongs to.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use hqr_runtime::{
+    execute_serial_ib, load_queue, ElimOp, FaultPlan, IntegrityMode, JobInput, JobPool, JobSpec,
+    JobState, PoolConfig, QosClass, SchedPolicy, SdcFault, SdcPattern, SubmitError, TFactors,
+    TaskGraph,
+};
+use hqr_tile::TiledMatrix;
+
+/// Flat-tree elimination list: row k kills every row below it.
+fn flat_elims(mt: usize, nt: usize) -> Vec<ElimOp> {
+    let mut out = Vec::new();
+    for k in 0..mt.min(nt) {
+        for i in (k + 1)..mt {
+            out.push(ElimOp::new(k as u32, i as u32, k as u32, true));
+        }
+    }
+    out
+}
+
+/// Binary-tree elimination list (TT kernels only).
+fn binary_elims(mt: usize, nt: usize) -> Vec<ElimOp> {
+    let mut out = Vec::new();
+    for k in 0..mt.min(nt) {
+        let mut alive: Vec<u32> = (k as u32..mt as u32).collect();
+        while alive.len() > 1 {
+            let mut next = Vec::new();
+            for pair in alive.chunks(2) {
+                if let [a, b] = pair {
+                    out.push(ElimOp::new(k as u32, *b, *a, false));
+                }
+                next.push(pair[0]);
+            }
+            alive = next;
+        }
+    }
+    out
+}
+
+/// The solo reference: factor `a0` serially with the same elimination list
+/// and inner block size the pool job uses.
+fn solo(elims: &[ElimOp], a0: &TiledMatrix, ib: usize) -> (TiledMatrix, TFactors) {
+    let graph = TaskGraph::try_build(a0.mt(), a0.nt(), a0.b(), elims).expect("valid elims");
+    let mut a = a0.clone();
+    let f = execute_serial_ib(&graph, &mut a, ib);
+    (a, f)
+}
+
+fn assert_bitwise(
+    label: &str,
+    got_a: &TiledMatrix,
+    got_f: &TFactors,
+    elims: &[ElimOp],
+    a0: &TiledMatrix,
+    ib: usize,
+) {
+    let (ref_a, ref_f) = solo(elims, a0, ib);
+    assert_eq!(
+        got_a.to_dense().data(),
+        ref_a.to_dense().data(),
+        "{label}: factored matrix differs from solo run"
+    );
+    assert!(got_f.bitwise_eq(&ref_f), "{label}: factor buffers differ from solo run");
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("hqr_pool_{name}_{}.queue", std::process::id()))
+}
+
+/// Block until `id` is admitted and running (bounded by a generous
+/// timeout so a broken pool fails the test instead of hanging it).
+fn wait_until_running(pool: &JobPool, id: hqr_runtime::JobId) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let v = pool.status(id).expect("known job");
+        if v.state == JobState::Running {
+            return;
+        }
+        assert!(!v.state.is_terminal(), "job reached {} before running", v.state);
+        assert!(std::time::Instant::now() < deadline, "job never started running");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// A job spec whose first task keeps panicking for `attempts` injected
+/// faults before succeeding: a deterministic way to keep a job resident on
+/// the pool long enough for cancel/shed/admission assertions, without any
+/// sleeps in the test.
+fn spinner(seed: u64, attempts: u32) -> (Vec<ElimOp>, TiledMatrix, JobSpec) {
+    let elims = flat_elims(2, 2);
+    let a = TiledMatrix::random(2, 2, 4, seed);
+    let mut spec = JobSpec::fresh(elims.clone(), a.clone());
+    spec.plan = Some(FaultPlan::new(seed).fail_task(0, attempts));
+    spec.max_retries = attempts + 1;
+    (elims, a, spec)
+}
+
+#[test]
+fn racing_jobs_bitwise_identical_under_every_policy() {
+    for policy in SchedPolicy::ALL {
+        let pool = JobPool::new(PoolConfig { nthreads: 4, ..Default::default() });
+        let cases = [
+            (flat_elims(5, 4), TiledMatrix::random(5, 4, 8, 11)),
+            (binary_elims(6, 4), TiledMatrix::random(6, 4, 8, 22)),
+        ];
+        let ids: Vec<_> = cases
+            .iter()
+            .map(|(elims, a)| {
+                let mut spec = JobSpec::fresh(elims.clone(), a.clone());
+                spec.policy = policy;
+                pool.submit(spec).expect("submit")
+            })
+            .collect();
+        for (id, (elims, a0)) in ids.into_iter().zip(&cases) {
+            let out = pool.wait(id).expect("known job");
+            assert_eq!(out.state, JobState::Completed, "{policy}: {:?}", out.error);
+            let r = out.result.expect("first waiter gets the payload");
+            assert_bitwise(&format!("policy {policy}"), &r.a, &r.factors, elims, a0, a0.b());
+        }
+        pool.shutdown();
+    }
+}
+
+#[test]
+fn fault_injection_is_job_isolated() {
+    let pool = JobPool::new(PoolConfig { nthreads: 4, ..Default::default() });
+    // Job A: three injected task failures, healed by per-task retry.
+    let elims_a = flat_elims(5, 4);
+    let a0 = TiledMatrix::random(5, 4, 8, 31);
+    let mut spec_a = JobSpec::fresh(elims_a.clone(), a0.clone());
+    spec_a.plan = Some(FaultPlan::new(7).fail_task(0, 1).fail_task(3, 2));
+    spec_a.max_retries = 3;
+    // Job B: an SDC strike, detected and recomputed under Spot integrity.
+    let elims_b = binary_elims(6, 4);
+    let b0 = TiledMatrix::random(6, 4, 8, 32);
+    let mut spec_b = JobSpec::fresh(elims_b.clone(), b0.clone());
+    spec_b.plan = Some(
+        FaultPlan::new(8)
+            .corrupt_task(1, SdcFault { slot: 0, element: 3, pattern: SdcPattern::Scale }),
+    );
+    spec_b.integrity = IntegrityMode::Spot;
+    spec_b.max_retries = 2;
+    // Job C: completely clean, racing both faulty neighbors.
+    let elims_c = flat_elims(4, 4);
+    let c0 = TiledMatrix::random(4, 4, 8, 33);
+    let spec_c = JobSpec::fresh(elims_c.clone(), c0.clone());
+
+    let ia = pool.submit(spec_a).expect("submit a");
+    let ib = pool.submit(spec_b).expect("submit b");
+    let ic = pool.submit(spec_c).expect("submit c");
+
+    let oa = pool.wait(ia).expect("a");
+    assert_eq!(oa.state, JobState::Completed, "{:?}", oa.error);
+    assert!(oa.stats.panics_caught >= 3, "injected failures must be observed: {:?}", oa.stats);
+    let ra = oa.result.unwrap();
+    assert_bitwise("faulty job A", &ra.a, &ra.factors, &elims_a, &a0, a0.b());
+
+    let ob = pool.wait(ib).expect("b");
+    assert_eq!(ob.state, JobState::Completed, "{:?}", ob.error);
+    assert!(ob.stats.sdc_detected >= 1, "SDC must be detected: {:?}", ob.stats);
+    let rb = ob.result.unwrap();
+    assert_bitwise("SDC job B", &rb.a, &rb.factors, &elims_b, &b0, b0.b());
+
+    let oc = pool.wait(ic).expect("c");
+    assert_eq!(oc.state, JobState::Completed, "{:?}", oc.error);
+    assert_eq!(oc.stats, Default::default(), "clean job must see zero fault events");
+    let rc = oc.result.unwrap();
+    assert_bitwise("clean job C", &rc.a, &rc.factors, &elims_c, &c0, c0.b());
+    pool.shutdown();
+}
+
+/// The acceptance-criteria scenario: ≥ 8 concurrent jobs with mixed QoS,
+/// integrity modes, scheduling policies, inner block sizes, shapes, and
+/// fault plans, all multiplexed on one pool, each bitwise-identical to its
+/// solo run.
+#[test]
+fn eight_mixed_jobs_complete_bitwise() {
+    let pool = JobPool::new(PoolConfig { nthreads: 4, ..Default::default() });
+    struct Case {
+        elims: Vec<ElimOp>,
+        a0: TiledMatrix,
+        ib: usize,
+        spec_ib: Option<usize>,
+        qos: QosClass,
+        policy: SchedPolicy,
+        integrity: IntegrityMode,
+        plan: Option<FaultPlan>,
+        max_retries: u32,
+    }
+    let mk = |elims: Vec<ElimOp>, a0: TiledMatrix| Case {
+        elims,
+        a0,
+        ib: 8,
+        spec_ib: None,
+        qos: QosClass::Normal,
+        policy: SchedPolicy::Fifo,
+        integrity: IntegrityMode::Off,
+        plan: None,
+        max_retries: 0,
+    };
+    let mut cases = vec![
+        mk(flat_elims(4, 3), TiledMatrix::random(4, 3, 8, 101)),
+        mk(binary_elims(5, 4), TiledMatrix::random(5, 4, 8, 102)),
+        mk(flat_elims(6, 4), TiledMatrix::random(6, 4, 8, 103)),
+        mk(binary_elims(4, 4), TiledMatrix::random(4, 4, 8, 104)),
+        mk(flat_elims(5, 5), TiledMatrix::random(5, 5, 8, 105)),
+        mk(binary_elims(6, 3), TiledMatrix::random(6, 3, 8, 106)),
+        mk(flat_elims(3, 3), TiledMatrix::random(3, 3, 8, 107)),
+        mk(binary_elims(5, 3), TiledMatrix::random(5, 3, 8, 108)),
+        mk(flat_elims(4, 4), TiledMatrix::random(4, 4, 8, 109)),
+    ];
+    cases[0].qos = QosClass::Interactive;
+    cases[1].qos = QosClass::Batch;
+    cases[2].policy = SchedPolicy::PanelFirst;
+    cases[3].policy = SchedPolicy::CriticalPath;
+    cases[4].integrity = IntegrityMode::Spot;
+    cases[5].integrity = IntegrityMode::Full;
+    cases[6].ib = 4;
+    cases[6].spec_ib = Some(4);
+    cases[7].plan = Some(FaultPlan::new(42).fail_task(2, 2));
+    cases[7].max_retries = 2;
+    cases[8].qos = QosClass::Interactive;
+    cases[8].policy = SchedPolicy::CriticalPath;
+    cases[8].integrity = IntegrityMode::Full;
+
+    let ids: Vec<_> = cases
+        .iter()
+        .map(|c| {
+            let mut spec = JobSpec::fresh(c.elims.clone(), c.a0.clone());
+            spec.ib = c.spec_ib;
+            spec.qos = c.qos;
+            spec.policy = c.policy;
+            spec.integrity = c.integrity;
+            spec.plan = c.plan.clone();
+            spec.max_retries = c.max_retries;
+            spec.tag = format!("case-{}", c.a0.mt());
+            pool.submit(spec).expect("submit")
+        })
+        .collect();
+    assert!(ids.len() >= 8);
+    for (id, c) in ids.into_iter().zip(&cases) {
+        let out = pool.wait(id).expect("known job");
+        assert_eq!(out.state, JobState::Completed, "case seed: {:?}", out.error);
+        let r = out.result.expect("payload");
+        assert_bitwise("mixed case", &r.a, &r.factors, &c.elims, &c.a0, c.ib);
+    }
+    pool.shutdown();
+}
+
+#[test]
+fn deadline_miss_retries_then_quarantines_while_others_complete() {
+    let pool = JobPool::new(PoolConfig {
+        nthreads: 2,
+        backoff_base: Duration::from_millis(1),
+        ..Default::default()
+    });
+    // The doomed job: a deadline no real factorization can meet, one
+    // job-level retry. Expected path: deadline → backoff → deadline →
+    // quarantine.
+    let (_, _, mut doomed) = spinner(61, 20_000);
+    doomed.deadline = Some(Duration::from_millis(1));
+    doomed.job_retries = 1;
+    let id_doomed = pool.submit(doomed).expect("submit doomed");
+    // The bystander races it on the same workers and must be unaffected.
+    let elims = flat_elims(5, 4);
+    let a0 = TiledMatrix::random(5, 4, 8, 62);
+    let id_ok = pool.submit(JobSpec::fresh(elims.clone(), a0.clone())).expect("submit ok");
+
+    let out = pool.wait(id_doomed).expect("doomed");
+    assert_eq!(out.state, JobState::Quarantined, "{:?}", out.error);
+    assert_eq!(out.attempts, 2, "initial run plus one job-level retry");
+    let err = out.error.expect("quarantine records the last error");
+    assert!(err.contains("deadline"), "error should name the deadline: {err}");
+
+    let ok = pool.wait(id_ok).expect("ok");
+    assert_eq!(ok.state, JobState::Completed, "{:?}", ok.error);
+    let r = ok.result.unwrap();
+    assert_bitwise("bystander", &r.a, &r.factors, &elims, &a0, a0.b());
+    pool.shutdown();
+}
+
+#[test]
+fn task_failure_exhausts_retry_budget_then_job_quarantines() {
+    let pool = JobPool::new(PoolConfig {
+        nthreads: 2,
+        backoff_base: Duration::from_millis(1),
+        ..Default::default()
+    });
+    // Task 0 fails 10 attempts; per-task budget is 1 retry, so every
+    // incarnation dies with TaskFailed; one job-level retry, then
+    // quarantine.
+    let elims = flat_elims(3, 3);
+    let a0 = TiledMatrix::random(3, 3, 8, 71);
+    let mut spec = JobSpec::fresh(elims, a0);
+    spec.plan = Some(FaultPlan::new(5).fail_task(0, 10));
+    spec.max_retries = 1;
+    spec.job_retries = 1;
+    let id = pool.submit(spec).expect("submit");
+    let out = pool.wait(id).expect("job");
+    assert_eq!(out.state, JobState::Quarantined, "{:?}", out.error);
+    assert_eq!(out.attempts, 2);
+    // Two incarnations × two attempts each.
+    assert!(out.stats.panics_caught >= 4, "{:?}", out.stats);
+    let err = out.error.expect("error recorded");
+    assert!(err.contains("task 0"), "{err}");
+    pool.shutdown();
+}
+
+#[test]
+fn cancel_running_and_queued_jobs() {
+    let pool = JobPool::new(PoolConfig { nthreads: 1, max_active: 1, ..Default::default() });
+    // Occupy the single active slot with a deterministic long-runner.
+    let (_, _, busy) = spinner(81, 200_000);
+    let id_busy = pool.submit(busy).expect("submit busy");
+    // This one stays queued behind max_active = 1.
+    let id_queued = pool
+        .submit(JobSpec::fresh(flat_elims(3, 3), TiledMatrix::random(3, 3, 8, 82)))
+        .expect("submit queued");
+
+    assert!(pool.cancel(id_queued), "queued job accepts cancellation");
+    let oq = pool.wait(id_queued).expect("queued");
+    assert_eq!(oq.state, JobState::Cancelled);
+
+    assert!(pool.cancel(id_busy), "running job accepts cancellation");
+    let ob = pool.wait(id_busy).expect("busy");
+    assert_eq!(ob.state, JobState::Cancelled, "{:?}", ob.error);
+
+    assert!(!pool.cancel(id_busy), "terminal jobs reject cancellation");
+    assert!(!pool.cancel(hqr_runtime::JobId(9999)), "unknown ids reject cancellation");
+    pool.shutdown();
+}
+
+#[test]
+fn admission_rejects_overbudget_sheds_lowest_qos_and_applies_backpressure() {
+    let pool = JobPool::new(PoolConfig {
+        nthreads: 1,
+        max_active: 1,
+        queue_cap: 1,
+        mem_budget: 1 << 20,
+        ..Default::default()
+    });
+    // A job whose working set alone exceeds the 1 MiB budget: typed reject.
+    let big = JobSpec::fresh(flat_elims(8, 8), TiledMatrix::random(8, 8, 64, 90));
+    match pool.submit(big) {
+        Err(SubmitError::OverBudget { need, budget }) => {
+            assert!(need > budget, "need {need} must exceed budget {budget}")
+        }
+        other => panic!("expected OverBudget, got {other:?}", other = other.map(|id| id.0)),
+    }
+    // Occupy the active slot so the queue fills.
+    let (_, _, busy) = spinner(91, 200_000);
+    let id_busy = pool.submit(busy).expect("submit busy");
+    wait_until_running(&pool, id_busy);
+    // Queue a batch job (fills the cap-1 queue).
+    let id_batch = {
+        let mut s = JobSpec::fresh(flat_elims(3, 3), TiledMatrix::random(3, 3, 8, 92));
+        s.qos = QosClass::Batch;
+        pool.submit(s).expect("submit batch")
+    };
+    // An interactive arrival sheds the queued batch job.
+    let (elims_i, a_i) = (flat_elims(4, 3), TiledMatrix::random(4, 3, 8, 93));
+    let id_inter = {
+        let mut s = JobSpec::fresh(elims_i.clone(), a_i.clone());
+        s.qos = QosClass::Interactive;
+        pool.submit(s).expect("interactive submission sheds the batch job")
+    };
+    let shed = pool.wait(id_batch).expect("batch");
+    assert_eq!(shed.state, JobState::Shed);
+    // A second batch arrival outranks nothing in the full queue: backpressure.
+    let mut again = JobSpec::fresh(flat_elims(3, 3), TiledMatrix::random(3, 3, 8, 94));
+    again.qos = QosClass::Batch;
+    match pool.submit(again) {
+        Err(SubmitError::QueueFull { cap }) => assert_eq!(cap, 1),
+        other => panic!("expected QueueFull, got {other:?}", other = other.map(|id| id.0)),
+    }
+    // Free the slot; the surviving interactive job must complete cleanly.
+    assert!(pool.cancel(id_busy));
+    let oi = pool.wait(id_inter).expect("interactive");
+    assert_eq!(oi.state, JobState::Completed, "{:?}", oi.error);
+    let r = oi.result.unwrap();
+    assert_bitwise("interactive survivor", &r.a, &r.factors, &elims_i, &a_i, a_i.b());
+    pool.shutdown();
+}
+
+/// Graceful drain: in-flight work is checkpointed at a quiescent point,
+/// queued work keeps its pristine payload, and a fresh pool resubmitting
+/// the persisted queue finishes every accepted job bitwise-identically to
+/// its solo run — zero lost accepted jobs.
+#[test]
+fn drain_persists_queue_and_resumes_bitwise() {
+    let path = tmp("drain_resume");
+    let _ = std::fs::remove_file(&path);
+
+    let pool = JobPool::new(PoolConfig { nthreads: 2, max_active: 1, ..Default::default() });
+    // The active job: enough injected-retry stalling on task 0 that the
+    // drain lands while it is provably incomplete, then clean execution.
+    let elims_active = flat_elims(5, 4);
+    let a_active = TiledMatrix::random(5, 4, 8, 201);
+    let mut spec_active = JobSpec::fresh(elims_active.clone(), a_active.clone());
+    spec_active.plan = Some(FaultPlan::new(3).fail_task(0, 50_000));
+    spec_active.max_retries = 60_000;
+    spec_active.tag = "active".into();
+    let id_active = pool.submit(spec_active).expect("submit active");
+    // The drain must land while this job is provably in flight.
+    wait_until_running(&pool, id_active);
+    // Two queued jobs that never start before the drain.
+    let queued_cases = [
+        (binary_elims(4, 4), TiledMatrix::random(4, 4, 8, 202)),
+        (flat_elims(4, 3), TiledMatrix::random(4, 3, 8, 203)),
+    ];
+    let queued_ids: Vec<_> = queued_cases
+        .iter()
+        .map(|(elims, a)| {
+            let mut s = JobSpec::fresh(elims.clone(), a.clone());
+            s.tag = "queued".into();
+            pool.submit(s).expect("submit queued")
+        })
+        .collect();
+
+    let report = pool.drain(Duration::from_millis(5), Some(&path)).expect("drain");
+    assert_eq!(report.persisted, 3, "one suspended + two queued jobs persisted");
+    assert_eq!(report.suspended, vec![id_active], "the active job was suspended");
+    let oa = pool.wait(id_active).expect("active");
+    assert_eq!(oa.state, JobState::Suspended);
+    for id in &queued_ids {
+        // Queued jobs stay Queued in the drained pool's records; their
+        // payloads live on in the persisted queue.
+        let v = pool.status(*id).expect("known");
+        assert_eq!(v.state, JobState::Queued);
+    }
+    assert!(
+        pool.submit(JobSpec::fresh(flat_elims(2, 2), TiledMatrix::random(2, 2, 4, 1))).is_err(),
+        "draining pool refuses new work"
+    );
+    pool.shutdown();
+
+    // A restarted service resubmits the persisted queue.
+    let entries = load_queue(&path).expect("queue decodes");
+    assert_eq!(entries.len(), 3);
+    let resumed = entries.iter().filter(|e| matches!(e.spec.input, JobInput::Resume(_))).count();
+    assert_eq!(resumed, 1, "exactly the suspended job resumes from a checkpoint");
+
+    let pool2 = JobPool::new(PoolConfig { nthreads: 2, ..Default::default() });
+    let mut expected: Vec<(Vec<ElimOp>, TiledMatrix)> = vec![(elims_active, a_active)];
+    expected.extend(queued_cases.iter().cloned());
+    let ids2: Vec<_> =
+        entries.into_iter().map(|e| pool2.submit(e.spec).expect("resubmit")).collect();
+    // Entries are persisted pending-first? No: queued jobs first, then the
+    // suspended one — match each outcome to its reference by tag order.
+    let mut done = 0;
+    for id in ids2 {
+        let out = pool2.wait(id).expect("resubmitted");
+        assert_eq!(out.state, JobState::Completed, "{:?}", out.error);
+        let r = out.result.expect("payload");
+        // Identify the matching reference by shape + input fingerprint.
+        let matched = expected.iter().any(|(elims, a0)| {
+            if a0.mt() != r.a.mt() || a0.nt() != r.a.nt() {
+                return false;
+            }
+            let (ref_a, ref_f) = solo(elims, a0, a0.b());
+            ref_a.to_dense().data() == r.a.to_dense().data() && r.factors.bitwise_eq(&ref_f)
+        });
+        assert!(matched, "resumed job must match one solo reference bitwise");
+        done += 1;
+    }
+    assert_eq!(done, 3, "zero lost accepted jobs");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn spec_wire_roundtrip_preserves_policy_and_payload() {
+    let elims = binary_elims(4, 3);
+    let a0 = TiledMatrix::random(4, 3, 8, 301);
+    let mut spec = JobSpec::fresh(elims.clone(), a0.clone());
+    spec.ib = Some(4);
+    spec.qos = QosClass::Interactive;
+    spec.policy = SchedPolicy::CriticalPath;
+    spec.integrity = IntegrityMode::Full;
+    spec.max_retries = 3;
+    spec.job_retries = 2;
+    spec.deadline = Some(Duration::from_millis(1500));
+    spec.tag = "tenant-42".into();
+
+    let back = JobSpec::from_bytes(spec.to_bytes()).expect("roundtrip");
+    assert_eq!(back.ib, Some(4));
+    assert_eq!(back.qos, QosClass::Interactive);
+    assert_eq!(back.policy, SchedPolicy::CriticalPath);
+    assert_eq!(back.integrity, IntegrityMode::Full);
+    assert_eq!(back.max_retries, 3);
+    assert_eq!(back.job_retries, 2);
+    assert_eq!(back.deadline, Some(Duration::from_millis(1500)));
+    assert_eq!(back.tag, "tenant-42");
+    match back.input {
+        JobInput::Fresh { elims: e, a } => {
+            assert_eq!(e, elims);
+            assert_eq!(a.to_dense().data(), a0.to_dense().data());
+        }
+        JobInput::Resume(_) => panic!("fresh spec must decode as fresh"),
+    }
+}
+
+#[test]
+fn invalid_specs_are_rejected_with_typed_errors() {
+    let pool = JobPool::new(PoolConfig { nthreads: 1, ..Default::default() });
+    // Engine-only fault-plan features.
+    let mut s = JobSpec::fresh(flat_elims(2, 2), TiledMatrix::random(2, 2, 4, 1));
+    s.plan = Some(FaultPlan::new(1).poison_worker(0));
+    assert!(matches!(pool.submit(s), Err(SubmitError::Invalid { .. })));
+    let mut s = JobSpec::fresh(flat_elims(2, 2), TiledMatrix::random(2, 2, 4, 1));
+    s.plan = Some(FaultPlan::new(1).lose_completion(0));
+    assert!(matches!(pool.submit(s), Err(SubmitError::Invalid { .. })));
+    // Bad inner block size.
+    let mut s = JobSpec::fresh(flat_elims(2, 2), TiledMatrix::random(2, 2, 4, 1));
+    s.ib = Some(5);
+    assert!(matches!(pool.submit(s), Err(SubmitError::Invalid { .. })));
+    // Out-of-range victim row → graph rejection.
+    let s = JobSpec::fresh(vec![ElimOp::new(0, 9, 0, true)], TiledMatrix::random(2, 2, 4, 1));
+    assert!(matches!(pool.submit(s), Err(SubmitError::Invalid { .. })));
+    pool.shutdown();
+}

@@ -21,6 +21,7 @@
 //! determined by work, critical path and message structure — which the
 //! simulator reproduces faithfully from the real DAGs.
 
+pub mod admission;
 pub mod checkpoint;
 pub mod des;
 pub mod fault;
@@ -29,6 +30,10 @@ pub mod scalapack;
 pub mod sdc;
 pub mod timeline;
 
+pub use admission::{
+    saturation_sweep, simulate_admission, AdmissionConfig, AdmissionPolicy, AdmissionReport,
+    SaturationPoint,
+};
 pub use checkpoint::{
     compare_recovery_policies, find_crossover, recovery_crossover, young_daly_interval,
     CheckpointCostModel, CheckpointOutcome, CrossoverPoint, RecoveryComparison, RecoveryPolicy,
