@@ -13,7 +13,13 @@
 //!   as eight concurrent jobs, measuring service throughput.
 //!
 //! Usage: `cargo run --release -p hqr-bench --bin perf_baseline -- \
-//!   [--out BENCH_6.json]`
+//!   [--out BENCH_7.json]`
+//!
+//! The snapshot records which gemm-core dispatch arm ran (scalar or
+//! AVX2/FMA — force with `HQR_SIMD=off`) so successive baselines are only
+//! compared like-for-like, and measures the factor kernels alongside the
+//! update kernels so `hqr-sim`'s `KernelRates::measured()` can be
+//! recalibrated from committed numbers.
 
 use hqr::baselines;
 use hqr::prelude::*;
@@ -89,6 +95,34 @@ fn kernel_entries(entries: &mut Vec<Entry>, reps: usize) {
             detail: format!("median of {reps}, {:.3} ms/call", tt * 1e3),
         });
     }
+    // Factor kernels at the largest tile size, for the simulator's
+    // factor_efficiency calibration (factor rate / update rate per class).
+    let b = 200usize;
+    let (r1_0, a2_0, r2_0) = (upper(b, &tile(b, 10)), tile(b, 11), upper(b, &tile(b, 13)));
+    let (mut r1, mut a2, mut t) = (r1_0.clone(), a2_0.clone(), vec![0.0; b * b]);
+    let tsq = median_secs(reps, || {
+        r1.copy_from_slice(&r1_0);
+        a2.copy_from_slice(&a2_0);
+        tsqrt(b, &mut r1, &mut a2, &mut t);
+    });
+    entries.push(Entry {
+        name: format!("tsqrt_b{b}"),
+        metric: "gflops",
+        value: KernelKind::Tsqrt.flops(b) / tsq / 1e9,
+        detail: format!("median of {reps}, {:.3} ms/call", tsq * 1e3),
+    });
+    let mut r2 = r2_0.clone();
+    let ttq = median_secs(reps, || {
+        r1.copy_from_slice(&r1_0);
+        r2.copy_from_slice(&r2_0);
+        ttqrt(b, &mut r1, &mut r2, &mut t);
+    });
+    entries.push(Entry {
+        name: format!("ttqrt_b{b}"),
+        metric: "gflops",
+        value: KernelKind::Ttqrt.flops(b) / ttq / 1e9,
+        detail: format!("median of {reps}, {:.3} ms/call", ttq * 1e3),
+    });
 }
 
 /// `mt x nt` tiles of size `b`, hqr greedy/fibonacci elimination list.
@@ -155,7 +189,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_6.json".to_string());
+        .unwrap_or_else(|| "BENCH_7.json".to_string());
     let threads = std::thread::available_parallelism().map(|n| n.get().min(4)).unwrap_or(4);
     let reps = 7;
 
@@ -165,9 +199,11 @@ fn main() {
     pool_throughput_entry(&mut entries, threads, reps);
 
     let mut body = String::new();
-    body.push_str("{\n  \"schema\": \"hqr-perf-baseline/1\",\n");
+    body.push_str("{\n  \"schema\": \"hqr-perf-baseline/2\",\n");
     body.push_str(&format!("  \"threads\": {threads},\n"));
     body.push_str(&format!("  \"reps\": {reps},\n"));
+    body.push_str(&format!("  \"simd\": \"{}\",\n", json_escape(&hqr_kernels::simd_description())));
+    body.push_str(&format!("  \"simd_detected\": \"{}\",\n", hqr_kernels::simd_detected().name()));
     body.push_str("  \"results\": [\n");
     for (i, e) in entries.iter().enumerate() {
         body.push_str(&format!(

@@ -13,7 +13,8 @@ use hqr_sim::scalapack::ScalapackModel;
 use hqr_sim::{
     compare_recovery_policies, find_crossover, find_sdc_crossover, recovery_crossover,
     sdc_policy_sweep, simulate_traced, simulate_with_faults, simulate_with_policy,
-    CheckpointCostModel, Platform, RecoveryPolicy, SchedPolicy, SdcCostModel, SimFaultPlan,
+    CheckpointCostModel, KernelRates, Platform, RecoveryPolicy, SchedPolicy, SdcCostModel,
+    SimFaultPlan,
 };
 use hqr_tile::{ProcessGrid, TiledMatrix};
 use std::time::Instant;
@@ -28,15 +29,19 @@ USAGE:
                 --input FILE.mtx]
       factor a random (or MatrixMarket) matrix, verify ||QtQ-I|| and ||A-QR||
   hqr simulate [--rows R --cols C --tile B --grid PxQ --algorithm ALG
-                --nodes N --cores C --policy POLICY --gpus G --gpu-speedup X]
+                --nodes N --cores C --policy POLICY --gpus G --gpu-speedup X
+                --rates edel|measured]
       replay the task DAG on the simulated cluster
       ALG: hqr | hqr-square | bbd10 | slhd10 | scalapack
+      RATES: edel = the paper's §V-A kernel rates (default);
+             measured = this repo's own kernels (BENCH_7.json)
   hqr fault    [--rows R --cols C --tile B --grid PxQ --threads T --seed S
                 --fail K --retries N --policy POLICY --crash-node X
                 --crash-frac F --degrade-bw F --degrade-lat F --nodes N
                 --cores C --io-bw BYTES/S --restart-cost S --ckpt-interval S
                 --crossover-max K --sdc-rate F --sdc-seed S
-                --integrity off|spot|full --guard-bw BYTES/S --residual-cost S]
+                --integrity off|spot|full --guard-bw BYTES/S --residual-cost S
+                --rates edel|measured]
       inject a seeded fault schedule: panic K random kernel tasks in a real
       parallel factorization (verifying bitwise recovery), then crash a
       simulated node mid-run, report the lineage-recovery overhead, and
@@ -65,7 +70,7 @@ USAGE:
                       --integrity off|spot|full
                 sim:  --nodes N --cores C --policy POLICY --gpus G
                       --gpu-speedup X --crash-node X --crash-frac F
-                      --degrade-bw F --degrade-lat F]
+                      --degrade-bw F --degrade-lat F --rates edel|measured]
       run either backend with timeline recording, write a Chrome Trace
       Format JSON (open at https://ui.perfetto.dev), and print a summary
       (utilization, steal counts, top realized-critical-path tasks)
@@ -131,6 +136,20 @@ fn policy_of(args: &Args, default: SchedPolicy) -> Result<SchedPolicy, i32> {
             eprintln!("run `hqr help` for usage");
             2
         }),
+    }
+}
+
+/// `--rates edel|measured`: which kernel-rate calibration the simulator
+/// prices tasks with (paper §V-A numbers vs this repo's BENCH_7.json).
+fn rates_of(args: &Args) -> Result<KernelRates, i32> {
+    match args.str_or("rates", "edel").as_str() {
+        "edel" => Ok(KernelRates::edel()),
+        "measured" => Ok(KernelRates::measured()),
+        other => {
+            eprintln!("unknown rates `{other}` (edel|measured)");
+            eprintln!("run `hqr help` for usage");
+            Err(2)
+        }
     }
 }
 
@@ -307,9 +326,14 @@ pub fn simulate(args: &Args) -> i32 {
         eprintln!("matrix smaller than one tile");
         return 2;
     }
+    let rates = match rates_of(args) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
     let mut platform = Platform {
         nodes: args.usize_or("nodes", grid.0 * grid.1),
         cores_per_node: args.usize_or("cores", 8),
+        rates,
         ..Platform::edel()
     };
     if let Some(code) =
@@ -433,9 +457,14 @@ pub fn fault(args: &Args) -> i32 {
         }
     };
     let n = graph.tasks().len();
+    let rates = match rates_of(args) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
     let platform = Platform {
         nodes: args.usize_or("nodes", grid.0 * grid.1),
         cores_per_node: args.usize_or("cores", 4),
+        rates,
         ..Platform::edel()
     };
     if let Some(code) =
@@ -1065,9 +1094,14 @@ fn trace_sim(args: &Args) -> i32 {
         eprintln!("matrix smaller than one tile");
         return 2;
     }
+    let rates = match rates_of(args) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
     let mut platform = Platform {
         nodes: args.usize_or("nodes", grid.0 * grid.1),
         cores_per_node: args.usize_or("cores", 4),
+        rates,
         ..Platform::edel()
     };
     if let Some(code) =

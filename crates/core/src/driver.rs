@@ -105,8 +105,22 @@ impl DenseQr {
     ///
     /// Back-substitutes only the leading N × N block of R (the padded
     /// columns of the tile factorization are structurally zero and take no
-    /// part in the solution).
+    /// part in the solution). Panics if R is singular; see
+    /// [`Self::try_solve_least_squares`].
     pub fn solve_least_squares(&self, rhs: &DenseMatrix) -> DenseMatrix {
+        match self.try_solve_least_squares(rhs) {
+            Ok(x) => x,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`Self::solve_least_squares`]: returns
+    /// [`hqr_kernels::KernelError::SingularR`] on a rank-deficient R
+    /// instead of panicking.
+    pub fn try_solve_least_squares(
+        &self,
+        rhs: &DenseMatrix,
+    ) -> Result<DenseMatrix, hqr_kernels::KernelError> {
         assert_eq!(rhs.rows(), self.m, "rhs must have M rows");
         let (n, nrhs) = (self.n, rhs.cols());
         let qtb = self.qt_times(rhs);
@@ -123,8 +137,8 @@ impl DenseQr {
                 x[i + j * n] = qtb.get(i, j);
             }
         }
-        hqr_kernels::blas::trsm_upper(n, nrhs, &r_sq, &mut x);
-        DenseMatrix::from_col_major(n, nrhs, &x)
+        hqr_kernels::blas::try_trsm_upper(n, nrhs, &r_sq, &mut x)?;
+        Ok(DenseMatrix::from_col_major(n, nrhs, &x))
     }
 
     /// Compute Qᵀ·c for a dense M × nc matrix (returns the full padded

@@ -4,8 +4,8 @@
 //! computing applications", §I).
 
 use crate::factor::QrFactorization;
-use hqr_kernels::blas::trsm_upper;
-use hqr_kernels::Trans;
+use hqr_kernels::blas::try_trsm_upper;
+use hqr_kernels::{KernelError, Trans};
 use hqr_tile::{DenseMatrix, TiledMatrix};
 
 impl QrFactorization {
@@ -26,7 +26,21 @@ impl QrFactorization {
 
     /// Solve the least-squares problem min‖A·x − b‖₂ for each column of
     /// `rhs` (requires M ≥ N and full-rank R): x = R₁⁻¹·(Qᵀb)₁.
+    ///
+    /// Panics if R is singular; use [`Self::try_solve_least_squares`] to
+    /// get a typed error instead.
     pub fn solve_least_squares(&self, rhs: &DenseMatrix) -> DenseMatrix {
+        match self.try_solve_least_squares(rhs) {
+            Ok(x) => x,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`Self::solve_least_squares`]: returns
+    /// [`KernelError::SingularR`] when back-substitution meets a zero
+    /// diagonal, instead of panicking — so services can fail one request
+    /// rather than the process.
+    pub fn try_solve_least_squares(&self, rhs: &DenseMatrix) -> Result<DenseMatrix, KernelError> {
         let (m, n, b) = self.dims();
         assert!(m >= n, "least squares requires M >= N");
         assert_eq!(rhs.rows(), m, "rhs must have M rows");
@@ -56,8 +70,8 @@ impl QrFactorization {
                 x[i + j * n] = qtb.get(i, j);
             }
         }
-        trsm_upper(n, nrhs, &r_sq, &mut x);
-        DenseMatrix::from_col_major(n, nrhs, &x)
+        try_trsm_upper(n, nrhs, &r_sq, &mut x)?;
+        Ok(DenseMatrix::from_col_major(n, nrhs, &x))
     }
 
     /// Residual norm ‖A·x − b‖₂ per right-hand side, given the original
@@ -162,6 +176,23 @@ mod tests {
         let bvec = a0.matmul(&x_true);
         let x = f.solve_least_squares(&bvec);
         assert!(x.sub(&x_true).frob_norm() < 1e-10);
+    }
+
+    #[test]
+    fn singular_r_is_a_typed_error_not_a_panic() {
+        // Zero out the first column everywhere: R(0,0) becomes exactly 0.
+        let elims = HqrConfig::new(2, 1).with_a(2).with_domino(true).elimination_list(6, 2);
+        let mut a = TiledMatrix::random(6, 2, 4, 43);
+        for ti in 0..6 {
+            let tile = a.tile_mut(ti, 0);
+            for x in tile.iter_mut().take(4) {
+                *x = 0.0;
+            }
+        }
+        let f = qr_factorize(&mut a, &elims, Execution::Serial);
+        let b = DenseMatrix::random(24, 1, 44);
+        let err = f.try_solve_least_squares(&b).unwrap_err();
+        assert_eq!(err, hqr_kernels::KernelError::SingularR { index: 0 });
     }
 
     #[test]

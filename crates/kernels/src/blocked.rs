@@ -9,6 +9,14 @@
 //! behaviour; mathematically the factorization is identical (same V, same
 //! R up to rounding), only the grouping of reflector applications changes.
 //!
+//! The level-3 parts — every trailing-column block-apply and the whole of
+//! the IB update kernels — are packed calls into the shared gemm core
+//! ([`crate::micro`]), so they ride the same scalar/AVX2 dispatch as the
+//! flat kernels. Panel factor loops stay level-2 scalar code, as in
+//! PLASMA. Control flow is input-independent (no data-dependent
+//! early-outs), keeping per-call flop counts a function of `(b, ib)` and
+//! results bitwise deterministic run-to-run on a fixed dispatch arm.
+//!
 //! Layout convention: the `t` buffer is still `b × b`; the T factor of the
 //! panel starting at column `s` (width `w = min(ib, b−s)`) is the `w × w`
 //! upper triangle at rows `0..w`, columns `s..s+w`.
@@ -19,6 +27,7 @@
 
 use crate::check_tile;
 use crate::larfg::larfg;
+use crate::micro::{gemm_core, simd_arm, MaskA, SimdArm};
 use crate::Trans;
 
 fn check_ib(b: usize, ib: usize) {
@@ -31,8 +40,11 @@ fn panels(b: usize, ib: usize) -> impl Iterator<Item = (usize, usize)> {
 }
 
 /// Multiply the `w × n` workspace `wbuf` in place by op(T_panel), where the
-/// panel T is stored at rows 0..w, cols s..s+w of `t`.
+/// panel T is stored at rows 0..w, cols s..s+w of `t` (strict lower of the
+/// panel triangle ignored).
+#[allow(clippy::too_many_arguments)]
 fn apply_t_panel(
+    arm: SimdArm,
     b: usize,
     t: &[f64],
     s: usize,
@@ -41,34 +53,80 @@ fn apply_t_panel(
     wbuf: &mut [f64],
     trans: Trans,
 ) {
-    let tat = |i: usize, j: usize| t[i + (s + j) * b];
-    for col in 0..n {
-        let c = col * w;
-        match trans {
-            Trans::Trans => {
-                for r in (0..w).rev() {
-                    let mut acc = 0.0;
-                    for i in 0..=r {
-                        acc += tat(i, r) * wbuf[c + i];
-                    }
-                    wbuf[c + r] = acc;
+    let mut tc = vec![0.0; w * w];
+    let mask = match trans {
+        Trans::Trans => {
+            for j in 0..w {
+                for i in 0..=j {
+                    tc[j + i * w] = t[i + (s + j) * b];
                 }
             }
-            Trans::NoTrans => {
-                for r in 0..w {
-                    let mut acc = 0.0;
-                    for i in r..w {
-                        acc += tat(r, i) * wbuf[c + i];
-                    }
-                    wbuf[c + r] = acc;
+            MaskA::Lower
+        }
+        Trans::NoTrans => {
+            for j in 0..w {
+                for i in 0..=j {
+                    tc[i + j * w] = t[i + (s + j) * b];
                 }
             }
+            MaskA::Upper
+        }
+    };
+    let src = wbuf.to_vec();
+    gemm_core(arm, w, n, w, 1.0, &tc, w, mask, &src, w, 0.0, wbuf, w);
+}
+
+/// Pack the unit-lower reflector panel of columns `s..s+w` of `v` (rows
+/// `s..b`, unit diagonal at row `s+r`, entries above it zero) and its
+/// transpose, both with local row indexing.
+fn pack_unit_lower_panel(b: usize, s: usize, w: usize, v: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let mrows = b - s;
+    let mut vp = vec![0.0; mrows * w];
+    let mut vpt = vec![0.0; w * mrows];
+    for r in 0..w {
+        vp[r + r * mrows] = 1.0;
+        vpt[r + r * w] = 1.0;
+        for i in (s + r + 1)..b {
+            let x = v[i + (s + r) * b];
+            vp[(i - s) + r * mrows] = x;
+            vpt[r + (i - s) * w] = x;
         }
     }
+    (vp, vpt)
+}
+
+/// Pack the stacked-bottom reflector panel of columns `s..s+w` of `v2`
+/// (rows `0..support(col)` active, the rest zero) and its transpose.
+/// `keff` is the packed row count (`s+w` for triangular support, `b`
+/// otherwise).
+fn pack_stacked_panel(
+    b: usize,
+    s: usize,
+    w: usize,
+    keff: usize,
+    v2: &[f64],
+    tri: bool,
+) -> (Vec<f64>, Vec<f64>) {
+    let mut vp = vec![0.0; keff * w];
+    let mut vpt = vec![0.0; w * keff];
+    for r in 0..w {
+        let sup = if tri { (s + r + 1).min(keff) } else { keff };
+        for i in 0..sup {
+            let x = v2[i + (s + r) * b];
+            vp[i + r * keff] = x;
+            vpt[r + i * w] = x;
+        }
+    }
+    (vp, vpt)
 }
 
 /// Inner-blocked GEQRT (PLASMA `CORE_dgeqrt` with inner blocking).
 pub fn geqrt_ib(b: usize, ib: usize, a: &mut [f64], t: &mut [f64]) {
+    geqrt_ib_arm(simd_arm(), b, ib, a, t);
+}
+
+/// [`geqrt_ib`] on an explicit dispatch arm (parity tests and benches).
+pub fn geqrt_ib_arm(arm: SimdArm, b: usize, ib: usize, a: &mut [f64], t: &mut [f64]) {
     check_tile(b, a);
     check_tile(b, t);
     check_ib(b, ib);
@@ -122,37 +180,41 @@ pub fn geqrt_ib(b: usize, ib: usize, a: &mut [f64], t: &mut [f64]) {
         if ntrail == 0 {
             continue;
         }
+        let mrows = b - s;
+        let (vp, vpt) = pack_unit_lower_panel(b, s, w, a);
+        let (_, trail) = a.split_at_mut(e * b);
         let mut wbuf = vec![0.0; w * ntrail];
-        for (col, l) in (e..b).enumerate() {
-            let cl = l * b;
-            for r in 0..w {
-                let cv = (s + r) * b;
-                let mut acc = a[cl + s + r];
-                for i in (s + r + 1)..b {
-                    acc += a[cv + i] * a[cl + i];
-                }
-                wbuf[col * w + r] = acc;
-            }
-        }
-        apply_t_panel(b, t, s, w, ntrail, &mut wbuf, Trans::Trans);
-        for (col, l) in (e..b).enumerate() {
-            let cl = l * b;
-            for i in s..b {
-                let mut acc = 0.0;
-                for r in 0..w {
-                    let row = s + r;
-                    let v = if i == row {
-                        1.0
-                    } else if i > row {
-                        a[row * b + i]
-                    } else {
-                        0.0
-                    };
-                    acc += v * wbuf[col * w + r];
-                }
-                a[cl + i] -= acc;
-            }
-        }
+        gemm_core(
+            arm,
+            w,
+            ntrail,
+            mrows,
+            1.0,
+            &vpt,
+            w,
+            MaskA::Upper,
+            &trail[s..],
+            b,
+            0.0,
+            &mut wbuf,
+            w,
+        );
+        apply_t_panel(arm, b, t, s, w, ntrail, &mut wbuf, Trans::Trans);
+        gemm_core(
+            arm,
+            mrows,
+            ntrail,
+            w,
+            -1.0,
+            &vp,
+            mrows,
+            MaskA::Lower,
+            &wbuf,
+            w,
+            1.0,
+            &mut trail[s..],
+            b,
+        );
     }
 }
 
@@ -160,6 +222,19 @@ pub fn geqrt_ib(b: usize, ib: usize, a: &mut [f64], t: &mut [f64]) {
 /// (inner-blocked UNMQR). `Trans` applies panels forward, `NoTrans`
 /// in reverse.
 pub fn unmqr_ib(b: usize, ib: usize, v: &[f64], t: &[f64], c: &mut [f64], trans: Trans) {
+    unmqr_ib_arm(simd_arm(), b, ib, v, t, c, trans);
+}
+
+/// [`unmqr_ib`] on an explicit dispatch arm (parity tests and benches).
+pub fn unmqr_ib_arm(
+    arm: SimdArm,
+    b: usize,
+    ib: usize,
+    v: &[f64],
+    t: &[f64],
+    c: &mut [f64],
+    trans: Trans,
+) {
     check_tile(b, v);
     check_tile(b, t);
     check_tile(b, c);
@@ -171,39 +246,25 @@ pub fn unmqr_ib(b: usize, ib: usize, v: &[f64], t: &[f64], c: &mut [f64], trans:
     };
     for &(s, e) in iter {
         let w = e - s;
+        let mrows = b - s;
+        let (vp, vpt) = pack_unit_lower_panel(b, s, w, v);
         let mut wbuf = vec![0.0; w * b];
-        for col in 0..b {
-            let cc = col * b;
-            for r in 0..w {
-                let cv = (s + r) * b;
-                let mut acc = c[cc + s + r];
-                for i in (s + r + 1)..b {
-                    acc += v[cv + i] * c[cc + i];
-                }
-                wbuf[col * w + r] = acc;
-            }
-        }
-        apply_t_panel(b, t, s, w, b, &mut wbuf, trans);
-        for col in 0..b {
-            let cc = col * b;
-            for r in 0..w {
-                let row = s + r;
-                let wv = wbuf[col * w + r];
-                if wv == 0.0 {
-                    continue;
-                }
-                c[cc + row] -= wv;
-                let cv = row * b;
-                for i in (row + 1)..b {
-                    c[cc + i] -= v[cv + i] * wv;
-                }
-            }
-        }
+        gemm_core(arm, w, b, mrows, 1.0, &vpt, w, MaskA::Upper, &c[s..], b, 0.0, &mut wbuf, w);
+        apply_t_panel(arm, b, t, s, w, b, &mut wbuf, trans);
+        gemm_core(arm, mrows, b, w, -1.0, &vp, mrows, MaskA::Lower, &wbuf, w, 1.0, &mut c[s..], b);
     }
 }
 
 /// Shared inner-blocked TSQRT/TTQRT.
-fn stacked_qrt_ib(b: usize, ib: usize, a1: &mut [f64], a2: &mut [f64], t: &mut [f64], tri: bool) {
+fn stacked_qrt_ib(
+    arm: SimdArm,
+    b: usize,
+    ib: usize,
+    a1: &mut [f64],
+    a2: &mut [f64],
+    t: &mut [f64],
+    tri: bool,
+) {
     check_tile(b, a1);
     check_tile(b, a2);
     check_tile(b, t);
@@ -253,51 +314,69 @@ fn stacked_qrt_ib(b: usize, ib: usize, a1: &mut [f64], a2: &mut [f64], t: &mut [
         if ntrail == 0 {
             continue;
         }
+        // Rows of the bottom block a panel reflector can touch: with
+        // triangular support the panel's widest column reaches row e−1.
+        let keff = if tri { e } else { b };
+        let (vp, vpt) = pack_stacked_panel(b, s, w, keff, a2, tri);
+        let (_, a1t) = a1.split_at_mut(e * b);
+        let (_, a2t) = a2.split_at_mut(e * b);
+        // W = A1[s..e, e..] + Vᵀ·A2[0..keff, e..].
         let mut wbuf = vec![0.0; w * ntrail];
-        for (col, l) in (e..b).enumerate() {
-            let cl = l * b;
+        for col in 0..ntrail {
             for r in 0..w {
-                let cv = (s + r) * b;
-                let sup = support(s + r);
-                let mut acc = a1[(s + r) + cl];
-                for i in 0..sup {
-                    acc += a2[cv + i] * a2[cl + i];
-                }
-                wbuf[col * w + r] = acc;
+                wbuf[r + col * w] = a1t[(s + r) + col * b];
             }
         }
-        apply_t_panel(b, t, s, w, ntrail, &mut wbuf, Trans::Trans);
-        for (col, l) in (e..b).enumerate() {
-            let cl = l * b;
+        gemm_core(arm, w, ntrail, keff, 1.0, &vpt, w, MaskA::Full, a2t, b, 1.0, &mut wbuf, w);
+        apply_t_panel(arm, b, t, s, w, ntrail, &mut wbuf, Trans::Trans);
+        // A1[s..e, e..] -= W; A2[0..keff, e..] -= V·W.
+        for col in 0..ntrail {
             for r in 0..w {
-                let wv = wbuf[col * w + r];
-                if wv == 0.0 {
-                    continue;
-                }
-                a1[(s + r) + cl] -= wv;
-                let cv = (s + r) * b;
-                let sup = support(s + r);
-                for i in 0..sup {
-                    a2[cl + i] -= a2[cv + i] * wv;
-                }
+                a1t[(s + r) + col * b] -= wbuf[r + col * w];
             }
         }
+        gemm_core(arm, keff, ntrail, w, -1.0, &vp, keff, MaskA::Full, &wbuf, w, 1.0, a2t, b);
     }
 }
 
 /// Inner-blocked TSQRT.
 pub fn tsqrt_ib(b: usize, ib: usize, a1: &mut [f64], a2: &mut [f64], t: &mut [f64]) {
-    stacked_qrt_ib(b, ib, a1, a2, t, false);
+    stacked_qrt_ib(simd_arm(), b, ib, a1, a2, t, false);
+}
+
+/// [`tsqrt_ib`] on an explicit dispatch arm (parity tests and benches).
+pub fn tsqrt_ib_arm(
+    arm: SimdArm,
+    b: usize,
+    ib: usize,
+    a1: &mut [f64],
+    a2: &mut [f64],
+    t: &mut [f64],
+) {
+    stacked_qrt_ib(arm, b, ib, a1, a2, t, false);
 }
 
 /// Inner-blocked TTQRT.
 pub fn ttqrt_ib(b: usize, ib: usize, a1: &mut [f64], a2: &mut [f64], t: &mut [f64]) {
-    stacked_qrt_ib(b, ib, a1, a2, t, true);
+    stacked_qrt_ib(simd_arm(), b, ib, a1, a2, t, true);
+}
+
+/// [`ttqrt_ib`] on an explicit dispatch arm (parity tests and benches).
+pub fn ttqrt_ib_arm(
+    arm: SimdArm,
+    b: usize,
+    ib: usize,
+    a1: &mut [f64],
+    a2: &mut [f64],
+    t: &mut [f64],
+) {
+    stacked_qrt_ib(arm, b, ib, a1, a2, t, true);
 }
 
 /// Shared inner-blocked TSMQR/TTMQR.
 #[allow(clippy::too_many_arguments)]
 fn stacked_mqr_ib(
+    arm: SimdArm,
     b: usize,
     ib: usize,
     v2: &[f64],
@@ -312,7 +391,6 @@ fn stacked_mqr_ib(
     check_tile(b, a1);
     check_tile(b, a2);
     check_ib(b, ib);
-    let support = |col: usize| if tri { col + 1 } else { b };
     let plist: Vec<(usize, usize)> = panels(b, ib).collect();
     let iter: Box<dyn Iterator<Item = &(usize, usize)>> = match trans {
         Trans::Trans => Box::new(plist.iter()),
@@ -320,35 +398,24 @@ fn stacked_mqr_ib(
     };
     for &(s, e) in iter {
         let w = e - s;
+        let keff = if tri { e } else { b };
+        let (vp, vpt) = pack_stacked_panel(b, s, w, keff, v2, tri);
+        // W = A1[s..e, :] + Vᵀ·A2[0..keff, :].
         let mut wbuf = vec![0.0; w * b];
         for col in 0..b {
-            let cc = col * b;
             for r in 0..w {
-                let cv = (s + r) * b;
-                let sup = support(s + r);
-                let mut acc = a1[cc + s + r];
-                for i in 0..sup {
-                    acc += v2[cv + i] * a2[cc + i];
-                }
-                wbuf[col * w + r] = acc;
+                wbuf[r + col * w] = a1[(s + r) + col * b];
             }
         }
-        apply_t_panel(b, t, s, w, b, &mut wbuf, trans);
+        gemm_core(arm, w, b, keff, 1.0, &vpt, w, MaskA::Full, a2, b, 1.0, &mut wbuf, w);
+        apply_t_panel(arm, b, t, s, w, b, &mut wbuf, trans);
+        // A1[s..e, :] -= W; A2[0..keff, :] -= V·W.
         for col in 0..b {
-            let cc = col * b;
             for r in 0..w {
-                let wv = wbuf[col * w + r];
-                if wv == 0.0 {
-                    continue;
-                }
-                a1[cc + s + r] -= wv;
-                let cv = (s + r) * b;
-                let sup = support(s + r);
-                for i in 0..sup {
-                    a2[cc + i] -= v2[cv + i] * wv;
-                }
+                a1[(s + r) + col * b] -= wbuf[r + col * w];
             }
         }
+        gemm_core(arm, keff, b, w, -1.0, &vp, keff, MaskA::Full, &wbuf, w, 1.0, a2, b);
     }
 }
 
@@ -362,7 +429,22 @@ pub fn tsmqr_ib(
     a2: &mut [f64],
     trans: Trans,
 ) {
-    stacked_mqr_ib(b, ib, v2, t, a1, a2, trans, false);
+    stacked_mqr_ib(simd_arm(), b, ib, v2, t, a1, a2, trans, false);
+}
+
+/// [`tsmqr_ib`] on an explicit dispatch arm (parity tests and benches).
+#[allow(clippy::too_many_arguments)]
+pub fn tsmqr_ib_arm(
+    arm: SimdArm,
+    b: usize,
+    ib: usize,
+    v2: &[f64],
+    t: &[f64],
+    a1: &mut [f64],
+    a2: &mut [f64],
+    trans: Trans,
+) {
+    stacked_mqr_ib(arm, b, ib, v2, t, a1, a2, trans, false);
 }
 
 /// Inner-blocked TTMQR.
@@ -375,186 +457,20 @@ pub fn ttmqr_ib(
     a2: &mut [f64],
     trans: Trans,
 ) {
-    stacked_mqr_ib(b, ib, v2, t, a1, a2, trans, true);
+    stacked_mqr_ib(simd_arm(), b, ib, v2, t, a1, a2, trans, true);
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::factor::{geqrt, tsqrt, ttqrt};
-    use hqr_tile::DenseMatrix;
-
-    const B: usize = 12;
-
-    fn tile(seed: u64) -> Vec<f64> {
-        DenseMatrix::random(B, B, seed).data().to_vec()
-    }
-
-    fn upper(a: &[f64]) -> Vec<f64> {
-        let mut u = vec![0.0; B * B];
-        for j in 0..B {
-            for i in 0..=j {
-                u[i + j * B] = a[i + j * B];
-            }
-        }
-        u
-    }
-
-    fn upper_of(a: &[f64]) -> DenseMatrix {
-        DenseMatrix::from_col_major(B, B, &upper(a))
-    }
-
-    fn norm(a: &[f64]) -> f64 {
-        a.iter().map(|x| x * x).sum::<f64>().sqrt()
-    }
-
-    fn assert_same_r(a: &[f64], bm: &[f64], tol: f64) {
-        for d in 0..B {
-            let sign = if a[d + d * B] * bm[d + d * B] >= 0.0 { 1.0 } else { -1.0 };
-            for j in d..B {
-                let diff = (a[d + j * B] - sign * bm[d + j * B]).abs();
-                assert!(diff < tol, "R mismatch at ({d},{j}): {diff}");
-            }
-        }
-    }
-
-    #[test]
-    fn geqrt_ib_equals_unblocked_for_ib_b() {
-        let a0 = tile(50);
-        let (mut a1, mut t1) = (a0.clone(), vec![0.0; B * B]);
-        let (mut a2, mut t2) = (a0.clone(), vec![0.0; B * B]);
-        geqrt(B, &mut a1, &mut t1);
-        geqrt_ib(B, B, &mut a2, &mut t2);
-        assert!(norm(&a1.iter().zip(&a2).map(|(x, y)| x - y).collect::<Vec<_>>()) < 1e-13);
-        assert!(norm(&t1.iter().zip(&t2).map(|(x, y)| x - y).collect::<Vec<_>>()) < 1e-13);
-    }
-
-    #[test]
-    fn geqrt_ib_same_r_any_ib() {
-        let a0 = tile(51);
-        let mut r_ref = a0.clone();
-        let mut t = vec![0.0; B * B];
-        geqrt(B, &mut r_ref, &mut t);
-        for ibv in [1usize, 2, 3, 4, 5, 7, 12] {
-            let mut a = a0.clone();
-            let mut tb = vec![0.0; B * B];
-            geqrt_ib(B, ibv, &mut a, &mut tb);
-            assert_same_r(&r_ref, &a, 1e-12);
-            // V is identical, not just R.
-            for j in 0..B {
-                for i in (j + 1)..B {
-                    assert!((a[i + j * B] - r_ref[i + j * B]).abs() < 1e-12, "V mismatch ib={ibv}");
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn geqrt_ib_roundtrip_via_unmqr_ib() {
-        for ibv in [2usize, 4, 5] {
-            let a0 = tile(52);
-            let mut a = a0.clone();
-            let mut t = vec![0.0; B * B];
-            geqrt_ib(B, ibv, &mut a, &mut t);
-            // Qᵀ·A0 == R.
-            let mut c = a0.clone();
-            unmqr_ib(B, ibv, &a, &t, &mut c, Trans::Trans);
-            let cm = DenseMatrix::from_col_major(B, B, &c);
-            assert!(cm.max_abs_below_diagonal() < 1e-12, "ib={ibv}");
-            assert!(cm.upper_triangle().sub(&upper_of(&a)).frob_norm() < 1e-12);
-            // Q·Qᵀ·C == C.
-            let c0 = tile(53);
-            let mut c = c0.clone();
-            unmqr_ib(B, ibv, &a, &t, &mut c, Trans::Trans);
-            unmqr_ib(B, ibv, &a, &t, &mut c, Trans::NoTrans);
-            assert!(norm(&c.iter().zip(&c0).map(|(x, y)| x - y).collect::<Vec<_>>()) < 1e-12);
-        }
-    }
-
-    #[test]
-    fn tsqrt_ib_equals_unblocked_for_ib_b() {
-        let a1_0 = upper(&tile(54));
-        let a2_0 = tile(55);
-        let (mut x1, mut y1, mut t1) = (a1_0.clone(), a2_0.clone(), vec![0.0; B * B]);
-        let (mut x2, mut y2, mut t2) = (a1_0.clone(), a2_0.clone(), vec![0.0; B * B]);
-        tsqrt(B, &mut x1, &mut y1, &mut t1);
-        tsqrt_ib(B, B, &mut x2, &mut y2, &mut t2);
-        assert!(norm(&x1.iter().zip(&x2).map(|(a, b)| a - b).collect::<Vec<_>>()) < 1e-12);
-        assert!(norm(&y1.iter().zip(&y2).map(|(a, b)| a - b).collect::<Vec<_>>()) < 1e-12);
-        assert!(norm(&t1.iter().zip(&t2).map(|(a, b)| a - b).collect::<Vec<_>>()) < 1e-12);
-    }
-
-    #[test]
-    fn tsqrt_ib_annihilates_and_roundtrips() {
-        for ibv in [2usize, 3, 5] {
-            let a1_0 = upper(&tile(56));
-            let a2_0 = tile(57);
-            let (mut a1, mut a2, mut t) = (a1_0.clone(), a2_0.clone(), vec![0.0; B * B]);
-            tsqrt_ib(B, ibv, &mut a1, &mut a2, &mut t);
-            // Qᵀ applied to the original stack annihilates the bottom.
-            let (mut c1, mut c2) = (a1_0.clone(), a2_0.clone());
-            tsmqr_ib(B, ibv, &a2, &t, &mut c1, &mut c2, Trans::Trans);
-            assert!(norm(&c2) < 1e-11, "ib={ibv}: bottom not annihilated ({})", norm(&c2));
-            // And Q[Rnew; 0] reconstructs the stack.
-            let mut d1 = upper(&a1);
-            let mut d2 = vec![0.0; B * B];
-            tsmqr_ib(B, ibv, &a2, &t, &mut d1, &mut d2, Trans::NoTrans);
-            assert!(norm(&d1.iter().zip(&a1_0).map(|(x, y)| x - y).collect::<Vec<_>>()) < 1e-11);
-            assert!(norm(&d2.iter().zip(&a2_0).map(|(x, y)| x - y).collect::<Vec<_>>()) < 1e-11);
-        }
-    }
-
-    #[test]
-    fn ttqrt_ib_preserves_triangularity_and_matches_r() {
-        let a1_0 = upper(&tile(58));
-        let a2_0 = upper(&tile(59));
-        let (mut r1, mut r2, mut tref) = (a1_0.clone(), a2_0.clone(), vec![0.0; B * B]);
-        ttqrt(B, &mut r1, &mut r2, &mut tref);
-        for ibv in [2usize, 4, 6] {
-            let (mut a1, mut a2, mut t) = (a1_0.clone(), a2_0.clone(), vec![0.0; B * B]);
-            ttqrt_ib(B, ibv, &mut a1, &mut a2, &mut t);
-            assert_same_r(&r1, &a1, 1e-11);
-            // V2 stays upper triangular.
-            for j in 0..B {
-                for i in (j + 1)..B {
-                    assert_eq!(a2[i + j * B], 0.0, "ib={ibv}: V2 must stay triangular");
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn ttmqr_ib_roundtrip() {
-        for ibv in [3usize, 5] {
-            let (mut a1, mut a2, mut t) = (upper(&tile(60)), upper(&tile(61)), vec![0.0; B * B]);
-            ttqrt_ib(B, ibv, &mut a1, &mut a2, &mut t);
-            let c1_0 = tile(62);
-            let c2_0 = tile(63);
-            let (mut c1, mut c2) = (c1_0.clone(), c2_0.clone());
-            ttmqr_ib(B, ibv, &a2, &t, &mut c1, &mut c2, Trans::Trans);
-            ttmqr_ib(B, ibv, &a2, &t, &mut c1, &mut c2, Trans::NoTrans);
-            assert!(norm(&c1.iter().zip(&c1_0).map(|(x, y)| x - y).collect::<Vec<_>>()) < 1e-11);
-            assert!(norm(&c2.iter().zip(&c2_0).map(|(x, y)| x - y).collect::<Vec<_>>()) < 1e-11);
-        }
-    }
-
-    #[test]
-    fn stacked_isometry_ib() {
-        let ibv = 4;
-        let (mut a1, mut a2, mut t) = (upper(&tile(64)), tile(65), vec![0.0; B * B]);
-        tsqrt_ib(B, ibv, &mut a1, &mut a2, &mut t);
-        let (mut c1, mut c2) = (tile(66), tile(67));
-        let before = (norm(&c1).powi(2) + norm(&c2).powi(2)).sqrt();
-        tsmqr_ib(B, ibv, &a2, &t, &mut c1, &mut c2, Trans::Trans);
-        let after = (norm(&c1).powi(2) + norm(&c2).powi(2)).sqrt();
-        assert!((before - after).abs() < 1e-12);
-    }
-
-    #[test]
-    #[should_panic(expected = "inner block size")]
-    fn rejects_bad_ib() {
-        let mut a = tile(68);
-        let mut t = vec![0.0; B * B];
-        geqrt_ib(B, 0, &mut a, &mut t);
-    }
+/// [`ttmqr_ib`] on an explicit dispatch arm (parity tests and benches).
+#[allow(clippy::too_many_arguments)]
+pub fn ttmqr_ib_arm(
+    arm: SimdArm,
+    b: usize,
+    ib: usize,
+    v2: &[f64],
+    t: &[f64],
+    a1: &mut [f64],
+    a2: &mut [f64],
+    trans: Trans,
+) {
+    stacked_mqr_ib(arm, b, ib, v2, t, a1, a2, trans, true);
 }

@@ -1,0 +1,49 @@
+//! Typed kernel errors for predictable bad-input conditions.
+//!
+//! Contract violations (wrong buffer sizes, zero inner block) stay
+//! `assert!`-based panics — they are programming errors. Data-dependent
+//! failures a caller can reasonably hit with valid code (a singular R
+//! reaching back-substitution) are surfaced as [`KernelError`] so a
+//! long-running service can fail one request instead of the process.
+
+use std::fmt;
+
+/// A recoverable kernel failure caused by the input data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelError {
+    /// Back-substitution met an exactly-zero diagonal entry: R is
+    /// singular and the triangular solve has no unique solution.
+    SingularR {
+        /// Index of the zero diagonal entry.
+        index: usize,
+    },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::SingularR { index } => {
+                write!(f, "singular R: zero diagonal at {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_diagonal() {
+        let e = KernelError::SingularR { index: 3 };
+        assert_eq!(e.to_string(), "singular R: zero diagonal at 3");
+    }
+
+    #[test]
+    fn is_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(KernelError::SingularR { index: 0 });
+        assert!(e.to_string().contains("singular"));
+    }
+}

@@ -46,13 +46,17 @@
 mod apply;
 pub mod blas;
 pub mod blocked;
+mod error;
 mod factor;
 mod larfg;
+pub mod micro;
 pub mod reference;
 pub mod weights;
 
-pub use apply::{tsmqr, ttmqr, unmqr};
+pub use apply::{tsmqr, tsmqr_arm, ttmqr, ttmqr_arm, unmqr, unmqr_arm};
+pub use error::KernelError;
 pub use factor::{geqrt, tsqrt, ttqrt};
+pub use micro::{simd_arm, simd_description, simd_detected, SimdArm};
 pub use weights::{KernelClass, KernelKind};
 
 /// Whether to apply `Q` or `Qᵀ`.
