@@ -11,10 +11,10 @@ use hqr_runtime::{
 };
 use hqr_sim::scalapack::ScalapackModel;
 use hqr_sim::{
-    compare_recovery_policies, find_crossover, find_sdc_crossover, recovery_crossover,
-    sdc_policy_sweep, simulate_traced, simulate_with_faults, simulate_with_policy,
-    CheckpointCostModel, KernelRates, Platform, RecoveryPolicy, SchedPolicy, SdcCostModel,
-    SimFaultPlan,
+    compare_recovery_policies, find_crossover, find_sdc_crossover, find_suspend_crossover,
+    recovery_crossover, sdc_policy_sweep, simulate_traced, simulate_with_faults,
+    simulate_with_policy, suspend_vs_scratch_sweep, CheckpointCostModel, KernelRates, Platform,
+    RecoveryPolicy, SchedPolicy, SdcCostModel, SimFaultPlan,
 };
 use hqr_tile::{ProcessGrid, TiledMatrix};
 use std::time::Instant;
@@ -46,7 +46,9 @@ USAGE:
       parallel factorization (verifying bitwise recovery), then crash a
       simulated node mid-run, report the lineage-recovery overhead, and
       price lineage re-execution against checkpoint/restart (Young/Daly
-      interval unless --ckpt-interval) including a crash-rate crossover sweep;
+      interval unless --ckpt-interval) including a crash-rate crossover sweep
+      and a per-job kill sweep pricing the service's checkpoint-backed
+      suspend-resume against restart-from-scratch;
       with --sdc-rate, also strike random tasks with silent single-bit flips,
       report detected/recomputed/escaped counts under the chosen --integrity
       mode, and price detect-recompute vs checkpoint/restart vs unprotected
@@ -75,25 +77,42 @@ USAGE:
       Format JSON (open at https://ui.perfetto.dev), and print a summary
       (utilization, steal counts, top realized-critical-path tasks)
   hqr serve    [--socket PATH --queue FILE --threads T --mem-budget-mb MB
-                --queue-cap N --max-active N --grace-ms MS --resume]
+                --queue-cap N --max-active N --grace-ms MS --resume
+                --state-dir DIR --ckpt-interval-ms MS --result-cap N]
       run the multi-job factorization service on a local Unix socket:
       one shared work-stealing pool multiplexes every accepted job, with
       admission control (memory budget), bounded-queue backpressure
       (lowest-QoS shedding), per-job deadlines/retries, and graceful
       drain on SIGTERM (suspend in-flight work at a quiescent point and
-      persist the queue; restart with --resume to finish it)
+      persist the queue; restart with --resume to finish it);
+      --state-dir turns on crash-safe durability: every lifecycle
+      transition is written to a fsync'd job journal, completed results
+      persist to a durable store (capped at --result-cap, 0 = unlimited),
+      running jobs checkpoint every --ckpt-interval-ms, and a restarted
+      daemon replays the journal so no accepted job is ever lost — even
+      after kill -9
   hqr submit   [--socket PATH --rows R --cols C --tile B --grid PxQ
                 --low TREE --high TREE --domino --a A --ib IB --seed S
                 --qos batch|normal|interactive --policy POLICY
                 --integrity off|spot|full --retries N --job-retries N
                 --deadline-ms MS --tag NAME --inject-fail TASK:ATTEMPTS
-                --wait]
+                --dedup-key KEY --wait]
       submit one factorization job to a running daemon; --wait polls
-      until the job reaches a terminal state (exit 0 iff completed)
+      until the job reaches a terminal state (exit 0 iff completed);
+      --dedup-key makes the submit idempotent (a retried submit with the
+      same key returns the original job id instead of a duplicate)
   hqr jobs     [--socket PATH]
       list every job the daemon knows about
   hqr cancel   [--socket PATH --id JOB]
       cancel a queued or running job
+  hqr result   [--socket PATH --id JOB --out FILE]
+      fetch the durably stored factorization of a completed job; --out
+      writes the raw result container, otherwise prints a summary
+  hqr suspend  [--socket PATH --id JOB]
+      checkpoint a queued or running job at its next quiescent point and
+      park it (resume later with `hqr resume-job`)
+  hqr resume-job [--socket PATH --id JOB]
+      requeue a suspended job from its checkpoint
   hqr drain    [--socket PATH --grace-ms MS]
       gracefully drain the daemon: finish or suspend in-flight jobs,
       persist the queue, exit
@@ -753,6 +772,38 @@ pub fn fault(args: &Args) -> i32 {
             p.crashes
         ),
         None => println!("crossover    : lineage re-execution wins at every tested crash rate"),
+    }
+
+    // Price the `hqr serve` daemon's checkpoint-backed suspension against
+    // restarting killed jobs from scratch, under the same cost model.
+    let sweep = match suspend_vs_scratch_sweep(
+        cmp.baseline_makespan,
+        cmp.checkpoint_cost,
+        model.restart_overhead,
+        interval,
+        max_crashes,
+    ) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    println!();
+    println!("service suspend-resume vs restart-from-scratch (per-job kill sweep):");
+    println!("  kills  rate(1/s)   resume(s)   scratch(s)   ckpts");
+    for p in &sweep {
+        println!(
+            "  {:>5}  {:>9.4}  {:>10.4}  {:>11.4}  {:>5}",
+            p.kills, p.kill_rate, p.resume_makespan, p.scratch_makespan, p.checkpoints_taken
+        );
+    }
+    match find_suspend_crossover(&sweep) {
+        Some(p) => println!(
+            "crossover    : checkpoint-backed resume first wins at {} kill(s) per job",
+            p.kills
+        ),
+        None => println!("crossover    : restart-from-scratch wins at every tested kill rate"),
     }
     0
 }

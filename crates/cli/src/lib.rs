@@ -30,6 +30,12 @@ pub fn run(argv: &[String]) -> i32 {
         #[cfg(unix)]
         Some("cancel") => service::cancel(&Args::parse(&argv[1..])),
         #[cfg(unix)]
+        Some("result") => service::result(&Args::parse(&argv[1..])),
+        #[cfg(unix)]
+        Some("suspend") => service::suspend(&Args::parse(&argv[1..])),
+        #[cfg(unix)]
+        Some("resume-job") => service::resume_job(&Args::parse(&argv[1..])),
+        #[cfg(unix)]
         Some("drain") => service::drain(&Args::parse(&argv[1..])),
         #[cfg(unix)]
         Some("ping") => service::ping(&Args::parse(&argv[1..])),

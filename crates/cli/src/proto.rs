@@ -17,8 +17,10 @@ use std::io::{self, Read, Write};
 
 /// Magic bytes identifying a protocol frame payload.
 pub const PROTO_MAGIC: [u8; 8] = *b"HQRPROT\0";
-/// Protocol version; bumped on incompatible changes.
-pub const PROTO_VERSION: u32 = 1;
+/// Protocol version; bumped on incompatible changes. v2 adds durable
+/// result retrieval (`Result`), checkpoint-backed suspension
+/// (`Suspend`/`ResumeJob`), and the dedup flag on `Submitted`.
+pub const PROTO_VERSION: u32 = 2;
 /// Upper bound on a single frame payload (defends the daemon against a
 /// corrupt or hostile length prefix). Large enough for a submission
 /// carrying a multi-gigabyte-free tiled matrix is *not* the goal — jobs
@@ -32,6 +34,7 @@ const TAG_TEXT: u32 = 3; // UTF-8 text (tags, error messages)
 const TAG_SPEC: u32 = 4; // embedded JobSpec container
 const TAG_PLAN: u32 = 5; // fault-injection plan words
 const TAG_IDS: u32 = 6; // u64 id lists (drain report)
+const TAG_BLOB: u32 = 7; // opaque byte payloads (result containers)
 /// Per-job sections in a `Jobs` response start here; stride 4.
 const TAG_JOB_BASE: u32 = 16;
 const JOB_STRIDE: u32 = 4;
@@ -42,6 +45,9 @@ const K_SUBMIT: u64 = 2;
 const K_JOBS: u64 = 3;
 const K_CANCEL: u64 = 4;
 const K_DRAIN: u64 = 5;
+const K_RESULT: u64 = 6;
+const K_SUSPEND: u64 = 7;
+const K_RESUME_JOB: u64 = 8;
 // Response discriminants.
 const K_PONG: u64 = 101;
 const K_SUBMITTED: u64 = 102;
@@ -49,6 +55,9 @@ const K_JOB_LIST: u64 = 103;
 const K_CANCELLED: u64 = 104;
 const K_DRAINED: u64 = 105;
 const K_ERROR: u64 = 106;
+const K_RESULT_BYTES: u64 = 107;
+const K_SUSPENDED: u64 = 108;
+const K_RESUMED: u64 = 109;
 
 /// A decoding failure: the peer sent bytes we do not understand.
 #[derive(Debug)]
@@ -122,6 +131,13 @@ pub enum Request {
     /// Gracefully drain: stop admitting, give in-flight jobs `grace_ms`,
     /// suspend the rest, persist the queue, then exit.
     Drain { grace_ms: u64 },
+    /// Fetch the durable result container of a completed job.
+    Result(u64),
+    /// Suspend one job: queued jobs park immediately, running jobs are
+    /// checkpointed at their next panel boundary and then park.
+    Suspend(u64),
+    /// Resume a job parked by `Suspend`, continuing from its checkpoint.
+    ResumeJob(u64),
 }
 
 impl Request {
@@ -150,6 +166,18 @@ impl Request {
                 w.section(TAG_KIND, &bytes_of_u64s(&[K_DRAIN]));
                 w.section(TAG_WORDS, &bytes_of_u64s(&[*grace_ms]));
             }
+            Request::Result(id) => {
+                w.section(TAG_KIND, &bytes_of_u64s(&[K_RESULT]));
+                w.section(TAG_WORDS, &bytes_of_u64s(&[*id]));
+            }
+            Request::Suspend(id) => {
+                w.section(TAG_KIND, &bytes_of_u64s(&[K_SUSPEND]));
+                w.section(TAG_WORDS, &bytes_of_u64s(&[*id]));
+            }
+            Request::ResumeJob(id) => {
+                w.section(TAG_KIND, &bytes_of_u64s(&[K_RESUME_JOB]));
+                w.section(TAG_WORDS, &bytes_of_u64s(&[*id]));
+            }
         }
         w.into_bytes()
     }
@@ -174,6 +202,9 @@ impl Request {
             K_JOBS => Ok(Request::Jobs),
             K_CANCEL => Ok(Request::Cancel(words1(&r)?)),
             K_DRAIN => Ok(Request::Drain { grace_ms: words1(&r)? }),
+            K_RESULT => Ok(Request::Result(words1(&r)?)),
+            K_SUSPEND => Ok(Request::Suspend(words1(&r)?)),
+            K_RESUME_JOB => Ok(Request::ResumeJob(words1(&r)?)),
             other => bad(format!("unknown request kind {other}")),
         }
     }
@@ -208,14 +239,27 @@ pub struct WireJob {
 pub enum Response {
     /// The daemon is alive; carries the number of non-terminal jobs.
     Pong { live_jobs: u64 },
-    /// Submission accepted under this id.
-    Submitted(u64),
+    /// Submission accepted under this id. `deduped` is true when the
+    /// spec's dedup key matched an existing job and no new job was
+    /// created.
+    Submitted {
+        /// The accepted (or deduplicated) job id.
+        id: u64,
+        /// Whether an existing job was returned instead of a new one.
+        deduped: bool,
+    },
     /// All jobs, newest last.
     JobList(Vec<WireJob>),
     /// Cancellation outcome: true if the job existed and was cancellable.
     Cancelled(bool),
     /// Drain finished: counts mirror [`hqr_runtime::DrainReport`].
     Drained { finished: u64, suspended: Vec<u64>, persisted: u64 },
+    /// A completed job's encoded result container.
+    ResultBytes(Vec<u8>),
+    /// Suspension outcome: true if the job existed and was suspendable.
+    Suspended(bool),
+    /// Resumption outcome: true if the job was parked and is now queued.
+    Resumed(bool),
     /// The request failed. `code` classifies submission rejections
     /// (1 invalid, 2 over budget, 3 queue full, 4 draining, 0 other).
     Error { code: u64, message: String },
@@ -230,9 +274,9 @@ impl Response {
                 w.section(TAG_KIND, &bytes_of_u64s(&[K_PONG]));
                 w.section(TAG_WORDS, &bytes_of_u64s(&[*live_jobs]));
             }
-            Response::Submitted(id) => {
+            Response::Submitted { id, deduped } => {
                 w.section(TAG_KIND, &bytes_of_u64s(&[K_SUBMITTED]));
-                w.section(TAG_WORDS, &bytes_of_u64s(&[*id]));
+                w.section(TAG_WORDS, &bytes_of_u64s(&[*id, *deduped as u64]));
             }
             Response::JobList(jobs) => {
                 w.section(TAG_KIND, &bytes_of_u64s(&[K_JOB_LIST]));
@@ -269,6 +313,18 @@ impl Response {
                 w.section(TAG_WORDS, &bytes_of_u64s(&[*code]));
                 w.section(TAG_TEXT, message.as_bytes());
             }
+            Response::ResultBytes(bytes) => {
+                w.section(TAG_KIND, &bytes_of_u64s(&[K_RESULT_BYTES]));
+                w.section(TAG_BLOB, bytes);
+            }
+            Response::Suspended(ok) => {
+                w.section(TAG_KIND, &bytes_of_u64s(&[K_SUSPENDED]));
+                w.section(TAG_WORDS, &bytes_of_u64s(&[*ok as u64]));
+            }
+            Response::Resumed(ok) => {
+                w.section(TAG_KIND, &bytes_of_u64s(&[K_RESUMED]));
+                w.section(TAG_WORDS, &bytes_of_u64s(&[*ok as u64]));
+            }
         }
         w.into_bytes()
     }
@@ -278,7 +334,10 @@ impl Response {
         let r = reader(bytes)?;
         match kind(&r)? {
             K_PONG => Ok(Response::Pong { live_jobs: words1(&r)? }),
-            K_SUBMITTED => Ok(Response::Submitted(words1(&r)?)),
+            K_SUBMITTED => {
+                let w = wordsn(&r, 2)?;
+                Ok(Response::Submitted { id: w[0], deduped: w[1] != 0 })
+            }
             K_JOB_LIST => {
                 let n = words1(&r)? as usize;
                 let mut jobs = Vec::with_capacity(n);
@@ -316,6 +375,12 @@ impl Response {
                 code: words1(&r)?,
                 message: text(&r, TAG_TEXT)?.unwrap_or_default(),
             }),
+            K_RESULT_BYTES => {
+                let raw = r.require(TAG_BLOB).map_err(|e| ProtoError(e.to_string()))?;
+                Ok(Response::ResultBytes(raw.to_vec()))
+            }
+            K_SUSPENDED => Ok(Response::Suspended(words1(&r)? != 0)),
+            K_RESUMED => Ok(Response::Resumed(words1(&r)? != 0)),
             other => bad(format!("unknown response kind {other}")),
         }
     }
@@ -455,8 +520,15 @@ mod tests {
 
     #[test]
     fn request_roundtrips() {
-        let cases =
-            [Request::Ping, Request::Jobs, Request::Cancel(42), Request::Drain { grace_ms: 1500 }];
+        let cases = [
+            Request::Ping,
+            Request::Jobs,
+            Request::Cancel(42),
+            Request::Drain { grace_ms: 1500 },
+            Request::Result(9),
+            Request::Suspend(10),
+            Request::ResumeJob(10),
+        ];
         for req in cases {
             let back = Request::from_bytes(req.to_bytes()).expect("decode");
             assert_eq!(format!("{req:?}"), format!("{back:?}"));
@@ -512,11 +584,15 @@ mod tests {
         ];
         let cases = [
             Response::Pong { live_jobs: 3 },
-            Response::Submitted(17),
+            Response::Submitted { id: 17, deduped: false },
+            Response::Submitted { id: 4, deduped: true },
             Response::JobList(jobs),
             Response::Cancelled(true),
             Response::Drained { finished: 2, suspended: vec![4, 5], persisted: 3 },
             Response::Error { code: 2, message: "over budget".into() },
+            Response::ResultBytes(vec![1, 2, 3, 255]),
+            Response::Suspended(true),
+            Response::Resumed(false),
         ];
         for resp in cases {
             let back = Response::from_bytes(resp.to_bytes()).expect("decode");

@@ -22,8 +22,8 @@ use crate::proto::{read_frame, write_frame, ProtoError, Request, Response, WireJ
 use hqr::baselines;
 use hqr::prelude::*;
 use hqr_runtime::{
-    load_queue, DrainReport, FaultPlan, IntegrityMode, JobPool, JobSpec, JobState, PoolConfig,
-    QosClass, SubmitError,
+    load_queue, result_from_bytes, DrainReport, DurabilityConfig, FaultPlan, IntegrityMode,
+    JobPool, JobSpec, JobState, PoolConfig, QosClass, SubmitError,
 };
 use hqr_tile::{ProcessGrid, TiledMatrix};
 use std::io;
@@ -87,13 +87,23 @@ pub fn serve(args: &Args) -> i32 {
         return 2;
     }
     let budget_mb = args.usize_or("mem-budget-mb", 0) as u64;
-    let cfg = PoolConfig {
+    let mut cfg = PoolConfig {
         nthreads: threads,
         mem_budget: if budget_mb == 0 { u64::MAX } else { budget_mb << 20 },
         queue_cap: args.usize_or("queue-cap", 64),
         max_active: args.usize_or("max-active", 0),
         ..PoolConfig::default()
     };
+    // `--state-dir DIR` turns on crash-safe durability: a write-ahead job
+    // journal, per-job checkpoint files, and a durable result store all live
+    // under DIR.
+    let durable = args.get("state-dir").is_some();
+    if let Some(dir) = args.get("state-dir") {
+        let mut d = DurabilityConfig::at(dir);
+        d.ckpt_interval = Duration::from_millis(args.usize_or("ckpt-interval-ms", 30_000) as u64);
+        d.result_cap = args.usize_or("result-cap", 0);
+        cfg.durability = Some(d);
+    }
     let svc = Arc::new(Service {
         pool: JobPool::new(cfg),
         queue_path: queue_path.clone(),
@@ -102,7 +112,33 @@ pub fn serve(args: &Args) -> i32 {
         exit: AtomicBool::new(false),
     });
 
-    if args.flag("resume") {
+    // With a state dir the journal — not the drain-time queue file — is the
+    // source of truth: replay it unconditionally so every previously-accepted
+    // job is driven to a terminal state (and so fresh job ids never collide
+    // with journaled ones), even when the last daemon died by SIGKILL and no
+    // drain ever ran.
+    if durable {
+        match svc.pool.recover() {
+            Ok(r) => {
+                if r.total > 0 {
+                    println!(
+                        "recovered {} journaled jobs ({} resumed from checkpoint, {} restarted \
+                         fresh, {} already terminal, {} unrecoverable)",
+                        r.total,
+                        r.resumed_from_checkpoint,
+                        r.restarted_fresh,
+                        r.completed_retained + r.terminal_retained,
+                        r.unrecoverable
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("cannot replay the job journal: {e}");
+                return 2;
+            }
+        }
+    }
+    if args.flag("resume") && !durable {
         match load_queue(&queue_path) {
             Ok(entries) => {
                 let n = entries.len();
@@ -219,8 +255,8 @@ fn respond(req: Request, svc: &Service) -> Response {
                     .fold(FaultPlan::new(plan.seed), |p, &(task, n)| p.fail_task(task, n));
                 spec.plan = Some(built);
             }
-            match svc.pool.submit(spec) {
-                Ok(id) => Response::Submitted(id.0),
+            match svc.pool.submit_dedup(spec) {
+                Ok((id, deduped)) => Response::Submitted { id: id.0, deduped },
                 Err(e) => {
                     let code = match &e {
                         SubmitError::Invalid { .. } => 1,
@@ -250,6 +286,15 @@ fn respond(req: Request, svc: &Service) -> Response {
                 .collect(),
         ),
         Request::Cancel(id) => Response::Cancelled(svc.pool.cancel(hqr_runtime::JobId(id))),
+        Request::Result(id) => match svc.pool.result_bytes(hqr_runtime::JobId(id)) {
+            Some(bytes) => Response::ResultBytes(bytes),
+            None => Response::Error {
+                code: 0,
+                message: format!("no stored result for job {id} (not completed, or pruned)"),
+            },
+        },
+        Request::Suspend(id) => Response::Suspended(svc.pool.suspend(hqr_runtime::JobId(id))),
+        Request::ResumeJob(id) => Response::Resumed(svc.pool.resume_job(hqr_runtime::JobId(id))),
         Request::Drain { grace_ms } => {
             // A requested grace overrides the daemon default for this drain.
             let grace =
@@ -362,6 +407,9 @@ pub fn spec_of_args(args: &Args) -> Result<(JobSpec, WirePlan), String> {
         spec.deadline = Some(Duration::from_millis(ms));
     }
     spec.tag = args.str_or("tag", "");
+    // Idempotent submission: a retried submit with the same key returns the
+    // original job id instead of enqueueing a duplicate.
+    spec.dedup_key = args.get("dedup-key").map(String::from);
     // Optional deterministic injection, `--inject-fail TASK:ATTEMPTS`.
     let mut plan = WirePlan { seed, fail: Vec::new() };
     if let Some(inj) = args.get("inject-fail") {
@@ -393,8 +441,12 @@ pub fn submit(args: &Args) -> i32 {
         }
     };
     let id = match rpc(&socket, &Request::Submit { spec: Box::new(spec), plan }) {
-        Ok(Response::Submitted(id)) => {
-            println!("submitted job {id}");
+        Ok(Response::Submitted { id, deduped }) => {
+            if deduped {
+                println!("submitted job {id} (deduplicated: key matched an existing job)");
+            } else {
+                println!("submitted job {id}");
+            }
             id
         }
         Ok(Response::Error { code, message }) => {
@@ -497,6 +549,113 @@ pub fn cancel(args: &Args) -> i32 {
         }
         Ok(Response::Cancelled(false)) => {
             eprintln!("job {id} is unknown or already terminal");
+            1
+        }
+        Ok(other) => unexpected(other),
+        Err(e) => {
+            eprintln!("{e}");
+            1
+        }
+    }
+}
+
+fn id_of(args: &Args, verb: &str) -> Result<u64, i32> {
+    let Some(id) = args.get("id") else {
+        eprintln!("{verb} requires --id JOB");
+        return Err(2);
+    };
+    id.parse::<u64>().map_err(|_| {
+        eprintln!("--id expects an integer, got `{id}`");
+        2
+    })
+}
+
+/// `hqr result`: fetch the durably stored factorization of a completed job.
+///
+/// With `--out FILE` the raw result container is written verbatim (the same
+/// sectioned format the daemon persisted, readable with
+/// [`hqr_runtime::result_from_bytes`]); otherwise a summary is printed.
+pub fn result(args: &Args) -> i32 {
+    let id = match id_of(args, "result") {
+        Ok(id) => id,
+        Err(code) => return code,
+    };
+    match rpc(&socket_of(args), &Request::Result(id)) {
+        Ok(Response::ResultBytes(bytes)) => {
+            if let Some(out) = args.get("out") {
+                if let Err(e) = std::fs::write(out, &bytes) {
+                    eprintln!("cannot write {out}: {e}");
+                    return 1;
+                }
+                println!("wrote {} bytes to {out}", bytes.len());
+                return 0;
+            }
+            match result_from_bytes(bytes) {
+                Ok(stored) => {
+                    let a = &stored.result.a;
+                    println!(
+                        "job {}: stored factorization, R/V matrix {}x{} tiles (tile size {})",
+                        stored.id,
+                        a.mt(),
+                        a.nt(),
+                        a.b()
+                    );
+                    0
+                }
+                Err(e) => {
+                    eprintln!("stored result is unreadable: {e}");
+                    1
+                }
+            }
+        }
+        Ok(Response::Error { message, .. }) => {
+            eprintln!("{message}");
+            1
+        }
+        Ok(other) => unexpected(other),
+        Err(e) => {
+            eprintln!("{e}");
+            1
+        }
+    }
+}
+
+/// `hqr suspend`: checkpoint a job at its next panel boundary and park it.
+pub fn suspend(args: &Args) -> i32 {
+    let id = match id_of(args, "suspend") {
+        Ok(id) => id,
+        Err(code) => return code,
+    };
+    match rpc(&socket_of(args), &Request::Suspend(id)) {
+        Ok(Response::Suspended(true)) => {
+            println!("job {id} will suspend at its next quiescent point");
+            0
+        }
+        Ok(Response::Suspended(false)) => {
+            eprintln!("job {id} is unknown or already terminal");
+            1
+        }
+        Ok(other) => unexpected(other),
+        Err(e) => {
+            eprintln!("{e}");
+            1
+        }
+    }
+}
+
+/// `hqr resume-job`: requeue a previously suspended (parked) job.
+pub fn resume_job(args: &Args) -> i32 {
+    let id = match id_of(args, "resume-job") {
+        Ok(id) => id,
+        Err(code) => return code,
+    };
+    match rpc(&socket_of(args), &Request::ResumeJob(id)) {
+        Ok(Response::Resumed(true)) => {
+            println!("job {id} requeued from its checkpoint");
+            0
+        }
+        Ok(Response::Resumed(false)) => {
+            eprintln!("job {id} is not parked (only suspended jobs can be resumed)");
             1
         }
         Ok(other) => unexpected(other),

@@ -231,6 +231,144 @@ impl WaitTimeout for Daemon {
     }
 }
 
+/// Parse the job id out of `submitted job N`.
+fn submitted_id(out: &str) -> String {
+    out.split_whitespace().nth(2).expect("submit output carries an id").to_string()
+}
+
+fn state_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hqr_svc_state_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn durable_daemon_serves_results_dedup_and_suspension() {
+    let state = state_dir("verbs");
+    let d = start_daemon("verbs", &["--state-dir", state.to_str().unwrap()]);
+    let sock = d.socket.to_str().unwrap();
+
+    // Two identical jobs under different dedup keys: their stored R/V
+    // factors must be bitwise-identical (ids differ, payloads must not).
+    let (code, out, err) = run(&submit_args(sock, "one", &["--dedup-key", "k-one", "--wait"]));
+    assert_eq!(code, 0, "first job: {err}");
+    let id1 = submitted_id(&out);
+    let (code, out, err) = run(&submit_args(sock, "two", &["--dedup-key", "k-two", "--wait"]));
+    assert_eq!(code, 0, "second job: {err}");
+    let id2 = submitted_id(&out);
+    assert_ne!(id1, id2);
+
+    // A replayed submission with a known key is deduplicated, returning
+    // the original id without enqueueing anything.
+    let (code, out, err) = run(&submit_args(sock, "one", &["--dedup-key", "k-one"]));
+    assert_eq!(code, 0, "dedup resubmit: {err}");
+    assert!(out.contains("deduplicated"), "{out}");
+    assert_eq!(submitted_id(&out), id1);
+
+    // `hqr result` fetches both durable containers; decoded factors match.
+    let out1 = state.join("r1.bin");
+    let out2 = state.join("r2.bin");
+    for (id, path) in [(&id1, &out1), (&id2, &out2)] {
+        let (code, _, err) =
+            run(&["result", "--socket", sock, "--id", id, "--out", path.to_str().unwrap()]);
+        assert_eq!(code, 0, "result {id}: {err}");
+    }
+    let r1 = hqr_runtime::result_from_bytes(std::fs::read(&out1).unwrap()).expect("decode r1");
+    let r2 = hqr_runtime::result_from_bytes(std::fs::read(&out2).unwrap()).expect("decode r2");
+    assert_eq!(r1.id.to_string(), id1);
+    assert_eq!(
+        r1.result.a.to_dense().data(),
+        r2.result.a.to_dense().data(),
+        "identical submissions store bitwise-identical factors"
+    );
+    // Without --out the client prints a summary.
+    let (code, out, _) = run(&["result", "--socket", sock, "--id", &id1]);
+    assert_eq!(code, 0);
+    assert!(out.contains("stored factorization"), "{out}");
+    // A never-completed job has no stored result.
+    let (code, _, err) = run(&["result", "--socket", sock, "--id", "999"]);
+    assert_eq!(code, 1);
+    assert!(err.contains("no stored result"), "{err}");
+
+    // Suspend a running job at its next quiescent point, then requeue it.
+    let (code, out, err) =
+        run(&submit_args(sock, "parked", &["--inject-fail", "0:40000", "--retries", "40001"]));
+    assert_eq!(code, 0, "stalling job: {err}");
+    let sid = submitted_id(&out);
+    wait_for(sock, "the stalling job to run", |out| {
+        out.lines().any(|l| l.contains("parked") && l.contains("running"))
+    });
+    let (code, _, err) = run(&["suspend", "--socket", sock, "--id", &sid]);
+    assert_eq!(code, 0, "suspend: {err}");
+    wait_for(sock, "the job to park", |out| {
+        out.lines().any(|l| l.contains("parked") && l.contains("suspended"))
+    });
+    let (code, _, err) = run(&["resume-job", "--socket", sock, "--id", &sid]);
+    assert_eq!(code, 0, "resume-job: {err}");
+    // Resuming a job that is not parked is a typed refusal.
+    let (code, _, err) = run(&["resume-job", "--socket", sock, "--id", &id1]);
+    assert_eq!(code, 1);
+    assert!(err.contains("not parked"), "{err}");
+    // The requeued job keeps its injected-fault stall; cancel it to finish.
+    let (code, _, err) = run(&["cancel", "--socket", sock, "--id", &sid]);
+    assert_eq!(code, 0, "cancel of the resumed job: {err}");
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+#[test]
+fn sigkill_mid_factorization_loses_no_accepted_job() {
+    let state = state_dir("sigkill");
+    let mut d = start_daemon("sigkill", &["--state-dir", state.to_str().unwrap()]);
+    let sock = d.socket.to_str().unwrap().to_string();
+
+    // Job A completes and durably stores its result before the crash.
+    let (code, out, err) = run(&submit_args(&sock, "done", &["--dedup-key", "dk-a", "--wait"]));
+    assert_eq!(code, 0, "job A: {err}");
+    let id_a = submitted_id(&out);
+
+    // Job B is mid-factorization (stalled on injected faults) at the kill.
+    let (code, out, err) =
+        run(&submit_args(&sock, "midrun", &["--inject-fail", "0:40000", "--retries", "40001"]));
+    assert_eq!(code, 0, "job B: {err}");
+    let id_b = submitted_id(&out);
+    wait_for(&sock, "job B to run", |out| {
+        out.lines().any(|l| l.contains("midrun") && l.contains("running"))
+    });
+
+    // SIGKILL: no drain, no queue persist, no goodbye.
+    d.child.kill().expect("kill -9 the daemon");
+    let _ = d.child.wait();
+
+    // A restarted daemon on the same state dir replays the journal: both
+    // accepted jobs survive. B was never suspended cleanly, so it restarts
+    // (fault plans are engine policy, never persisted — it now completes).
+    let d2 = start_daemon("sigkill2", &["--state-dir", state.to_str().unwrap(), "--resume"]);
+    let sock2 = d2.socket.to_str().unwrap();
+    let listing = wait_for(sock2, "both jobs terminal after recovery", |out| {
+        out.matches("completed").count() == 2
+    });
+    assert!(listing.contains("done"), "job A survived: {listing}");
+    assert!(listing.contains("midrun"), "job B survived: {listing}");
+
+    // Job A's pre-crash result is still retrievable, bitwise-stable.
+    let out_a = state.join("after.bin");
+    let (code, _, err) =
+        run(&["result", "--socket", sock2, "--id", &id_a, "--out", out_a.to_str().unwrap()]);
+    assert_eq!(code, 0, "result after crash: {err}");
+    let ra = hqr_runtime::result_from_bytes(std::fs::read(&out_a).unwrap()).expect("decode");
+    assert_eq!(ra.id.to_string(), id_a);
+    // Job B now has a result too.
+    let (code, out, err) = run(&["result", "--socket", sock2, "--id", &id_b]);
+    assert_eq!(code, 0, "recovered job result: {err}\n{out}");
+
+    // The dedup registration also survived the crash.
+    let (code, out, err) = run(&submit_args(sock2, "done", &["--dedup-key", "dk-a"]));
+    assert_eq!(code, 0, "dedup after crash: {err}");
+    assert!(out.contains("deduplicated"), "{out}");
+    assert_eq!(submitted_id(&out), id_a);
+    let _ = std::fs::remove_dir_all(&state);
+}
+
 #[test]
 fn submission_rejections_are_typed_and_do_not_kill_the_daemon() {
     let d = start_daemon("reject", &["--mem-budget-mb", "1", "--queue-cap", "1"]);

@@ -335,8 +335,9 @@ fn bitmap_from_words(tag: u32, words: &[u64], nbits: usize) -> Result<Vec<bool>,
 }
 
 /// Serialize one `TFactors` family: presence bitmap words, then the
-/// packed `b*b` payloads of present slots in index order.
-fn family_to_bytes(family: &[Option<Box<[f64]>>]) -> Vec<u8> {
+/// packed `b*b` payloads of present slots in index order — shared with the
+/// service's durable result containers (`journal::result_to_bytes`).
+pub(crate) fn family_to_bytes(family: &[Option<Box<[f64]>>]) -> Vec<u8> {
     let present: Vec<bool> = family.iter().map(|o| o.is_some()).collect();
     let mut out = bytes_of_u64s(&bitmap_to_words(&present));
     let payload: Vec<f64> =
@@ -345,7 +346,7 @@ fn family_to_bytes(family: &[Option<Box<[f64]>>]) -> Vec<u8> {
     out
 }
 
-fn family_from_bytes(
+pub(crate) fn family_from_bytes(
     tag: u32,
     bytes: &[u8],
     slots: usize,

@@ -1,0 +1,834 @@
+//! Crash-safe service durability: the write-ahead job journal and the
+//! durable result store behind `hqr serve`.
+//!
+//! The journal is the daemon's source of truth for job lifecycles. Every
+//! transition — accepted, started, panel-checkpointed, suspended,
+//! completed, failed, quarantined, cancelled, shed — is appended as one
+//! self-contained record *before* the transition is acknowledged, and each
+//! append is `fsync`ed, so a SIGKILL (or power loss) at any instant loses
+//! at most the record being written. A restarted daemon replays the
+//! journal ([`replay`]) and drives every previously-accepted job back to a
+//! terminal state: completed jobs keep their stored results, running jobs
+//! resume from their last panel checkpoint, queued jobs are resubmitted
+//! from their recorded specs.
+//!
+//! ## Record framing
+//!
+//! The journal file is a sequence of length-prefixed records:
+//!
+//! ```text
+//! (len: u64 LE | record bytes)*
+//! ```
+//!
+//! where each record is a complete checksummed section container
+//! ([`hqr_tile::io`], magic `HQRJRNL\0`) holding meta words plus optional
+//! text / spec / dedup-key sections. Because every record carries its own
+//! FNV-1a trailer, a torn tail — the expected state after a crash
+//! mid-append — is detected and discarded by [`Journal::read`] without
+//! losing any earlier record; there is no window in which the whole file
+//! is unverifiable.
+//!
+//! Appends go to the live file with `fdatasync`; the only whole-file
+//! rewrite is [`Journal::compact`], which uses the shared
+//! [`atomic_write`] fsync-then-rename discipline.
+//!
+//! ## Result store
+//!
+//! Completed factorizations persist R (and the V/T factor families) to
+//! per-job result containers (`job-<id>.result`, magic `HQRRSLT\0`) in a
+//! flat directory with an optional retention cap: when more than `cap`
+//! results are stored the oldest (smallest job id) are pruned, each prune
+//! journaled so replay knows the result is gone rather than lost.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use hqr_tile::io::{
+    atomic_write, bytes_of_u64s, tiled_from_bytes, tiled_to_bytes, u64s_of_bytes, BinFormatError,
+    SectionReader, SectionWriter,
+};
+
+use crate::checkpoint::{family_from_bytes, family_to_bytes};
+use crate::exec::TFactors;
+use crate::pool::{JobResult, JobState};
+
+/// Magic bytes opening every journal record container.
+pub const JOURNAL_MAGIC: [u8; 8] = *b"HQRJRNL\0";
+/// Journal record version.
+pub const JOURNAL_VERSION: u32 = 1;
+
+/// Magic bytes opening a durable result container.
+pub const RESULT_MAGIC: [u8; 8] = *b"HQRRSLT\0";
+/// Result container version.
+pub const RESULT_VERSION: u32 = 1;
+
+const J_META: u32 = 1;
+const J_TEXT: u32 = 2;
+const J_SPEC: u32 = 3;
+const J_DEDUP: u32 = 4;
+
+const R_HEADER: u32 = 1;
+const R_TILES: u32 = 2;
+const R_VG: u32 = 3;
+const R_TG: u32 = 4;
+const R_TK: u32 = 5;
+
+/// Why the journal or a result container could not be used.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Filesystem failure, with the path involved.
+    Io {
+        /// The path being written or read.
+        path: String,
+        /// The underlying OS error.
+        message: String,
+    },
+    /// A record or container is corrupt or malformed.
+    Format(BinFormatError),
+    /// A record decoded but its contents are inconsistent.
+    Inconsistent {
+        /// What invariant failed.
+        message: String,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io { path, message } => write!(f, "{path}: {message}"),
+            JournalError::Format(e) => write!(f, "journal format error: {e}"),
+            JournalError::Inconsistent { message } => {
+                write!(f, "inconsistent journal record: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<BinFormatError> for JournalError {
+    fn from(e: BinFormatError) -> Self {
+        JournalError::Format(e)
+    }
+}
+
+fn io_err(path: &Path, e: std::io::Error) -> JournalError {
+    JournalError::Io { path: path.display().to_string(), message: e.to_string() }
+}
+
+fn inconsistent(message: impl Into<String>) -> JournalError {
+    JournalError::Inconsistent { message: message.into() }
+}
+
+/// One job lifecycle transition, as recorded in the write-ahead journal.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JournalEvent {
+    /// The pool accepted a job. `spec` holds the serialized [`crate::pool::JobSpec`]
+    /// (so replay can resubmit it); compaction of already-terminal jobs
+    /// drops the payload and keeps only the metadata.
+    Accepted {
+        /// The job's stable id.
+        id: u64,
+        /// Attempts already consumed when accepted (nonzero after recovery).
+        attempts: u32,
+        /// Tasks in the job's DAG (for restored listings).
+        tasks_total: u64,
+        /// Client-supplied idempotency key, if any.
+        dedup: Option<String>,
+        /// Serialized spec, absent once the job is terminal and compacted.
+        spec: Option<Vec<u8>>,
+    },
+    /// An attempt of the job was activated onto the pool.
+    Started {
+        /// The job's stable id.
+        id: u64,
+        /// Attempts started so far, including this one.
+        attempt: u32,
+    },
+    /// A panel-boundary checkpoint of the running job was persisted.
+    Checkpointed {
+        /// The job's stable id.
+        id: u64,
+        /// Tasks complete in the checkpoint.
+        tasks_done: u64,
+        /// Checkpoint file name, relative to the state directory.
+        file: String,
+    },
+    /// The job was halted at a quiescent point and its state captured.
+    Suspended {
+        /// The job's stable id.
+        id: u64,
+        /// Why (drain, explicit suspend, preemption, periodic checkpoint).
+        reason: String,
+    },
+    /// The job completed; its factors may be in the result store.
+    Completed {
+        /// The job's stable id.
+        id: u64,
+        /// Result file name relative to the state directory, if persisted.
+        file: Option<String>,
+    },
+    /// An attempt failed; the job is waiting out a retry backoff.
+    Failed {
+        /// The job's stable id.
+        id: u64,
+        /// Attempts consumed so far.
+        attempts: u32,
+        /// The failure message.
+        error: String,
+    },
+    /// The job exhausted its retry budget.
+    Quarantined {
+        /// The job's stable id.
+        id: u64,
+        /// The final failure message.
+        error: String,
+    },
+    /// The tenant cancelled the job.
+    Cancelled {
+        /// The job's stable id.
+        id: u64,
+    },
+    /// The job was evicted by load shedding or shutdown.
+    Shed {
+        /// The job's stable id.
+        id: u64,
+        /// Why it was shed.
+        reason: String,
+    },
+    /// The retention policy removed the job's stored result.
+    ResultPruned {
+        /// The job's stable id.
+        id: u64,
+    },
+}
+
+impl JournalEvent {
+    fn kind_word(&self) -> u64 {
+        match self {
+            JournalEvent::Accepted { .. } => 1,
+            JournalEvent::Started { .. } => 2,
+            JournalEvent::Checkpointed { .. } => 3,
+            JournalEvent::Suspended { .. } => 4,
+            JournalEvent::Completed { .. } => 5,
+            JournalEvent::Failed { .. } => 6,
+            JournalEvent::Quarantined { .. } => 7,
+            JournalEvent::Cancelled { .. } => 8,
+            JournalEvent::Shed { .. } => 9,
+            JournalEvent::ResultPruned { .. } => 10,
+        }
+    }
+
+    /// The stable job id this event concerns.
+    pub fn job_id(&self) -> u64 {
+        match self {
+            JournalEvent::Accepted { id, .. }
+            | JournalEvent::Started { id, .. }
+            | JournalEvent::Checkpointed { id, .. }
+            | JournalEvent::Suspended { id, .. }
+            | JournalEvent::Completed { id, .. }
+            | JournalEvent::Failed { id, .. }
+            | JournalEvent::Quarantined { id, .. }
+            | JournalEvent::Cancelled { id }
+            | JournalEvent::Shed { id, .. }
+            | JournalEvent::ResultPruned { id } => *id,
+        }
+    }
+
+    /// Serialize into one self-checksummed record container.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let (x1, x2): (u64, u64) = match self {
+            JournalEvent::Accepted { attempts, tasks_total, .. } => {
+                (*attempts as u64, *tasks_total)
+            }
+            JournalEvent::Started { attempt, .. } => (*attempt as u64, 0),
+            JournalEvent::Checkpointed { tasks_done, .. } => (*tasks_done, 0),
+            JournalEvent::Failed { attempts, .. } => (*attempts as u64, 0),
+            _ => (0, 0),
+        };
+        let mut w = SectionWriter::new(JOURNAL_MAGIC, JOURNAL_VERSION);
+        w.section(J_META, &bytes_of_u64s(&[self.kind_word(), self.job_id(), x1, x2]));
+        let text: Option<&str> = match self {
+            JournalEvent::Checkpointed { file, .. } => Some(file),
+            JournalEvent::Suspended { reason, .. } => Some(reason),
+            JournalEvent::Completed { file, .. } => file.as_deref(),
+            JournalEvent::Failed { error, .. } => Some(error),
+            JournalEvent::Quarantined { error, .. } => Some(error),
+            JournalEvent::Shed { reason, .. } => Some(reason),
+            _ => None,
+        };
+        if let Some(t) = text {
+            w.section(J_TEXT, t.as_bytes());
+        }
+        if let JournalEvent::Accepted { dedup, spec, .. } = self {
+            if let Some(k) = dedup {
+                w.section(J_DEDUP, k.as_bytes());
+            }
+            if let Some(s) = spec {
+                w.section(J_SPEC, s);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decode the inverse of [`JournalEvent::to_bytes`].
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<JournalEvent, JournalError> {
+        let r = SectionReader::from_bytes(bytes, JOURNAL_MAGIC, JOURNAL_VERSION)?;
+        let meta = u64s_of_bytes(J_META, r.require(J_META)?)?;
+        if meta.len() != 4 {
+            return Err(inconsistent(format!("meta holds {} words, expected 4", meta.len())));
+        }
+        let [kind, id, x1, x2] = [meta[0], meta[1], meta[2], meta[3]];
+        let text = |what: &str| -> Result<String, JournalError> {
+            let bytes = r.require(J_TEXT)?;
+            String::from_utf8(bytes.to_vec())
+                .map_err(|_| inconsistent(format!("{what} is not UTF-8")))
+        };
+        let ev = match kind {
+            1 => {
+                let dedup = match r.section(J_DEDUP) {
+                    Some(b) => Some(
+                        String::from_utf8(b.to_vec())
+                            .map_err(|_| inconsistent("dedup key is not UTF-8"))?,
+                    ),
+                    None => None,
+                };
+                let spec = r.section(J_SPEC).map(|b| b.to_vec());
+                JournalEvent::Accepted { id, attempts: x1 as u32, tasks_total: x2, dedup, spec }
+            }
+            2 => JournalEvent::Started { id, attempt: x1 as u32 },
+            3 => JournalEvent::Checkpointed { id, tasks_done: x1, file: text("checkpoint file")? },
+            4 => JournalEvent::Suspended { id, reason: text("suspend reason")? },
+            5 => {
+                let file = match r.section(J_TEXT) {
+                    Some(b) => Some(
+                        String::from_utf8(b.to_vec())
+                            .map_err(|_| inconsistent("result file is not UTF-8"))?,
+                    ),
+                    None => None,
+                };
+                JournalEvent::Completed { id, file }
+            }
+            6 => JournalEvent::Failed { id, attempts: x1 as u32, error: text("error")? },
+            7 => JournalEvent::Quarantined { id, error: text("error")? },
+            8 => JournalEvent::Cancelled { id },
+            9 => JournalEvent::Shed { id, reason: text("shed reason")? },
+            10 => JournalEvent::ResultPruned { id },
+            other => return Err(inconsistent(format!("unknown record kind {other}"))),
+        };
+        Ok(ev)
+    }
+}
+
+/// Append-only handle on the write-ahead journal file.
+pub struct Journal {
+    path: PathBuf,
+    file: std::fs::File,
+}
+
+impl Journal {
+    /// Open (creating if absent) the journal at `path` for appending.
+    pub fn open(path: &Path) -> Result<Journal, JournalError> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| io_err(path, e))?;
+        Ok(Journal { path: path.to_path_buf(), file })
+    }
+
+    /// The journal file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one record and `fdatasync` it to stable storage. The record
+    /// is durable when this returns: a crash one instant later replays it.
+    pub fn append(&mut self, ev: &JournalEvent) -> Result<(), JournalError> {
+        let body = ev.to_bytes();
+        let mut frame = Vec::with_capacity(8 + body.len());
+        frame.extend_from_slice(&(body.len() as u64).to_le_bytes());
+        frame.extend_from_slice(&body);
+        self.file.write_all(&frame).map_err(|e| io_err(&self.path, e))?;
+        self.file.sync_data().map_err(|e| io_err(&self.path, e))
+    }
+
+    /// Read every intact record from the journal at `path`, oldest first.
+    ///
+    /// A missing file is an empty journal. A torn or corrupt *tail*
+    /// (truncated length prefix, short record, failed checksum — the
+    /// expected residue of a crash mid-append) ends the scan without an
+    /// error: everything before it was fsynced and is returned.
+    pub fn read(path: &Path) -> Result<Vec<JournalEvent>, JournalError> {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(io_err(path, e)),
+        };
+        let mut events = Vec::new();
+        let mut off = 0usize;
+        while bytes.len() - off >= 8 {
+            let len = u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+            let Ok(len) = usize::try_from(len) else { break };
+            let start = off + 8;
+            if len > bytes.len() - start {
+                break; // torn tail: record longer than what survived
+            }
+            match JournalEvent::from_bytes(bytes[start..start + len].to_vec()) {
+                Ok(ev) => events.push(ev),
+                Err(_) => break, // corrupt tail record: discard it and stop
+            }
+            off = start + len;
+        }
+        Ok(events)
+    }
+
+    /// Atomically rewrite the journal to hold exactly `events` (the
+    /// fsync-then-rename discipline of [`atomic_write`]), then reopen the
+    /// append handle on the new file. Used after replay to drop records
+    /// for jobs that are gone and re-seed the log with the live set.
+    pub fn compact(&mut self, events: &[JournalEvent]) -> Result<(), JournalError> {
+        let mut bytes = Vec::new();
+        for ev in events {
+            let body = ev.to_bytes();
+            bytes.extend_from_slice(&(body.len() as u64).to_le_bytes());
+            bytes.extend_from_slice(&body);
+        }
+        atomic_write(&self.path, &bytes)?;
+        self.file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| io_err(&self.path, e))?;
+        Ok(())
+    }
+}
+
+/// The reconstructed fate of one journaled job after [`replay`].
+#[derive(Clone, Debug, Default)]
+pub struct RecoveredJob {
+    /// Attempts consumed before the crash.
+    pub attempts: u32,
+    /// Tasks in the job's DAG, as recorded at acceptance.
+    pub tasks_total: u64,
+    /// Client-supplied idempotency key, if any.
+    pub dedup: Option<String>,
+    /// Serialized spec to resubmit from, if still present.
+    pub spec: Option<Vec<u8>>,
+    /// Terminal state reached before the crash, if any. `None` means the
+    /// job was still live (queued, running, suspended, or in backoff) and
+    /// must be driven to a terminal state by the recovered pool.
+    pub terminal: Option<JobState>,
+    /// Last recorded error message.
+    pub error: Option<String>,
+    /// Last persisted checkpoint file (relative to the state dir).
+    pub ckpt_file: Option<String>,
+    /// Tasks complete in that checkpoint.
+    pub ckpt_tasks_done: u64,
+    /// Stored result file for a completed job (relative to the state dir).
+    pub result_file: Option<String>,
+}
+
+/// Fold a journal into per-job final states, oldest event first.
+///
+/// Jobs with `terminal: None` were accepted but not settled — the
+/// recovered pool must resubmit them (from `ckpt_file` when present, else
+/// from `spec`) so every accepted job still reaches a terminal state.
+pub fn replay(events: &[JournalEvent]) -> BTreeMap<u64, RecoveredJob> {
+    let mut jobs: BTreeMap<u64, RecoveredJob> = BTreeMap::new();
+    for ev in events {
+        let j = jobs.entry(ev.job_id()).or_default();
+        match ev {
+            JournalEvent::Accepted { attempts, tasks_total, dedup, spec, .. } => {
+                j.attempts = (*attempts).max(j.attempts);
+                j.tasks_total = *tasks_total;
+                j.dedup = dedup.clone();
+                if spec.is_some() {
+                    j.spec = spec.clone();
+                }
+            }
+            JournalEvent::Started { attempt, .. } => {
+                j.attempts = (*attempt).max(j.attempts);
+            }
+            JournalEvent::Checkpointed { tasks_done, file, .. } => {
+                j.ckpt_file = Some(file.clone());
+                j.ckpt_tasks_done = *tasks_done;
+            }
+            // Suspension is not terminal for recovery: the checkpoint (or
+            // the original spec) makes the job resumable.
+            JournalEvent::Suspended { reason, .. } => {
+                j.error = Some(reason.clone());
+            }
+            JournalEvent::Completed { file, .. } => {
+                j.terminal = Some(JobState::Completed);
+                j.result_file = file.clone();
+                j.error = None;
+            }
+            JournalEvent::Failed { attempts, error, .. } => {
+                j.attempts = (*attempts).max(j.attempts);
+                j.error = Some(error.clone());
+            }
+            JournalEvent::Quarantined { error, .. } => {
+                j.terminal = Some(JobState::Quarantined);
+                j.error = Some(error.clone());
+            }
+            JournalEvent::Cancelled { .. } => {
+                j.terminal = Some(JobState::Cancelled);
+            }
+            JournalEvent::Shed { reason, .. } => {
+                j.terminal = Some(JobState::Shed);
+                j.error = Some(reason.clone());
+            }
+            JournalEvent::ResultPruned { .. } => {
+                j.result_file = None;
+            }
+        }
+    }
+    jobs
+}
+
+// ---------------------------------------------------------------------------
+// Durable result containers
+// ---------------------------------------------------------------------------
+
+/// Serialize a completed factorization into a durable result container:
+/// header words, the factored tiles (R in the upper triangle, V blocks
+/// below), and the three Householder factor families — bit-exact, so a
+/// result fetched after a daemon restart is byte-identical to one fetched
+/// before.
+pub fn result_to_bytes(id: u64, result: &JobResult) -> Vec<u8> {
+    let (mt, nt, b) = (result.a.mt(), result.a.nt(), result.a.b());
+    let mut w = SectionWriter::new(RESULT_MAGIC, RESULT_VERSION);
+    w.section(R_HEADER, &bytes_of_u64s(&[id, mt as u64, nt as u64, b as u64]))
+        .section(R_TILES, &tiled_to_bytes(&result.a))
+        .section(R_VG, &family_to_bytes(&result.factors.vg))
+        .section(R_TG, &family_to_bytes(&result.factors.tg))
+        .section(R_TK, &family_to_bytes(&result.factors.tk));
+    w.into_bytes()
+}
+
+/// A decoded result container.
+#[derive(Debug)]
+pub struct StoredResult {
+    /// The job the result belongs to.
+    pub id: u64,
+    /// The factorization.
+    pub result: JobResult,
+}
+
+/// Decode the inverse of [`result_to_bytes`], verifying the container
+/// checksum and internal consistency.
+pub fn result_from_bytes(bytes: Vec<u8>) -> Result<StoredResult, JournalError> {
+    let r = SectionReader::from_bytes(bytes, RESULT_MAGIC, RESULT_VERSION)?;
+    let header = u64s_of_bytes(R_HEADER, r.require(R_HEADER)?)?;
+    if header.len() != 4 {
+        return Err(inconsistent(format!("header holds {} words, expected 4", header.len())));
+    }
+    let (id, mt, nt, b) = (header[0], header[1] as usize, header[2] as usize, header[3] as usize);
+    let a = tiled_from_bytes(R_TILES, r.require(R_TILES)?)?;
+    if a.mt() != mt || a.nt() != nt || a.b() != b {
+        return Err(inconsistent(format!(
+            "tiles are {}x{} of {} but header says {mt}x{nt} of {b}",
+            a.mt(),
+            a.nt(),
+            a.b()
+        )));
+    }
+    let slots = mt * nt;
+    let fam = |tag: u32| -> Result<Vec<Option<Box<[f64]>>>, JournalError> {
+        family_from_bytes(tag, r.require(tag)?, slots, b)
+            .map_err(|e| inconsistent(format!("factor family {tag}: {e}")))
+    };
+    let factors = TFactors { b, mt, nt, vg: fam(R_VG)?, tg: fam(R_TG)?, tk: fam(R_TK)? };
+    Ok(StoredResult { id, result: JobResult { a, factors } })
+}
+
+/// Flat directory of per-job result containers with a retention cap.
+pub struct ResultStore {
+    dir: PathBuf,
+    cap: usize,
+}
+
+impl ResultStore {
+    /// Open (creating if absent) the store rooted at `dir`. `cap` bounds
+    /// how many results are retained; `0` disables pruning.
+    pub fn open(dir: &Path, cap: usize) -> Result<ResultStore, JournalError> {
+        std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+        Ok(ResultStore { dir: dir.to_path_buf(), cap })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Canonical file name for a job's result.
+    pub fn file_name(id: u64) -> String {
+        format!("job-{id}.result")
+    }
+
+    /// Full path of a job's result file.
+    pub fn path_of(&self, id: u64) -> PathBuf {
+        self.dir.join(Self::file_name(id))
+    }
+
+    /// Durably store container bytes for `id` (fsync-then-rename) and
+    /// return the file name relative to the store.
+    pub fn put(&self, id: u64, bytes: &[u8]) -> Result<String, JournalError> {
+        atomic_write(&self.path_of(id), bytes)?;
+        Ok(Self::file_name(id))
+    }
+
+    /// Raw container bytes for `id`, if stored.
+    pub fn get(&self, id: u64) -> Option<Vec<u8>> {
+        std::fs::read(self.path_of(id)).ok()
+    }
+
+    /// Remove `id`'s result. Returns true if a file was deleted.
+    pub fn remove(&self, id: u64) -> bool {
+        std::fs::remove_file(self.path_of(id)).is_ok()
+    }
+
+    /// Job ids with stored results, ascending.
+    pub fn list(&self) -> Vec<u64> {
+        let mut ids = Vec::new();
+        let Ok(entries) = std::fs::read_dir(&self.dir) else { return ids };
+        for e in entries.flatten() {
+            let name = e.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(id) = name
+                .strip_prefix("job-")
+                .and_then(|s| s.strip_suffix(".result"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                ids.push(id);
+            }
+        }
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Enforce the retention cap: prune oldest (smallest-id) results until
+    /// at most `cap` remain. Returns the pruned ids (for journaling).
+    pub fn prune_over_cap(&self) -> Vec<u64> {
+        if self.cap == 0 {
+            return Vec::new();
+        }
+        let ids = self.list();
+        let mut pruned = Vec::new();
+        if ids.len() > self.cap {
+            for &id in &ids[..ids.len() - self.cap] {
+                if self.remove(id) {
+                    pruned.push(id);
+                }
+            }
+        }
+        pruned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn every_event() -> Vec<JournalEvent> {
+        vec![
+            JournalEvent::Accepted {
+                id: 1,
+                attempts: 0,
+                tasks_total: 12,
+                dedup: Some("key-a".into()),
+                spec: Some(vec![1, 2, 3, 4]),
+            },
+            JournalEvent::Accepted { id: 2, attempts: 3, tasks_total: 7, dedup: None, spec: None },
+            JournalEvent::Started { id: 1, attempt: 1 },
+            JournalEvent::Checkpointed { id: 1, tasks_done: 5, file: "ckpt/job-1.ckpt".into() },
+            JournalEvent::Suspended { id: 1, reason: "drain".into() },
+            JournalEvent::Completed { id: 2, file: Some("results/job-2.result".into()) },
+            JournalEvent::Completed { id: 3, file: None },
+            JournalEvent::Failed { id: 1, attempts: 2, error: "task 4 panicked".into() },
+            JournalEvent::Quarantined { id: 1, error: "budget exhausted".into() },
+            JournalEvent::Cancelled { id: 4 },
+            JournalEvent::Shed { id: 5, reason: "higher-QoS arrival".into() },
+            JournalEvent::ResultPruned { id: 2 },
+        ]
+    }
+
+    #[test]
+    fn every_event_kind_roundtrips() {
+        for ev in every_event() {
+            let back = JournalEvent::from_bytes(ev.to_bytes()).unwrap();
+            assert_eq!(back, ev);
+        }
+    }
+
+    #[test]
+    fn corrupt_record_is_typed() {
+        let mut bytes = JournalEvent::Cancelled { id: 9 }.to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        assert!(JournalEvent::from_bytes(bytes).is_err());
+    }
+
+    #[test]
+    fn journal_appends_replay_in_order() {
+        let dir = std::env::temp_dir().join(format!("hqr_journal_t{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("order.wal");
+        let _ = std::fs::remove_file(&path);
+        let mut j = Journal::open(&path).unwrap();
+        let events = every_event();
+        for ev in &events {
+            j.append(ev).unwrap();
+        }
+        assert_eq!(Journal::read(&path).unwrap(), events);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_journal_is_empty() {
+        assert!(Journal::read(Path::new("/no/such/journal.wal")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn torn_tail_at_every_byte_keeps_the_fsynced_prefix() {
+        // A crash mid-append can leave any prefix of the file; every such
+        // truncation must yield exactly the records whose frames survived
+        // intact — never an error, never a phantom record.
+        let events = every_event();
+        let mut bytes = Vec::new();
+        let mut boundaries = vec![0usize];
+        for ev in &events {
+            let body = ev.to_bytes();
+            bytes.extend_from_slice(&(body.len() as u64).to_le_bytes());
+            bytes.extend_from_slice(&body);
+            boundaries.push(bytes.len());
+        }
+        let dir = std::env::temp_dir().join(format!("hqr_journal_torn{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.wal");
+        for cut in 0..=bytes.len() {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            let got = Journal::read(&path).unwrap();
+            let intact = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(got.len(), intact, "cut at {cut}");
+            assert_eq!(got[..], events[..intact], "cut at {cut}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bitflip_in_tail_record_discards_only_the_tail() {
+        let events = every_event();
+        let dir = std::env::temp_dir().join(format!("hqr_journal_flip{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("flip.wal");
+        let _ = std::fs::remove_file(&path);
+        let mut j = Journal::open(&path).unwrap();
+        for ev in &events {
+            j.append(ev).unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 3] ^= 0x40; // corrupt inside the last record's checksum
+        std::fs::write(&path, &bytes).unwrap();
+        let got = Journal::read(&path).unwrap();
+        assert_eq!(got[..], events[..events.len() - 1]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_rewrites_and_keeps_appending() {
+        let dir = std::env::temp_dir().join(format!("hqr_journal_compact{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("compact.wal");
+        let _ = std::fs::remove_file(&path);
+        let mut j = Journal::open(&path).unwrap();
+        for ev in every_event() {
+            j.append(&ev).unwrap();
+        }
+        let keep = vec![JournalEvent::Accepted {
+            id: 7,
+            attempts: 0,
+            tasks_total: 3,
+            dedup: None,
+            spec: None,
+        }];
+        j.compact(&keep).unwrap();
+        // Appends after compaction must land in the *new* file, not the
+        // renamed-away inode.
+        j.append(&JournalEvent::Started { id: 7, attempt: 1 }).unwrap();
+        let got = Journal::read(&path).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], keep[0]);
+        assert_eq!(got[1], JournalEvent::Started { id: 7, attempt: 1 });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_folds_lifecycles() {
+        let events = vec![
+            JournalEvent::Accepted {
+                id: 1,
+                attempts: 0,
+                tasks_total: 9,
+                dedup: Some("k".into()),
+                spec: Some(vec![1]),
+            },
+            JournalEvent::Started { id: 1, attempt: 1 },
+            JournalEvent::Checkpointed { id: 1, tasks_done: 4, file: "c1".into() },
+            JournalEvent::Checkpointed { id: 1, tasks_done: 6, file: "c1".into() },
+            JournalEvent::Accepted {
+                id: 2,
+                attempts: 0,
+                tasks_total: 5,
+                dedup: None,
+                spec: Some(vec![2]),
+            },
+            JournalEvent::Started { id: 2, attempt: 1 },
+            JournalEvent::Completed { id: 2, file: Some("r2".into()) },
+            JournalEvent::Accepted {
+                id: 3,
+                attempts: 0,
+                tasks_total: 5,
+                dedup: None,
+                spec: Some(vec![3]),
+            },
+        ];
+        let jobs = replay(&events);
+        assert_eq!(jobs.len(), 3);
+        let j1 = &jobs[&1];
+        assert!(j1.terminal.is_none(), "running job is not terminal");
+        assert_eq!(j1.ckpt_file.as_deref(), Some("c1"));
+        assert_eq!(j1.ckpt_tasks_done, 6);
+        assert_eq!(j1.dedup.as_deref(), Some("k"));
+        let j2 = &jobs[&2];
+        assert_eq!(j2.terminal, Some(JobState::Completed));
+        assert_eq!(j2.result_file.as_deref(), Some("r2"));
+        let j3 = &jobs[&3];
+        assert!(j3.terminal.is_none());
+        assert!(j3.ckpt_file.is_none(), "never ran: resubmit from spec");
+        assert_eq!(j3.spec.as_deref(), Some(&[3u8][..]));
+    }
+
+    #[test]
+    fn result_store_retention_prunes_oldest() {
+        let dir = std::env::temp_dir().join(format!("hqr_results_t{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ResultStore::open(&dir, 2).unwrap();
+        for id in 1..=4u64 {
+            store.put(id, &[id as u8; 16]).unwrap();
+        }
+        let pruned = store.prune_over_cap();
+        assert_eq!(pruned, vec![1, 2]);
+        assert_eq!(store.list(), vec![3, 4]);
+        assert!(store.get(1).is_none());
+        assert_eq!(store.get(4).unwrap(), vec![4u8; 16]);
+        assert!(store.remove(4));
+        assert!(!store.remove(4));
+        let unlimited = ResultStore::open(&dir, 0).unwrap();
+        assert!(unlimited.prune_over_cap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

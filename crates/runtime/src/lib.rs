@@ -34,6 +34,7 @@ pub mod exec;
 pub mod fault;
 pub mod graph;
 pub mod integrity;
+pub mod journal;
 pub mod pool;
 pub mod sched;
 pub mod store;
@@ -56,10 +57,14 @@ pub use exec::{
 pub use fault::{ExecOptions, FaultPlan, FaultStats, SdcFault, SdcPattern, SDC_SCALE_FACTOR};
 pub use graph::TaskGraph;
 pub use integrity::IntegrityMode;
+pub use journal::{
+    replay, result_from_bytes, result_to_bytes, Journal, JournalError, JournalEvent, RecoveredJob,
+    ResultStore, StoredResult, JOURNAL_MAGIC, JOURNAL_VERSION, RESULT_MAGIC, RESULT_VERSION,
+};
 pub use pool::{
-    load_queue, DrainReport, JobId, JobInput, JobOutcome, JobPool, JobResult, JobSpec, JobState,
-    JobView, PoolConfig, QosClass, QueueEntry, QueueFormatError, SubmitError, QUEUE_MAGIC,
-    QUEUE_VERSION,
+    load_queue, DrainReport, DurabilityConfig, JobId, JobInput, JobOutcome, JobPool, JobResult,
+    JobSpec, JobState, JobView, PoolConfig, QosClass, QueueEntry, QueueFormatError, RecoveryReport,
+    SubmitError, SuspendKind, CKPT_DIR, JOURNAL_FILE, QUEUE_MAGIC, QUEUE_VERSION, RESULTS_DIR,
 };
 pub use sched::SchedPolicy;
 pub use task::Task;

@@ -44,7 +44,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::fmt;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
@@ -55,7 +55,7 @@ use crossbeam_utils::Backoff;
 
 use crate::checkpoint::{
     checkpoint_from_bytes, checkpoint_to_bytes, elims_from_words, elims_to_words,
-    graph_fingerprint, Checkpoint, CheckpointError,
+    graph_fingerprint, read_checkpoint, write_checkpoint, Checkpoint, CheckpointError,
 };
 use crate::elim::ElimOp;
 use crate::error::ExecError;
@@ -65,10 +65,13 @@ use crate::exec::{
 use crate::fault::{FaultPlan, FaultStats};
 use crate::graph::TaskGraph;
 use crate::integrity::{GuardStore, IntegrityMode};
+use crate::journal::{replay, result_to_bytes, Journal, JournalError, JournalEvent, ResultStore};
 use crate::sched::{self, SchedPolicy};
 use crate::store::TileStore;
 use hqr_kernels::KernelKind;
-use hqr_tile::io::{bytes_of_u64s, u64s_of_bytes, BinFormatError, SectionReader, SectionWriter};
+use hqr_tile::io::{
+    bytes_of_u64s, fnv1a64, u64s_of_bytes, BinFormatError, SectionReader, SectionWriter,
+};
 use hqr_tile::TiledMatrix;
 
 /// Magic bytes opening a persisted service queue file.
@@ -85,6 +88,14 @@ const QOFF_TAG: u32 = 1;
 const QOFF_ELIMS: u32 = 2;
 const QOFF_TILES: u32 = 3;
 const QOFF_CKPT: u32 = 4;
+const QOFF_DEDUP: u32 = 5;
+
+/// File name of the write-ahead journal inside a state directory.
+pub const JOURNAL_FILE: &str = "journal.wal";
+/// Subdirectory of the state directory holding suspension checkpoints.
+pub const CKPT_DIR: &str = "ckpt";
+/// Subdirectory of the state directory holding durable results.
+pub const RESULTS_DIR: &str = "results";
 
 /// Opaque identifier of a job accepted by a [`JobPool`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -197,6 +208,10 @@ pub struct JobSpec {
     pub plan: Option<FaultPlan>,
     /// Free-form label shown by `hqr jobs`.
     pub tag: String,
+    /// Client-supplied idempotency key. Submitting a spec whose key is
+    /// already registered returns the original job's id instead of
+    /// creating a duplicate — safe resubmission after a lost response.
+    pub dedup_key: Option<String>,
 }
 
 impl JobSpec {
@@ -214,6 +229,7 @@ impl JobSpec {
             deadline: None,
             plan: None,
             tag: String::new(),
+            dedup_key: None,
         }
     }
 
@@ -494,6 +510,10 @@ pub struct PoolConfig {
     pub backoff_base: Duration,
     /// Upper bound on the job-level retry backoff.
     pub backoff_cap: Duration,
+    /// Crash-safe durability: when set, the pool keeps a write-ahead
+    /// journal of every lifecycle transition, persists completed results,
+    /// and checkpoints running jobs, all under one state directory.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for PoolConfig {
@@ -506,6 +526,65 @@ impl Default for PoolConfig {
             tick: Duration::from_millis(1),
             backoff_base: Duration::from_millis(10),
             backoff_cap: Duration::from_secs(1),
+            durability: None,
+        }
+    }
+}
+
+/// Crash-safety knobs: where durable state lives and how eagerly running
+/// jobs are checkpointed.
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    /// State directory; the pool creates [`JOURNAL_FILE`], [`CKPT_DIR`],
+    /// and [`RESULTS_DIR`] inside it.
+    pub state_dir: PathBuf,
+    /// Periodic-checkpoint interval for running jobs that have made
+    /// progress since activation and carry no deadline (a deadline's
+    /// wall budget is per activation, so periodic re-queuing would reset
+    /// it). `Duration::ZERO` disables periodic checkpoints; suspensions
+    /// and drains still checkpoint.
+    pub ckpt_interval: Duration,
+    /// Retention cap on stored results, oldest pruned first; `0` keeps
+    /// everything.
+    pub result_cap: usize,
+}
+
+impl DurabilityConfig {
+    /// Defaults rooted at `state_dir`: 30 s periodic checkpoints and
+    /// unbounded result retention.
+    pub fn at(state_dir: impl Into<PathBuf>) -> DurabilityConfig {
+        DurabilityConfig {
+            state_dir: state_dir.into(),
+            ckpt_interval: Duration::from_secs(30),
+            result_cap: 0,
+        }
+    }
+}
+
+/// Why a running job is being suspended at its next quiescent point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SuspendKind {
+    /// A graceful drain: the checkpoint goes to the persisted queue
+    /// and/or the journal for a later restart.
+    Drain,
+    /// An explicit suspend request: the job parks in
+    /// [`JobState::Suspended`] until [`JobPool::resume_job`].
+    Park,
+    /// A higher-QoS arrival needs the job's memory or active slot; the
+    /// job re-queues from its checkpoint and re-admits when room frees.
+    Preempt,
+    /// A periodic durability checkpoint; the job re-queues immediately
+    /// and loses no retry budget.
+    Periodic,
+}
+
+impl SuspendKind {
+    fn reason(self) -> &'static str {
+        match self {
+            SuspendKind::Drain => "drain",
+            SuspendKind::Park => "suspend request",
+            SuspendKind::Preempt => "preempted by a higher-QoS job",
+            SuspendKind::Periodic => "periodic durability checkpoint",
         }
     }
 }
@@ -519,8 +598,8 @@ enum Verdict {
     Deadline(Duration),
     /// The tenant cancelled the job.
     Cancel,
-    /// A drain wants the job checkpointed at the next quiescent point.
-    Suspend,
+    /// Checkpoint the job at the next quiescent point, for this reason.
+    Suspend(SuspendKind),
 }
 
 /// One admitted job: the pool's unit of ownership. The [`TileStore`]'s raw
@@ -547,6 +626,9 @@ struct ActiveJob {
     indeg: Vec<AtomicU32>,
     done: Vec<AtomicBool>,
     remaining: AtomicUsize,
+    /// Tasks remaining when this activation started — periodic
+    /// checkpoints only fire once the activation has made progress.
+    initial_remaining: usize,
     /// Workers currently holding (or about to run) one of this job's
     /// tasks. Finalization requires `halted-or-finished` AND `inflight == 0`.
     inflight: AtomicUsize,
@@ -594,6 +676,7 @@ struct JobPolicy {
     deadline: Option<Duration>,
     plan: Option<FaultPlan>,
     tag: String,
+    dedup_key: Option<String>,
 }
 
 /// The pristine payload a retry re-runs from.
@@ -615,6 +698,10 @@ struct PendingJob {
     footprint: u64,
     attempts: u32,
     not_before: Option<Instant>,
+    /// Whether activation counts against the record's attempt counter.
+    /// Suspension re-queues (park/preempt/periodic) continue the *same*
+    /// attempt and must not consume retry budget.
+    count_attempt: bool,
 }
 
 /// Bookkeeping for every job the pool ever accepted.
@@ -650,6 +737,25 @@ pub struct DrainReport {
     pub persisted: usize,
 }
 
+/// What [`JobPool::recover`] reconstructed from the write-ahead journal.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RecoveryReport {
+    /// Jobs named by the journal.
+    pub total: usize,
+    /// Completed jobs re-registered (results retrievable).
+    pub completed_retained: usize,
+    /// Other terminal jobs re-registered (quarantined, cancelled, shed).
+    pub terminal_retained: usize,
+    /// Live jobs resubmitted from their last durable checkpoint.
+    pub resumed_from_checkpoint: usize,
+    /// Live jobs resubmitted from their original spec (no usable
+    /// checkpoint).
+    pub restarted_fresh: usize,
+    /// Live jobs whose journaled spec was unusable; quarantined so they
+    /// still reach a terminal state.
+    pub unrecoverable: usize,
+}
+
 /// One entry decoded from a persisted queue file.
 pub struct QueueEntry {
     /// The job spec to resubmit ([`JobInput::Resume`] for suspended jobs).
@@ -673,6 +779,16 @@ struct Shared {
     ready: Mutex<BinaryHeap<ReadyKey>>,
     cancel_requests: Mutex<Vec<u64>>,
     suspended: Mutex<Vec<SuspendedEntry>>,
+    /// Jobs parked by an explicit suspend request, keyed by job id,
+    /// awaiting [`JobPool::resume_job`].
+    parked: Mutex<HashMap<u64, PendingJob>>,
+    suspend_requests: Mutex<Vec<u64>>,
+    /// Idempotent-submission index: dedup key -> job id.
+    dedup: Mutex<HashMap<String, u64>>,
+    /// Write-ahead journal of lifecycle transitions (durable pools only).
+    journal: Option<Mutex<Journal>>,
+    /// Durable store of completed results (durable pools only).
+    results: Option<ResultStore>,
     active_footprint: AtomicU64,
     draining: AtomicBool,
     stop: AtomicBool,
@@ -695,6 +811,24 @@ impl Shared {
         drop(recs);
         self.waiters.notify_all();
         r
+    }
+
+    /// Append a lifecycle transition to the write-ahead journal. Journal
+    /// IO failure degrades durability, never availability: the pool keeps
+    /// running and the failure goes to stderr.
+    fn log_event(&self, ev: JournalEvent) {
+        if let Some(j) = &self.journal {
+            if let Err(e) = relock(j).append(&ev) {
+                eprintln!("hqr-pool: journal append failed: {e}");
+            }
+        }
+    }
+}
+
+/// Remove a terminal job's suspension checkpoint, if one was written.
+fn cleanup_ckpt(shared: &Shared, id: u64) {
+    if let Some(d) = &shared.cfg.durability {
+        let _ = std::fs::remove_file(d.state_dir.join(format!("{CKPT_DIR}/job-{id}.ckpt")));
     }
 }
 
@@ -774,8 +908,25 @@ fn effective_ib(spec: &JobSpec, b: usize) -> Result<usize, String> {
 
 impl JobPool {
     /// Spawn the worker threads and supervisor for a new pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the durability state directory (if configured) cannot
+    /// be created or its journal cannot be opened — a daemon that cannot
+    /// keep its durability promise must not start.
     pub fn new(cfg: PoolConfig) -> JobPool {
         let nthreads = cfg.nthreads.max(1);
+        let (journal, results) = match &cfg.durability {
+            Some(d) => {
+                std::fs::create_dir_all(d.state_dir.join(CKPT_DIR))
+                    .expect("create pool state directory");
+                let j = Journal::open(&d.state_dir.join(JOURNAL_FILE)).expect("open pool journal");
+                let r = ResultStore::open(&d.state_dir.join(RESULTS_DIR), d.result_cap)
+                    .expect("open pool result store");
+                (Some(Mutex::new(j)), Some(r))
+            }
+            None => (None, None),
+        };
         let shared = Arc::new(Shared {
             cfg: PoolConfig { nthreads, ..cfg },
             next_id: AtomicU64::new(1),
@@ -788,6 +939,11 @@ impl JobPool {
             ready: Mutex::new(BinaryHeap::new()),
             cancel_requests: Mutex::new(Vec::new()),
             suspended: Mutex::new(Vec::new()),
+            parked: Mutex::new(HashMap::new()),
+            suspend_requests: Mutex::new(Vec::new()),
+            dedup: Mutex::new(HashMap::new()),
+            journal,
+            results,
             active_footprint: AtomicU64::new(0),
             draining: AtomicBool::new(false),
             stop: AtomicBool::new(false),
@@ -823,14 +979,36 @@ impl JobPool {
     /// job was *accepted* and will reach a terminal state observable via
     /// [`JobPool::wait`].
     pub fn submit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {
+        self.submit_dedup(spec).map(|(id, _)| id)
+    }
+
+    /// [`JobPool::submit`] with idempotency reporting: when the spec's
+    /// `dedup_key` is already registered, no new job is created and the
+    /// original id is returned with `true`. On durable pools the accepted
+    /// job is journaled before this returns, so a response the client
+    /// receives is a response that survives a crash.
+    pub fn submit_dedup(&self, spec: JobSpec) -> Result<(JobId, bool), SubmitError> {
         let s = &*self.shared;
         if s.draining.load(Ordering::SeqCst) || s.stop.load(Ordering::SeqCst) {
             return Err(SubmitError::Draining);
+        }
+        // The dedup guard is held through acceptance so two racing
+        // submissions of the same key cannot both register.
+        let mut dedup_guard = None;
+        if let Some(k) = &spec.dedup_key {
+            let dd = relock(&s.dedup);
+            if let Some(&id) = dd.get(k) {
+                return Ok((JobId(id), true));
+            }
+            dedup_guard = Some(dd);
         }
         let (elims, graph, ib, need) = prepare(&spec)?;
         if need > s.cfg.mem_budget {
             return Err(SubmitError::OverBudget { need, budget: s.cfg.mem_budget });
         }
+        // Journal payload is encoded before the spec is torn apart (and
+        // only when a journal exists to receive it).
+        let spec_bytes = s.journal.as_ref().map(|_| spec.to_bytes());
         let JobSpec {
             input,
             qos,
@@ -841,6 +1019,7 @@ impl JobPool {
             deadline,
             plan,
             tag,
+            dedup_key,
             ..
         } = spec;
         let seed = match input {
@@ -857,6 +1036,7 @@ impl JobPool {
             deadline,
             plan,
             tag: tag.clone(),
+            dedup_key: dedup_key.clone(),
         };
         let tasks_total = graph.tasks().len();
         let mut pending = relock(&s.pending);
@@ -873,6 +1053,10 @@ impl JobPool {
             match victim {
                 Some(i) => {
                     let shed = pending.remove(i);
+                    s.log_event(JournalEvent::Shed {
+                        id: shed.id,
+                        reason: "shed by a higher-QoS arrival".into(),
+                    });
                     s.notify_records(|recs| {
                         if let Some(r) = recs.get_mut(&shed.id) {
                             r.state = JobState::Shed;
@@ -905,6 +1089,7 @@ impl JobPool {
             footprint: need,
             attempts: 0,
             not_before: None,
+            count_attempt: true,
         });
         drop(pending);
         let mut recs = relock(&s.records);
@@ -925,7 +1110,236 @@ impl JobPool {
             },
         );
         drop(recs);
-        Ok(JobId(id))
+        if let Some(mut dd) = dedup_guard {
+            dd.insert(dedup_key.clone().expect("guard implies key"), id);
+        }
+        // Accepted reaches stable storage before the caller learns the id.
+        s.log_event(JournalEvent::Accepted {
+            id,
+            attempts: 0,
+            tasks_total: tasks_total as u64,
+            dedup: dedup_key,
+            spec: spec_bytes,
+        });
+        Ok((JobId(id), false))
+    }
+
+    /// Resubmit one journal-recovered job under its original id and
+    /// attempt count, bypassing backpressure (it was already accepted in
+    /// a previous life).
+    fn resubmit_recovered(&self, spec: JobSpec, id: u64, attempts: u32) -> Result<(), SubmitError> {
+        let s = &*self.shared;
+        let (elims, graph, ib, need) = prepare(&spec)?;
+        if need > s.cfg.mem_budget {
+            return Err(SubmitError::OverBudget { need, budget: s.cfg.mem_budget });
+        }
+        let JobSpec {
+            input,
+            qos,
+            policy,
+            integrity,
+            max_retries,
+            job_retries,
+            deadline,
+            tag,
+            dedup_key,
+            ..
+        } = spec;
+        let seed = match input {
+            JobInput::Fresh { a, .. } => Seed::Fresh(a),
+            JobInput::Resume(ck) => Seed::Resume(ck),
+        };
+        let jp = JobPolicy {
+            ib,
+            qos,
+            policy,
+            integrity,
+            max_retries,
+            job_retries,
+            deadline,
+            plan: None,
+            tag: tag.clone(),
+            dedup_key,
+        };
+        let tasks_total = graph.tasks().len();
+        relock(&s.pending).push(PendingJob {
+            id,
+            seq: s.next_seq.fetch_add(1, Ordering::Relaxed),
+            policy: jp,
+            elims,
+            seed,
+            graph,
+            footprint: need,
+            attempts,
+            not_before: None,
+            count_attempt: true,
+        });
+        relock(&s.records).insert(
+            id,
+            JobRecord {
+                state: JobState::Queued,
+                qos,
+                tag,
+                attempts,
+                tasks_total,
+                tasks_done: 0,
+                error: None,
+                stats: FaultStats::default(),
+                submitted: Instant::now(),
+                wall: None,
+                outcome: None,
+            },
+        );
+        Ok(())
+    }
+
+    /// Replay the write-ahead journal after a restart (or crash): every
+    /// job the old process accepted is driven back to a known state —
+    /// terminal jobs re-register (completed results stay retrievable),
+    /// live jobs resubmit from their last durable checkpoint when one
+    /// exists, else from their original spec. The journal is compacted to
+    /// terminal summaries plus the re-journaled live jobs.
+    ///
+    /// Call once, before accepting new submissions.
+    pub fn recover(&self) -> Result<RecoveryReport, JournalError> {
+        let s = &*self.shared;
+        let (state_dir, jm) = match (&s.cfg.durability, &s.journal) {
+            (Some(d), Some(j)) => (d.state_dir.clone(), j),
+            _ => {
+                return Err(JournalError::Inconsistent {
+                    message: "pool has no durable state directory".into(),
+                })
+            }
+        };
+        let events = Journal::read(&state_dir.join(JOURNAL_FILE))?;
+        let jobs = replay(&events);
+        let mut report = RecoveryReport { total: jobs.len(), ..Default::default() };
+        // Compact away everything except terminal summaries; live jobs
+        // are re-journaled in full below.
+        let mut keep: Vec<JournalEvent> = Vec::new();
+        for (&id, j) in &jobs {
+            let Some(state) = j.terminal else { continue };
+            keep.push(JournalEvent::Accepted {
+                id,
+                attempts: j.attempts,
+                tasks_total: j.tasks_total,
+                dedup: j.dedup.clone(),
+                spec: None,
+            });
+            keep.push(terminal_event(id, state, j));
+        }
+        relock(jm).compact(&keep)?;
+        if let Some(&max_id) = jobs.keys().max() {
+            s.next_id.fetch_max(max_id + 1, Ordering::SeqCst);
+        }
+        for (&id, j) in &jobs {
+            if let Some(k) = &j.dedup {
+                relock(&s.dedup).insert(k.clone(), id);
+            }
+            let decoded = j.spec.as_ref().and_then(|b| JobSpec::from_bytes(b.clone()).ok());
+            if let Some(state) = j.terminal {
+                let (qos, tag) =
+                    decoded.map_or((QosClass::default(), String::new()), |sp| (sp.qos, sp.tag));
+                let total = j.tasks_total as usize;
+                relock(&s.records).insert(
+                    id,
+                    JobRecord {
+                        state,
+                        qos,
+                        tag,
+                        attempts: j.attempts,
+                        tasks_total: total,
+                        tasks_done: if state == JobState::Completed {
+                            total
+                        } else {
+                            j.ckpt_tasks_done as usize
+                        },
+                        error: j.error.clone(),
+                        stats: FaultStats::default(),
+                        submitted: Instant::now(),
+                        wall: Some(Duration::ZERO),
+                        outcome: None,
+                    },
+                );
+                if state == JobState::Completed {
+                    report.completed_retained += 1;
+                } else {
+                    report.terminal_retained += 1;
+                }
+                continue;
+            }
+            // Live at the crash: prefer the last durable checkpoint so
+            // completed panels are never recomputed.
+            let Some(mut spec) = decoded else {
+                self.quarantine_unrecoverable(j, id, "journal lost the job's spec");
+                report.unrecoverable += 1;
+                continue;
+            };
+            let mut ck_file = None;
+            if let Some(f) = &j.ckpt_file {
+                if let Ok(ck) = read_checkpoint(&state_dir.join(f)) {
+                    spec.input = JobInput::Resume(Box::new(ck));
+                    spec.ib = None; // take the checkpoint's recorded ib
+                    ck_file = Some(f.clone());
+                }
+            }
+            match self.resubmit_recovered(spec, id, j.attempts) {
+                Ok(()) => {
+                    s.log_event(JournalEvent::Accepted {
+                        id,
+                        attempts: j.attempts,
+                        tasks_total: j.tasks_total,
+                        dedup: j.dedup.clone(),
+                        spec: j.spec.clone(),
+                    });
+                    match ck_file {
+                        Some(file) => {
+                            s.log_event(JournalEvent::Checkpointed {
+                                id,
+                                tasks_done: j.ckpt_tasks_done,
+                                file,
+                            });
+                            report.resumed_from_checkpoint += 1;
+                        }
+                        None => report.restarted_fresh += 1,
+                    }
+                }
+                Err(e) => {
+                    self.quarantine_unrecoverable(j, id, &e.to_string());
+                    report.unrecoverable += 1;
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    fn quarantine_unrecoverable(&self, j: &crate::journal::RecoveredJob, id: u64, why: &str) {
+        let s = &*self.shared;
+        let error = format!("unrecoverable after restart: {why}");
+        s.log_event(JournalEvent::Accepted {
+            id,
+            attempts: j.attempts,
+            tasks_total: j.tasks_total,
+            dedup: j.dedup.clone(),
+            spec: None,
+        });
+        s.log_event(JournalEvent::Quarantined { id, error: error.clone() });
+        relock(&s.records).insert(
+            id,
+            JobRecord {
+                state: JobState::Quarantined,
+                qos: QosClass::default(),
+                tag: String::new(),
+                attempts: j.attempts,
+                tasks_total: j.tasks_total as usize,
+                tasks_done: j.ckpt_tasks_done as usize,
+                error: Some(error),
+                stats: FaultStats::default(),
+                submitted: Instant::now(),
+                wall: Some(Duration::ZERO),
+                outcome: None,
+            },
+        );
     }
 
     /// Block until `id` reaches a terminal state and return its outcome.
@@ -991,8 +1405,21 @@ impl JobPool {
 
     /// Request cancellation. Returns `false` for unknown or already
     /// terminal jobs; otherwise the job reaches [`JobState::Cancelled`].
+    /// Parked (suspended) jobs cancel immediately.
     pub fn cancel(&self, id: JobId) -> bool {
         let s = &*self.shared;
+        if relock(&s.parked).remove(&id.0).is_some() {
+            s.log_event(JournalEvent::Cancelled { id: id.0 });
+            cleanup_ckpt(s, id.0);
+            s.notify_records(|recs| {
+                if let Some(r) = recs.get_mut(&id.0) {
+                    r.state = JobState::Cancelled;
+                    r.wall = Some(r.submitted.elapsed());
+                    r.error = Some("cancelled while suspended".into());
+                }
+            });
+            return true;
+        }
         let recs = relock(&s.records);
         let Some(r) = recs.get(&id.0) else { return false };
         if r.state.is_terminal() {
@@ -1001,6 +1428,56 @@ impl JobPool {
         drop(recs);
         relock(&s.cancel_requests).push(id.0);
         true
+    }
+
+    /// Request suspension of `id`: a queued job parks immediately, a
+    /// running job is checkpointed at its next panel-boundary quiescent
+    /// point and then parks. The job sits in [`JobState::Suspended`]
+    /// until [`JobPool::resume_job`] (or [`JobPool::cancel`]). Returns
+    /// `false` for unknown or terminal jobs.
+    pub fn suspend(&self, id: JobId) -> bool {
+        let s = &*self.shared;
+        let recs = relock(&s.records);
+        let Some(r) = recs.get(&id.0) else { return false };
+        if r.state.is_terminal() {
+            return false;
+        }
+        drop(recs);
+        relock(&s.suspend_requests).push(id.0);
+        true
+    }
+
+    /// Resume a job parked by [`JobPool::suspend`]: it re-queues from its
+    /// suspension checkpoint and continues bitwise-identically from the
+    /// completed-panel frontier. Returns `false` when `id` is not parked.
+    pub fn resume_job(&self, id: JobId) -> bool {
+        let s = &*self.shared;
+        let Some(p) = relock(&s.parked).remove(&id.0) else { return false };
+        relock(&s.pending).push(p);
+        s.notify_records(|recs| {
+            if let Some(r) = recs.get_mut(&id.0) {
+                r.state = JobState::Queued;
+                r.error = None;
+                r.wall = None;
+            }
+        });
+        true
+    }
+
+    /// Encoded result container for a completed job — from the durable
+    /// store when present, else re-encoded from the in-memory outcome.
+    /// `None` when the job is unknown, not completed, or its stored
+    /// result was pruned and the outcome already claimed.
+    pub fn result_bytes(&self, id: JobId) -> Option<Vec<u8>> {
+        let s = &*self.shared;
+        if let Some(store) = &s.results {
+            if let Some(bytes) = store.get(id.0) {
+                return Some(bytes);
+            }
+        }
+        let recs = relock(&s.records);
+        let result = recs.get(&id.0)?.outcome.as_ref()?.result.as_ref()?;
+        Some(result_to_bytes(id.0, result))
     }
 
     /// True when no job is queued, active, or awaiting finalization.
@@ -1034,7 +1511,7 @@ impl JobPool {
         {
             let active = s.active.read().unwrap_or_else(std::sync::PoisonError::into_inner);
             for job in active.values() {
-                job.halt_with(Verdict::Suspend);
+                job.halt_with(Verdict::Suspend(SuspendKind::Drain));
             }
         }
         // Quiesce. An empty active map is not enough: the supervisor
@@ -1074,8 +1551,11 @@ impl JobPool {
                 .count();
         }
         // Persist: never-started pending jobs keep their fresh payloads;
-        // suspended jobs are embedded as resumable checkpoints.
-        let pending: Vec<PendingJob> = std::mem::take(&mut *relock(&s.pending));
+        // suspended jobs are embedded as resumable checkpoints. Parked
+        // jobs ride along as pending entries (their seed already is the
+        // suspension checkpoint).
+        let mut pending: Vec<PendingJob> = std::mem::take(&mut *relock(&s.pending));
+        pending.extend(relock(&s.parked).drain().map(|(_, p)| p));
         let suspended: Vec<SuspendedEntry> = std::mem::take(&mut *relock(&s.suspended));
         let persisted = pending.len() + suspended.len();
         if let Some(path) = persist {
@@ -1112,8 +1592,15 @@ impl JobPool {
             }
             std::thread::sleep(s.cfg.tick);
         }
-        let pending: Vec<PendingJob> = std::mem::take(&mut *relock(&s.pending));
+        let mut pending: Vec<PendingJob> = std::mem::take(&mut *relock(&s.pending));
+        pending.extend(relock(&s.parked).drain().map(|(_, p)| p));
         if !pending.is_empty() {
+            for p in &pending {
+                s.log_event(JournalEvent::Shed {
+                    id: p.id,
+                    reason: "pool shut down before admission".into(),
+                });
+            }
             s.notify_records(|recs| {
                 for p in &pending {
                     if let Some(r) = recs.get_mut(&p.id) {
@@ -1152,6 +1639,18 @@ impl Drop for JobPool {
     }
 }
 
+/// The journal event that records a recovered job's terminal state.
+fn terminal_event(id: u64, state: JobState, j: &crate::journal::RecoveredJob) -> JournalEvent {
+    match state {
+        JobState::Completed => JournalEvent::Completed { id, file: j.result_file.clone() },
+        JobState::Quarantined => {
+            JournalEvent::Quarantined { id, error: j.error.clone().unwrap_or_default() }
+        }
+        JobState::Cancelled => JournalEvent::Cancelled { id },
+        _ => JournalEvent::Shed { id, reason: j.error.clone().unwrap_or_default() },
+    }
+}
+
 /// Convert a never-started pending job back into a submittable spec.
 fn pending_to_spec(p: &PendingJob) -> JobSpec {
     let input = match &p.seed {
@@ -1177,6 +1676,7 @@ fn policy_to_spec(input: JobInput, jp: &JobPolicy) -> JobSpec {
         deadline: jp.deadline,
         plan: None, // injection is in-process test machinery, never persisted
         tag: jp.tag.clone(),
+        dedup_key: jp.dedup_key.clone(),
     }
 }
 
@@ -1199,6 +1699,9 @@ fn spec_sections(w: &mut SectionWriter, spec: &JobSpec, base: u32, attempts: u32
     ];
     w.section(base + QOFF_META, &bytes_of_u64s(&meta));
     w.section(base + QOFF_TAG, spec.tag.as_bytes());
+    if let Some(k) = &spec.dedup_key {
+        w.section(base + QOFF_DEDUP, k.as_bytes());
+    }
     match &spec.input {
         JobInput::Fresh { elims, a } => {
             w.section(base + QOFF_ELIMS, &bytes_of_u64s(&elims_to_words(elims)));
@@ -1242,6 +1745,12 @@ fn spec_from_sections(r: &SectionReader, base: u32) -> Result<(JobSpec, u32), Qu
     };
     let tag = String::from_utf8(r.require(base + QOFF_TAG)?.to_vec())
         .map_err(|_| QueueFormatError::Inconsistent { message: "entry tag is not UTF-8".into() })?;
+    let dedup_key = match r.section(base + QOFF_DEDUP) {
+        Some(bytes) => Some(String::from_utf8(bytes.to_vec()).map_err(|_| {
+            QueueFormatError::Inconsistent { message: "entry dedup key is not UTF-8".into() }
+        })?),
+        None => None,
+    };
     let input = match meta[0] {
         0 => {
             let words = u64s_of_bytes(base + QOFF_ELIMS, r.require(base + QOFF_ELIMS)?)?;
@@ -1274,6 +1783,7 @@ fn spec_from_sections(r: &SectionReader, base: u32) -> Result<(JobSpec, u32), Qu
             deadline: if meta[7] == u64::MAX { None } else { Some(Duration::from_millis(meta[7])) },
             plan: None,
             tag,
+            dedup_key,
         },
         meta[8] as u32,
     ))
@@ -1477,9 +1987,115 @@ fn supervisor_loop(shared: &Shared) {
 
 fn supervisor_tick(shared: &Shared) {
     process_cancellations(shared);
+    process_suspends(shared);
     enforce_deadlines(shared);
+    periodic_checkpoints(shared);
+    preempt_for_qos(shared);
     finalize_jobs(shared);
     admit_jobs(shared);
+}
+
+fn process_suspends(shared: &Shared) {
+    let requests: Vec<u64> = std::mem::take(&mut *relock(&shared.suspend_requests));
+    for id in requests {
+        // Queued? Park as-is — nothing has run, so the pending seed is
+        // already the exact resumable state.
+        let taken = {
+            let mut pending = relock(&shared.pending);
+            pending.iter().position(|p| p.id == id).map(|i| pending.remove(i))
+        };
+        if let Some(p) = taken {
+            shared.log_event(JournalEvent::Suspended {
+                id,
+                reason: SuspendKind::Park.reason().into(),
+            });
+            relock(&shared.parked).insert(id, p);
+            shared.notify_records(|recs| {
+                if let Some(r) = recs.get_mut(&id) {
+                    r.state = JobState::Suspended;
+                    r.wall = Some(r.submitted.elapsed());
+                    r.error = Some("suspended by request; resume with resume-job".into());
+                }
+            });
+            continue;
+        }
+        // Active? Halt at the next quiescent point; conclusion parks it.
+        let active = shared.active.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(job) = active.values().find(|j| j.id == id) {
+            job.halt_with(Verdict::Suspend(SuspendKind::Park));
+        }
+    }
+}
+
+/// Durable pools checkpoint long-running jobs at a configured cadence so
+/// a crash rolls back to the last panel boundary, not to scratch. Only
+/// activations that made progress are cycled (re-queuing resets the
+/// clock), and deadline-carrying jobs are exempt — their wall budget is
+/// per activation.
+fn periodic_checkpoints(shared: &Shared) {
+    let Some(d) = &shared.cfg.durability else { return };
+    if d.ckpt_interval.is_zero() {
+        return;
+    }
+    let active = shared.active.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+    for job in active.values() {
+        let rem = job.remaining.load(Ordering::Acquire);
+        if !job.halted.load(Ordering::SeqCst)
+            && job.deadline.is_none()
+            && rem > 0
+            && rem < job.initial_remaining
+            && job.started.elapsed() >= d.ckpt_interval
+        {
+            job.halt_with(Verdict::Suspend(SuspendKind::Periodic));
+        }
+    }
+}
+
+/// When the best admissible pending job is blocked only by lower-QoS
+/// active work, suspend one victim at its next quiescent point: the
+/// newest job of the lowest class, and only if suspension can actually
+/// free what the candidate needs (an active slot, or enough budget
+/// across all lower-QoS jobs). The victim re-queues from its checkpoint
+/// and loses no retry budget.
+fn preempt_for_qos(shared: &Shared) {
+    if shared.draining.load(Ordering::SeqCst) {
+        return;
+    }
+    let (cand_qos_inv, cand_fp) = {
+        let pending = relock(&shared.pending);
+        let now = Instant::now();
+        let best = pending
+            .iter()
+            .filter(|p| p.not_before.is_none_or(|t| now >= t))
+            .min_by_key(|p| (p.policy.qos.inverted(), p.seq));
+        let Some(p) = best else { return };
+        (p.policy.qos.inverted(), p.footprint)
+    };
+    let in_use = shared.active_footprint.load(Ordering::SeqCst);
+    let active = shared.active.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+    if active.is_empty() {
+        return;
+    }
+    let slot_blocked = shared.cfg.max_active != 0 && active.len() >= shared.cfg.max_active;
+    let budget_blocked = in_use.saturating_add(cand_fp) > shared.cfg.mem_budget;
+    if !slot_blocked && !budget_blocked {
+        return;
+    }
+    let lower: Vec<&Arc<ActiveJob>> = active
+        .values()
+        .filter(|j| j.qos_inv > cand_qos_inv && !j.halted.load(Ordering::SeqCst))
+        .collect();
+    if lower.is_empty() {
+        return;
+    }
+    if budget_blocked && !slot_blocked {
+        let reclaimable: u64 = lower.iter().map(|j| j.footprint).sum();
+        if in_use.saturating_sub(reclaimable).saturating_add(cand_fp) > shared.cfg.mem_budget {
+            return;
+        }
+    }
+    let victim = lower.into_iter().max_by_key(|j| (j.qos_inv, j.seq)).expect("lower is non-empty");
+    victim.halt_with(Verdict::Suspend(SuspendKind::Preempt));
 }
 
 fn process_cancellations(shared: &Shared) {
@@ -1500,6 +2116,8 @@ fn process_cancellations(shared: &Shared) {
             }
         };
         if removed {
+            shared.log_event(JournalEvent::Cancelled { id });
+            cleanup_ckpt(shared, id);
             shared.notify_records(|recs| {
                 if let Some(r) = recs.get_mut(&id) {
                     r.state = JobState::Cancelled;
@@ -1535,11 +2153,16 @@ fn enforce_deadlines(shared: &Shared) {
 }
 
 /// Exponential backoff for job-level retries: `base * 2^(attempts-1)`,
-/// capped.
-fn retry_backoff(cfg: &PoolConfig, attempts: u32) -> Duration {
+/// capped, then scaled by a deterministic decorrelation factor in
+/// [0.5, 1.0] derived from `(salt, attempts)` — jobs that fail together
+/// (a shared fault, a mass deadline miss) spread their retries out
+/// instead of re-colliding in lockstep.
+fn retry_backoff(cfg: &PoolConfig, attempts: u32, salt: u64) -> Duration {
     let shift = attempts.saturating_sub(1).min(20);
-    let raw = cfg.backoff_base.saturating_mul(1u32 << shift);
-    raw.min(cfg.backoff_cap)
+    let raw = cfg.backoff_base.saturating_mul(1u32 << shift).min(cfg.backoff_cap);
+    let h = fnv1a64(&bytes_of_u64s(&[salt, attempts as u64]));
+    let frac = 0.5 + 0.5 * ((h >> 11) as f64 / (1u64 << 53) as f64);
+    Duration::from_secs_f64(raw.as_secs_f64() * frac)
 }
 
 fn finalize_jobs(shared: &Shared) {
@@ -1596,6 +2219,28 @@ fn conclude_job(shared: &Shared, job: ActiveJob) {
             // Clean completion.
             debug_assert_eq!(tasks_done, tasks_total);
             let ActiveJob { a, factors, .. } = job;
+            let result = JobResult { a, factors };
+            // Durable pools persist R/V/T *before* journaling the
+            // completion, so a journaled Completed always implies a
+            // retrievable result.
+            if let Some(store) = &shared.results {
+                let bytes = result_to_bytes(id, &result);
+                match store.put(id, &bytes) {
+                    Ok(file) => {
+                        for pruned in store.prune_over_cap() {
+                            shared.log_event(JournalEvent::ResultPruned { id: pruned });
+                        }
+                        shared.log_event(JournalEvent::Completed { id, file: Some(file) });
+                    }
+                    Err(e) => {
+                        eprintln!("hqr-pool: persisting result of job-{id} failed: {e}");
+                        shared.log_event(JournalEvent::Completed { id, file: None });
+                    }
+                }
+            } else {
+                shared.log_event(JournalEvent::Completed { id, file: None });
+            }
+            cleanup_ckpt(shared, id);
             shared.notify_records(|recs| {
                 if let Some(r) = recs.get_mut(&id) {
                     r.state = JobState::Completed;
@@ -1608,13 +2253,15 @@ fn conclude_job(shared: &Shared, job: ActiveJob) {
                         attempts: r.attempts,
                         error: None,
                         stats: r.stats,
-                        result: Some(JobResult { a, factors }),
+                        result: Some(result),
                         wall: r.wall.unwrap_or_default(),
                     });
                 }
             });
         }
         Some(Verdict::Cancel) => {
+            shared.log_event(JournalEvent::Cancelled { id });
+            cleanup_ckpt(shared, id);
             shared.notify_records(|recs| {
                 if let Some(r) = recs.get_mut(&id) {
                     r.state = JobState::Cancelled;
@@ -1625,8 +2272,8 @@ fn conclude_job(shared: &Shared, job: ActiveJob) {
                 }
             });
         }
-        Some(Verdict::Suspend) => {
-            suspend_job(shared, job, stats, tasks_done);
+        Some(Verdict::Suspend(kind)) => {
+            suspend_job(shared, job, stats, tasks_done, kind);
         }
         Some(v) => {
             let message = match &v {
@@ -1639,7 +2286,13 @@ fn conclude_job(shared: &Shared, job: ActiveJob) {
     }
 }
 
-fn suspend_job(shared: &Shared, job: ActiveJob, stats: FaultStats, tasks_done: usize) {
+fn suspend_job(
+    shared: &Shared,
+    job: ActiveJob,
+    stats: FaultStats,
+    tasks_done: usize,
+    kind: SuspendKind,
+) {
     let id = job.id;
     // At quiescence the done set is exactly the completed tasks, and a task
     // only completes after all its predecessors did — so the set is closed
@@ -1662,20 +2315,78 @@ fn suspend_job(shared: &Shared, job: ActiveJob, stats: FaultStats, tasks_done: u
         let recs = relock(&shared.records);
         recs.get(&id).map_or(0, |r| r.attempts)
     };
-    relock(&shared.suspended).push(SuspendedEntry {
-        policy: job.origin_policy.clone(),
-        attempts,
-        ckpt: Box::new(ckpt),
-    });
-    shared.notify_records(|recs| {
-        if let Some(r) = recs.get_mut(&id) {
-            r.state = JobState::Suspended;
-            r.stats.merge(&stats);
-            r.tasks_done = tasks_done;
-            r.wall = Some(r.submitted.elapsed());
-            r.error = Some("suspended by drain; state checkpointed".into());
+    // Durable pools write the checkpoint file first: once Checkpointed
+    // is journaled, a crash resumes from this panel frontier.
+    if let Some(d) = &shared.cfg.durability {
+        let file = format!("{CKPT_DIR}/job-{id}.ckpt");
+        match write_checkpoint(&d.state_dir.join(&file), &ckpt) {
+            Ok(()) => shared.log_event(JournalEvent::Checkpointed {
+                id,
+                tasks_done: tasks_done as u64,
+                file,
+            }),
+            Err(e) => eprintln!("hqr-pool: checkpointing job-{id} failed: {e}"),
         }
-    });
+    }
+    shared.log_event(JournalEvent::Suspended { id, reason: kind.reason().into() });
+    let ActiveJob { seq, elims, origin_policy, graph, footprint, .. } = job;
+    let requeued = PendingJob {
+        id,
+        seq,
+        policy: origin_policy,
+        elims,
+        seed: Seed::Resume(Box::new(ckpt)),
+        graph,
+        footprint,
+        attempts,
+        not_before: None,
+        count_attempt: false,
+    };
+    match kind {
+        SuspendKind::Drain => {
+            // The legacy persisted-queue path wants policy + checkpoint.
+            let Seed::Resume(ckpt) = requeued.seed else { unreachable!() };
+            relock(&shared.suspended).push(SuspendedEntry {
+                policy: requeued.policy,
+                attempts,
+                ckpt,
+            });
+            shared.notify_records(|recs| {
+                if let Some(r) = recs.get_mut(&id) {
+                    r.state = JobState::Suspended;
+                    r.stats.merge(&stats);
+                    r.tasks_done = tasks_done;
+                    r.wall = Some(r.submitted.elapsed());
+                    r.error = Some("suspended by drain; state checkpointed".into());
+                }
+            });
+        }
+        SuspendKind::Park => {
+            relock(&shared.parked).insert(id, requeued);
+            shared.notify_records(|recs| {
+                if let Some(r) = recs.get_mut(&id) {
+                    r.state = JobState::Suspended;
+                    r.stats.merge(&stats);
+                    r.tasks_done = tasks_done;
+                    r.wall = Some(r.submitted.elapsed());
+                    r.error = Some("suspended by request; resume with resume-job".into());
+                }
+            });
+        }
+        SuspendKind::Preempt | SuspendKind::Periodic => {
+            // Straight back into the queue: the same attempt continues
+            // from the checkpointed frontier when room frees up.
+            relock(&shared.pending).push(requeued);
+            shared.notify_records(|recs| {
+                if let Some(r) = recs.get_mut(&id) {
+                    r.state = JobState::Queued;
+                    r.stats.merge(&stats);
+                    r.tasks_done = tasks_done;
+                    r.error = None;
+                }
+            });
+        }
+    }
 }
 
 fn retry_or_quarantine(
@@ -1695,7 +2406,8 @@ fn retry_or_quarantine(
     // re-runs on top of the first.
     let can_retry = attempts <= job.origin_policy.job_retries && job.origin_seed.is_some();
     if can_retry {
-        let not_before = Instant::now() + retry_backoff(&shared.cfg, attempts);
+        shared.log_event(JournalEvent::Failed { id, attempts, error: message.clone() });
+        let not_before = Instant::now() + retry_backoff(&shared.cfg, attempts, id);
         let ActiveJob { origin_policy, origin_seed, elims, graph, footprint, .. } = job;
         relock(&shared.pending).push(PendingJob {
             id,
@@ -1707,6 +2419,7 @@ fn retry_or_quarantine(
             footprint,
             attempts,
             not_before: Some(not_before),
+            count_attempt: true,
         });
         shared.notify_records(|recs| {
             if let Some(r) = recs.get_mut(&id) {
@@ -1717,6 +2430,8 @@ fn retry_or_quarantine(
             }
         });
     } else {
+        shared.log_event(JournalEvent::Quarantined { id, error: message.clone() });
+        cleanup_ckpt(shared, id);
         shared.notify_records(|recs| {
             if let Some(r) = recs.get_mut(&id) {
                 r.state = JobState::Quarantined;
@@ -1769,7 +2484,18 @@ fn admit_jobs(shared: &Shared) {
 }
 
 fn activate_job(shared: &Shared, p: PendingJob) {
-    let PendingJob { id, seq, policy: jp, elims, seed, graph, footprint, attempts, .. } = p;
+    let PendingJob {
+        id,
+        seq,
+        policy: jp,
+        elims,
+        seed,
+        graph,
+        footprint,
+        attempts,
+        count_attempt,
+        ..
+    } = p;
     let n = graph.tasks().len();
     let retain = attempts < jp.job_retries;
     // Build the working state from the seed, retaining a pristine copy
@@ -1819,6 +2545,7 @@ fn activate_job(shared: &Shared, p: PendingJob) {
         indeg: indeg0.iter().map(|&d| AtomicU32::new(d)).collect(),
         done: completed.iter().map(|&d| AtomicBool::new(d)).collect(),
         remaining: AtomicUsize::new(remaining),
+        initial_remaining: remaining,
         inflight: AtomicUsize::new(0),
         halted: AtomicBool::new(false),
         verdict: Mutex::new(None),
@@ -1839,12 +2566,17 @@ fn activate_job(shared: &Shared, p: PendingJob) {
         let mut active = shared.active.write().unwrap_or_else(std::sync::PoisonError::into_inner);
         active.insert(rid, Arc::clone(&job));
     }
-    shared.notify_records(|recs| {
-        if let Some(r) = recs.get_mut(&id) {
+    let attempt = shared.notify_records(|recs| match recs.get_mut(&id) {
+        Some(r) => {
             r.state = JobState::Running;
-            r.attempts += 1;
+            if count_attempt {
+                r.attempts += 1;
+            }
+            r.attempts
         }
+        None => attempts,
     });
+    shared.log_event(JournalEvent::Started { id, attempt });
     // Publish the initial frontier.
     for tid in 0..n {
         if job.indeg[tid].load(Ordering::Relaxed) == 0 && !job.done[tid].load(Ordering::Relaxed) {
@@ -1888,16 +2620,49 @@ mod tests {
     }
 
     #[test]
-    fn retry_backoff_doubles_and_caps() {
+    fn retry_backoff_doubles_caps_and_jitters() {
         let cfg = PoolConfig {
             backoff_base: Duration::from_millis(10),
             backoff_cap: Duration::from_millis(65),
             ..Default::default()
         };
-        assert_eq!(retry_backoff(&cfg, 1), Duration::from_millis(10));
-        assert_eq!(retry_backoff(&cfg, 2), Duration::from_millis(20));
-        assert_eq!(retry_backoff(&cfg, 3), Duration::from_millis(40));
-        assert_eq!(retry_backoff(&cfg, 4), Duration::from_millis(65));
-        assert_eq!(retry_backoff(&cfg, 30), Duration::from_millis(65));
+        // Deterministic per (attempt, salt).
+        assert_eq!(retry_backoff(&cfg, 1, 7), retry_backoff(&cfg, 1, 7));
+        // Jitter keeps each delay inside [raw/2, raw] of the capped
+        // exponential ladder.
+        for (attempts, raw_ms) in [(1u32, 10u64), (2, 20), (3, 40), (4, 65), (30, 65)] {
+            let raw = Duration::from_millis(raw_ms);
+            for salt in 0..32u64 {
+                let d = retry_backoff(&cfg, attempts, salt);
+                assert!(d <= raw, "attempt {attempts} salt {salt}: {d:?} > {raw:?}");
+                assert!(d >= raw / 2, "attempt {attempts} salt {salt}: {d:?} < {:?}", raw / 2);
+            }
+        }
+        // Co-failing jobs decorrelate: salts do not all share one delay.
+        let d0 = retry_backoff(&cfg, 1, 0);
+        assert!((1..32).any(|s| retry_backoff(&cfg, 1, s) != d0));
+    }
+
+    fn flat_elims(mt: usize, nt: usize) -> Vec<ElimOp> {
+        let mut elims = Vec::new();
+        for k in 0..mt.min(nt) {
+            for i in (k + 1)..mt {
+                elims.push(ElimOp::new(k as u32, i as u32, k as u32, true));
+            }
+        }
+        elims
+    }
+
+    #[test]
+    fn job_spec_roundtrips_dedup_key() {
+        let a = TiledMatrix::zeros(2, 1, 4);
+        let elims = flat_elims(2, 1);
+        let mut spec = JobSpec::fresh(elims, a);
+        spec.dedup_key = Some("tenant-42/run-7".into());
+        let decoded = JobSpec::from_bytes(spec.to_bytes()).expect("roundtrip");
+        assert_eq!(decoded.dedup_key.as_deref(), Some("tenant-42/run-7"));
+        spec.dedup_key = None;
+        let decoded = JobSpec::from_bytes(spec.to_bytes()).expect("roundtrip");
+        assert_eq!(decoded.dedup_key, None);
     }
 }

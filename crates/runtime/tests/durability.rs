@@ -1,0 +1,338 @@
+//! Crash-safe durability tests for the job pool: the write-ahead journal,
+//! the durable result store, and checkpoint-backed suspension together
+//! guarantee that every accepted job reaches a terminal state with
+//! bitwise-identical results, no matter where the daemon dies.
+//!
+//! A SIGKILL cannot be delivered to an in-process pool, so the crash is
+//! simulated the way a crash actually looks on disk: the state directory
+//! is copied *while the pool is live* (every journal append is fsync'd, so
+//! any point-in-time copy is a valid crash image, up to a torn tail the
+//! replay tolerates), and a second pool recovers from the copy.
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use hqr_runtime::{
+    execute_serial_ib, result_from_bytes, DurabilityConfig, ElimOp, FaultPlan, JobPool, JobSpec,
+    JobState, Journal, JournalEvent, PoolConfig, TFactors, TaskGraph, CKPT_DIR, JOURNAL_FILE,
+};
+use hqr_tile::TiledMatrix;
+
+/// Flat-tree elimination list: row k kills every row below it.
+fn flat_elims(mt: usize, nt: usize) -> Vec<ElimOp> {
+    let mut out = Vec::new();
+    for k in 0..mt.min(nt) {
+        for i in (k + 1)..mt {
+            out.push(ElimOp::new(k as u32, i as u32, k as u32, true));
+        }
+    }
+    out
+}
+
+/// The solo reference: factor `a0` serially with the same elimination list.
+fn solo(elims: &[ElimOp], a0: &TiledMatrix) -> (TiledMatrix, TFactors) {
+    let graph = TaskGraph::try_build(a0.mt(), a0.nt(), a0.b(), elims).expect("valid elims");
+    let mut a = a0.clone();
+    let f = execute_serial_ib(&graph, &mut a, a0.b());
+    (a, f)
+}
+
+fn state_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hqr_dur_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durable_pool(dir: &Path, ckpt_interval: Duration) -> JobPool {
+    let mut d = DurabilityConfig::at(dir);
+    d.ckpt_interval = ckpt_interval;
+    JobPool::new(PoolConfig { nthreads: 2, durability: Some(d), ..PoolConfig::default() })
+}
+
+/// Point-in-time copy of a live state directory — the crash image.
+fn snapshot(src: &Path, dst: &Path) {
+    let _ = std::fs::remove_dir_all(dst);
+    std::fs::create_dir_all(dst).expect("create snapshot dir");
+    fn copy_tree(src: &Path, dst: &Path) {
+        for entry in std::fs::read_dir(src).expect("read_dir") {
+            let entry = entry.expect("dir entry");
+            let to = dst.join(entry.file_name());
+            if entry.file_type().expect("file_type").is_dir() {
+                std::fs::create_dir_all(&to).expect("mkdir");
+                copy_tree(&entry.path(), &to);
+            } else {
+                std::fs::copy(entry.path(), &to).expect("copy file");
+            }
+        }
+    }
+    copy_tree(src, dst);
+}
+
+/// Block until the job pool reports `id` in `state` (or panic after 60 s).
+fn wait_for_state(pool: &JobPool, id: hqr_runtime::JobId, state: JobState) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let now = pool.jobs().into_iter().find(|j| j.id == id).map(|j| j.state);
+        if now == Some(state) {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "job {} never reached {state:?} (currently {now:?})",
+            id.0
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// A spec that stalls forever: one task's injected failures outlast any
+/// practical test, but stay within the per-task retry budget so the job
+/// keeps retrying (and stays preemptible) instead of quarantining.
+fn stalling_spec(elims: Vec<ElimOp>, a: TiledMatrix, task: u32) -> JobSpec {
+    let mut spec = JobSpec::fresh(elims, a);
+    spec.plan = Some(FaultPlan::new(7).fail_task(task, 1_000_000));
+    spec.max_retries = 1_000_001;
+    spec
+}
+
+#[test]
+fn completed_results_survive_restart_bitwise() {
+    let dir = state_dir("completed");
+    let elims = flat_elims(4, 3);
+    let a0 = TiledMatrix::random(4, 3, 8, 11);
+    let (ref_a, ref_f) = solo(&elims, &a0);
+
+    let first_bytes;
+    let id;
+    {
+        let pool = durable_pool(&dir, Duration::from_secs(3600));
+        id = pool.submit(JobSpec::fresh(elims.clone(), a0.clone())).expect("submit");
+        let out = pool.wait(id).expect("wait");
+        assert_eq!(out.state, JobState::Completed);
+        first_bytes = pool.result_bytes(id).expect("durable result after completion");
+        pool.shutdown();
+    }
+
+    // A fresh pool on the same state directory: the journal replays the
+    // job as already-terminal, and the stored result is still retrievable
+    // and bitwise-identical.
+    let pool = durable_pool(&dir, Duration::from_secs(3600));
+    let report = pool.recover().expect("recover");
+    assert_eq!(report.total, 1);
+    assert_eq!(report.completed_retained, 1);
+    assert_eq!(report.unrecoverable, 0);
+    let view = pool.jobs().into_iter().find(|j| j.id == id).expect("job survives restart");
+    assert_eq!(view.state, JobState::Completed);
+
+    let bytes = pool.result_bytes(id).expect("result survives restart");
+    assert_eq!(bytes, first_bytes, "stored container is byte-stable across restarts");
+    let stored = result_from_bytes(bytes).expect("stored result decodes");
+    assert_eq!(stored.id, id.0);
+    assert_eq!(stored.result.a.to_dense().data(), ref_a.to_dense().data());
+    assert!(stored.result.factors.bitwise_eq(&ref_f));
+    pool.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_image_mid_run_drives_every_accepted_job_terminal() {
+    let dir = state_dir("crash");
+    let crash = state_dir("crash_image");
+    let elims = flat_elims(4, 3);
+    let a0 = TiledMatrix::random(4, 3, 8, 21);
+    let b0 = TiledMatrix::random(4, 3, 8, 22);
+    let (ref_a, ref_fa) = solo(&elims, &a0);
+    let (ref_b, ref_fb) = solo(&elims, &b0);
+
+    let (done_id, stuck_id, queued_id);
+    {
+        let pool = durable_pool(&dir, Duration::from_secs(3600));
+        // Job 1 completes before the crash; job 2 is mid-factorization
+        // (stalled on an injected fault) when the crash lands; job 3 is
+        // still queued behind it.
+        done_id = pool.submit(JobSpec::fresh(elims.clone(), a0.clone())).expect("submit done");
+        assert_eq!(pool.wait(done_id).expect("wait").state, JobState::Completed);
+        stuck_id = pool.submit(stalling_spec(elims.clone(), b0.clone(), 2)).expect("submit stuck");
+        wait_for_state(&pool, stuck_id, JobState::Running);
+        queued_id = pool.submit(JobSpec::fresh(elims.clone(), b0.clone())).expect("submit queued");
+
+        // SIGKILL: copy the state directory out from under the live pool,
+        // then abandon it (Drop halts workers without draining — nothing
+        // it does can reach the crash image).
+        snapshot(&dir, &crash);
+    }
+
+    let pool = durable_pool(&crash, Duration::from_secs(3600));
+    let report = pool.recover().expect("recover");
+    assert_eq!(report.total, 3);
+    assert_eq!(report.completed_retained, 1);
+    assert_eq!(report.unrecoverable, 0);
+
+    // The completed job's result is still retrievable, bitwise.
+    let stored = result_from_bytes(pool.result_bytes(done_id).expect("done result")).unwrap();
+    assert_eq!(stored.result.a.to_dense().data(), ref_a.to_dense().data());
+    assert!(stored.result.factors.bitwise_eq(&ref_fa));
+
+    // The in-flight and queued jobs were re-accepted; fault plans are
+    // engine policy (never persisted), so both now run clean to
+    // completion — and bitwise match the uninterrupted reference.
+    for id in [stuck_id, queued_id] {
+        let out = pool.wait(id).expect("recovered job waitable");
+        assert_eq!(out.state, JobState::Completed, "job {} error: {:?}", id.0, out.error);
+        let stored = result_from_bytes(pool.result_bytes(id).expect("result stored")).unwrap();
+        assert_eq!(stored.result.a.to_dense().data(), ref_b.to_dense().data());
+        assert!(stored.result.factors.bitwise_eq(&ref_fb));
+    }
+    pool.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&crash);
+}
+
+#[test]
+fn suspended_job_resumes_from_checkpoint_after_crash() {
+    let dir = state_dir("park");
+    let crash = state_dir("park_image");
+    let elims = flat_elims(5, 4);
+    let a0 = TiledMatrix::random(5, 4, 8, 31);
+    let (ref_a, ref_f) = solo(&elims, &a0);
+
+    let id;
+    {
+        let pool = durable_pool(&dir, Duration::from_secs(3600));
+        // Stall late in the DAG so the suspension checkpoint has real
+        // progress behind it.
+        let task = flat_elims(5, 4).len() as u32; // a task past the first panel
+        id = pool.submit(stalling_spec(elims.clone(), a0.clone(), task)).expect("submit");
+        wait_for_state(&pool, id, JobState::Running);
+        assert!(pool.suspend(id), "suspend accepted for a running job");
+        wait_for_state(&pool, id, JobState::Suspended);
+        // The checkpoint file is on disk before the state flips.
+        assert!(dir.join(CKPT_DIR).join(format!("job-{}.ckpt", id.0)).exists());
+        snapshot(&dir, &crash);
+    }
+
+    let pool = durable_pool(&crash, Duration::from_secs(3600));
+    let report = pool.recover().expect("recover");
+    assert_eq!(report.total, 1);
+    assert_eq!(
+        report.resumed_from_checkpoint, 1,
+        "a suspended job restarts from its checkpoint, not from scratch"
+    );
+    let out = pool.wait(id).expect("wait");
+    assert_eq!(out.state, JobState::Completed, "error: {:?}", out.error);
+    let stored = result_from_bytes(pool.result_bytes(id).expect("result")).unwrap();
+    assert_eq!(
+        stored.result.a.to_dense().data(),
+        ref_a.to_dense().data(),
+        "resume from checkpoint is bitwise-identical to the uninterrupted run"
+    );
+    assert!(stored.result.factors.bitwise_eq(&ref_f));
+    pool.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&crash);
+}
+
+#[test]
+fn park_and_resume_job_round_trips_bitwise() {
+    let dir = state_dir("resume_verb");
+    let elims = flat_elims(4, 3);
+    let a0 = TiledMatrix::random(4, 3, 8, 41);
+    let (ref_a, ref_f) = solo(&elims, &a0);
+
+    let pool = durable_pool(&dir, Duration::from_secs(3600));
+    let id = pool.submit(stalling_spec(elims.clone(), a0.clone(), 3)).expect("submit");
+    wait_for_state(&pool, id, JobState::Running);
+    assert!(pool.suspend(id));
+    wait_for_state(&pool, id, JobState::Suspended);
+    // Parked jobs stay parked: nothing resumes them implicitly.
+    std::thread::sleep(Duration::from_millis(30));
+    assert_eq!(pool.jobs().into_iter().find(|j| j.id == id).unwrap().state, JobState::Suspended);
+    assert!(!pool.resume_job(hqr_runtime::JobId(id.0 + 7)), "unknown id is refused");
+    assert!(pool.resume_job(id), "parked job resumes");
+    let out = pool.wait(id).expect("wait");
+    assert_eq!(out.state, JobState::Completed, "error: {:?}", out.error);
+    let r = out.result.expect("first waiter claims the result");
+    assert_eq!(r.a.to_dense().data(), ref_a.to_dense().data());
+    assert!(r.factors.bitwise_eq(&ref_f));
+    pool.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dedup_key_is_idempotent_and_survives_recovery() {
+    let dir = state_dir("dedup");
+    let elims = flat_elims(3, 2);
+    let a0 = TiledMatrix::random(3, 2, 8, 51);
+    let keyed = |key: &str| {
+        let mut s = JobSpec::fresh(elims.clone(), a0.clone());
+        s.dedup_key = Some(key.into());
+        s
+    };
+
+    let id1;
+    {
+        let pool = durable_pool(&dir, Duration::from_secs(3600));
+        let (a, deduped) = pool.submit_dedup(keyed("batch-7")).expect("submit");
+        assert!(!deduped);
+        id1 = a;
+        let (b, deduped) = pool.submit_dedup(keyed("batch-7")).expect("resubmit");
+        assert!(deduped, "same key is deduplicated");
+        assert_eq!(b, id1);
+        let (c, deduped) = pool.submit_dedup(keyed("batch-8")).expect("other key");
+        assert!(!deduped);
+        assert_ne!(c, id1);
+        // Terminal jobs keep their registration: a late duplicate of a
+        // finished submission still maps to the original id.
+        pool.wait(id1).expect("wait");
+        let (d, deduped) = pool.submit_dedup(keyed("batch-7")).expect("late resubmit");
+        assert!(deduped);
+        assert_eq!(d, id1);
+        pool.wait(c).expect("wait other");
+        pool.shutdown();
+    }
+
+    // Recovery rebuilds the dedup map from the journal.
+    let pool = durable_pool(&dir, Duration::from_secs(3600));
+    pool.recover().expect("recover");
+    let (e, deduped) = pool.submit_dedup(keyed("batch-7")).expect("post-restart resubmit");
+    assert!(deduped, "dedup registration survives the restart");
+    assert_eq!(e, id1);
+    pool.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn periodic_checkpoints_fire_without_perturbing_results() {
+    let dir = state_dir("periodic");
+    // Big enough that several supervisor ticks elapse mid-run.
+    let elims = flat_elims(10, 6);
+    let a0 = TiledMatrix::random(10, 6, 16, 61);
+    let (ref_a, ref_f) = solo(&elims, &a0);
+
+    let pool = durable_pool(&dir, Duration::from_millis(1));
+    let id = pool.submit(JobSpec::fresh(elims.clone(), a0.clone())).expect("submit");
+    let out = pool.wait(id).expect("wait");
+    assert_eq!(out.state, JobState::Completed, "error: {:?}", out.error);
+    let stored = result_from_bytes(pool.result_bytes(id).expect("result")).unwrap();
+    assert_eq!(
+        stored.result.a.to_dense().data(),
+        ref_a.to_dense().data(),
+        "periodic suspend/resume cycles are bitwise-invisible"
+    );
+    assert!(stored.result.factors.bitwise_eq(&ref_f));
+
+    // The journal recorded at least one periodic checkpoint cycle, and the
+    // job's checkpoint file was cleaned up at completion.
+    let events = Journal::read(&dir.join(JOURNAL_FILE)).expect("journal readable");
+    let ckpts = events
+        .iter()
+        .filter(|e| matches!(e, JournalEvent::Checkpointed { id: jid, .. } if *jid == id.0))
+        .count();
+    assert!(ckpts >= 1, "expected a periodic checkpoint in the journal, got {events:?}");
+    assert!(
+        !dir.join(CKPT_DIR).join(format!("job-{}.ckpt", id.0)).exists(),
+        "completion removes the suspension checkpoint"
+    );
+    pool.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -328,6 +328,85 @@ pub fn find_crossover(points: &[CrossoverPoint]) -> Option<&CrossoverPoint> {
     points.iter().find(|p| p.checkpoint_makespan < p.lineage_makespan)
 }
 
+/// One point of the service suspend-vs-scratch sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SuspendPoint {
+    /// Daemon kills scheduled during this job's run.
+    pub kills: usize,
+    /// Empirical kill rate, failures per baseline-second.
+    pub kill_rate: f64,
+    /// Wall time when the job resumes from its last panel checkpoint.
+    pub resume_makespan: f64,
+    /// Wall time when every kill restarts the job from scratch.
+    pub scratch_makespan: f64,
+    /// Durable panel checkpoints the resume arm wrote.
+    pub checkpoints_taken: usize,
+}
+
+/// Price the service's checkpoint-backed suspension against naive
+/// restart-from-scratch under a kill-rate sweep.
+///
+/// This is the single-process analogue of [`recovery_crossover`] for the
+/// `hqr serve` daemon: a job with fault-free wall time `baseline` seconds
+/// is killed `k` times (evenly spaced), for `k` in `0..=max_kills`.  The
+/// *resume* arm pays `ckpt_cost` seconds per periodic panel checkpoint
+/// (every `interval` seconds of compute; `None` selects the Young/Daly
+/// interval for the point's empirical MTBF) and rewinds only to the last
+/// durable write; the *scratch* arm writes nothing and rewinds to zero.
+/// Both arms pay `restart` seconds per kill (daemon restart + journal
+/// replay + checkpoint reload).
+pub fn suspend_vs_scratch_sweep(
+    baseline: f64,
+    ckpt_cost: f64,
+    restart: f64,
+    interval: Option<f64>,
+    max_kills: usize,
+) -> Result<Vec<SuspendPoint>, SimError> {
+    if !(baseline.is_finite() && baseline > 0.0) {
+        return Err(SimError::Config {
+            message: format!("baseline must be positive, got {baseline}"),
+        });
+    }
+    for (name, v) in [("ckpt_cost", ckpt_cost), ("restart", restart)] {
+        if !(v.is_finite() && v >= 0.0) {
+            return Err(SimError::Config { message: format!("{name} must be >= 0, got {v}") });
+        }
+    }
+    if let Some(tau) = interval {
+        if !(tau.is_finite() && tau > 0.0) {
+            return Err(SimError::Config {
+                message: format!("interval must be positive, got {tau}"),
+            });
+        }
+    }
+    let mut points = Vec::with_capacity(max_kills + 1);
+    for k in 0..=max_kills {
+        let kills: Vec<f64> = (1..=k).map(|i| i as f64 * baseline / (k + 1) as f64).collect();
+        let mtbf = if k == 0 { baseline } else { baseline / k as f64 };
+        let tau = interval
+            .unwrap_or_else(|| young_daly_interval(ckpt_cost, mtbf))
+            .max(ckpt_cost.max(1e-9));
+        // Single process: a kill rolls work back but never degrades the
+        // compute rate, so both arms replay on one "node".
+        let resume = replay_checkpointed(baseline, 1, &kills, tau, ckpt_cost, restart);
+        let scratch = replay_checkpointed(baseline, 1, &kills, f64::INFINITY, 0.0, restart);
+        points.push(SuspendPoint {
+            kills: k,
+            kill_rate: k as f64 / baseline,
+            resume_makespan: resume.makespan,
+            scratch_makespan: scratch.makespan,
+            checkpoints_taken: resume.checkpoints_taken,
+        });
+    }
+    Ok(points)
+}
+
+/// First sweep point where checkpoint-backed resume beats restarting from
+/// scratch, if any.
+pub fn find_suspend_crossover(points: &[SuspendPoint]) -> Option<&SuspendPoint> {
+    points.iter().find(|p| p.resume_makespan < p.scratch_makespan)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -448,6 +527,59 @@ mod tests {
         }
         // At zero crashes lineage is never worse (no I/O cost).
         assert!(points[0].lineage_makespan <= points[0].checkpoint_makespan + 1e-12);
+    }
+
+    #[test]
+    fn suspend_sweep_prices_both_arms() {
+        let points = suspend_vs_scratch_sweep(100.0, 0.5, 1.0, None, 4).unwrap();
+        assert_eq!(points.len(), 5);
+        // Fault-free: scratch pays nothing, resume pays only checkpoint I/O.
+        assert_eq!(points[0].kills, 0);
+        assert!((points[0].scratch_makespan - 100.0).abs() < 1e-9);
+        assert!(points[0].resume_makespan >= points[0].scratch_makespan);
+        for w in points.windows(2) {
+            assert!(w[1].kill_rate > w[0].kill_rate);
+            // Scratch restarts lose strictly more work with every extra kill.
+            assert!(w[1].scratch_makespan > w[0].scratch_makespan);
+        }
+        // With kills, the scratch arm reruns large prefixes; by 4 kills the
+        // checkpointed arm must be winning for a cheap 0.5 s checkpoint.
+        let last = points.last().unwrap();
+        assert!(last.checkpoints_taken > 0);
+        assert!(
+            last.resume_makespan < last.scratch_makespan,
+            "resume {} should beat scratch {} at 4 kills",
+            last.resume_makespan,
+            last.scratch_makespan
+        );
+        let cross = find_suspend_crossover(&points).expect("a crossover must exist");
+        assert!(cross.kills >= 1);
+    }
+
+    #[test]
+    fn suspend_sweep_scratch_arm_reruns_everything() {
+        // One kill halfway with free restart: scratch pays exactly the lost
+        // half, makespan = 0.5·T + T.
+        let points = suspend_vs_scratch_sweep(10.0, 0.0, 0.0, Some(1.0), 1).unwrap();
+        assert!((points[1].scratch_makespan - 15.0).abs() < 1e-9);
+        // The resume arm with free 1 s-interval checkpoints loses < 1 s.
+        assert!(points[1].resume_makespan <= 11.0 + 1e-9);
+    }
+
+    #[test]
+    fn suspend_sweep_rejects_degenerate_inputs() {
+        assert!(matches!(
+            suspend_vs_scratch_sweep(0.0, 0.5, 1.0, None, 2),
+            Err(SimError::Config { .. })
+        ));
+        assert!(matches!(
+            suspend_vs_scratch_sweep(10.0, -1.0, 1.0, None, 2),
+            Err(SimError::Config { .. })
+        ));
+        assert!(matches!(
+            suspend_vs_scratch_sweep(10.0, 0.5, 1.0, Some(0.0), 2),
+            Err(SimError::Config { .. })
+        ));
     }
 
     #[test]

@@ -35,8 +35,9 @@ pub use admission::{
     SaturationPoint,
 };
 pub use checkpoint::{
-    compare_recovery_policies, find_crossover, recovery_crossover, young_daly_interval,
-    CheckpointCostModel, CheckpointOutcome, CrossoverPoint, RecoveryComparison, RecoveryPolicy,
+    compare_recovery_policies, find_crossover, find_suspend_crossover, recovery_crossover,
+    suspend_vs_scratch_sweep, young_daly_interval, CheckpointCostModel, CheckpointOutcome,
+    CrossoverPoint, RecoveryComparison, RecoveryPolicy, SuspendPoint,
 };
 pub use des::{
     priority_ranks, simulate, simulate_traced, simulate_with_faults, simulate_with_policy,

@@ -274,20 +274,53 @@ impl SectionWriter {
     /// Write the container to `path` atomically: the bytes go to a
     /// `<path>.tmp.<pid>` sibling first and are renamed into place, so a
     /// crash mid-write leaves either the old file or the new one — never a
-    /// torn hybrid.
+    /// torn hybrid. Delegates to [`atomic_write`] for the full
+    /// fsync-then-rename crash-consistency discipline.
     pub fn write_atomic(self, path: &Path) -> Result<(), BinFormatError> {
-        let bytes = self.into_bytes();
-        let tmp = sibling_tmp_path(path);
-        let io_err = |p: &Path, e: std::io::Error| BinFormatError::Io {
-            path: p.display().to_string(),
-            message: e.to_string(),
-        };
-        std::fs::write(&tmp, &bytes).map_err(|e| io_err(&tmp, e))?;
-        std::fs::rename(&tmp, path).map_err(|e| {
-            let _ = std::fs::remove_file(&tmp);
-            io_err(path, e)
-        })
+        atomic_write(path, &self.into_bytes())
     }
+}
+
+/// Write `bytes` to `path` with the full crash-consistency discipline every
+/// durable container in the workspace (checkpoints, queue persists, job
+/// journal compactions, result store) must follow:
+///
+/// 1. write to a `<path>.tmp.<pid>` sibling in the same directory,
+/// 2. `fsync` the temp file so its *contents* are on stable storage before
+///    any name points at them,
+/// 3. `rename` over `path` (atomic on POSIX within one filesystem),
+/// 4. `fsync` the parent directory so the rename itself survives a crash.
+///
+/// A SIGKILL or power loss at any point leaves either the complete old file
+/// or the complete new file under `path` — never a torn hybrid, and never a
+/// new name pointing at unsynced blocks. The directory fsync is
+/// best-effort: some filesystems refuse `fsync` on a directory handle, and
+/// the rename is already durable there.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), BinFormatError> {
+    let io_err = |p: &Path, e: std::io::Error| BinFormatError::Io {
+        path: p.display().to_string(),
+        message: e.to_string(),
+    };
+    let tmp = sibling_tmp_path(path);
+    let write_synced = |bytes: &[u8]| -> std::io::Result<()> {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()
+    };
+    write_synced(bytes).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        io_err(&tmp, e)
+    })?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        io_err(path, e)
+    })?;
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
 }
 
 /// The staging path [`SectionWriter::write_atomic`] renames from — in the
@@ -624,6 +657,21 @@ mod tests {
         assert!(!sibling_tmp_path(&path).exists(), "temp staging file must be renamed away");
         let r = SectionReader::read(&path, MAGIC, 1).unwrap();
         assert_eq!(r.require(1).unwrap(), b"payload");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn atomic_write_helper_replaces_and_cleans_up() {
+        let path = std::env::temp_dir().join("hqr_io_atomic_helper_test.bin");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        assert!(!sibling_tmp_path(&path).exists(), "temp staging file must be renamed away");
+        assert!(matches!(
+            atomic_write(Path::new("/no/such/dir/f.bin"), b"x"),
+            Err(BinFormatError::Io { .. })
+        ));
         let _ = std::fs::remove_file(&path);
     }
 
