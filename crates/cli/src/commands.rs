@@ -30,8 +30,11 @@ USAGE:
       factor a random (or MatrixMarket) matrix, verify ||QtQ-I|| and ||A-QR||
   hqr simulate [--rows R --cols C --tile B --grid PxQ --algorithm ALG
                 --nodes N --cores C --policy POLICY --gpus G --gpu-speedup X
-                --rates edel|measured]
-      replay the task DAG on the simulated cluster
+                --rates edel|measured --disk-read-mbs X --disk-write-mbs X
+                --disk-latency-us U]
+      replay the task DAG on the simulated cluster; with --disk-read-mbs
+      (and friends) also price an out-of-core run, sweeping the resident
+      fraction and reporting where spill bandwidth overtakes compute
       ALG: hqr | hqr-square | bbd10 | slhd10 | scalapack
       RATES: edel = the paper's §V-A kernel rates (default);
              measured = this repo's own kernels (BENCH_7.json)
@@ -69,7 +72,7 @@ USAGE:
                 --high TREE --domino
                 exec: --threads T --seed S --fail K --retries N
                       --policy POLICY --sdc-rate F --sdc-seed S
-                      --integrity off|spot|full
+                      --integrity off|spot|full --resident-budget-kb KB
                 sim:  --nodes N --cores C --policy POLICY --gpus G
                       --gpu-speedup X --crash-node X --crash-frac F
                       --degrade-bw F --degrade-lat F --rates edel|measured]
@@ -78,17 +81,24 @@ USAGE:
       (utilization, steal counts, top realized-critical-path tasks)
   hqr serve    [--socket PATH --queue FILE --threads T --mem-budget-mb MB
                 --queue-cap N --max-active N --grace-ms MS --resume
-                --state-dir DIR --ckpt-interval-ms MS --result-cap N]
+                --resident-budget-kb KB --state-dir DIR --ckpt-interval-ms MS
+                --result-cap N --result-max-kb KB --result-max-age-secs S
+                --journal-rotate-kb KB]
       run the multi-job factorization service on a local Unix socket:
       one shared work-stealing pool multiplexes every accepted job, with
       admission control (memory budget), bounded-queue backpressure
       (lowest-QoS shedding), per-job deadlines/retries, and graceful
       drain on SIGTERM (suspend in-flight work at a quiescent point and
       persist the queue; restart with --resume to finish it);
+      --resident-budget-kb caps each job's in-memory tile tier (jobs
+      beyond it run out-of-core against a spill file under the state
+      dir, and admission charges only the resident tier);
       --state-dir turns on crash-safe durability: every lifecycle
       transition is written to a fsync'd job journal, completed results
-      persist to a durable store (capped at --result-cap, 0 = unlimited),
-      running jobs checkpoint every --ckpt-interval-ms, and a restarted
+      persist to a durable store (capped at --result-cap, 0 = unlimited,
+      plus --result-max-kb / --result-max-age-secs byte and age
+      ceilings), running jobs checkpoint every --ckpt-interval-ms, the
+      journal compacts itself past --journal-rotate-kb, and a restarted
       daemon replays the journal so no accepted job is ever lost — even
       after kill -9
   hqr submit   [--socket PATH --rows R --cols C --tile B --grid PxQ
@@ -426,6 +436,50 @@ pub fn simulate(args: &Args) -> i32 {
         println!("  by producer kernel: {}", by_kind.join(" "));
     }
     println!("utilization: {:.1}%", 100.0 * rep.utilization(&platform));
+    // `--disk-read-mbs` (or any disk flag) prices an out-of-core run of
+    // the same DAG: sweep the resident fraction of the tile footprint and
+    // report where spill bandwidth overtakes compute.
+    if ["disk-read-mbs", "disk-write-mbs", "disk-latency-us"].iter().any(|k| args.get(k).is_some())
+    {
+        let disk = hqr_sim::DiskModel {
+            read_bw: args.f64_or("disk-read-mbs", 500.0) * 1e6,
+            write_bw: args.f64_or("disk-write-mbs", 450.0) * 1e6,
+            latency: args.f64_or("disk-latency-us", 100.0) * 1e-6,
+        };
+        if disk.read_bw <= 0.0 || disk.write_bw <= 0.0 || disk.latency < 0.0 {
+            eprintln!("disk rates must be positive (latency may be zero)");
+            return 2;
+        }
+        let tile_bytes = hqr_sim::Platform::tile_bytes(b);
+        println!(
+            "\nout-of-core : disk {:.0}/{:.0} MB/s r/w, {:.0} us/access, {} tile touches",
+            disk.read_bw / 1e6,
+            disk.write_bw / 1e6,
+            disk.latency * 1e6,
+            hqr_sim::tile_touches(&graph)
+        );
+        println!("  residency   misses      disk s   overlap s    serial s  bound");
+        for p in hqr_sim::spill_sweep(&graph, tile_bytes, rep.makespan, &disk, 10) {
+            println!(
+                "  {:>8.0}% {:>9.0} {:>11.3} {:>11.3} {:>11.3}  {}",
+                100.0 * p.residency,
+                p.misses,
+                p.disk_seconds,
+                p.overlapped,
+                p.serialized,
+                if p.disk_bound() { "disk" } else { "compute" }
+            );
+        }
+        let rstar = hqr_sim::spill_crossover(&graph, tile_bytes, rep.makespan, &disk);
+        if rstar > 0.0 {
+            println!(
+                "  crossover : below {:.0}% residency even perfect prefetch is disk-bound",
+                100.0 * rstar
+            );
+        } else {
+            println!("  crossover : never disk-bound — prefetch hides the spill at any residency");
+        }
+    }
     0
 }
 
@@ -1071,12 +1125,20 @@ fn trace_exec(args: &Args) -> i32 {
                 .corrupt_random_tasks_seeded(sdc_seed, n, strikes),
         );
     }
+    // `--resident-budget-kb` turns on the two-tier tile store: at most
+    // this many KiB of tiles stay resident, the rest page against a
+    // checksummed spill file. 0 (the default) keeps everything resident.
+    let resident_budget = match args.usize_or("resident-budget-kb", 0) as u64 {
+        0 => None,
+        kb => Some(kb << 10),
+    };
     let opts = ExecOptions {
         nthreads: threads,
         max_retries: if sdc_rate > 0.0 { retries.max(1) } else { retries },
         plan,
         policy,
         integrity,
+        resident_budget,
         ..Default::default()
     };
     println!("backend      : work-stealing executor ({threads} threads)");
@@ -1107,6 +1169,18 @@ fn trace_exec(args: &Args) -> i32 {
         tr.total_injector_pops(),
         tr.total_steals()
     );
+    if let Some(sp) = &tr.spill {
+        println!(
+            "spill        : {} KiB resident — {} evictions ({} write-backs), {} demand faults, \
+             {} prefetched ({} hits)",
+            sp.budget >> 10,
+            sp.evictions,
+            sp.writebacks,
+            sp.demand_faults,
+            sp.prefetches,
+            sp.prefetch_hits
+        );
+    }
     if stats.panics_caught > 0 {
         println!(
             "faults       : {} panics caught, {} tasks recovered, {} re-executions",

@@ -92,6 +92,13 @@ pub fn serve(args: &Args) -> i32 {
         mem_budget: if budget_mb == 0 { u64::MAX } else { budget_mb << 20 },
         queue_cap: args.usize_or("queue-cap", 64),
         max_active: args.usize_or("max-active", 0),
+        // `--resident-budget-kb` caps each job's in-memory tile tier:
+        // jobs whose working set exceeds it run out-of-core against a
+        // spill file, and admission charges only the resident tier.
+        resident_budget: match args.usize_or("resident-budget-kb", 0) as u64 {
+            0 => None,
+            kb => Some(kb << 10),
+        },
         ..PoolConfig::default()
     };
     // `--state-dir DIR` turns on crash-safe durability: a write-ahead job
@@ -102,6 +109,14 @@ pub fn serve(args: &Args) -> i32 {
         let mut d = DurabilityConfig::at(dir);
         d.ckpt_interval = Duration::from_millis(args.usize_or("ckpt-interval-ms", 30_000) as u64);
         d.result_cap = args.usize_or("result-cap", 0);
+        // Disk-growth guards: rotate the journal past a size threshold,
+        // and bound the result store by bytes and age as well as count.
+        d.journal_rotate_bytes = (args.usize_or("journal-rotate-kb", 0) as u64) << 10;
+        d.result_max_bytes = (args.usize_or("result-max-kb", 0) as u64) << 10;
+        d.result_max_age = match args.usize_or("result-max-age-secs", 0) as u64 {
+            0 => None,
+            secs => Some(Duration::from_secs(secs)),
+        };
         cfg.durability = Some(d);
     }
     let svc = Arc::new(Service {

@@ -587,6 +587,7 @@ pub fn try_execute_checkpointed(
         instants: Vec::new(),
         counters: vec![WorkerCounters::default(); nthreads],
         wall: 0.0,
+        spill: None,
     });
     let epoch = Instant::now();
     let mut written = 0usize;
@@ -626,6 +627,14 @@ pub fn try_execute_checkpointed(
                     total.panics_caught += c.panics_caught;
                     total.retries += c.retries;
                     total.requeues += c.requeues;
+                    total.tile_faults += c.tile_faults;
+                    total.prefetch_hits += c.prefetch_hits;
+                    total.tile_spills += c.tile_spills;
+                }
+                // Each segment pages and unpages independently; the
+                // stitched trace accumulates their spill traffic.
+                if let Some(seg_spill) = seg.spill {
+                    acc.spill.get_or_insert_with(Default::default).merge(&seg_spill);
                 }
             }
         }

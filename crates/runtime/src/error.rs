@@ -70,6 +70,14 @@ pub enum ExecError {
     /// no task complete within its window, or every worker exited with
     /// tasks still pending.
     Stalled(StallReport),
+    /// The paged (spill-to-disk) tile store failed to move a tile between
+    /// its resident and on-disk tiers: an I/O failure, or a checksum
+    /// mismatch in an at-rest spill record (the sectioned container's
+    /// FNV-1a trailer doubles as the at-rest corruption guard).
+    SpillIo {
+        /// Human-readable description (slot, path, underlying error).
+        message: String,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -88,6 +96,7 @@ impl fmt::Display for ExecError {
                  not recovered after {attempts} recompute attempt(s): {message}"
             ),
             ExecError::Stalled(report) => write!(f, "execution stalled: {report}"),
+            ExecError::SpillIo { message } => write!(f, "spill store failure: {message}"),
         }
     }
 }

@@ -184,6 +184,15 @@ pub struct WorkerCounters {
     pub retries: u64,
     /// Tasks this (poisoned) worker handed back to its peers.
     pub requeues: u64,
+    /// Paged runs only: tiles this worker faulted in from the spill file
+    /// on demand (the prefetcher missed them).
+    pub tile_faults: u64,
+    /// Paged runs only: pins that found their tile already resident
+    /// because the background prefetcher loaded it.
+    pub prefetch_hits: u64,
+    /// Paged runs only: evictions this worker's pins triggered to make
+    /// room in the resident tier.
+    pub tile_spills: u64,
 }
 
 /// What a scheduler instant event marks.
@@ -205,6 +214,12 @@ pub enum InstantKind {
     SdcDetected,
     /// A corrupted task attempt was rolled back and is about to recompute.
     SdcRecomputed,
+    /// Paged runs only: a task's pin pass demand-faulted at least one
+    /// tile in from the spill file.
+    TileFaulted,
+    /// Paged runs only: a task's pin pass evicted (spilled) at least one
+    /// resident tile to make room.
+    TileSpilled,
 }
 
 /// A point event on a worker's timeline (fault/retry markers).
@@ -235,6 +250,9 @@ pub struct ExecTrace {
     pub counters: Vec<WorkerCounters>,
     /// Wall-clock duration of the whole execution (s).
     pub wall: f64,
+    /// Spill-traffic totals when the run used the paged (two-tier) tile
+    /// store; `None` for fully-resident runs.
+    pub spill: Option<crate::spill::SpillSummary>,
 }
 
 impl ExecTrace {
@@ -555,6 +573,9 @@ pub(crate) enum AttemptEnd {
     /// A pre-launch check found the task's *inputs* corrupted — damage
     /// re-running this task cannot heal.
     InputSdc { slot: String, message: String },
+    /// Paged runs only: pinning the task's slots failed — a spill-file
+    /// I/O error or an at-rest checksum mismatch. Nothing ran; abort.
+    SpillFault { message: String },
     /// The run was halted (cancel, deadline, drain, or a sibling's error)
     /// between attempts; the task's write set is back in its pre-attempt
     /// state and the task is NOT done.
@@ -575,6 +596,26 @@ pub(crate) fn attempt_task(
     counters: &mut WorkerCounters,
     instant: &mut dyn FnMut(InstantKind),
 ) -> AttemptEnd {
+    // Paged runs: pin every slot the task touches (faulting misses in from
+    // the spill file) before anything — guard checks, snapshot, kernel —
+    // reads or writes them. The pins outlive the whole ladder, so evicted
+    // buffers can't move under a snapshot's raw pointers. Fallible, not
+    // panicking: this runs outside the `catch_unwind` perimeter below.
+    let pins = match ctx.store.pin_task(t) {
+        Ok(p) => p,
+        Err(message) => return AttemptEnd::SpillFault { message },
+    };
+    if let Some(p) = &pins {
+        counters.tile_faults += p.demand_faults;
+        counters.prefetch_hits += p.prefetch_hits;
+        counters.tile_spills += p.evictions;
+        if p.demand_faults > 0 {
+            instant(InstantKind::TileFaulted);
+        }
+        if p.evictions > 0 {
+            instant(InstantKind::TileSpilled);
+        }
+    }
     if ctx.full_integrity {
         // SAFETY: `tid` is ready, so DAG order guarantees no concurrent
         // writer of its read or write set.
@@ -763,7 +804,21 @@ pub(crate) fn run_engine_segment(
     let is_done = |tid: usize| completed.is_some_and(|c| c[tid]);
 
     let epoch = Instant::now();
-    let store = TileStore::with_ib(a, f, ib);
+    // Page the tile store when a resident budget is set and the run's
+    // allocated buffers exceed it; otherwise keep the flat resident store
+    // (zero per-access overhead, bitwise-identical results either way).
+    let tile_bytes = (b * b * 8) as u64;
+    let allocated_slots = a.mt() * a.nt()
+        + [&f.vg, &f.tg, &f.tk]
+            .iter()
+            .map(|fam| fam.iter().filter(|s| s.is_some()).count())
+            .sum::<usize>();
+    let allocated_bytes = allocated_slots as u64 * tile_bytes;
+    let mut store = match opts.resident_budget.filter(|&rb| rb < allocated_bytes) {
+        Some(rb) => TileStore::paged_with_ib(a, f, ib, rb, opts.spill_dir.as_deref())
+            .map_err(|message| ExecError::SpillIo { message })?,
+        None => TileStore::with_ib(a, f, ib),
+    };
     // One guard per slot, shared by all workers under the same DAG
     // exclusive-writer discipline as the tile buffers themselves.
     let guard_store = opts.integrity.is_on().then(|| GuardStore::new(graph.mt(), graph.nt()));
@@ -792,6 +847,9 @@ pub(crate) fn run_engine_segment(
     let global = GlobalQueue::new(opts.policy);
     for (tid, &d) in indeg0.iter().enumerate().take(limit) {
         if d == 0 && !is_done(tid) {
+            // Ready-frontier lookahead: queue the seed tasks' slots for
+            // background fault-in before any worker runs.
+            store.prefetch_task(&graph.tasks()[tid]);
             global.push(tid as u32, &ranks);
         }
     }
@@ -962,6 +1020,10 @@ pub(crate) fn run_engine_segment(
                                 if indeg[s as usize].fetch_sub(1, Ordering::AcqRel) == 1
                                     && (s as usize) < limit
                                 {
+                                    // The successor just became ready:
+                                    // prefetch its slots so the fault-in
+                                    // overlaps whatever runs before it.
+                                    store.prefetch_task(&tasks[s as usize]);
                                     match prio {
                                         None => worker.push(s),
                                         Some(p) => match keep {
@@ -1026,6 +1088,11 @@ pub(crate) fn run_engine_segment(
                             // the task is untouched and not done.
                             break;
                         }
+                        AttemptEnd::SpillFault { message } => {
+                            set_error(error, ExecError::SpillIo { message });
+                            halt.store(true, Ordering::Release);
+                            break;
+                        }
                         AttemptEnd::Fail { attempts, message } => {
                             let e = if recovery {
                                 ExecError::TaskFailed {
@@ -1067,8 +1134,17 @@ pub(crate) fn run_engine_segment(
             });
         }
     });
+    // Dissolve the paged cache before anything touches `a`/`f` again —
+    // on success *and* on error paths, so the matrix is never left hollow.
+    // The traffic summary is snapshotted first: unpage mass-faults every
+    // slot back in and would otherwise inflate the counters.
+    let spill = store.spill_summary();
+    let unpage_err = store.unpage(a, f).err();
     if let Some(e) = error.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner) {
         return Err(e);
+    }
+    if let Some(message) = unpage_err {
+        return Err(ExecError::SpillIo { message });
     }
     let rem = remaining.load(Ordering::Acquire);
     if rem != 0 {
@@ -1097,7 +1173,7 @@ pub(crate) fn run_engine_segment(
         }
         records.sort_by(|a, b| a.start.total_cmp(&b.start));
         instants.sort_by(|a, b| a.time.total_cmp(&b.time));
-        ExecTrace { nthreads, policy: opts.policy, records, instants, counters, wall }
+        ExecTrace { nthreads, policy: opts.policy, records, instants, counters, wall, spill }
     });
     Ok((stats, exec_trace))
 }

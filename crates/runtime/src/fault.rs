@@ -297,6 +297,16 @@ pub struct ExecOptions {
     /// Guard-based silent-data-corruption checking; defaults to
     /// [`IntegrityMode::Off`] (no guards, no verification cost).
     pub integrity: IntegrityMode,
+    /// Resident-tier byte budget for the two-tier tile store. When set
+    /// and smaller than the run's allocated tile footprint, the engine
+    /// pages tiles between an LRU-resident working set and a checksummed
+    /// spill file (see `DESIGN.md`, "Storage tiers"), keeping the
+    /// factorization bitwise identical. `None` (the default) keeps every
+    /// buffer resident.
+    pub resident_budget: Option<u64>,
+    /// Directory for spill files in paged runs; `None` uses the OS temp
+    /// dir. (The pool routes this to `--state-dir/spill`.)
+    pub spill_dir: Option<std::path::PathBuf>,
 }
 
 impl ExecOptions {

@@ -203,6 +203,19 @@ pub enum JournalEvent {
         /// The job's stable id.
         id: u64,
     },
+    /// The admission escape hatch fired: a job whose working-set demand
+    /// exceeds the pool's memory budget was admitted anyway because the
+    /// pool was idle (nothing else to wait for). Informational — replay
+    /// does not change the job's state — but durable, so an operator can
+    /// see that the over-budget path was taken deliberately.
+    OverBudgetAdmitted {
+        /// The job's stable id.
+        id: u64,
+        /// Bytes the job needed.
+        need: u64,
+        /// The configured budget it exceeded.
+        budget: u64,
+    },
 }
 
 impl JournalEvent {
@@ -218,6 +231,7 @@ impl JournalEvent {
             JournalEvent::Cancelled { .. } => 8,
             JournalEvent::Shed { .. } => 9,
             JournalEvent::ResultPruned { .. } => 10,
+            JournalEvent::OverBudgetAdmitted { .. } => 11,
         }
     }
 
@@ -233,7 +247,8 @@ impl JournalEvent {
             | JournalEvent::Quarantined { id, .. }
             | JournalEvent::Cancelled { id }
             | JournalEvent::Shed { id, .. }
-            | JournalEvent::ResultPruned { id } => *id,
+            | JournalEvent::ResultPruned { id }
+            | JournalEvent::OverBudgetAdmitted { id, .. } => *id,
         }
     }
 
@@ -246,6 +261,7 @@ impl JournalEvent {
             JournalEvent::Started { attempt, .. } => (*attempt as u64, 0),
             JournalEvent::Checkpointed { tasks_done, .. } => (*tasks_done, 0),
             JournalEvent::Failed { attempts, .. } => (*attempts as u64, 0),
+            JournalEvent::OverBudgetAdmitted { need, budget, .. } => (*need, *budget),
             _ => (0, 0),
         };
         let mut w = SectionWriter::new(JOURNAL_MAGIC, JOURNAL_VERSION);
@@ -316,6 +332,7 @@ impl JournalEvent {
             8 => JournalEvent::Cancelled { id },
             9 => JournalEvent::Shed { id, reason: text("shed reason")? },
             10 => JournalEvent::ResultPruned { id },
+            11 => JournalEvent::OverBudgetAdmitted { id, need: x1, budget: x2 },
             other => return Err(inconsistent(format!("unknown record kind {other}"))),
         };
         Ok(ev)
@@ -326,17 +343,52 @@ impl JournalEvent {
 pub struct Journal {
     path: PathBuf,
     file: std::fs::File,
+    /// File length right after the last [`Journal::rotate`] (0 before the
+    /// first). Rotation hysteresis: a journal dominated by one large live
+    /// job compacts to roughly its previous size, and re-rotating on every
+    /// subsequent append would rewrite the whole file each time.
+    floor: u64,
 }
 
 impl Journal {
     /// Open (creating if absent) the journal at `path` for appending.
+    ///
+    /// A leftover rotate-in-progress marker (from a crash mid-
+    /// [`Journal::rotate`]) is removed here: the rewrite itself is the
+    /// atomic fsync-then-rename of [`Journal::compact`], so whichever of
+    /// the old or the rotated file survived the crash is complete and
+    /// self-checksummed — the marker only records that a rotation was
+    /// underway, never an inconsistent file.
     pub fn open(path: &Path) -> Result<Journal, JournalError> {
+        let marker = Self::rotate_marker(path);
+        if marker.exists() {
+            std::fs::remove_file(&marker).map_err(|e| io_err(&marker, e))?;
+        }
         let file = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(path)
             .map_err(|e| io_err(path, e))?;
-        Ok(Journal { path: path.to_path_buf(), file })
+        Ok(Journal { path: path.to_path_buf(), file, floor: 0 })
+    }
+
+    /// True when size-threshold rotation should run: the file has grown
+    /// `rotate_at` bytes past the last compacted snapshot (or past zero,
+    /// before any rotation). Without the floor a journal whose live
+    /// records alone exceed the threshold would rewrite itself in full on
+    /// every append.
+    pub fn rotate_due(&self, rotate_at: u64) -> bool {
+        rotate_at > 0 && self.len() > self.floor.saturating_add(rotate_at)
+    }
+
+    /// Sibling marker file that exists exactly while a rotation is in
+    /// progress.
+    fn rotate_marker(path: &Path) -> PathBuf {
+        let mut name = path
+            .file_name()
+            .map_or_else(|| std::ffi::OsString::from("journal"), std::ffi::OsStr::to_os_string);
+        name.push(".rotating");
+        path.with_file_name(name)
     }
 
     /// The journal file's path.
@@ -402,6 +454,87 @@ impl Journal {
             .open(&self.path)
             .map_err(|e| io_err(&self.path, e))?;
         Ok(())
+    }
+
+    /// Current journal file size in bytes (what size-threshold rotation
+    /// compares against).
+    pub fn len(&self) -> u64 {
+        self.file.metadata().map_or(0, |m| m.len())
+    }
+
+    /// True when the journal file is empty (or unreadable).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size-threshold rotation: atomically rewrite the journal down to a
+    /// compacted snapshot — live jobs in full (acceptance, attempt count,
+    /// last checkpoint), terminal jobs only as a summary when their stored
+    /// result still matters (completed with a result file), everything
+    /// else dropped. This is what bounds journal growth under sustained
+    /// churn (ROADMAP item 2): the spec payloads and per-transition
+    /// records of settled jobs dominate the file and are all elided.
+    ///
+    /// Crash safety: a `<journal>.rotating` marker is created and synced
+    /// before the rewrite and removed after. The rewrite itself is the
+    /// atomic rename of [`Journal::compact`], so a kill at any instant
+    /// leaves either the complete old file or the complete new one;
+    /// [`Journal::open`] clears a stale marker on the next start, and
+    /// replay of either file drives every accepted job terminal.
+    ///
+    /// Returns the number of bytes the rotation reclaimed.
+    pub fn rotate(&mut self) -> Result<u64, JournalError> {
+        let before = self.len();
+        let marker = Self::rotate_marker(&self.path);
+        {
+            let f = std::fs::File::create(&marker).map_err(|e| io_err(&marker, e))?;
+            f.sync_all().map_err(|e| io_err(&marker, e))?;
+        }
+        let events = Journal::read(&self.path)?;
+        let jobs = replay(&events);
+        let mut keep: Vec<JournalEvent> = Vec::new();
+        for (&id, j) in &jobs {
+            match j.terminal {
+                // Live job: keep everything a replay needs to resume it.
+                None => {
+                    keep.push(JournalEvent::Accepted {
+                        id,
+                        attempts: j.attempts,
+                        tasks_total: j.tasks_total,
+                        dedup: j.dedup.clone(),
+                        spec: j.spec.clone(),
+                    });
+                    if j.attempts > 0 {
+                        keep.push(JournalEvent::Started { id, attempt: j.attempts });
+                    }
+                    if let Some(file) = &j.ckpt_file {
+                        keep.push(JournalEvent::Checkpointed {
+                            id,
+                            tasks_done: j.ckpt_tasks_done,
+                            file: file.clone(),
+                        });
+                    }
+                }
+                // Completed with a live result: keep a two-record summary
+                // so the result stays listed/fetchable after a restart.
+                Some(JobState::Completed) if j.result_file.is_some() => {
+                    keep.push(JournalEvent::Accepted {
+                        id,
+                        attempts: j.attempts,
+                        tasks_total: j.tasks_total,
+                        dedup: j.dedup.clone(),
+                        spec: None,
+                    });
+                    keep.push(JournalEvent::Completed { id, file: j.result_file.clone() });
+                }
+                // Settled with nothing durable left: drop the records.
+                Some(_) => {}
+            }
+        }
+        self.compact(&keep)?;
+        std::fs::remove_file(&marker).map_err(|e| io_err(&marker, e))?;
+        self.floor = self.len();
+        Ok(before.saturating_sub(self.floor))
     }
 }
 
@@ -483,6 +616,8 @@ pub fn replay(events: &[JournalEvent]) -> BTreeMap<u64, RecoveredJob> {
             JournalEvent::ResultPruned { .. } => {
                 j.result_file = None;
             }
+            // Informational: the admission decision, not a state change.
+            JournalEvent::OverBudgetAdmitted { .. } => {}
         }
     }
     jobs
@@ -544,18 +679,35 @@ pub fn result_from_bytes(bytes: Vec<u8>) -> Result<StoredResult, JournalError> {
     Ok(StoredResult { id, result: JobResult { a, factors } })
 }
 
-/// Flat directory of per-job result containers with a retention cap.
+/// Flat directory of per-job result containers with count, byte, and age
+/// retention limits (each `0`/`None` disables that limit).
 pub struct ResultStore {
     dir: PathBuf,
     cap: usize,
+    max_bytes: u64,
+    max_age: Option<std::time::Duration>,
 }
 
 impl ResultStore {
     /// Open (creating if absent) the store rooted at `dir`. `cap` bounds
     /// how many results are retained; `0` disables pruning.
     pub fn open(dir: &Path, cap: usize) -> Result<ResultStore, JournalError> {
+        Self::with_retention(dir, cap, 0, None)
+    }
+
+    /// [`ResultStore::open`] with the full retention policy: `cap` bounds
+    /// the result *count*, `max_bytes` the directory's total size (a few
+    /// huge R/V/T containers can fill a disk long before any count cap
+    /// trips), and `max_age` the age of the oldest retained file. Zero /
+    /// `None` disables the corresponding limit.
+    pub fn with_retention(
+        dir: &Path,
+        cap: usize,
+        max_bytes: u64,
+        max_age: Option<std::time::Duration>,
+    ) -> Result<ResultStore, JournalError> {
         std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
-        Ok(ResultStore { dir: dir.to_path_buf(), cap })
+        Ok(ResultStore { dir: dir.to_path_buf(), cap, max_bytes, max_age })
     }
 
     /// The store's root directory.
@@ -609,21 +761,57 @@ impl ResultStore {
         ids
     }
 
-    /// Enforce the retention cap: prune oldest (smallest-id) results until
-    /// at most `cap` remain. Returns the pruned ids (for journaling).
+    /// Enforce every configured retention limit, oldest (smallest-id)
+    /// results first: drop files older than `max_age`, then shrink to at
+    /// most `cap` results, then shrink the directory's total size to at
+    /// most `max_bytes`. Returns the pruned ids (for journaling as
+    /// `result-pruned`, exactly like the count cap always was).
     pub fn prune_over_cap(&self) -> Vec<u64> {
-        if self.cap == 0 {
-            return Vec::new();
-        }
-        let ids = self.list();
         let mut pruned = Vec::new();
-        if ids.len() > self.cap {
-            for &id in &ids[..ids.len() - self.cap] {
+        let ids = self.list();
+        // (id, bytes) for the files that still exist; pruning walks this
+        // front-to-back so every limit removes oldest-first.
+        let mut live: Vec<(u64, u64)> = ids
+            .iter()
+            .filter_map(|&id| std::fs::metadata(self.path_of(id)).ok().map(|m| (id, m.len())))
+            .collect();
+        if let Some(max_age) = self.max_age {
+            let now = std::time::SystemTime::now();
+            live.retain(|&(id, _)| {
+                let too_old = std::fs::metadata(self.path_of(id))
+                    .and_then(|m| m.modified())
+                    .ok()
+                    .and_then(|t| now.duration_since(t).ok())
+                    .is_some_and(|age| age > max_age);
+                if too_old && self.remove(id) {
+                    pruned.push(id);
+                    return false;
+                }
+                true
+            });
+        }
+        if self.cap > 0 && live.len() > self.cap {
+            let drop_n = live.len() - self.cap;
+            for &(id, _) in &live[..drop_n] {
                 if self.remove(id) {
                     pruned.push(id);
                 }
             }
+            live.drain(..drop_n);
         }
+        if self.max_bytes > 0 {
+            let mut total: u64 = live.iter().map(|&(_, n)| n).sum();
+            let mut i = 0;
+            while total > self.max_bytes && i < live.len() {
+                let (id, n) = live[i];
+                if self.remove(id) {
+                    pruned.push(id);
+                    total -= n;
+                }
+                i += 1;
+            }
+        }
+        pruned.sort_unstable();
         pruned
     }
 }
@@ -652,6 +840,7 @@ mod tests {
             JournalEvent::Cancelled { id: 4 },
             JournalEvent::Shed { id: 5, reason: "higher-QoS arrival".into() },
             JournalEvent::ResultPruned { id: 2 },
+            JournalEvent::OverBudgetAdmitted { id: 6, need: 1 << 30, budget: 1 << 20 },
         ]
     }
 
@@ -810,6 +999,133 @@ mod tests {
         assert!(j3.terminal.is_none());
         assert!(j3.ckpt_file.is_none(), "never ran: resubmit from spec");
         assert_eq!(j3.spec.as_deref(), Some(&[3u8][..]));
+    }
+
+    #[test]
+    fn rotation_keeps_live_jobs_and_stored_results_only() {
+        let dir = std::env::temp_dir().join(format!("hqr_journal_rot{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rotate.wal");
+        let _ = std::fs::remove_file(&path);
+        let mut j = Journal::open(&path).unwrap();
+        // 50 settled jobs with fat specs (the unbounded-growth pattern),
+        // one live job mid-flight, one completed job with a stored result,
+        // one completed job whose result was pruned.
+        for id in 1..=50u64 {
+            j.append(&JournalEvent::Accepted {
+                id,
+                attempts: 0,
+                tasks_total: 100,
+                dedup: None,
+                spec: Some(vec![0xAB; 4096]),
+            })
+            .unwrap();
+            j.append(&JournalEvent::Started { id, attempt: 1 }).unwrap();
+            j.append(&JournalEvent::Cancelled { id }).unwrap();
+        }
+        j.append(&JournalEvent::Accepted {
+            id: 90,
+            attempts: 0,
+            tasks_total: 7,
+            dedup: Some("live".into()),
+            spec: Some(vec![1, 2, 3]),
+        })
+        .unwrap();
+        j.append(&JournalEvent::Started { id: 90, attempt: 1 }).unwrap();
+        j.append(&JournalEvent::Checkpointed { id: 90, tasks_done: 3, file: "c90".into() })
+            .unwrap();
+        j.append(&JournalEvent::Accepted {
+            id: 91,
+            attempts: 0,
+            tasks_total: 7,
+            dedup: None,
+            spec: Some(vec![9; 2048]),
+        })
+        .unwrap();
+        j.append(&JournalEvent::Completed { id: 91, file: Some("r91".into()) }).unwrap();
+        j.append(&JournalEvent::Accepted {
+            id: 92,
+            attempts: 0,
+            tasks_total: 7,
+            dedup: None,
+            spec: Some(vec![9; 2048]),
+        })
+        .unwrap();
+        j.append(&JournalEvent::Completed { id: 92, file: Some("r92".into()) }).unwrap();
+        j.append(&JournalEvent::ResultPruned { id: 92 }).unwrap();
+        let before = j.len();
+        let reclaimed = j.rotate().unwrap();
+        assert!(reclaimed > 0 && j.len() < before / 10, "rotation must shrink the file");
+        assert!(!Journal::rotate_marker(&path).exists(), "marker must be cleaned up");
+        let jobs = replay(&Journal::read(&path).unwrap());
+        // Settled jobs (cancelled; completed-then-pruned) are gone.
+        assert_eq!(jobs.keys().copied().collect::<Vec<_>>(), vec![90, 91]);
+        let live = &jobs[&90];
+        assert!(live.terminal.is_none());
+        assert_eq!(live.spec.as_deref(), Some(&[1u8, 2, 3][..]));
+        assert_eq!(live.ckpt_file.as_deref(), Some("c90"));
+        assert_eq!(live.ckpt_tasks_done, 3);
+        assert_eq!(live.attempts, 1);
+        assert_eq!(live.dedup.as_deref(), Some("live"));
+        let done = &jobs[&91];
+        assert_eq!(done.terminal, Some(JobState::Completed));
+        assert_eq!(done.result_file.as_deref(), Some("r91"));
+        // The journal still appends after rotation.
+        j.append(&JournalEvent::Cancelled { id: 90 }).unwrap();
+        let jobs = replay(&Journal::read(&path).unwrap());
+        assert_eq!(jobs[&90].terminal, Some(JobState::Cancelled));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_rotate_marker_is_cleared_on_open() {
+        // A kill between marker creation and marker removal leaves the
+        // marker on disk next to a complete (old or new) journal file —
+        // open must clear it and replay normally.
+        let dir = std::env::temp_dir().join(format!("hqr_journal_marker{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("marked.wal");
+        let _ = std::fs::remove_file(&path);
+        let mut j = Journal::open(&path).unwrap();
+        j.append(&JournalEvent::Accepted {
+            id: 1,
+            attempts: 0,
+            tasks_total: 4,
+            dedup: None,
+            spec: Some(vec![7]),
+        })
+        .unwrap();
+        drop(j);
+        std::fs::write(Journal::rotate_marker(&path), b"").unwrap();
+        let j = Journal::open(&path).unwrap();
+        assert!(!Journal::rotate_marker(&path).exists());
+        assert_eq!(Journal::read(&path).unwrap().len(), 1);
+        drop(j);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn result_store_byte_and_age_retention() {
+        let dir = std::env::temp_dir().join(format!("hqr_results_bytes{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Byte cap of 40: four 16-byte results exceed it; the two oldest
+        // must go even though the count cap (10) is nowhere near tripped.
+        let store = ResultStore::with_retention(&dir, 10, 40, None).unwrap();
+        for id in 1..=4u64 {
+            store.put(id, &[id as u8; 16]).unwrap();
+        }
+        let pruned = store.prune_over_cap();
+        assert_eq!(pruned, vec![1, 2]);
+        assert_eq!(store.list(), vec![3, 4]);
+        // Age cap of zero: everything still stored is older than the
+        // limit and is pruned regardless of count/byte headroom.
+        let aged =
+            ResultStore::with_retention(&dir, 0, 0, Some(std::time::Duration::ZERO)).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let pruned = aged.prune_over_cap();
+        assert_eq!(pruned, vec![3, 4]);
+        assert!(aged.list().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

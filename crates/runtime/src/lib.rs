@@ -37,6 +37,7 @@ pub mod integrity;
 pub mod journal;
 pub mod pool;
 pub mod sched;
+pub mod spill;
 pub mod store;
 pub mod task;
 pub mod trace;
@@ -67,6 +68,7 @@ pub use pool::{
     SubmitError, SuspendKind, CKPT_DIR, JOURNAL_FILE, QUEUE_MAGIC, QUEUE_VERSION, RESULTS_DIR,
 };
 pub use sched::SchedPolicy;
+pub use spill::{SpillSummary, SPILL_MAGIC, SPILL_VERSION};
 pub use task::Task;
 pub use trace::{
     chrome_trace_from_exec, realized_critical_path, validate_chrome_trace, validate_sdc_instants,

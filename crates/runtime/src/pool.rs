@@ -514,6 +514,12 @@ pub struct PoolConfig {
     /// journal of every lifecycle transition, persists completed results,
     /// and checkpoints running jobs, all under one state directory.
     pub durability: Option<DurabilityConfig>,
+    /// Per-job resident cap (bytes). A job whose working set exceeds the
+    /// cap runs out-of-core: its tiles live in a spill file and at most
+    /// `resident_budget` bytes of them stay in memory, so admission
+    /// charges `min(footprint, resident_budget)` instead of the full
+    /// footprint. `None` keeps every admitted job fully resident.
+    pub resident_budget: Option<u64>,
 }
 
 impl Default for PoolConfig {
@@ -527,6 +533,7 @@ impl Default for PoolConfig {
             backoff_base: Duration::from_millis(10),
             backoff_cap: Duration::from_secs(1),
             durability: None,
+            resident_budget: None,
         }
     }
 }
@@ -547,16 +554,29 @@ pub struct DurabilityConfig {
     /// Retention cap on stored results, oldest pruned first; `0` keeps
     /// everything.
     pub result_cap: usize,
+    /// Journal size threshold (bytes) that triggers a compacting
+    /// rotation after the next append; `0` lets the journal grow
+    /// without bound.
+    pub journal_rotate_bytes: u64,
+    /// Byte ceiling on the stored-result directory, oldest pruned
+    /// first; `0` keeps everything.
+    pub result_max_bytes: u64,
+    /// Age ceiling on stored results; `None` keeps results regardless
+    /// of age.
+    pub result_max_age: Option<Duration>,
 }
 
 impl DurabilityConfig {
-    /// Defaults rooted at `state_dir`: 30 s periodic checkpoints and
-    /// unbounded result retention.
+    /// Defaults rooted at `state_dir`: 30 s periodic checkpoints,
+    /// unbounded result retention, and no journal rotation.
     pub fn at(state_dir: impl Into<PathBuf>) -> DurabilityConfig {
         DurabilityConfig {
             state_dir: state_dir.into(),
             ckpt_interval: Duration::from_secs(30),
             result_cap: 0,
+            journal_rotate_bytes: 0,
+            result_max_bytes: 0,
+            result_max_age: None,
         }
     }
 }
@@ -818,8 +838,21 @@ impl Shared {
     /// running and the failure goes to stderr.
     fn log_event(&self, ev: JournalEvent) {
         if let Some(j) = &self.journal {
-            if let Err(e) = relock(j).append(&ev) {
+            let mut j = relock(j);
+            if let Err(e) = j.append(&ev) {
                 eprintln!("hqr-pool: journal append failed: {e}");
+            }
+            // Size-threshold rotation: compact away terminal noise once
+            // the file outgrows the configured budget. Held under the
+            // journal lock so appends never interleave with the rewrite.
+            let rotate_at = self.cfg.durability.as_ref().map_or(0, |d| d.journal_rotate_bytes);
+            if j.rotate_due(rotate_at) {
+                match j.rotate() {
+                    Ok(reclaimed) => {
+                        eprintln!("hqr-pool: journal rotated, reclaimed {reclaimed} bytes");
+                    }
+                    Err(e) => eprintln!("hqr-pool: journal rotation failed: {e}"),
+                }
             }
         }
     }
@@ -891,6 +924,14 @@ fn matrix_bytes(graph: &TaskGraph) -> u64 {
     (graph.mt() * graph.nt() * graph.b() * graph.b() * std::mem::size_of::<f64>()) as u64
 }
 
+/// Admission charge for a job needing `need` resident bytes. With a
+/// resident budget the charge is capped at that budget: the job runs
+/// out-of-core and keeps at most `resident_budget` bytes of tiles in
+/// memory, spilling the rest.
+fn chargeable(cfg: &PoolConfig, need: u64) -> u64 {
+    cfg.resident_budget.map_or(need, |rb| need.min(rb.max(1)))
+}
+
 fn effective_ib(spec: &JobSpec, b: usize) -> Result<usize, String> {
     let ib = match (&spec.input, spec.ib) {
         (JobInput::Resume(ck), None) => ck.ib,
@@ -921,8 +962,13 @@ impl JobPool {
                 std::fs::create_dir_all(d.state_dir.join(CKPT_DIR))
                     .expect("create pool state directory");
                 let j = Journal::open(&d.state_dir.join(JOURNAL_FILE)).expect("open pool journal");
-                let r = ResultStore::open(&d.state_dir.join(RESULTS_DIR), d.result_cap)
-                    .expect("open pool result store");
+                let r = ResultStore::with_retention(
+                    &d.state_dir.join(RESULTS_DIR),
+                    d.result_cap,
+                    d.result_max_bytes,
+                    d.result_max_age,
+                )
+                .expect("open pool result store");
                 (Some(Mutex::new(j)), Some(r))
             }
             None => (None, None),
@@ -1003,6 +1049,7 @@ impl JobPool {
             dedup_guard = Some(dd);
         }
         let (elims, graph, ib, need) = prepare(&spec)?;
+        let need = chargeable(&s.cfg, need);
         if need > s.cfg.mem_budget {
             return Err(SubmitError::OverBudget { need, budget: s.cfg.mem_budget });
         }
@@ -1130,6 +1177,7 @@ impl JobPool {
     fn resubmit_recovered(&self, spec: JobSpec, id: u64, attempts: u32) -> Result<(), SubmitError> {
         let s = &*self.shared;
         let (elims, graph, ib, need) = prepare(&spec)?;
+        let need = chargeable(&s.cfg, need);
         if need > s.cfg.mem_budget {
             return Err(SubmitError::OverBudget { need, budget: s.cfg.mem_budget });
         }
@@ -1925,6 +1973,9 @@ fn run_job_task(
             let mut keep: Option<u32> = None;
             for &s in job.graph.successors(tid as usize) {
                 if job.indeg[s as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    // Ready-frontier lookahead for paged jobs: start the
+                    // successor's fault-in while other tasks run.
+                    job.store.prefetch_task(&job.graph.tasks()[s as usize]);
                     match keep {
                         Some(k) if job.ranks[s as usize] < job.ranks[k as usize] => {
                             shared.push_ready(job, k);
@@ -1965,6 +2016,9 @@ fn run_job_task(
                 attempts: 0,
                 message,
             }));
+        }
+        AttemptEnd::SpillFault { message } => {
+            job.halt_with(Verdict::Fault(ExecError::SpillIo { message }));
         }
         // The job was halted between attempts (cancel/deadline/drain);
         // whoever halted it recorded the verdict. The task is not done.
@@ -2208,8 +2262,23 @@ fn finalize_jobs(shared: &Shared) {
 
 /// Turn one quiesced, owned job into a terminal record, a retry, or a
 /// suspension.
-fn conclude_job(shared: &Shared, job: ActiveJob) {
+fn conclude_job(shared: &Shared, mut job: ActiveJob) {
+    // An out-of-core job is hollow at quiescence: spilled tiles live only
+    // in its spill file. Fault everything back in before any verdict
+    // branch clones or returns `a`/`factors`. When the fault-in itself
+    // fails, a clean or suspending verdict must not survive — the state
+    // it would persist is zero-filled where the read failed.
+    let unpage_err = {
+        let ActiveJob { store, a, factors, .. } = &mut job;
+        store.unpage(a, factors).err()
+    };
     let verdict = relock(&job.verdict).take();
+    let verdict = match (verdict, unpage_err) {
+        (None, Some(message)) | (Some(Verdict::Suspend(_)), Some(message)) => {
+            Some(Verdict::Fault(ExecError::SpillIo { message }))
+        }
+        (v, _) => v,
+    };
     let stats = *relock(&job.stats);
     let tasks_total = job.graph.tasks().len();
     let tasks_done = tasks_total - job.remaining.load(Ordering::Acquire);
@@ -2476,9 +2545,28 @@ fn admit_jobs(shared: &Shared) {
                 let fits = in_use.saturating_add(p.footprint) <= budget || active_count == 0;
                 !gated && fits
             });
-            pick.map(|i| pending.remove(i))
+            pick.map(|i| {
+                let p = pending.remove(i);
+                // The escape hatch above admits an over-budget job when
+                // the pool is otherwise idle (so one huge job cannot
+                // wedge the queue forever). That bypass must be visible,
+                // not silent: journal it and warn.
+                let over = in_use.saturating_add(p.footprint) > budget;
+                (p, over)
+            })
         };
-        let Some(p) = admitted else { break };
+        let Some((p, over_budget)) = admitted else { break };
+        if over_budget {
+            eprintln!(
+                "hqr-pool: job {} admitted over budget (need {} bytes, budget {}): pool was idle",
+                p.id, p.footprint, shared.cfg.mem_budget
+            );
+            shared.log_event(JournalEvent::OverBudgetAdmitted {
+                id: p.id,
+                need: p.footprint,
+                budget: shared.cfg.mem_budget,
+            });
+        }
         activate_job(shared, p);
     }
 }
@@ -2516,7 +2604,27 @@ fn activate_job(shared: &Shared, p: PendingJob) {
             (a, factors, completed, back)
         }
     };
-    let store = TileStore::with_ib(&mut a, &mut factors, jp.ib);
+    // A job whose working set outgrows the resident budget runs
+    // out-of-core: tiles page against a spill file under the state
+    // directory (or the OS temp dir on non-durable pools). Spill-store
+    // setup failure degrades to fully-resident — the job was already
+    // admitted, so availability beats the memory cap here.
+    let ws = working_set_bytes(&graph);
+    let store = match shared.cfg.resident_budget.filter(|&rb| rb < ws) {
+        Some(rb) => {
+            let spill_dir = shared.cfg.durability.as_ref().map(|d| d.state_dir.join("spill"));
+            match TileStore::paged_with_ib(&mut a, &mut factors, jp.ib, rb, spill_dir.as_deref()) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!(
+                        "hqr-pool: job {id}: spill store unavailable ({e}); running resident"
+                    );
+                    TileStore::with_ib(&mut a, &mut factors, jp.ib)
+                }
+            }
+        }
+        None => TileStore::with_ib(&mut a, &mut factors, jp.ib),
+    };
     let guards = jp.integrity.is_on().then(|| GuardStore::new(graph.mt(), graph.nt()));
     let ranks = sched::priorities(&graph, jp.policy);
     let mut indeg0: Vec<u32> = graph.in_degrees().to_vec();
@@ -2664,5 +2772,82 @@ mod tests {
         spec.dedup_key = None;
         let decoded = JobSpec::from_bytes(spec.to_bytes()).expect("roundtrip");
         assert_eq!(decoded.dedup_key, None);
+    }
+
+    /// The idle-pool escape hatch (`active_count == 0` in `admit_jobs`)
+    /// exists so one oversized job cannot wedge the queue forever — but
+    /// firing it must be loud: journaled as `OverBudgetAdmitted` and the
+    /// job still driven to completion.
+    #[test]
+    fn idle_over_budget_admission_is_journaled_not_silent() {
+        let dir = std::env::temp_dir().join(format!("hqr_pool_escape_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let pool = JobPool::new(PoolConfig {
+            nthreads: 2,
+            mem_budget: 1,
+            durability: Some(DurabilityConfig::at(&dir)),
+            ..Default::default()
+        });
+        // Regular submission refuses anything over the 1-byte budget, so
+        // plant the pending job directly — the shape a stale in-use
+        // reading leaves behind when admission races finalization.
+        let elims = flat_elims(2, 2);
+        let a = TiledMatrix::random(2, 2, 4, 3);
+        let graph = TaskGraph::build(2, 2, 4, &elims);
+        let footprint = working_set_bytes(&graph);
+        assert!(footprint > pool.shared.cfg.mem_budget);
+        let id = 17u64;
+        relock(&pool.shared.records).insert(
+            id,
+            JobRecord {
+                state: JobState::Queued,
+                qos: QosClass::Normal,
+                tag: String::new(),
+                attempts: 0,
+                tasks_total: graph.tasks().len(),
+                tasks_done: 0,
+                error: None,
+                stats: FaultStats::default(),
+                submitted: Instant::now(),
+                wall: None,
+                outcome: None,
+            },
+        );
+        relock(&pool.shared.pending).push(PendingJob {
+            id,
+            seq: 1,
+            policy: JobPolicy {
+                ib: 4,
+                qos: QosClass::Normal,
+                policy: SchedPolicy::Fifo,
+                integrity: IntegrityMode::Off,
+                max_retries: 0,
+                job_retries: 0,
+                deadline: None,
+                plan: None,
+                tag: String::new(),
+                dedup_key: None,
+            },
+            elims,
+            seed: Seed::Fresh(a),
+            graph,
+            footprint,
+            attempts: 0,
+            not_before: None,
+            count_attempt: true,
+        });
+        let out = pool.wait(JobId(id)).expect("planted job reaches a terminal state");
+        assert_eq!(out.state, JobState::Completed, "{:?}", out.error);
+        pool.shutdown();
+        let events = Journal::read(&dir.join(JOURNAL_FILE)).expect("read journal");
+        let admitted = events.iter().any(|e| {
+            matches!(
+                e,
+                JournalEvent::OverBudgetAdmitted { id: 17, need, budget: 1 }
+                    if *need == footprint
+            )
+        });
+        assert!(admitted, "escape hatch must journal OverBudgetAdmitted: {events:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -6,9 +6,24 @@
 //! the safety argument is the data-flow construction in [`crate::graph`]
 //! (every read and every write of a slot is ordered after the slot's last
 //! writer). This is precisely the contract DAGuE's runtime relies on.
+//!
+//! The store has two modes:
+//!
+//! * **Resident** (the default): a flat pointer table over buffers that
+//!   stay allocated for the whole run — zero per-access overhead.
+//! * **Paged**: buffers live in a two-tier cache ([`crate::spill`]) with
+//!   an LRU-resident working set bounded by a byte budget and a spill
+//!   file for the rest. The executor pins every slot a task touches
+//!   ([`TileStore::pin_task`]) before running it — faulting misses in
+//!   from disk — and releases the pins when the attempt ends, so kernels
+//!   still see plain stable `&mut [f64]` views and the factorization
+//!   stays bitwise identical to the resident run.
+
+use std::path::Path;
 
 use crate::exec::TFactors;
 use crate::fault::{SdcFault, SdcPattern, SDC_SCALE_FACTOR};
+use crate::spill::{PagedStore, SpillSummary};
 use crate::task::{SlotFamily, Task};
 use hqr_kernels::blocked::{geqrt_ib, tsmqr_ib, tsqrt_ib, ttmqr_ib, ttqrt_ib, unmqr_ib};
 use hqr_kernels::{geqrt, tsmqr, tsqrt, ttmqr, ttqrt, unmqr, KernelKind, Trans};
@@ -24,6 +39,31 @@ pub struct TileStore {
     vg: Vec<*mut f64>,
     tg: Vec<*mut f64>,
     tk: Vec<*mut f64>,
+    /// Two-tier backing cache; `None` in resident mode (the pointer
+    /// tables above are empty when this is `Some`).
+    paged: Option<PagedStore>,
+}
+
+/// Pins held over every slot one task touches in a paged store; dropping
+/// releases them. Carries what the pin pass observed for the executor's
+/// per-worker counters.
+pub struct TaskPins {
+    core: std::sync::Arc<crate::spill::PagedCore>,
+    idxs: Vec<usize>,
+    /// Slots this task had to fault in from disk on demand.
+    pub demand_faults: u64,
+    /// Slots found resident because the prefetcher loaded them.
+    pub prefetch_hits: u64,
+    /// Evictions (spills) triggered to make room for this task's slots.
+    pub evictions: u64,
+}
+
+impl Drop for TaskPins {
+    fn drop(&mut self) {
+        for &idx in &self.idxs {
+            self.core.unpin(idx);
+        }
+    }
 }
 
 // SAFETY: the store is only used by the executors, which enforce the DAG's
@@ -62,10 +102,7 @@ impl TileStore {
     /// [`TileStore::new`] with an explicit inner block size (PLASMA's IB);
     /// `ib == b` selects the unblocked kernels.
     pub fn with_ib(a: &mut TiledMatrix, f: &mut TFactors, ib: usize) -> Self {
-        assert_eq!(a.mt(), f.mt, "matrix/factor shape mismatch");
-        assert_eq!(a.nt(), f.nt, "matrix/factor shape mismatch");
-        assert_eq!(a.b(), f.b, "tile size mismatch");
-        assert!(ib > 0 && ib <= a.b(), "inner block size must be in 1..=b");
+        Self::check_shapes(a, f, ib);
         TileStore {
             b: a.b(),
             ib,
@@ -74,7 +111,116 @@ impl TileStore {
             vg: ptrs(&mut f.vg),
             tg: ptrs(&mut f.tg),
             tk: ptrs(&mut f.tk),
+            paged: None,
         }
+    }
+
+    /// Build a *paged* store: buffers move into a two-tier cache whose
+    /// resident tier is bounded by `budget` bytes, with the rest spilled
+    /// to a checksummed file under `spill_dir` (OS temp dir when `None`).
+    /// The matrix and factors are hollow until [`TileStore::unpage`]
+    /// returns their buffers — callers must unpage on every exit path.
+    pub fn paged_with_ib(
+        a: &mut TiledMatrix,
+        f: &mut TFactors,
+        ib: usize,
+        budget: u64,
+        spill_dir: Option<&Path>,
+    ) -> Result<Self, String> {
+        Self::check_shapes(a, f, ib);
+        let (b, mt) = (a.b(), a.mt());
+        let paged = PagedStore::build(a, f, budget, spill_dir)?;
+        Ok(TileStore {
+            b,
+            ib,
+            mt,
+            a: Vec::new(),
+            vg: Vec::new(),
+            tg: Vec::new(),
+            tk: Vec::new(),
+            paged: Some(paged),
+        })
+    }
+
+    fn check_shapes(a: &TiledMatrix, f: &TFactors, ib: usize) {
+        assert_eq!(a.mt(), f.mt, "matrix/factor shape mismatch");
+        assert_eq!(a.nt(), f.nt, "matrix/factor shape mismatch");
+        assert_eq!(a.b(), f.b, "tile size mismatch");
+        assert!(ib > 0 && ib <= a.b(), "inner block size must be in 1..=b");
+    }
+
+    /// True when the store runs over the two-tier (spill-to-disk) cache.
+    pub fn is_paged(&self) -> bool {
+        self.paged.is_some()
+    }
+
+    /// Pin every slot `t` touches, faulting evicted slots in from disk.
+    /// Returns `Ok(None)` in resident mode (nothing to pin). The returned
+    /// guard must stay alive for as long as `t` may run, be verified, be
+    /// snapshotted, or be rolled back; dropping it releases the pins.
+    ///
+    /// Errors are real I/O failures or at-rest checksum mismatches —
+    /// fallible (not panicking) because the executor calls this outside
+    /// its `catch_unwind` perimeter.
+    pub fn pin_task(&self, t: &Task) -> Result<Option<TaskPins>, String> {
+        let Some(paged) = &self.paged else { return Ok(None) };
+        let core = &paged.core;
+        let mut pins = TaskPins {
+            core: std::sync::Arc::clone(core),
+            idxs: Vec::new(),
+            demand_faults: 0,
+            prefetch_hits: 0,
+            evictions: 0,
+        };
+        // Writes first (they set the dirty bit), then any read-only slots
+        // not already pinned. At most one slot lock is held at a time, so
+        // concurrent pinners cannot deadlock.
+        for (will_write, set) in [(true, t.writes()), (false, t.reads())] {
+            for (fam, i, j) in set {
+                let idx = core.slot_index(fam, i, j);
+                if pins.idxs.contains(&idx) {
+                    continue;
+                }
+                match core.pin(fam, i, j, will_write) {
+                    Ok(ev) => {
+                        pins.idxs.push(idx);
+                        pins.demand_faults += u64::from(ev.demand_fault);
+                        pins.prefetch_hits += u64::from(ev.prefetch_hit);
+                        pins.evictions += ev.evictions;
+                    }
+                    // Drop releases the pins taken so far.
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(Some(pins))
+    }
+
+    /// Hint that `t` is about to become runnable: queue its slots for
+    /// background fault-in so disk reads overlap compute. No-op in
+    /// resident mode.
+    pub fn prefetch_task(&self, t: &Task) {
+        if let Some(paged) = &self.paged {
+            paged.core.enqueue_prefetch(t);
+        }
+    }
+
+    /// Fault every slot back in and return ownership of all buffers to
+    /// the matrix and factors, dissolving the cache. Must be called (on
+    /// success *and* error paths) before `a`/`f` are used again; no-op in
+    /// resident mode. On a checksum/I/O failure the affected buffers are
+    /// zero-filled so `a`/`f` stay structurally whole, and the first
+    /// error is returned.
+    pub fn unpage(&mut self, a: &mut TiledMatrix, f: &mut TFactors) -> Result<(), String> {
+        match self.paged.take() {
+            Some(mut paged) => paged.unpage(a, f),
+            None => Ok(()),
+        }
+    }
+
+    /// Snapshot of the spill-traffic totals (paged mode only).
+    pub fn spill_summary(&self) -> Option<SpillSummary> {
+        self.paged.as_ref().map(|p| p.core.summary())
     }
 
     // The `&self -> &mut` shape is deliberate: exclusivity is established
@@ -91,11 +237,16 @@ impl TileStore {
 
     #[inline]
     fn a(&self, i: usize, j: usize) -> &mut [f64] {
-        self.slice(self.a[i + j * self.mt])
+        self.slice(self.slot_ptr((SlotFamily::A, i, j)))
     }
 
     #[inline]
     fn slot_ptr(&self, (fam, i, j): (SlotFamily, usize, usize)) -> *mut f64 {
+        if let Some(paged) = &self.paged {
+            // Pinned by the executor before the task ran, so the buffer
+            // is resident and its address is stable for the pin's life.
+            return paged.core.resident_ptr(fam, i, j);
+        }
         let idx = i + j * self.mt;
         match fam {
             SlotFamily::A => self.a[idx],
@@ -185,38 +336,51 @@ impl TileStore {
         let (b, ib) = (self.b, self.ib);
         let blocked = ib < b;
         let (k, i, piv, j) = (t.k as usize, t.i as usize, t.piv as usize, t.j as usize);
-        let fslot = |v: &Vec<*mut f64>| self.slice(v[i + k * self.mt]);
+        let fslot = |fam: SlotFamily| self.slice(self.slot_ptr((fam, i, k)));
         match t.kind {
             KernelKind::Geqrt => {
                 let tile = self.a(i, k);
                 if blocked {
-                    geqrt_ib(b, ib, tile, fslot(&self.tg));
+                    geqrt_ib(b, ib, tile, fslot(SlotFamily::Tg));
                 } else {
-                    geqrt(b, tile, fslot(&self.tg));
+                    geqrt(b, tile, fslot(SlotFamily::Tg));
                 }
                 // Copy V out so UNMQRs read it while kills rewrite the
                 // tile's R part (the logical V/R tile split of the DAG).
-                fslot(&self.vg).copy_from_slice(tile);
+                fslot(SlotFamily::Vg).copy_from_slice(tile);
             }
             KernelKind::Unmqr => {
                 if blocked {
-                    unmqr_ib(b, ib, fslot(&self.vg), fslot(&self.tg), self.a(i, j), Trans::Trans);
+                    unmqr_ib(
+                        b,
+                        ib,
+                        fslot(SlotFamily::Vg),
+                        fslot(SlotFamily::Tg),
+                        self.a(i, j),
+                        Trans::Trans,
+                    );
                 } else {
-                    unmqr(b, fslot(&self.vg), fslot(&self.tg), self.a(i, j), Trans::Trans);
+                    unmqr(
+                        b,
+                        fslot(SlotFamily::Vg),
+                        fslot(SlotFamily::Tg),
+                        self.a(i, j),
+                        Trans::Trans,
+                    );
                 }
             }
             KernelKind::Tsqrt => {
                 if blocked {
-                    tsqrt_ib(b, ib, self.a(piv, k), self.a(i, k), fslot(&self.tk));
+                    tsqrt_ib(b, ib, self.a(piv, k), self.a(i, k), fslot(SlotFamily::Tk));
                 } else {
-                    tsqrt(b, self.a(piv, k), self.a(i, k), fslot(&self.tk));
+                    tsqrt(b, self.a(piv, k), self.a(i, k), fslot(SlotFamily::Tk));
                 }
             }
             KernelKind::Ttqrt => {
                 if blocked {
-                    ttqrt_ib(b, ib, self.a(piv, k), self.a(i, k), fslot(&self.tk));
+                    ttqrt_ib(b, ib, self.a(piv, k), self.a(i, k), fslot(SlotFamily::Tk));
                 } else {
-                    ttqrt(b, self.a(piv, k), self.a(i, k), fslot(&self.tk));
+                    ttqrt(b, self.a(piv, k), self.a(i, k), fslot(SlotFamily::Tk));
                 }
             }
             KernelKind::Tsmqr => {
@@ -225,7 +389,7 @@ impl TileStore {
                         b,
                         ib,
                         self.a(i, k),
-                        fslot(&self.tk),
+                        fslot(SlotFamily::Tk),
                         self.a(piv, j),
                         self.a(i, j),
                         Trans::Trans,
@@ -234,7 +398,7 @@ impl TileStore {
                     tsmqr(
                         b,
                         self.a(i, k),
-                        fslot(&self.tk),
+                        fslot(SlotFamily::Tk),
                         self.a(piv, j),
                         self.a(i, j),
                         Trans::Trans,
@@ -247,7 +411,7 @@ impl TileStore {
                         b,
                         ib,
                         self.a(i, k),
-                        fslot(&self.tk),
+                        fslot(SlotFamily::Tk),
                         self.a(piv, j),
                         self.a(i, j),
                         Trans::Trans,
@@ -256,7 +420,7 @@ impl TileStore {
                     ttmqr(
                         b,
                         self.a(i, k),
-                        fslot(&self.tk),
+                        fslot(SlotFamily::Tk),
                         self.a(piv, j),
                         self.a(i, j),
                         Trans::Trans,

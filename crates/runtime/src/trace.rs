@@ -233,6 +233,8 @@ pub fn chrome_trace_from_exec(trace: &ExecTrace, tasks: &[Task]) -> String {
             crate::exec::InstantKind::Resume => ("resumed from checkpoint", "checkpoint"),
             crate::exec::InstantKind::SdcDetected => ("sdc detected", "sdc"),
             crate::exec::InstantKind::SdcRecomputed => ("sdc recomputed", "sdc"),
+            crate::exec::InstantKind::TileFaulted => ("tile faulted", "spill"),
+            crate::exec::InstantKind::TileSpilled => ("tile spilled", "spill"),
         };
         // Checkpoint/resume instants mark completed-task counts, not tasks.
         let arg = match i.kind {
@@ -241,6 +243,7 @@ pub fn chrome_trace_from_exec(trace: &ExecTrace, tasks: &[Task]) -> String {
         };
         b.instant(pid, i.worker as u32, name, category, i.time, &[(arg, i.task.to_string())]);
     }
+    let paged = trace.spill.is_some();
     for (w, c) in trace.counters.iter().enumerate() {
         let series: [(&str, f64); 3] = [
             ("steals", c.steals as f64),
@@ -254,6 +257,23 @@ pub fn chrome_trace_from_exec(trace: &ExecTrace, tasks: &[Task]) -> String {
             &[("steals", 0.0), ("injector pops", 0.0), ("retries", 0.0)],
         );
         b.counter(pid, &format!("worker {w} scheduler"), trace.wall, &series);
+        if paged {
+            // Spill traffic gets its own per-worker counter track so the
+            // paged store's demand faults / prefetch hits / evictions are
+            // visible next to the scheduler series.
+            let spill_series: [(&str, f64); 3] = [
+                ("tile faults", c.tile_faults as f64),
+                ("prefetch hits", c.prefetch_hits as f64),
+                ("tile spills", c.tile_spills as f64),
+            ];
+            b.counter(
+                pid,
+                &format!("worker {w} spill"),
+                0.0,
+                &[("tile faults", 0.0), ("prefetch hits", 0.0), ("tile spills", 0.0)],
+            );
+            b.counter(pid, &format!("worker {w} spill"), trace.wall, &spill_series);
+        }
     }
     b.finish()
 }

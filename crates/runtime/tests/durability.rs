@@ -336,3 +336,145 @@ fn periodic_checkpoints_fire_without_perturbing_results() {
     pool.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// 100-job churn against a small rotation threshold: the journal must
+/// stay bounded (the unbounded-growth bug this sweep fixes), terminal
+/// noise compacts away, and the rotated journal still replays.
+#[test]
+fn journal_rotation_keeps_hundred_job_churn_bounded() {
+    let dir = state_dir("rotate_churn");
+    let rotate_at = 16 * 1024_u64;
+    let mut d = DurabilityConfig::at(&dir);
+    d.ckpt_interval = Duration::from_secs(3600);
+    d.journal_rotate_bytes = rotate_at;
+    d.result_cap = 4;
+    let pool =
+        JobPool::new(PoolConfig { nthreads: 2, durability: Some(d), ..PoolConfig::default() });
+    let elims = flat_elims(2, 2);
+    let mut last = None;
+    for i in 0..100u64 {
+        let a = TiledMatrix::random(2, 2, 4, 100 + i);
+        let id = pool.submit(JobSpec::fresh(elims.clone(), a)).expect("submit");
+        assert_eq!(pool.wait(id).expect("wait").state, JobState::Completed);
+        last = Some(id);
+    }
+    pool.shutdown();
+
+    // Bounded: the file never strays far past the threshold (one append
+    // can overshoot before the rotation that follows it).
+    let len = std::fs::metadata(dir.join(JOURNAL_FILE)).expect("journal exists").len();
+    assert!(
+        len < 2 * rotate_at,
+        "journal must stay near the {rotate_at}-byte threshold after 100 jobs, got {len}"
+    );
+    assert!(
+        !dir.join(JOURNAL_FILE).with_extension("journal.rotating").exists(),
+        "no rotation marker may survive a clean shutdown"
+    );
+
+    // The compacted journal still replays: the retained results are
+    // retrievable and everything recovered is terminal.
+    let pool = durable_pool(&dir, Duration::from_secs(3600));
+    pool.recover().expect("rotated journal replays");
+    for j in pool.jobs() {
+        assert!(j.state.is_terminal(), "job {} recovered as {}", j.id.0, j.state);
+    }
+    let id = last.expect("ran jobs");
+    assert!(pool.result_bytes(id).is_some(), "newest result survives rotation + retention");
+    pool.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A crash between writing the rotate-in-progress marker and finishing
+/// the compaction leaves the marker on disk next to a valid journal
+/// (both the pre-rotation file and the atomically-renamed compacted file
+/// are valid crash states). Reopening must clear the marker and drive
+/// every accepted job to a terminal state.
+#[test]
+fn crash_across_rotation_boundary_recovers_every_job() {
+    let dir = state_dir("rotate_crash");
+    let crash = state_dir("rotate_crash_image");
+    let elims = flat_elims(4, 3);
+    let a0 = TiledMatrix::random(4, 3, 8, 71);
+    let (ref_a, ref_f) = solo(&elims, &a0);
+
+    let (done_id, stuck_id);
+    {
+        let mut d = DurabilityConfig::at(&dir);
+        d.ckpt_interval = Duration::from_secs(3600);
+        d.journal_rotate_bytes = 8 * 1024;
+        let pool =
+            JobPool::new(PoolConfig { nthreads: 2, durability: Some(d), ..PoolConfig::default() });
+        done_id = pool.submit(JobSpec::fresh(elims.clone(), a0.clone())).expect("submit");
+        assert_eq!(pool.wait(done_id).expect("wait").state, JobState::Completed);
+        stuck_id = pool.submit(stalling_spec(elims.clone(), a0.clone(), 2)).expect("submit");
+        wait_for_state(&pool, stuck_id, JobState::Running);
+        snapshot(&dir, &crash);
+    }
+    // Simulate dying right after the marker hit the disk: the crash image
+    // carries the marker, and the journal it guards is the pre-compaction
+    // one.
+    let marker = {
+        let mut name = JOURNAL_FILE.to_string();
+        name.push_str(".rotating");
+        crash.join(name)
+    };
+    std::fs::write(&marker, b"").expect("plant rotate marker");
+
+    let mut d = DurabilityConfig::at(&crash);
+    d.ckpt_interval = Duration::from_secs(3600);
+    d.journal_rotate_bytes = 8 * 1024;
+    let pool =
+        JobPool::new(PoolConfig { nthreads: 2, durability: Some(d), ..PoolConfig::default() });
+    assert!(!marker.exists(), "open must clear a stale rotation marker");
+    let report = pool.recover().expect("recover across rotation boundary");
+    assert_eq!(report.unrecoverable, 0);
+    let stored = result_from_bytes(pool.result_bytes(done_id).expect("done result")).unwrap();
+    assert_eq!(stored.result.a.to_dense().data(), ref_a.to_dense().data());
+    assert!(stored.result.factors.bitwise_eq(&ref_f));
+    let out = pool.wait(stuck_id).expect("recovered job waitable");
+    assert_eq!(out.state, JobState::Completed, "error: {:?}", out.error);
+    for j in pool.jobs() {
+        assert!(
+            j.state.is_terminal(),
+            "every accepted job must end terminal, job {} is {}",
+            j.id.0,
+            j.state
+        );
+    }
+    pool.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&crash);
+}
+
+/// Byte- and age-based result retention ride along with the count cap:
+/// a byte ceiling prunes oldest results first and journals each prune.
+#[test]
+fn result_byte_retention_prunes_and_journals() {
+    let dir = state_dir("result_bytes");
+    let elims = flat_elims(2, 2);
+    // One stored result for a 2x2 b=4 job is ~1.3 KiB; a 4 KiB ceiling
+    // keeps only the newest three results of six.
+    let mut d = DurabilityConfig::at(&dir);
+    d.ckpt_interval = Duration::from_secs(3600);
+    d.result_max_bytes = 4 * 1024;
+    let pool =
+        JobPool::new(PoolConfig { nthreads: 2, durability: Some(d), ..PoolConfig::default() });
+    let mut ids = Vec::new();
+    for i in 0..6u64 {
+        let a = TiledMatrix::random(2, 2, 4, 200 + i);
+        let id = pool.submit(JobSpec::fresh(elims.clone(), a)).expect("submit");
+        assert_eq!(pool.wait(id).expect("wait").state, JobState::Completed);
+        ids.push(id);
+    }
+    let newest = *ids.last().unwrap();
+    assert!(pool.result_bytes(newest).is_some(), "newest result must be retained");
+    assert!(pool.result_bytes(ids[0]).is_none(), "oldest result must fall to the byte ceiling");
+    let events = Journal::read(&dir.join(JOURNAL_FILE)).expect("journal");
+    assert!(
+        events.iter().any(|e| matches!(e, JournalEvent::ResultPruned { .. })),
+        "byte-ceiling prunes must be journaled: {events:?}"
+    );
+    pool.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

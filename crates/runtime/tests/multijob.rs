@@ -525,3 +525,41 @@ fn invalid_specs_are_rejected_with_typed_errors() {
     assert!(matches!(pool.submit(s), Err(SubmitError::Invalid { .. })));
     pool.shutdown();
 }
+
+/// The out-of-core admission fix: a matrix whose working set exceeds the
+/// pool's memory budget was rejected `OverBudget` before; with a resident
+/// budget configured the pool charges only the resident tier, admits the
+/// job, pages it against a spill file, and still lands bitwise on the
+/// solo answer.
+#[test]
+fn resident_budget_admits_previously_over_budget_job_bitwise() {
+    let elims = flat_elims(4, 3);
+    let a0 = TiledMatrix::random(4, 3, 8, 404);
+    // Working set: 12 tiles + factor buffers at 512 B/tile — well over
+    // 4 KiB, comfortably over a 2 KiB resident tier.
+    let mem_budget = 4 * 1024;
+
+    // Without a resident budget the submission bounces.
+    let strict = JobPool::new(PoolConfig { nthreads: 2, mem_budget, ..Default::default() });
+    match strict.submit(JobSpec::fresh(elims.clone(), a0.clone())) {
+        Err(SubmitError::OverBudget { need, budget }) => {
+            assert!(need > budget, "need {need} must exceed budget {budget}");
+        }
+        other => panic!("expected OverBudget, got {other:?}"),
+    }
+    strict.shutdown();
+
+    // With one, the same job is admitted and completes exactly.
+    let paged = JobPool::new(PoolConfig {
+        nthreads: 2,
+        mem_budget,
+        resident_budget: Some(2 * 1024),
+        ..Default::default()
+    });
+    let id = paged.submit(JobSpec::fresh(elims.clone(), a0.clone())).expect("admitted");
+    let out = paged.wait(id).expect("wait");
+    assert_eq!(out.state, JobState::Completed, "error: {:?}", out.error);
+    let r = out.result.expect("payload");
+    assert_bitwise("paged pool job", &r.a, &r.factors, &elims, &a0, a0.b());
+    paged.shutdown();
+}

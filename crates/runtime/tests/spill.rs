@@ -1,0 +1,227 @@
+//! Out-of-core execution tests: a run whose resident tier holds only a
+//! fraction of the tile footprint must produce factors bitwise-identical
+//! to a fully-resident run, across elimination trees, scheduling policies
+//! and worker counts — and the two-tier store must stay safe under pin
+//! pressure, refaults, and checkpoint/resume.
+
+use std::path::PathBuf;
+
+use hqr_runtime::{
+    resume_from_checkpoint, try_execute_checkpointed, try_execute_traced, try_execute_with,
+    CheckpointPolicy, CheckpointSpec, ElimOp, ExecOptions, InstantKind, SchedPolicy, TaskGraph,
+};
+use hqr_tile::TiledMatrix;
+
+/// Flat-tree elimination list: row k kills every row below it.
+fn flat_elims(mt: usize, nt: usize) -> Vec<ElimOp> {
+    let mut out = Vec::new();
+    for k in 0..mt.min(nt) {
+        for i in (k + 1)..mt {
+            out.push(ElimOp::new(k as u32, i as u32, k as u32, true));
+        }
+    }
+    out
+}
+
+/// Binary-tree elimination list (TT kernels only).
+fn binary_elims(mt: usize, nt: usize) -> Vec<ElimOp> {
+    let mut out = Vec::new();
+    for k in 0..mt.min(nt) {
+        let mut alive: Vec<u32> = (k as u32..mt as u32).collect();
+        while alive.len() > 1 {
+            let mut next = Vec::new();
+            for pair in alive.chunks(2) {
+                if let [a, b] = pair {
+                    out.push(ElimOp::new(k as u32, *b, *a, false));
+                }
+                next.push(pair[0]);
+            }
+            alive = next;
+        }
+    }
+    out
+}
+
+fn matrix_bytes(mt: usize, nt: usize, b: usize) -> u64 {
+    (mt * nt * b * b * std::mem::size_of::<f64>()) as u64
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("hqr_spill_{name}_{}", std::process::id()))
+}
+
+/// The tentpole acceptance gate: every (tree, policy, thread-count)
+/// combination factors bitwise-identically whether the tile store is
+/// fully resident or paged against a 25%-of-footprint resident tier.
+#[test]
+fn paged_runs_bitwise_match_resident_across_trees_policies_threads() {
+    let cases: [(&str, Vec<ElimOp>, usize, usize); 2] =
+        [("flat", flat_elims(6, 4), 6, 4), ("binary", binary_elims(6, 4), 6, 4)];
+    let b = 8;
+    for (tree, elims, mt, nt) in &cases {
+        let graph = TaskGraph::build(*mt, *nt, b, elims);
+        let a0 = TiledMatrix::random(*mt, *nt, b, 4242);
+        let budget = matrix_bytes(*mt, *nt, b) / 4;
+        for policy in SchedPolicy::ALL {
+            for nthreads in [1usize, 2, 4] {
+                let label = format!("{tree}/{policy}/{nthreads}t");
+                let mut a_ref = a0.clone();
+                let resident = ExecOptions { nthreads, policy, ..Default::default() };
+                let (f_ref, _) = try_execute_with(&graph, &mut a_ref, &resident)
+                    .unwrap_or_else(|e| panic!("{label}: resident run failed: {e}"));
+
+                let mut a_paged = a0.clone();
+                let paged = ExecOptions {
+                    nthreads,
+                    policy,
+                    resident_budget: Some(budget),
+                    ..Default::default()
+                };
+                let (f_paged, _, trace) = try_execute_traced(&graph, &mut a_paged, &paged)
+                    .unwrap_or_else(|e| panic!("{label}: paged run failed: {e}"));
+
+                assert!(
+                    f_paged.bitwise_eq(&f_ref),
+                    "{label}: paged factors differ from resident run"
+                );
+                let d_ref = a_ref.to_dense();
+                let d_paged = a_paged.to_dense();
+                assert!(
+                    d_ref
+                        .data()
+                        .iter()
+                        .zip(d_paged.data().iter())
+                        .all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "{label}: paged tile store differs from resident run"
+                );
+                let spill = trace
+                    .spill
+                    .unwrap_or_else(|| panic!("{label}: paged run must report a spill summary"));
+                assert_eq!(spill.budget, budget, "{label}: budget echoed in summary");
+                assert!(
+                    spill.evictions > 0,
+                    "{label}: a 25% resident tier must evict (summary: {spill:?})"
+                );
+            }
+        }
+    }
+}
+
+/// A resident tier smaller than one task's pinned read/write set must
+/// still complete: pinned slots are never evicted, the budget stretches
+/// for the duration of the pin, and the factors stay exact. This is the
+/// eviction-under-pin safety gate — with a one-tile budget every TSMQR
+/// holds several pins at once.
+#[test]
+fn one_tile_budget_is_safe_under_multi_tile_pins() {
+    let (mt, nt, b) = (5, 4, 8);
+    let elims = flat_elims(mt, nt);
+    let graph = TaskGraph::build(mt, nt, b, &elims);
+    let a0 = TiledMatrix::random(mt, nt, b, 99);
+
+    let mut a_ref = a0.clone();
+    let (f_ref, _) = try_execute_with(&graph, &mut a_ref, &ExecOptions::with_threads(2)).unwrap();
+
+    let tile = (b * b * std::mem::size_of::<f64>()) as u64;
+    let mut a = a0.clone();
+    let opts = ExecOptions { nthreads: 2, resident_budget: Some(tile), ..Default::default() };
+    let (f, _, trace) = try_execute_traced(&graph, &mut a, &opts).expect("one-tile budget run");
+    assert!(f.bitwise_eq(&f_ref), "one-tile-budget factors differ");
+    let spill = trace.spill.expect("paged run reports spill summary");
+    assert!(spill.writebacks > 0, "dirty evictions must write back: {spill:?}");
+}
+
+/// Refault-after-spill: with a tiny budget, tiles written back to disk
+/// are re-read later in the same run. Every re-read passes the per-record
+/// checksum (a corrupt record fails the run), demand faults show up both
+/// in the summary and as trace instants, and the per-worker fault
+/// counters agree with the store's totals.
+#[test]
+fn refaulted_tiles_verify_checksums_and_count_faults() {
+    let (mt, nt, b) = (6, 4, 8);
+    let elims = binary_elims(mt, nt);
+    let graph = TaskGraph::build(mt, nt, b, &elims);
+    let mut a = TiledMatrix::random(mt, nt, b, 7);
+
+    let opts = ExecOptions {
+        nthreads: 2,
+        resident_budget: Some(2 * (b * b * std::mem::size_of::<f64>()) as u64),
+        spill_dir: Some(tmp("refault")),
+        ..Default::default()
+    };
+    let (_, _, trace) = try_execute_traced(&graph, &mut a, &opts).expect("paged run");
+    let spill = trace.spill.expect("spill summary");
+    assert!(
+        spill.demand_faults + spill.prefetch_hits > 0,
+        "a two-tile budget must refault spilled tiles: {spill:?}"
+    );
+    let worker_faults: u64 = trace.counters.iter().map(|c| c.tile_faults).sum();
+    let worker_hits: u64 = trace.counters.iter().map(|c| c.prefetch_hits).sum();
+    assert_eq!(worker_faults, spill.demand_faults, "per-worker faults match summary");
+    assert_eq!(worker_hits, spill.prefetch_hits, "per-worker prefetch hits match summary");
+    // One TileFaulted instant marks each task attempt that faulted at
+    // least once, so the instant count is positive but bounded by the
+    // per-tile fault total.
+    let faulted =
+        trace.instants.iter().filter(|i| i.kind == InstantKind::TileFaulted).count() as u64;
+    assert!(faulted > 0, "faulting run must emit TileFaulted instants");
+    assert!(faulted <= spill.demand_faults, "instants are per-attempt, faults per-tile");
+    let _ = std::fs::remove_dir_all(tmp("refault"));
+}
+
+/// Checkpoint/resume of a partially-spilled job: interrupting a paged run
+/// at a panel boundary must persist a complete, non-hollow checkpoint
+/// (spilled tiles faulted back in before the snapshot), and resuming —
+/// paged again — must land bitwise on the uninterrupted answer.
+#[test]
+fn checkpoint_and_resume_of_partially_spilled_run_is_bitwise() {
+    let (mt, nt, b) = (6, 4, 8);
+    let elims = binary_elims(mt, nt);
+    let graph = TaskGraph::build(mt, nt, b, &elims);
+    let a0 = TiledMatrix::random(mt, nt, b, 31);
+
+    let mut a_ref = a0.clone();
+    let (f_ref, _) = try_execute_with(&graph, &mut a_ref, &ExecOptions::with_threads(2)).unwrap();
+
+    let path = tmp("ckpt_resume.ckpt");
+    let budget = matrix_bytes(mt, nt, b) / 4;
+    let opts = ExecOptions { nthreads: 2, resident_budget: Some(budget), ..Default::default() };
+    let spec = CheckpointSpec {
+        path: &path,
+        elims: &elims,
+        policy: CheckpointPolicy::default(),
+        input_seed: 31,
+        stop_after_panel: Some(1),
+    };
+    let mut a = a0.clone();
+    let run = try_execute_checkpointed(&graph, &mut a, &opts, &spec, false).expect("paged segment");
+    assert!(run.interrupted, "stopping after panel 1 must leave work");
+    assert!(run.completed_tasks < graph.tasks().len());
+
+    let resumed = resume_from_checkpoint(&path, &opts, false).expect("paged resume");
+    assert!(
+        resumed.factors.bitwise_eq(&f_ref),
+        "resumed paged factors must match the uninterrupted resident run"
+    );
+    let d_ref = a_ref.to_dense();
+    let d_res = resumed.a.to_dense();
+    assert!(
+        d_ref.data().iter().zip(d_res.data().iter()).all(|(x, y)| x.to_bits() == y.to_bits()),
+        "resumed paged tile store must match the uninterrupted resident run"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A budget at or above the allocated footprint never pages: the engine
+/// must fall back to the plain resident store and report no spill
+/// summary.
+#[test]
+fn generous_budget_stays_resident() {
+    let (mt, nt, b) = (4, 3, 8);
+    let elims = flat_elims(mt, nt);
+    let graph = TaskGraph::build(mt, nt, b, &elims);
+    let mut a = TiledMatrix::random(mt, nt, b, 1);
+    let opts = ExecOptions { nthreads: 2, resident_budget: Some(u64::MAX), ..Default::default() };
+    let (_, _, trace) = try_execute_traced(&graph, &mut a, &opts).expect("run");
+    assert!(trace.spill.is_none(), "generous budget must not page");
+}

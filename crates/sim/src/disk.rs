@@ -1,0 +1,215 @@
+//! Disk-throughput model for out-of-core (spill-to-disk) factorization.
+//!
+//! The runtime's two-tier tile store (`hqr_runtime::spill`) keeps a
+//! resident fraction of the tile footprint in memory and pages the rest
+//! against a checksummed spill file. This module prices that trade
+//! analytically, dslab-storage style: a single disk arm with a fixed
+//! per-access latency and separate sustained read/write bandwidths,
+//! serialized at the device. Each tile touch that misses the resident
+//! tier costs one record read (the fault-in) and one record write (the
+//! dirty eviction that made room for it).
+//!
+//! Two deployment arms bound the real runtime from both sides:
+//!
+//! * **overlapped** — a perfect prefetcher hides disk time behind
+//!   compute, so the makespan is `max(compute, disk)`; this is what the
+//!   scheduler-driven ready-frontier prefetch aims for;
+//! * **serialized** — every miss is a demand fault on the critical path,
+//!   so the makespan is `compute + disk`; this is what a prefetch-less
+//!   run degrades to.
+//!
+//! [`spill_sweep`] walks the residency fraction and
+//! [`spill_crossover`] solves for the fraction below which even perfect
+//! prefetch cannot hide the disk: the run turns bandwidth-bound and
+//! makespan grows linearly as residency shrinks.
+
+use hqr_runtime::TaskGraph;
+
+/// One disk arm: fixed per-access latency plus sustained sequential
+/// bandwidths. Spill records are tile-sized, so bandwidth dominates for
+/// realistic tiles and latency dominates for tiny ones.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DiskModel {
+    /// Sustained read bandwidth, bytes/s.
+    pub read_bw: f64,
+    /// Sustained write bandwidth, bytes/s.
+    pub write_bw: f64,
+    /// Fixed per-access latency, seconds (seek + request overhead).
+    pub latency: f64,
+}
+
+impl Default for DiskModel {
+    /// A mid-range SATA SSD: 500 MB/s reads, 450 MB/s writes, 100 µs
+    /// per access.
+    fn default() -> Self {
+        DiskModel { read_bw: 500e6, write_bw: 450e6, latency: 100e-6 }
+    }
+}
+
+impl DiskModel {
+    /// Wall-clock seconds one miss costs: fault-in read plus the dirty
+    /// write-back that evicted a resident tile to make room.
+    pub fn miss_seconds(&self, tile_bytes: f64) -> f64 {
+        2.0 * self.latency
+            + tile_bytes / self.read_bw.max(f64::MIN_POSITIVE)
+            + tile_bytes / self.write_bw.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Total tile touches of a graph: every read- and write-set slot of
+/// every task pins (and may fault) once.
+pub fn tile_touches(graph: &TaskGraph) -> u64 {
+    graph.tasks().iter().map(|t| (t.reads().len() + t.writes().len()) as u64).sum()
+}
+
+/// One point of the residency sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpillPoint {
+    /// Fraction of the tile footprint held resident, in (0, 1].
+    pub residency: f64,
+    /// Expected tile touches that miss the resident tier.
+    pub misses: f64,
+    /// Seconds the disk arm is busy serving those misses.
+    pub disk_seconds: f64,
+    /// Makespan with a perfect prefetcher: `max(compute, disk)`.
+    pub overlapped: f64,
+    /// Makespan with demand faults only: `compute + disk`.
+    pub serialized: f64,
+}
+
+impl SpillPoint {
+    /// True when even perfect prefetch cannot hide the disk: the run is
+    /// spill-bandwidth-bound at this residency (`disk >= compute`, so
+    /// the disk arm sets the overlapped makespan).
+    pub fn disk_bound(&self) -> bool {
+        self.disk_seconds >= self.overlapped
+    }
+}
+
+/// Price an out-of-core run at one residency fraction. Misses follow the
+/// uniform-reuse approximation: a touch misses with probability
+/// `1 - residency` (an LRU tier holding fraction `r` of the slots serves
+/// fraction `r` of touches under uniform reuse — pessimistic for panel
+/// locality, which the real prefetcher exploits).
+pub fn spill_point(
+    graph: &TaskGraph,
+    tile_bytes: f64,
+    compute_seconds: f64,
+    disk: &DiskModel,
+    residency: f64,
+) -> SpillPoint {
+    let r = residency.clamp(0.0, 1.0);
+    let misses = tile_touches(graph) as f64 * (1.0 - r);
+    let disk_seconds = misses * disk.miss_seconds(tile_bytes);
+    SpillPoint {
+        residency: r,
+        misses,
+        disk_seconds,
+        overlapped: compute_seconds.max(disk_seconds),
+        serialized: compute_seconds + disk_seconds,
+    }
+}
+
+/// Sweep the residency fraction from `1/points` up to fully resident.
+pub fn spill_sweep(
+    graph: &TaskGraph,
+    tile_bytes: f64,
+    compute_seconds: f64,
+    disk: &DiskModel,
+    points: usize,
+) -> Vec<SpillPoint> {
+    let n = points.max(1);
+    (1..=n)
+        .map(|i| spill_point(graph, tile_bytes, compute_seconds, disk, i as f64 / n as f64))
+        .collect()
+}
+
+/// The residency fraction where disk time equals compute time: below it
+/// the overlapped makespan is disk-bound and grows as residency shrinks;
+/// above it spilling is free (modulo prefetch misses). Returns 0.0 when
+/// the disk never catches up (spilling is always hidden) and 1.0 when
+/// even a sliver of spill traffic dominates.
+pub fn spill_crossover(
+    graph: &TaskGraph,
+    tile_bytes: f64,
+    compute_seconds: f64,
+    disk: &DiskModel,
+) -> f64 {
+    let full_miss = tile_touches(graph) as f64 * disk.miss_seconds(tile_bytes);
+    if full_miss <= f64::MIN_POSITIVE {
+        return 0.0;
+    }
+    (1.0 - compute_seconds / full_miss).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hqr_runtime::ElimOp;
+
+    fn graph() -> TaskGraph {
+        let (mt, nt, b) = (4, 3, 8);
+        let mut elims = Vec::new();
+        for k in 0..nt {
+            for i in (k + 1)..mt {
+                elims.push(ElimOp::new(k as u32, i as u32, k as u32, true));
+            }
+        }
+        TaskGraph::build(mt, nt, b, &elims)
+    }
+
+    #[test]
+    fn fully_resident_run_pays_nothing() {
+        let g = graph();
+        let p = spill_point(&g, 512.0, 10.0, &DiskModel::default(), 1.0);
+        assert_eq!(p.misses, 0.0);
+        assert_eq!(p.disk_seconds, 0.0);
+        assert_eq!(p.overlapped, 10.0);
+        assert_eq!(p.serialized, 10.0);
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_residency() {
+        let g = graph();
+        let disk = DiskModel::default();
+        let pts = spill_sweep(&g, 512.0 * 512.0, 1e-3, &disk, 10);
+        assert_eq!(pts.len(), 10);
+        for w in pts.windows(2) {
+            assert!(w[0].residency < w[1].residency);
+            assert!(w[0].disk_seconds >= w[1].disk_seconds, "less resident → more disk");
+            assert!(w[0].serialized >= w[1].serialized);
+            assert!(w[0].overlapped >= w[1].overlapped);
+        }
+        assert_eq!(pts.last().unwrap().residency, 1.0);
+    }
+
+    #[test]
+    fn crossover_separates_disk_bound_from_compute_bound() {
+        let g = graph();
+        // A slow disk against a short compute: the crossover sits
+        // strictly inside (0, 1), disk-bound below it, hidden above it.
+        let disk = DiskModel { read_bw: 50e6, write_bw: 50e6, latency: 1e-4 };
+        let tile_bytes = 512.0 * 1024.0;
+        let touches = tile_touches(&g) as f64;
+        let compute = 0.5 * touches * disk.miss_seconds(tile_bytes);
+        let rstar = spill_crossover(&g, tile_bytes, compute, &disk);
+        assert!(rstar > 0.0 && rstar < 1.0, "r* = {rstar}");
+        let below = spill_point(&g, tile_bytes, compute, &disk, rstar * 0.5);
+        let above = spill_point(&g, tile_bytes, compute, &disk, rstar + (1.0 - rstar) * 0.5);
+        assert!(below.disk_seconds > compute, "below r* the disk dominates");
+        assert!(above.disk_seconds < compute, "above r* compute dominates");
+        // And with a fast disk the crossover collapses to zero: spilling
+        // is always hidden by perfect prefetch.
+        let fast = DiskModel { read_bw: 1e12, write_bw: 1e12, latency: 1e-9 };
+        assert_eq!(spill_crossover(&g, 512.0, 1e3, &fast), 0.0);
+    }
+
+    #[test]
+    fn touches_count_read_and_write_sets() {
+        let g = graph();
+        let touches = tile_touches(&g);
+        // Every task touches at least two slots (its write set plus at
+        // least one read), so the total strictly exceeds the task count.
+        assert!(touches > g.tasks().len() as u64 * 2 - 1, "{touches}");
+    }
+}

@@ -24,6 +24,7 @@
 pub mod admission;
 pub mod checkpoint;
 pub mod des;
+pub mod disk;
 pub mod fault;
 pub mod platform;
 pub mod scalapack;
@@ -43,6 +44,7 @@ pub use des::{
     priority_ranks, simulate, simulate_traced, simulate_with_faults, simulate_with_policy,
     SchedPolicy, SimReport,
 };
+pub use disk::{spill_crossover, spill_point, spill_sweep, tile_touches, DiskModel, SpillPoint};
 pub use fault::{FaultOverhead, LinkDegrade, NodeCrash, SimError, SimFaultPlan};
 pub use platform::{Accelerators, KernelRates, LinkModel, Platform};
 pub use sdc::{find_sdc_crossover, sdc_policy_sweep, SdcCostModel, SdcSweepPoint};

@@ -157,6 +157,24 @@ impl TiledMatrix {
     pub fn tile_ptrs(&mut self) -> Vec<*mut f64> {
         self.tiles.iter_mut().map(|t| t.as_mut_ptr()).collect()
     }
+
+    /// Move tile `(i, j)`'s buffer out of the matrix, leaving an empty
+    /// placeholder. Used by the runtime's paged (spill-to-disk) tile store,
+    /// which takes ownership of every buffer so it can drop evicted tiles;
+    /// the matrix is unusable (hollow) until every buffer is returned with
+    /// [`TiledMatrix::put_tile_buf`].
+    pub fn take_tile_buf(&mut self, i: usize, j: usize) -> Box<[f64]> {
+        let idx = self.idx(i, j);
+        std::mem::replace(&mut self.tiles[idx], Box::from([]))
+    }
+
+    /// Return a buffer taken by [`TiledMatrix::take_tile_buf`]. The buffer
+    /// must hold exactly `b * b` elements.
+    pub fn put_tile_buf(&mut self, i: usize, j: usize, buf: Box<[f64]>) {
+        assert_eq!(buf.len(), self.b * self.b, "tile buffer length mismatch");
+        let idx = self.idx(i, j);
+        self.tiles[idx] = buf;
+    }
 }
 
 #[cfg(test)]
