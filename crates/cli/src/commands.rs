@@ -31,7 +31,7 @@ USAGE:
   hqr simulate [--rows R --cols C --tile B --grid PxQ --algorithm ALG
                 --nodes N --cores C --policy POLICY --gpus G --gpu-speedup X
                 --rates edel|measured --disk-read-mbs X --disk-write-mbs X
-                --disk-latency-us U]
+                --disk-latency-us U --net-calib FILE]
       replay the task DAG on the simulated cluster; with --disk-read-mbs
       (and friends) also price an out-of-core run, sweeping the resident
       fraction and reporting where spill bandwidth overtakes compute
@@ -134,6 +134,33 @@ USAGE:
       QoS shedding vs oversubscribed degradation) with a Poisson-arrival
       simulation swept across arrival rates; reports p50/p99 latency,
       the interactive-class p99, and loss rates per arm
+  hqr worker   [--listen ADDR --die-after-tasks N --die-hard --slow-ms MS]
+      run one distributed tile worker: owns a shard of the matrix,
+      executes kernels on request, serves tiles to peers over TCP;
+      prints its pid and bound address (--listen 127.0.0.1:0 picks a
+      free port); --die-after-tasks/--die-hard are deterministic
+      kill-points for chaos tests (--die-hard aborts the process)
+  hqr dist     [--workers A:P,B:P,... | --spawn N] [--rows R --cols C
+                --tile B --ib IB --seed S --grid PxQ --a A --low TREE
+                --high TREE --domino --worker-grid PxQ
+                --rpc-timeout-ms MS --retries N --hb-interval-ms MS
+                --hb-timeout-ms MS --stall-timeout-ms MS
+                --net-seed S --drop-frac F --delay-frac F --delay-ms MS
+                --verify --trace FILE]
+      distributed factorization across a worker fleet (external
+      addresses, or --spawn N in-process workers): tiles live in 2D
+      block-cyclic shards, every RPC has a deadline plus jittered
+      retries, heartbeats supervise the fleet, and a worker lost
+      mid-run is recovered by lineage re-execution onto survivors;
+      --drop-frac/--delay-frac inject seeded chaos, --verify checks
+      the result is bitwise-identical to a serial run, --trace writes
+      the coordinator's account of the run (transfers, retries,
+      recoveries) for CI artifacts
+  hqr calibrate [--sizes B1,B2,... --reps N --out FILE]
+      measure real loopback TCP transfers across payload sizes, fit
+      LogGP (latency, bandwidth) by least squares, print a
+      measured-vs-model table against the paper's InfiniBand link, and
+      persist the fit for `hqr simulate --net-calib FILE`
   hqr schedule [--rows MT --cols NT --tree TREE --panels P]
       print the coarse-grain unit-time schedule (Tables I-IV)
   hqr trees    [--size Z]
@@ -144,7 +171,7 @@ USAGE:
   POLICY: fifo | panel | cp   (ready-queue scheduling policy; both backends)
 ";
 
-fn tree_of(args: &Args, key: &str, default: TreeKind) -> TreeKind {
+pub(crate) fn tree_of(args: &Args, key: &str, default: TreeKind) -> TreeKind {
     match args.get(key) {
         None => default,
         Some(v) => TreeKind::parse(v).unwrap_or_else(|| {
@@ -182,7 +209,7 @@ fn rates_of(args: &Args) -> Result<KernelRates, i32> {
     }
 }
 
-fn config_of(args: &Args, grid: (usize, usize)) -> HqrConfig {
+pub(crate) fn config_of(args: &Args, grid: (usize, usize)) -> HqrConfig {
     HqrConfig::new(grid.0, grid.1)
         .with_a(args.usize_or("a", 1))
         .with_low(tree_of(args, "low", TreeKind::Greedy))
@@ -193,7 +220,7 @@ fn config_of(args: &Args, grid: (usize, usize)) -> HqrConfig {
 /// Reject zero where a positive value is required, with a clean message
 /// instead of a panic deep inside the library. Returns `Some(2)` (the exit
 /// code) on the first offending argument.
-fn require_positive(checks: &[(&str, usize)]) -> Option<i32> {
+pub(crate) fn require_positive(checks: &[(&str, usize)]) -> Option<i32> {
     for &(name, v) in checks {
         if v == 0 {
             eprintln!("--{name} must be positive");
@@ -206,7 +233,7 @@ fn require_positive(checks: &[(&str, usize)]) -> Option<i32> {
 
 /// Reject non-finite or non-positive floats (bandwidth/latency factors,
 /// I/O rates) with a usage hint. Returns `Some(2)` on the first offender.
-fn require_positive_f64(checks: &[(&str, f64)]) -> Option<i32> {
+pub(crate) fn require_positive_f64(checks: &[(&str, f64)]) -> Option<i32> {
     for &(name, v) in checks {
         if !v.is_finite() || v <= 0.0 {
             eprintln!("--{name} must be a positive finite number, got {v}");
@@ -377,6 +404,26 @@ pub fn simulate(args: &Args) -> i32 {
             update_speedup: args.f64_or("gpu-speedup", 8.0),
         });
     }
+    let mut link_note = String::new();
+    if let Some(path) = args.get("net-calib") {
+        let parsed = std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| hqr_sim::LinkModel::parse_calibration(&text).map(|(l, _)| l));
+        match parsed {
+            Ok(link) => {
+                link_note = format!(
+                    ", link calibrated from {path} ({:.2} us, {:.2} GB/s)",
+                    link.latency * 1e6,
+                    link.bandwidth / 1e9
+                );
+                platform.link = link;
+            }
+            Err(e) => {
+                eprintln!("--net-calib {path}: {e}");
+                return 2;
+            }
+        }
+    }
     let policy = match policy_of(args, SchedPolicy::PanelFirst) {
         Ok(p) => p,
         Err(code) => return code,
@@ -403,10 +450,11 @@ pub fn simulate(args: &Args) -> i32 {
     println!("algorithm : {}", setup.name);
     println!("matrix    : {rows} x {cols} ({mt} x {nt} tiles of {b})");
     println!(
-        "platform  : {} nodes x {} cores{}",
+        "platform  : {} nodes x {} cores{}{}",
         platform.nodes,
         platform.cores_per_node,
-        if gpus > 0 { format!(" + {gpus} GPUs/node") } else { String::new() }
+        if gpus > 0 { format!(" + {gpus} GPUs/node") } else { String::new() },
+        link_note
     );
     let t0 = Instant::now();
     let graph = match TaskGraph::try_build(mt, nt, b, &setup.elims.to_ops()) {

@@ -3,6 +3,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod dist;
 pub mod proto;
 #[cfg(unix)]
 pub mod service;
@@ -39,6 +40,9 @@ pub fn run(argv: &[String]) -> i32 {
         Some("drain") => service::drain(&Args::parse(&argv[1..])),
         #[cfg(unix)]
         Some("ping") => service::ping(&Args::parse(&argv[1..])),
+        Some("worker") => dist::worker(&Args::parse(&argv[1..])),
+        Some("dist") => dist::dist(&Args::parse(&argv[1..])),
+        Some("calibrate") => dist::calibrate(&Args::parse(&argv[1..])),
         Some("dot") => commands::dot(&Args::parse(&argv[1..])),
         Some("admission") => commands::admission(&Args::parse(&argv[1..])),
         Some("help") | Some("--help") | Some("-h") | None => {

@@ -1,0 +1,776 @@
+//! The distributed coordinator: drives an elimination-list DAG across
+//! TCP tile workers, supervises them, and recovers from their deaths.
+//!
+//! ## Shard ownership and data movement
+//!
+//! Tiles are distributed 2D block-cyclically: tile `(i, j)` belongs to
+//! grid rank `owner(i%p, j%q)`, and a `rank → worker` table maps ranks
+//! onto live processes (initially the identity; recovery remaps a dead
+//! worker's ranks onto survivors). Tasks execute on the worker owning
+//! their affinity tile (owner-computes); operand slots the executing
+//! worker does not hold are relayed — `Get` from the current holder,
+//! `Put` to the executor — before the `Run` RPC. The coordinator tracks
+//! for every slot the set of workers holding its *current* version:
+//! a task's writes make its worker the sole holder; its reads add the
+//! worker to the holder set.
+//!
+//! ## Failure detection and recovery
+//!
+//! Every worker is watched by a dedicated heartbeat connection; pings
+//! that go unanswered for longer than `hb_timeout` condemn the worker.
+//! RPC failures that survive the retry ladder condemn their target too
+//! (partitions are treated as fail-stop: once condemned, a worker is
+//! never spoken to again, so a revived partition cannot corrupt the
+//! run). Condemnation triggers recovery: the dead worker's ranks are
+//! remapped onto survivors, its queued/in-flight tasks are requeued,
+//! and every slot whose holders all died is rebuilt *locally* by
+//! lineage re-execution (`hqr_runtime::lineage`) from the pristine
+//! input, then pushed to its new owner. Kernels are deterministic, so
+//! the finished factorization is bitwise-identical to a fault-free run.
+
+use crate::error::NetError;
+use crate::fault::{FaultAction, NetFaultPlan};
+use crate::kernel::Slot;
+use crate::msg::{recv_msg, send_msg, Msg};
+use hqr_runtime::task::SlotFamily;
+use hqr_runtime::{rebuild_closure, recompute_slots, RetryPolicy, TFactors, Task, TaskGraph};
+use hqr_tile::{ProcessGrid, TiledMatrix};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Configuration for one distributed factorization.
+#[derive(Clone, Debug)]
+pub struct DistConfig {
+    /// Virtual process grid; `grid.nodes()` must equal the worker count.
+    pub grid: ProcessGrid,
+    /// Deadline for any single RPC attempt.
+    pub rpc_timeout: Duration,
+    /// Retry ladder applied to retryable RPC failures.
+    pub retry: RetryPolicy,
+    /// Gap between heartbeat probes.
+    pub hb_interval: Duration,
+    /// Silence longer than this condemns the worker.
+    pub hb_timeout: Duration,
+    /// Progress stall longer than this aborts the run.
+    pub stall_timeout: Duration,
+    /// Seeded drop/delay injection on coordinator-side RPC sends.
+    pub fault: NetFaultPlan,
+    /// Run identifier (workers reset state on a new id).
+    pub run_id: u64,
+}
+
+impl DistConfig {
+    /// Sensible defaults for `n` workers: the most square grid with
+    /// `p*q == n`, patient RPC deadlines, snappy heartbeats.
+    pub fn for_workers(n: usize) -> Self {
+        assert!(n > 0, "need at least one worker");
+        let mut p = (n as f64).sqrt() as usize;
+        while p > 1 && !n.is_multiple_of(p) {
+            p -= 1;
+        }
+        DistConfig {
+            grid: ProcessGrid::new(p.max(1), n / p.max(1)),
+            rpc_timeout: Duration::from_secs(5),
+            retry: RetryPolicy {
+                base: Duration::from_millis(10),
+                cap: Duration::from_millis(200),
+                max_attempts: 3,
+            },
+            hb_interval: Duration::from_millis(50),
+            hb_timeout: Duration::from_millis(1500),
+            stall_timeout: Duration::from_secs(60),
+            fault: NetFaultPlan::none(),
+            run_id: 1,
+        }
+    }
+}
+
+/// One worker-loss recovery, for the report.
+#[derive(Clone, Debug)]
+pub struct RecoveryEvent {
+    /// Which worker was condemned.
+    pub worker: usize,
+    /// Why.
+    pub reason: String,
+    /// In-flight/queued tasks of the dead worker put back on the queue.
+    pub tasks_requeued: usize,
+    /// Slots whose only holders died and had to be rebuilt.
+    pub slots_rebuilt: usize,
+    /// Lineage tasks re-executed locally to rebuild them.
+    pub closure_len: usize,
+}
+
+/// What one distributed run did.
+#[derive(Clone, Debug, Default)]
+pub struct DistReport {
+    /// Worker count at start.
+    pub workers: usize,
+    /// Tasks in the DAG.
+    pub tasks_total: usize,
+    /// Accepted task completions per worker.
+    pub tasks_by_worker: Vec<u64>,
+    /// Slot transfers relayed (Get+Put pairs), including scatter/gather.
+    pub transfers: u64,
+    /// Doubles moved across the wire.
+    pub floats_moved: u64,
+    /// RPC attempts beyond the first, fleet-wide.
+    pub rpc_retries: u64,
+    /// Every condemnation + recovery, in order.
+    pub recoveries: Vec<RecoveryEvent>,
+    /// Wall-clock of the factorization phase (scatter..gather).
+    pub elapsed: Duration,
+}
+
+/// A lazily-(re)connected channel to one worker.
+struct Conn {
+    addr: SocketAddr,
+    timeout: Duration,
+    stream: Option<TcpStream>,
+}
+
+impl Conn {
+    fn new(addr: SocketAddr, timeout: Duration) -> Self {
+        Conn { addr, timeout, stream: None }
+    }
+
+    fn ensure(&mut self) -> Result<&mut TcpStream, NetError> {
+        if self.stream.is_none() {
+            let s = TcpStream::connect_timeout(&self.addr, self.timeout)
+                .map_err(|e| NetError::Io(format!("connect {}: {e}", self.addr)))?;
+            let _ = s.set_nodelay(true);
+            s.set_read_timeout(Some(self.timeout))
+                .map_err(|e| NetError::Io(format!("set timeout: {e}")))?;
+            self.stream = Some(s);
+        }
+        Ok(self.stream.as_mut().expect("just set"))
+    }
+
+    /// One request/reply exchange. Any failure poisons the connection
+    /// (it is dropped and re-dialed on the next attempt), so a late
+    /// reply to a timed-out request can never be mismatched.
+    fn rpc(&mut self, req: &Msg, what: &str) -> Result<Msg, NetError> {
+        let timeout = self.timeout;
+        let result = (|| {
+            let s = self.ensure()?;
+            send_msg(s, req)?;
+            recv_msg(s, what, timeout)
+        })();
+        if result.is_err() {
+            self.stream = None;
+        }
+        result
+    }
+}
+
+/// Per-worker connections and counters shared between threads.
+struct Link {
+    addr: SocketAddr,
+    exec: Mutex<Conn>,
+    data: Mutex<Conn>,
+    send_seq: AtomicU64,
+    condemned: AtomicBool,
+}
+
+struct Shared {
+    links: Vec<Link>,
+    cfg: DistConfig,
+    retries: AtomicU64,
+    stop: AtomicBool,
+}
+
+impl Shared {
+    /// Retry ladder around one RPC, with seeded fault injection at the
+    /// send site. `salt` decorrelates backoff between callers.
+    fn rpc_retry(
+        &self,
+        worker: usize,
+        lane: fn(&Link) -> &Mutex<Conn>,
+        req: &Msg,
+        what: &str,
+    ) -> Result<Msg, NetError> {
+        let link = &self.links[worker];
+        if link.condemned.load(Ordering::SeqCst) {
+            return Err(NetError::WorkerDead { worker, reason: "previously condemned".into() });
+        }
+        let mut attempt = 1u32;
+        loop {
+            let seq = link.send_seq.fetch_add(1, Ordering::Relaxed);
+            let outcome = match self.cfg.fault.action(worker, seq) {
+                FaultAction::Drop => Err(NetError::Timeout {
+                    what: format!("{what} (injected drop)"),
+                    after: self.cfg.rpc_timeout,
+                }),
+                FaultAction::Delay(d) => {
+                    thread::sleep(d);
+                    lane(link).lock().unwrap().rpc(req, what)
+                }
+                FaultAction::Deliver => lane(link).lock().unwrap().rpc(req, what),
+            };
+            match outcome {
+                Ok(Msg::Err { detail }) => return Err(NetError::Remote(detail)),
+                Ok(m) => return Ok(m),
+                Err(e) if e.is_retryable() && self.cfg.retry.allows(attempt + 1) => {
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    let salt = (worker as u64) << 32 | seq & 0xFFFF_FFFF;
+                    thread::sleep(self.cfg.retry.backoff(attempt, salt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn get_slot(&self, worker: usize, slot: Slot) -> Result<Vec<f64>, NetError> {
+        let (fam, i, j) = slot;
+        let req = Msg::Get { fam, i: i as u64, j: j as u64 };
+        match self.rpc_retry(worker, |l| &l.data, &req, "slot data")? {
+            Msg::SlotData { data, .. } => Ok(data),
+            other => Err(NetError::Proto(format!("expected SlotData, got {other:?}"))),
+        }
+    }
+
+    fn put_slot(&self, worker: usize, slot: Slot, data: Vec<f64>) -> Result<(), NetError> {
+        let (fam, i, j) = slot;
+        let req = Msg::Put { fam, i: i as u64, j: j as u64, data };
+        match self.rpc_retry(worker, |l| &l.data, &req, "put ack")? {
+            Msg::PutOk => Ok(()),
+            other => Err(NetError::Proto(format!("expected PutOk, got {other:?}"))),
+        }
+    }
+}
+
+enum Event {
+    Done { worker: usize, tid: u32 },
+    Failed { worker: usize, tid: u32, culprit: usize, error: String },
+    HbDead { worker: usize, reason: String },
+}
+
+enum Cmd {
+    Run { tid: u32, task: Task, fetches: Vec<(Slot, usize)> },
+    Stop,
+}
+
+/// Agent thread: executes Run commands for one worker, relaying operand
+/// slots from their holders first.
+fn agent_loop(w: usize, shared: &Shared, rx: &mpsc::Receiver<Cmd>, tx: &mpsc::Sender<Event>) {
+    while let Ok(cmd) = rx.recv() {
+        let Cmd::Run { tid, task, fetches } = cmd else { break };
+        let mut failed = false;
+        for (slot, holder) in fetches {
+            let data = match shared.get_slot(holder, slot) {
+                Ok(d) => d,
+                Err(e) => {
+                    let _ = tx.send(Event::Failed {
+                        worker: w,
+                        tid,
+                        culprit: holder,
+                        error: format!("fetch {slot:?} from worker {holder}: {e}"),
+                    });
+                    failed = true;
+                    break;
+                }
+            };
+            if let Err(e) = shared.put_slot(w, slot, data) {
+                let _ = tx.send(Event::Failed {
+                    worker: w,
+                    tid,
+                    culprit: w,
+                    error: format!("stage {slot:?} on worker {w}: {e}"),
+                });
+                failed = true;
+                break;
+            }
+        }
+        if failed {
+            continue;
+        }
+        let req = Msg::Run { task_id: tid as u64, task };
+        match shared.rpc_retry(w, |l| &l.exec, &req, "task completion") {
+            Ok(Msg::Done { .. }) => {
+                let _ = tx.send(Event::Done { worker: w, tid });
+            }
+            Ok(other) => {
+                let _ = tx.send(Event::Failed {
+                    worker: w,
+                    tid,
+                    culprit: w,
+                    error: format!("expected Done, got {other:?}"),
+                });
+            }
+            Err(e) => {
+                let _ = tx.send(Event::Failed {
+                    worker: w,
+                    tid,
+                    culprit: w,
+                    error: format!("run on worker {w}: {e}"),
+                });
+            }
+        }
+    }
+}
+
+/// Heartbeat monitor: a dedicated connection pings the worker; silence
+/// past `hb_timeout` condemns it. A worker busy inside a kernel still
+/// answers (its heartbeat connection has its own thread), so slow is
+/// not declared dead.
+fn heartbeat_loop(w: usize, shared: &Shared, tx: &mpsc::Sender<Event>) {
+    let mut conn =
+        Conn::new(shared.links[w].addr, shared.cfg.hb_interval.max(Duration::from_millis(10)));
+    let mut seq = 0u64;
+    let mut last_ok = Instant::now();
+    while !shared.stop.load(Ordering::SeqCst) && !shared.links[w].condemned.load(Ordering::SeqCst) {
+        seq += 1;
+        match conn.rpc(&Msg::Ping { seq }, "pong") {
+            Ok(Msg::Pong { seq: echo }) if echo == seq => last_ok = Instant::now(),
+            _ => {
+                if last_ok.elapsed() > shared.cfg.hb_timeout {
+                    let _ = tx.send(Event::HbDead {
+                        worker: w,
+                        reason: format!(
+                            "no heartbeat for {:?} (> {:?})",
+                            last_ok.elapsed(),
+                            shared.cfg.hb_timeout
+                        ),
+                    });
+                    return;
+                }
+            }
+        }
+        thread::sleep(shared.cfg.hb_interval);
+    }
+}
+
+struct CoordState<'g> {
+    graph: &'g TaskGraph,
+    completed: Vec<bool>,
+    queued: Vec<bool>,
+    indeg: Vec<u32>,
+    /// Ready tasks per grid rank (stable across worker deaths).
+    rank_queues: Vec<VecDeque<u32>>,
+    /// rank -> live worker index.
+    rank_owner: Vec<usize>,
+    /// Current-version holders per slot.
+    holders: HashMap<Slot, Vec<usize>>,
+    alive: Vec<bool>,
+    busy: Vec<Option<u32>>,
+    done_count: usize,
+    report: DistReport,
+}
+
+impl CoordState<'_> {
+    fn owner_rank(&self, grid: &ProcessGrid, task: &Task) -> usize {
+        let (i, j) = task.affinity_tile();
+        grid.rank(i % grid.p, j % grid.q)
+    }
+
+    fn enqueue(&mut self, grid: &ProcessGrid, tid: u32) {
+        if self.completed[tid as usize] || self.queued[tid as usize] {
+            return;
+        }
+        if self.busy.contains(&Some(tid)) {
+            return;
+        }
+        let rank = self.owner_rank(grid, &self.graph.tasks()[tid as usize]);
+        self.rank_queues[rank].push_back(tid);
+        self.queued[tid as usize] = true;
+    }
+}
+
+/// Factorize `input` on the workers at `addrs`. Returns the factorized
+/// matrix (R in the upper part, V below), the gathered T factors, and a
+/// run report — bitwise-identical to `execute_serial` on the same graph,
+/// worker deaths included.
+pub fn factorize(
+    addrs: &[SocketAddr],
+    graph: &TaskGraph,
+    input: &TiledMatrix,
+    ib: usize,
+    cfg: &DistConfig,
+) -> Result<(TiledMatrix, TFactors, DistReport), NetError> {
+    let n_workers = addrs.len();
+    if n_workers == 0 {
+        return Err(NetError::Recovery("no workers".into()));
+    }
+    if cfg.grid.nodes() != n_workers {
+        return Err(NetError::Recovery(format!(
+            "grid {}x{} needs {} workers, got {n_workers}",
+            cfg.grid.p,
+            cfg.grid.q,
+            cfg.grid.nodes()
+        )));
+    }
+    let start = Instant::now();
+    let shared = Arc::new(Shared {
+        links: addrs
+            .iter()
+            .map(|&addr| Link {
+                addr,
+                exec: Mutex::new(Conn::new(addr, cfg.rpc_timeout)),
+                data: Mutex::new(Conn::new(addr, cfg.rpc_timeout)),
+                send_seq: AtomicU64::new(0),
+                condemned: AtomicBool::new(false),
+            })
+            .collect(),
+        cfg: cfg.clone(),
+        retries: AtomicU64::new(0),
+        stop: AtomicBool::new(false),
+    });
+
+    let n_tasks = graph.tasks().len();
+    let mut st = CoordState {
+        graph,
+        completed: vec![false; n_tasks],
+        queued: vec![false; n_tasks],
+        indeg: graph.in_degrees().to_vec(),
+        rank_queues: vec![VecDeque::new(); cfg.grid.nodes()],
+        rank_owner: (0..n_workers).collect(),
+        holders: HashMap::new(),
+        alive: vec![true; n_workers],
+        busy: vec![None; n_workers],
+        done_count: 0,
+        report: DistReport {
+            workers: n_workers,
+            tasks_total: n_tasks,
+            tasks_by_worker: vec![0; n_workers],
+            ..DistReport::default()
+        },
+    };
+
+    // Handshake, then scatter the initial shard.
+    let hello = Msg::Hello {
+        run_id: cfg.run_id,
+        mt: graph.mt() as u64,
+        nt: graph.nt() as u64,
+        b: graph.b() as u64,
+        ib: ib as u64,
+    };
+    for w in 0..n_workers {
+        match shared.rpc_retry(w, |l| &l.data, &hello, "hello ack")? {
+            Msg::HelloOk => {}
+            other => return Err(NetError::Proto(format!("expected HelloOk, got {other:?}"))),
+        }
+    }
+    for j in 0..graph.nt() {
+        for i in 0..graph.mt() {
+            let rank = cfg.grid.rank(i % cfg.grid.p, j % cfg.grid.q);
+            let w = st.rank_owner[rank];
+            shared.put_slot(w, (SlotFamily::A, i, j), input.tile(i, j).to_vec())?;
+            st.holders.insert((SlotFamily::A, i, j), vec![w]);
+            st.report.transfers += 1;
+            st.report.floats_moved += (graph.b() * graph.b()) as u64;
+        }
+    }
+
+    // Agents + heartbeat monitors.
+    let (ev_tx, ev_rx) = mpsc::channel::<Event>();
+    let mut cmd_txs = Vec::with_capacity(n_workers);
+    let mut threads = Vec::new();
+    for w in 0..n_workers {
+        let (tx, rx) = mpsc::channel::<Cmd>();
+        cmd_txs.push(tx);
+        let sh = Arc::clone(&shared);
+        let etx = ev_tx.clone();
+        threads.push(thread::spawn(move || agent_loop(w, &sh, &rx, &etx)));
+        let sh = Arc::clone(&shared);
+        let etx = ev_tx.clone();
+        threads.push(thread::spawn(move || heartbeat_loop(w, &sh, &etx)));
+    }
+
+    // Seed the ready queues.
+    for t in 0..n_tasks {
+        if st.indeg[t] == 0 {
+            st.enqueue(&cfg.grid, t as u32);
+        }
+    }
+
+    let run = drive(&mut st, &shared, cfg, graph, input, ib, &cmd_txs, &ev_rx);
+
+    // Wind down threads regardless of outcome.
+    shared.stop.store(true, Ordering::SeqCst);
+    for tx in &cmd_txs {
+        let _ = tx.send(Cmd::Stop);
+    }
+    drop(ev_tx);
+    for t in threads {
+        let _ = t.join();
+    }
+    run?;
+
+    // Gather: pull every current slot version back; anything unreachable
+    // is rebuilt locally from lineage (same machinery as recovery).
+    let mut result = input.clone();
+    let mut factors = TFactors::allocate_for(graph);
+    let mut unreachable: Vec<Slot> = Vec::new();
+    for (&slot, holders) in &st.holders {
+        let Some(&w) = holders.iter().find(|&&h| st.alive[h]) else {
+            unreachable.push(slot);
+            continue;
+        };
+        match shared.get_slot(w, slot) {
+            Ok(data) => {
+                st.report.transfers += 1;
+                st.report.floats_moved += data.len() as u64;
+                install_slot(&mut result, &mut factors, slot, &data)?;
+            }
+            Err(_) => unreachable.push(slot),
+        }
+    }
+    if !unreachable.is_empty() {
+        let closure = rebuild_closure(graph, &st.completed, &unreachable);
+        let rebuilt = recompute_slots(graph, input, ib, &closure, &unreachable)
+            .map_err(NetError::Recovery)?;
+        for (slot, data) in rebuilt {
+            install_slot(&mut result, &mut factors, slot, &data)?;
+        }
+    }
+    st.report.rpc_retries = shared.retries.load(Ordering::Relaxed);
+    st.report.elapsed = start.elapsed();
+    Ok((result, factors, st.report))
+}
+
+fn install_slot(
+    a: &mut TiledMatrix,
+    f: &mut TFactors,
+    slot: Slot,
+    data: &[f64],
+) -> Result<(), NetError> {
+    let (fam, i, j) = slot;
+    let dst: &mut [f64] = match fam {
+        SlotFamily::A => a.tile_mut(i, j),
+        _ => f.slot_mut(fam, i, j).ok_or_else(|| {
+            NetError::Recovery(format!("gathered {fam:?}({i},{j}) has no home in TFactors"))
+        })?,
+    };
+    if data.len() != dst.len() {
+        return Err(NetError::Recovery(format!(
+            "gathered {fam:?}({i},{j}) has {} floats, expected {}",
+            data.len(),
+            dst.len()
+        )));
+    }
+    dst.copy_from_slice(data);
+    Ok(())
+}
+
+/// The scheduling/recovery event loop. Returns when every task is done.
+#[allow(clippy::too_many_arguments)]
+fn drive(
+    st: &mut CoordState<'_>,
+    shared: &Shared,
+    cfg: &DistConfig,
+    graph: &TaskGraph,
+    input: &TiledMatrix,
+    ib: usize,
+    cmd_txs: &[mpsc::Sender<Cmd>],
+    ev_rx: &mpsc::Receiver<Event>,
+) -> Result<(), NetError> {
+    let mut last_progress = Instant::now();
+    while st.done_count < st.report.tasks_total {
+        dispatch_all(st, cfg, cmd_txs)?;
+        match ev_rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(Event::Done { worker, tid }) => {
+                if !st.alive[worker] {
+                    // A condemned worker's result is untrusted and its
+                    // data unreachable; the task was already requeued.
+                    continue;
+                }
+                st.busy[worker] = None;
+                if st.completed[tid as usize] {
+                    continue;
+                }
+                st.completed[tid as usize] = true;
+                st.done_count += 1;
+                st.report.tasks_by_worker[worker] += 1;
+                last_progress = Instant::now();
+                let task = &graph.tasks()[tid as usize];
+                for s in task.writes() {
+                    st.holders.insert(s, vec![worker]);
+                }
+                for s in task.reads() {
+                    let hs = st.holders.entry(s).or_default();
+                    if !hs.contains(&worker) {
+                        hs.push(worker);
+                    }
+                }
+                for &succ in graph.successors(tid as usize) {
+                    st.indeg[succ as usize] -= 1;
+                    if st.indeg[succ as usize] == 0 {
+                        st.enqueue(&cfg.grid, succ);
+                    }
+                }
+            }
+            Ok(Event::Failed { worker, tid, culprit, error }) => {
+                st.busy[worker] = None;
+                st.enqueue(&cfg.grid, tid);
+                condemn(st, shared, cfg, graph, input, ib, culprit, &error)?;
+                last_progress = Instant::now();
+            }
+            Ok(Event::HbDead { worker, reason }) => {
+                condemn(st, shared, cfg, graph, input, ib, worker, &reason)?;
+                last_progress = Instant::now();
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return Err(NetError::Recovery("all agents exited early".into()));
+            }
+        }
+        if last_progress.elapsed() > cfg.stall_timeout {
+            return Err(NetError::Recovery(format!(
+                "no progress for {:?} ({}/{} tasks done)",
+                cfg.stall_timeout, st.done_count, st.report.tasks_total
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Hand every idle live worker its next task, with the fetch list
+/// resolved against the current holder map.
+fn dispatch_all(
+    st: &mut CoordState<'_>,
+    cfg: &DistConfig,
+    cmd_txs: &[mpsc::Sender<Cmd>],
+) -> Result<(), NetError> {
+    for (w, tx) in cmd_txs.iter().enumerate() {
+        if !st.alive[w] || st.busy[w].is_some() {
+            continue;
+        }
+        // Lowest task id across this worker's ranks keeps program order.
+        let mut pick: Option<(usize, u32)> = None;
+        for (rank, q) in st.rank_queues.iter().enumerate() {
+            if st.rank_owner[rank] != w {
+                continue;
+            }
+            if let Some(&tid) = q.front() {
+                if pick.is_none_or(|(_, best)| tid < best) {
+                    pick = Some((rank, tid));
+                }
+            }
+        }
+        let Some((rank, tid)) = pick else { continue };
+        st.rank_queues[rank].pop_front();
+        st.queued[tid as usize] = false;
+        let task = st.graph.tasks()[tid as usize];
+        let mut fetches = Vec::new();
+        let mut need = task.writes();
+        for s in task.reads() {
+            if !need.contains(&s) {
+                need.push(s);
+            }
+        }
+        for s in need {
+            match st.holders.get(&s) {
+                Some(hs) if hs.contains(&w) => {}
+                Some(hs) => {
+                    let Some(&holder) = hs.iter().find(|&&h| st.alive[h]) else {
+                        return Err(NetError::Recovery(format!(
+                            "slot {s:?} has no live holder at dispatch"
+                        )));
+                    };
+                    fetches.push((s, holder));
+                }
+                // Never-written factor output: the worker zero-creates it.
+                None => {}
+            }
+        }
+        st.report.transfers += fetches.len() as u64;
+        st.report.floats_moved += (fetches.len() * st.graph.b() * st.graph.b()) as u64;
+        st.busy[w] = Some(tid);
+        if tx.send(Cmd::Run { tid, task, fetches }).is_err() {
+            // Agent gone (only happens on shutdown); requeue.
+            st.busy[w] = None;
+            st.enqueue(&cfg.grid, tid);
+        }
+    }
+    Ok(())
+}
+
+/// Condemn `worker` and recover: remap its ranks, requeue its work, and
+/// rebuild any slot version that died with it. Failures to place
+/// rebuilt slots condemn the new target and loop.
+#[allow(clippy::too_many_arguments)]
+fn condemn(
+    st: &mut CoordState<'_>,
+    shared: &Shared,
+    cfg: &DistConfig,
+    graph: &TaskGraph,
+    input: &TiledMatrix,
+    ib: usize,
+    worker: usize,
+    reason: &str,
+) -> Result<(), NetError> {
+    let mut pending: Vec<(usize, String)> = vec![(worker, reason.to_string())];
+    while let Some((w, why)) = pending.pop() {
+        if !st.alive[w] {
+            continue;
+        }
+        st.alive[w] = false;
+        shared.links[w].condemned.store(true, Ordering::SeqCst);
+        let survivors: Vec<usize> = (0..st.alive.len()).filter(|&x| st.alive[x]).collect();
+        if survivors.is_empty() {
+            return Err(NetError::Recovery(format!(
+                "worker {w} condemned ({why}) and no survivors remain"
+            )));
+        }
+        let mut requeued = 0;
+        if let Some(tid) = st.busy[w].take() {
+            st.enqueue(&cfg.grid, tid);
+            requeued += 1;
+        }
+        for (rank, owner) in st.rank_owner.iter_mut().enumerate() {
+            if *owner == w {
+                *owner = survivors[rank % survivors.len()];
+            }
+        }
+        // Rebuild every slot version whose holders all died.
+        let lost: Vec<Slot> = st
+            .holders
+            .iter()
+            .filter(|(_, hs)| hs.iter().all(|&h| !st.alive[h]))
+            .map(|(&s, _)| s)
+            .collect();
+        let closure = rebuild_closure(graph, &st.completed, &lost);
+        let rebuilt =
+            recompute_slots(graph, input, ib, &closure, &lost).map_err(NetError::Recovery)?;
+        let mut placed = 0usize;
+        for (slot, data) in rebuilt {
+            let (_, i, j) = slot;
+            let rank = cfg.grid.rank(i % cfg.grid.p, j % cfg.grid.q);
+            let target = st.rank_owner[rank];
+            match shared.put_slot(target, slot, data.to_vec()) {
+                Ok(()) => {
+                    st.holders.insert(slot, vec![target]);
+                    st.report.transfers += 1;
+                    st.report.floats_moved += data.len() as u64;
+                    placed += 1;
+                }
+                Err(e) => {
+                    // The replacement died too; condemn it and redo the
+                    // scan (lost set will include what we failed to place).
+                    pending.push((target, format!("recovery put failed: {e}")));
+                    break;
+                }
+            }
+        }
+        st.report.recoveries.push(RecoveryEvent {
+            worker: w,
+            reason: why,
+            tasks_requeued: requeued,
+            slots_rebuilt: placed,
+            closure_len: closure.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Orderly shutdown of a fleet; dead workers are skipped silently.
+pub fn shutdown_workers(addrs: &[SocketAddr]) {
+    for &addr in addrs {
+        let _ = crate::worker::shutdown(addr);
+    }
+}

@@ -1,0 +1,43 @@
+//! Distributed execution backend for the HQR reproduction.
+//!
+//! The paper's algorithms target a *cluster* — the hierarchical
+//! elimination trees exist to minimize inter-node communication — and
+//! this crate supplies the cluster: multi-process tile workers holding
+//! 2D block-cyclic shards, a coordinator driving the same
+//! elimination-list DAG the in-process runtime and the simulator use,
+//! and tiles moving as checksummed `hqr_tile::io` containers inside
+//! length-prefixed TCP frames.
+//!
+//! Robustness is the design center, extending the single-process
+//! fault-tolerance contract across process boundaries:
+//!
+//! * every RPC has a deadline and a capped decorrelated-jitter retry
+//!   ladder ([`hqr_runtime::RetryPolicy`]);
+//! * corrupt, truncated, or oversized frames surface as typed
+//!   [`NetError`]s — never panics, never unbounded allocations;
+//! * workers are supervised over dedicated heartbeat connections, so a
+//!   slow worker is distinguishable from a dead one;
+//! * a confirmed-dead worker triggers lineage-based recovery
+//!   ([`hqr_runtime::lineage`]): lost slot versions are re-executed
+//!   locally from the pristine input and re-placed on survivors, and the
+//!   finished factorization is bitwise-identical to a fault-free run;
+//! * seeded drop/delay injection ([`NetFaultPlan`]) plus deterministic
+//!   worker kill-points ([`WorkerOptions`]) make all of the above
+//!   chaos-testable reproducibly.
+
+pub mod calib;
+pub mod coord;
+pub mod error;
+pub mod fault;
+pub mod frame;
+pub mod kernel;
+pub mod msg;
+pub mod worker;
+
+pub use calib::{measure_loopback, CalibSample, Calibration};
+pub use coord::{factorize, shutdown_workers, DistConfig, DistReport, RecoveryEvent};
+pub use error::NetError;
+pub use fault::{FaultAction, NetFaultPlan};
+pub use frame::{read_frame, write_frame, MAX_FRAME};
+pub use msg::{recv_msg, send_msg, Msg, NET_MAGIC, NET_VERSION};
+pub use worker::{serve, shutdown, spawn_local, LocalWorker, WorkerOptions};

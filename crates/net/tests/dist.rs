@@ -1,0 +1,223 @@
+//! End-to-end distributed factorization tests: fault-free parity,
+//! worker-loss recovery, chaos (drop/delay) runs, and heartbeat
+//! false-positive safety — all against real TCP workers on loopback.
+
+use hqr_net::{
+    factorize, shutdown_workers, spawn_local, DistConfig, DistReport, NetFaultPlan, WorkerOptions,
+};
+use hqr_runtime::{execute_serial, ElimOp, TFactors, TaskGraph};
+use hqr_tile::TiledMatrix;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::net::SocketAddr;
+use std::time::Duration;
+
+fn random_elims(mt: usize, nt: usize, seed: u64) -> Vec<ElimOp> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for k in 0..mt.min(nt) {
+        let mut alive: Vec<u32> = (k as u32..mt as u32).collect();
+        while alive.len() > 1 {
+            let vpos = rng.gen_range(1..alive.len());
+            let upos = rng.gen_range(0..vpos);
+            out.push(ElimOp::new(k as u32, alive[vpos], alive[upos], false));
+            alive.remove(vpos);
+        }
+        alive.shuffle(&mut rng);
+    }
+    out
+}
+
+fn test_config(n: usize) -> DistConfig {
+    let mut cfg = DistConfig::for_workers(n);
+    cfg.rpc_timeout = Duration::from_secs(2);
+    cfg.hb_interval = Duration::from_millis(20);
+    cfg.hb_timeout = Duration::from_millis(500);
+    cfg.stall_timeout = Duration::from_secs(30);
+    cfg
+}
+
+/// Spawn workers with the given options, factorize, shut the fleet down.
+fn dist_run(
+    opts: &[WorkerOptions],
+    graph: &TaskGraph,
+    input: &TiledMatrix,
+    cfg: &DistConfig,
+) -> (TiledMatrix, TFactors, DistReport) {
+    let workers: Vec<_> = opts.iter().map(|&o| spawn_local(o).expect("spawn worker")).collect();
+    let addrs: Vec<SocketAddr> = workers.iter().map(|w| w.addr).collect();
+    let result = factorize(&addrs, graph, input, graph.b(), cfg);
+    shutdown_workers(&addrs);
+    for w in workers {
+        let _ = w.join();
+    }
+    result.expect("distributed factorization")
+}
+
+fn assert_bitwise_parity(
+    graph: &TaskGraph,
+    input: &TiledMatrix,
+    got_a: &TiledMatrix,
+    got_f: &TFactors,
+    context: &str,
+) {
+    let mut reference = input.clone();
+    let ref_f = execute_serial(graph, &mut reference);
+    let (d_ref, d_got) = (reference.to_dense(), got_a.to_dense());
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(d_ref.data()), bits(d_got.data()), "{context}: matrix diverged");
+    assert!(ref_f.bitwise_eq(got_f), "{context}: T factors diverged");
+}
+
+#[test]
+fn fault_free_four_workers_bitwise_parity() {
+    let (mt, nt, b) = (6, 4, 8);
+    let graph = TaskGraph::build(mt, nt, b, &random_elims(mt, nt, 11));
+    let input = TiledMatrix::random(mt, nt, b, 42);
+    let cfg = test_config(4);
+    let (a, f, report) = dist_run(&[WorkerOptions::default(); 4], &graph, &input, &cfg);
+    assert_bitwise_parity(&graph, &input, &a, &f, "fault-free 4 workers");
+    assert!(report.recoveries.is_empty(), "no one should die: {:?}", report.recoveries);
+    assert_eq!(report.tasks_by_worker.iter().sum::<u64>() as usize, report.tasks_total);
+    // Owner-computes over a 2x2 grid must spread work around.
+    assert!(
+        report.tasks_by_worker.iter().filter(|&&c| c > 0).count() >= 2,
+        "work never spread: {:?}",
+        report.tasks_by_worker
+    );
+}
+
+#[test]
+fn single_worker_fleet_works() {
+    let (mt, nt, b) = (4, 3, 4);
+    let graph = TaskGraph::build(mt, nt, b, &random_elims(mt, nt, 5));
+    let input = TiledMatrix::random(mt, nt, b, 6);
+    let cfg = test_config(1);
+    let (a, f, _) = dist_run(&[WorkerOptions::default()], &graph, &input, &cfg);
+    assert_bitwise_parity(&graph, &input, &a, &f, "single worker");
+}
+
+#[test]
+fn worker_killed_mid_run_recovers_bitwise() {
+    let (mt, nt, b) = (6, 4, 6);
+    let graph = TaskGraph::build(mt, nt, b, &random_elims(mt, nt, 3));
+    let input = TiledMatrix::random(mt, nt, b, 7);
+    let cfg = test_config(3);
+    // Kill worker 1 after it completes 2 tasks (sever-all, the in-process
+    // SIGKILL stand-in).
+    let mut opts = [WorkerOptions::default(); 3];
+    opts[1] = WorkerOptions { die_after_tasks: Some(2), die_hard: false, slow_task_ms: 0 };
+    let (a, f, report) = dist_run(&opts, &graph, &input, &cfg);
+    assert_bitwise_parity(&graph, &input, &a, &f, "kill worker 1 after 2 tasks");
+    assert!(
+        report.recoveries.iter().any(|r| r.worker == 1),
+        "worker 1 should have been condemned: {:?}",
+        report.recoveries
+    );
+}
+
+#[test]
+fn worker_killed_before_first_task_recovers() {
+    let (mt, nt, b) = (5, 3, 4);
+    let graph = TaskGraph::build(mt, nt, b, &random_elims(mt, nt, 9));
+    let input = TiledMatrix::random(mt, nt, b, 10);
+    let cfg = test_config(2);
+    let mut opts = [WorkerOptions::default(); 2];
+    opts[0] = WorkerOptions { die_after_tasks: Some(0), die_hard: false, slow_task_ms: 0 };
+    let (a, f, report) = dist_run(&opts, &graph, &input, &cfg);
+    assert_bitwise_parity(&graph, &input, &a, &f, "kill worker 0 at task 0");
+    assert!(!report.recoveries.is_empty());
+}
+
+/// The acceptance-criteria property: over random trees × kill-points ×
+/// worker counts, killing one worker mid-run always completes with a
+/// bitwise-identical result. Deterministic seeds, exhaustive-ish sweep
+/// kept small enough for CI.
+#[test]
+fn property_kill_points_times_trees_times_fleets() {
+    let mut case = 0u64;
+    for &(mt, nt, b) in &[(4usize, 3usize, 4usize), (6, 4, 3)] {
+        for &workers in &[2usize, 4] {
+            for &kill_point in &[1u64, 3, 7] {
+                case += 1;
+                let graph = TaskGraph::build(mt, nt, b, &random_elims(mt, nt, case));
+                let input = TiledMatrix::random(mt, nt, b, case ^ 0xDEAD);
+                let victim = (case as usize) % workers;
+                let mut opts = vec![WorkerOptions::default(); workers];
+                opts[victim] = WorkerOptions {
+                    die_after_tasks: Some(kill_point),
+                    die_hard: false,
+                    slow_task_ms: 0,
+                };
+                let cfg = test_config(workers);
+                let (a, f, report) = dist_run(&opts, &graph, &input, &cfg);
+                let label = format!(
+                    "case {case}: {mt}x{nt} b={b} workers={workers} victim={victim} kp={kill_point}"
+                );
+                assert_bitwise_parity(&graph, &input, &a, &f, &label);
+                // The victim only dies if it was ever asked to run that
+                // many tasks; when it was, recovery must have fired.
+                if report.tasks_by_worker[victim] == 0 && graph.tasks().len() as u64 > kill_point {
+                    assert!(
+                        report.recoveries.iter().any(|r| r.worker == victim),
+                        "{label}: victim ran nothing yet no recovery: {report:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn chaos_drops_and_delays_still_bitwise_correct() {
+    let (mt, nt, b) = (5, 4, 4);
+    let graph = TaskGraph::build(mt, nt, b, &random_elims(mt, nt, 21));
+    let input = TiledMatrix::random(mt, nt, b, 22);
+    let mut cfg = test_config(3);
+    cfg.fault = NetFaultPlan {
+        seed: 99,
+        drop_frac: 0.08,
+        delay_frac: 0.15,
+        delay: Duration::from_millis(2),
+    };
+    // Give the retry ladder headroom so random drops rarely condemn —
+    // and when they do, recovery must still land the exact result.
+    cfg.retry.max_attempts = 5;
+    let (a, f, report) = dist_run(&[WorkerOptions::default(); 3], &graph, &input, &cfg);
+    assert_bitwise_parity(&graph, &input, &a, &f, "chaos drops+delays");
+    assert!(report.rpc_retries > 0, "drop injection never engaged the retry ladder");
+}
+
+#[test]
+fn heartbeat_does_not_condemn_slow_but_alive_worker() {
+    let (mt, nt, b) = (3, 2, 4);
+    let graph = TaskGraph::build(mt, nt, b, &random_elims(mt, nt, 31));
+    let input = TiledMatrix::random(mt, nt, b, 32);
+    let mut cfg = test_config(2);
+    // Tasks take 300ms; silence tolerance is 150ms. If kernel execution
+    // blocked the heartbeat path, every task would get its worker killed.
+    cfg.hb_interval = Duration::from_millis(20);
+    cfg.hb_timeout = Duration::from_millis(150);
+    let slow = WorkerOptions { die_after_tasks: None, die_hard: false, slow_task_ms: 300 };
+    let (a, f, report) = dist_run(&[slow; 2], &graph, &input, &cfg);
+    assert_bitwise_parity(&graph, &input, &a, &f, "slow workers");
+    assert!(
+        report.recoveries.is_empty(),
+        "slow-but-alive workers were condemned: {:?}",
+        report.recoveries
+    );
+}
+
+#[test]
+fn report_accounts_for_transfers_and_elapsed() {
+    let (mt, nt, b) = (4, 2, 4);
+    let graph = TaskGraph::build(mt, nt, b, &random_elims(mt, nt, 41));
+    let input = TiledMatrix::random(mt, nt, b, 40);
+    let cfg = test_config(2);
+    let (_, _, report) = dist_run(&[WorkerOptions::default(); 2], &graph, &input, &cfg);
+    // At least the scatter (mt*nt tiles) and the gather moved data.
+    assert!(report.transfers >= (mt * nt) as u64);
+    assert!(report.floats_moved >= (mt * nt * b * b) as u64);
+    assert!(report.elapsed > Duration::ZERO);
+}

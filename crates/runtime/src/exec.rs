@@ -108,6 +108,25 @@ impl TFactors {
         Self::get(&self.tk, self.mt, i, k)
     }
 
+    /// Mutable view of an allocated factor buffer, for callers (the
+    /// distributed gather step) that fill a [`TFactors`] from bytes
+    /// computed elsewhere. `None` when the graph never writes that slot.
+    pub fn slot_mut(
+        &mut self,
+        fam: crate::task::SlotFamily,
+        i: usize,
+        k: usize,
+    ) -> Option<&mut [f64]> {
+        let idx = i + k * self.mt;
+        let v = match fam {
+            crate::task::SlotFamily::Vg => &mut self.vg,
+            crate::task::SlotFamily::Tg => &mut self.tg,
+            crate::task::SlotFamily::Tk => &mut self.tk,
+            crate::task::SlotFamily::A => return None,
+        };
+        v.get_mut(idx).and_then(|o| o.as_deref_mut())
+    }
+
     /// Bit-exact equality of every allocated factor buffer (comparing
     /// `f64::to_bits`, so `-0.0 != 0.0` and NaNs compare by payload) — the
     /// check behind the "resume is bitwise-identical" guarantee.

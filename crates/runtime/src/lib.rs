@@ -35,7 +35,9 @@ pub mod fault;
 pub mod graph;
 pub mod integrity;
 pub mod journal;
+pub mod lineage;
 pub mod pool;
+pub mod retry;
 pub mod sched;
 pub mod spill;
 pub mod store;
@@ -62,11 +64,13 @@ pub use journal::{
     replay, result_from_bytes, result_to_bytes, Journal, JournalError, JournalEvent, RecoveredJob,
     ResultStore, StoredResult, JOURNAL_MAGIC, JOURNAL_VERSION, RESULT_MAGIC, RESULT_VERSION,
 };
+pub use lineage::{last_writers, rebuild_closure, recompute_slots, Slot};
 pub use pool::{
     load_queue, DrainReport, DurabilityConfig, JobId, JobInput, JobOutcome, JobPool, JobResult,
     JobSpec, JobState, JobView, PoolConfig, QosClass, QueueEntry, QueueFormatError, RecoveryReport,
     SubmitError, SuspendKind, CKPT_DIR, JOURNAL_FILE, QUEUE_MAGIC, QUEUE_VERSION, RESULTS_DIR,
 };
+pub use retry::RetryPolicy;
 pub use sched::SchedPolicy;
 pub use spill::{SpillSummary, SPILL_MAGIC, SPILL_VERSION};
 pub use task::Task;

@@ -69,9 +69,7 @@ use crate::journal::{replay, result_to_bytes, Journal, JournalError, JournalEven
 use crate::sched::{self, SchedPolicy};
 use crate::store::TileStore;
 use hqr_kernels::KernelKind;
-use hqr_tile::io::{
-    bytes_of_u64s, fnv1a64, u64s_of_bytes, BinFormatError, SectionReader, SectionWriter,
-};
+use hqr_tile::io::{bytes_of_u64s, u64s_of_bytes, BinFormatError, SectionReader, SectionWriter};
 use hqr_tile::TiledMatrix;
 
 /// Magic bytes opening a persisted service queue file.
@@ -2206,17 +2204,19 @@ fn enforce_deadlines(shared: &Shared) {
     }
 }
 
-/// Exponential backoff for job-level retries: `base * 2^(attempts-1)`,
-/// capped, then scaled by a deterministic decorrelation factor in
-/// [0.5, 1.0] derived from `(salt, attempts)` — jobs that fail together
-/// (a shared fault, a mass deadline miss) spread their retries out
-/// instead of re-colliding in lockstep.
+/// Exponential backoff for job-level retries, delegating to the shared
+/// [`crate::retry::RetryPolicy`] (decorrelated jitter in [0.5, 1.0] from
+/// `(salt, attempts)`) — jobs that fail together (a shared fault, a mass
+/// deadline miss) spread their retries out instead of re-colliding in
+/// lockstep, and the job pool and the network RPC layer stay on one
+/// implementation of the constants.
 fn retry_backoff(cfg: &PoolConfig, attempts: u32, salt: u64) -> Duration {
-    let shift = attempts.saturating_sub(1).min(20);
-    let raw = cfg.backoff_base.saturating_mul(1u32 << shift).min(cfg.backoff_cap);
-    let h = fnv1a64(&bytes_of_u64s(&[salt, attempts as u64]));
-    let frac = 0.5 + 0.5 * ((h >> 11) as f64 / (1u64 << 53) as f64);
-    Duration::from_secs_f64(raw.as_secs_f64() * frac)
+    let policy = crate::retry::RetryPolicy {
+        base: cfg.backoff_base,
+        cap: cfg.backoff_cap,
+        max_attempts: u32::MAX,
+    };
+    policy.backoff(attempts, salt)
 }
 
 fn finalize_jobs(shared: &Shared) {

@@ -1,0 +1,146 @@
+//! Shared retry/backoff policy.
+//!
+//! One implementation of capped exponential backoff with *decorrelated
+//! jitter* serves every retry loop in the workspace — the job pool's
+//! job-level retries and the network layer's RPC retries. Before this
+//! module each site carried its own copy of the constants, which had
+//! already started to drift; the policy is now a value both hand around.
+//!
+//! The jitter is deterministic: the scale factor is derived by hashing
+//! `(salt, attempt)` with FNV-1a, so a given caller retries on a
+//! reproducible schedule (seeded chaos tests depend on this) while
+//! *different* callers that fail together — a shared fault, a mass
+//! deadline miss, a severed link hitting every in-flight RPC — hash to
+//! different factors and spread out instead of re-colliding in lockstep.
+
+use hqr_tile::io::{bytes_of_u64s, fnv1a64};
+use std::time::Duration;
+
+/// Capped exponential backoff with deterministic decorrelated jitter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Delay before the second attempt (the first retry); doubles per
+    /// subsequent attempt.
+    pub base: Duration,
+    /// Upper bound on the un-jittered delay.
+    pub cap: Duration,
+    /// Total attempts allowed, including the first (so `max_attempts == 1`
+    /// means "never retry"). Enforced by callers via
+    /// [`RetryPolicy::allows`]; [`RetryPolicy::backoff`] itself is total.
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base: Duration::from_millis(10),
+            cap: Duration::from_secs(1),
+            max_attempts: 3,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// True when attempt number `attempt` (1-based) may still run.
+    pub fn allows(&self, attempt: u32) -> bool {
+        attempt <= self.max_attempts
+    }
+
+    /// Delay to wait *after* failed attempt `attempt` (1-based):
+    /// `base * 2^(attempt-1)` capped at `cap`, then scaled by a
+    /// deterministic decorrelation factor in `[0.5, 1.0]` derived from
+    /// `(salt, attempt)`.
+    pub fn backoff(&self, attempt: u32, salt: u64) -> Duration {
+        let shift = attempt.saturating_sub(1).min(20);
+        let raw = self.base.saturating_mul(1u32 << shift).min(self.cap);
+        Duration::from_secs_f64(raw.as_secs_f64() * jitter_frac(salt, attempt))
+    }
+}
+
+/// The decorrelation factor in `[0.5, 1.0]` for `(salt, attempt)`.
+fn jitter_frac(salt: u64, attempt: u32) -> f64 {
+    let h = fnv1a64(&bytes_of_u64s(&[salt, attempt as u64]));
+    0.5 + 0.5 * ((h >> 11) as f64 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(base_ms: u64, cap_ms: u64) -> RetryPolicy {
+        RetryPolicy {
+            base: Duration::from_millis(base_ms),
+            cap: Duration::from_millis(cap_ms),
+            max_attempts: 5,
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic() {
+        let p = policy(10, 1000);
+        for attempt in 1..6 {
+            for salt in [0u64, 7, 42, u64::MAX] {
+                assert_eq!(p.backoff(attempt, salt), p.backoff(attempt, salt));
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_stays_within_half_to_full_of_capped_exponential() {
+        let p = policy(10, 65);
+        for attempt in 1..12 {
+            for salt in 0..64u64 {
+                let d = p.backoff(attempt, salt);
+                let raw = p.base.saturating_mul(1u32 << (attempt - 1).min(20)).min(p.cap);
+                assert!(d <= raw, "attempt {attempt} salt {salt}: {d:?} > {raw:?}");
+                assert!(
+                    d.as_secs_f64() >= 0.5 * raw.as_secs_f64() - 1e-12,
+                    "attempt {attempt} salt {salt}: {d:?} below half of {raw:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_caps_for_large_attempts() {
+        let p = policy(10, 80);
+        // Past the cap the un-jittered delay is constant; huge attempt
+        // numbers must not overflow.
+        for attempt in [10u32, 100, u32::MAX] {
+            assert!(p.backoff(attempt, 3) <= p.cap);
+            assert!(p.backoff(attempt, 3).as_secs_f64() >= 0.5 * p.cap.as_secs_f64() - 1e-12);
+        }
+    }
+
+    #[test]
+    fn jitter_actually_varies_with_salt_and_attempt() {
+        let p = policy(64, 10_000);
+        let d0 = p.backoff(1, 0);
+        assert!((1..64).any(|s| p.backoff(1, s) != d0), "salt never changes the delay");
+        assert!(
+            (0..64).any(|s| jitter_frac(s, 1) != jitter_frac(s, 2)),
+            "attempt never changes the fraction"
+        );
+    }
+
+    #[test]
+    fn jitter_frac_range() {
+        for salt in 0..256u64 {
+            for attempt in 1..8u32 {
+                let f = jitter_frac(salt, attempt);
+                assert!((0.5..=1.0).contains(&f), "frac {f} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn allows_counts_the_first_attempt() {
+        let p = RetryPolicy { max_attempts: 3, ..RetryPolicy::default() };
+        assert!(p.allows(1));
+        assert!(p.allows(3));
+        assert!(!p.allows(4));
+        let never = RetryPolicy { max_attempts: 1, ..RetryPolicy::default() };
+        assert!(never.allows(1));
+        assert!(!never.allows(2));
+    }
+}

@@ -24,7 +24,7 @@ pub struct Task {
 
 /// Slot families used for data-flow dependency tracking. Each family holds
 /// one slot per tile coordinate.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum SlotFamily {
     /// The matrix tile itself.
     A = 0,

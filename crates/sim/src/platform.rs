@@ -82,6 +82,80 @@ impl LinkModel {
     pub fn transfer(&self, bytes: f64) -> f64 {
         self.latency + self.overhead + bytes / self.bandwidth
     }
+
+    /// Serialize this link plus the measurements behind it as the
+    /// `hqr calibrate` persistence format — a line-oriented text file
+    /// (`latency_s`, `bandwidth_Bps`, optional `sample BYTES SECS` rows)
+    /// that [`LinkModel::parse_calibration`] reads back.
+    pub fn format_calibration(&self, samples: &[(u64, f64)]) -> String {
+        let mut out = String::from("# hqr network calibration v1\n");
+        out.push_str(&format!("latency_s {:e}\n", self.latency));
+        out.push_str(&format!("bandwidth_Bps {:e}\n", self.bandwidth));
+        if self.overhead != 0.0 {
+            out.push_str(&format!("overhead_s {:e}\n", self.overhead));
+        }
+        for &(bytes, secs) in samples {
+            out.push_str(&format!("sample {bytes} {secs:e}\n"));
+        }
+        out
+    }
+
+    /// Parse the text format written by [`LinkModel::format_calibration`].
+    /// Returns the link model and the raw samples. Unknown keys are
+    /// rejected so typos don't silently fall back to defaults.
+    pub fn parse_calibration(text: &str) -> Result<(Self, Vec<(u64, f64)>), String> {
+        let (mut latency, mut bandwidth, mut overhead) = (None, None, 0.0f64);
+        let mut samples = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let key = parts.next().unwrap();
+            let bad = |what: &str| format!("calibration line {}: {what}", lineno + 1);
+            match key {
+                "latency_s" | "bandwidth_Bps" | "overhead_s" => {
+                    let v: f64 = parts
+                        .next()
+                        .ok_or_else(|| bad("missing value"))?
+                        .parse()
+                        .map_err(|e| bad(&format!("bad value: {e}")))?;
+                    if !v.is_finite() || v < 0.0 {
+                        return Err(bad("value must be finite and non-negative"));
+                    }
+                    match key {
+                        "latency_s" => latency = Some(v),
+                        "bandwidth_Bps" => bandwidth = Some(v),
+                        _ => overhead = v,
+                    }
+                }
+                "sample" => {
+                    let bytes: u64 = parts
+                        .next()
+                        .ok_or_else(|| bad("missing sample size"))?
+                        .parse()
+                        .map_err(|e| bad(&format!("bad sample size: {e}")))?;
+                    let secs: f64 = parts
+                        .next()
+                        .ok_or_else(|| bad("missing sample time"))?
+                        .parse()
+                        .map_err(|e| bad(&format!("bad sample time: {e}")))?;
+                    samples.push((bytes, secs));
+                }
+                other => return Err(bad(&format!("unknown key `{other}`"))),
+            }
+            if parts.next().is_some() {
+                return Err(bad("trailing tokens"));
+            }
+        }
+        let latency = latency.ok_or("calibration missing latency_s")?;
+        let bandwidth = bandwidth.ok_or("calibration missing bandwidth_Bps")?;
+        if bandwidth == 0.0 {
+            return Err("calibration bandwidth must be positive".into());
+        }
+        Ok((LinkModel { latency, bandwidth, overhead }, samples))
+    }
 }
 
 /// Accelerator (GPU) model for the paper's §VI future-work scenario:
@@ -202,6 +276,38 @@ mod tests {
         let t_unmqr = p.kernel_seconds(KernelKind::Unmqr, 280);
         // TSMQR has twice the flops of UNMQR at the same rate.
         assert!((t_tsmqr / t_unmqr - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibration_roundtrips_through_text() {
+        let link = LinkModel { latency: 1.7e-5, bandwidth: 3.4e9, overhead: 2e-6 };
+        let samples = vec![(64u64, 1.8e-5), (65_536, 4.1e-5)];
+        let text = link.format_calibration(&samples);
+        let (back, back_samples) = LinkModel::parse_calibration(&text).unwrap();
+        assert_eq!(back, link);
+        assert_eq!(back_samples, samples);
+        // Samples are optional on the way back in.
+        let (minimal, none) =
+            LinkModel::parse_calibration("latency_s 1e-5\nbandwidth_Bps 1e9\n").unwrap();
+        assert_eq!(minimal.overhead, 0.0);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn calibration_parse_rejects_malformed_input() {
+        for bad in [
+            "latency_s 1e-5",                               // missing bandwidth
+            "bandwidth_Bps 1e9",                            // missing latency
+            "latency_s 1e-5\nbandwidth_Bps 0",              // zero bandwidth
+            "latency_s -1\nbandwidth_Bps 1e9",              // negative
+            "latency_s nope\nbandwidth_Bps 1e9",            // unparsable
+            "latency_s 1e-5\nbandwidth_Bps 1e9\nwat 3",     // unknown key
+            "latency_s 1e-5 extra\nbandwidth_Bps 1e9",      // trailing tokens
+            "latency_s 1e-5\nbandwidth_Bps 1e9\nsample 12", // short sample
+            "latency_s inf\nbandwidth_Bps 1e9",             // non-finite
+        ] {
+            assert!(LinkModel::parse_calibration(bad).is_err(), "accepted: {bad:?}");
+        }
     }
 
     #[test]
